@@ -1,0 +1,428 @@
+//! A label-based code builder for emitting Alpha code fragments.
+//!
+//! The DBT's translator and exception handler build code through this type:
+//! it tracks the fragment's base host address, resolves intra-fragment
+//! branch labels, and produces encoded instruction words ready to be written
+//! into simulated memory.
+
+use crate::encode::encode;
+use crate::insn::{BrOp, Insn, JumpKind, MemOp, OpFn, Rb};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A branch label within a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builder errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// `finish` found a label that was referenced but never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+    /// A branch displacement exceeded the signed 21-bit instruction range.
+    BranchOutOfRange {
+        /// Branch instruction index within the fragment.
+        at: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} never bound"),
+            BuildError::Rebound(l) => write!(f, "label {l:?} bound twice"),
+            BuildError::BranchOutOfRange { at } => {
+                write!(f, "branch displacement out of range at instruction {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+struct Fixup {
+    /// Index of the branch instruction within `insns`.
+    at: usize,
+    label: Label,
+}
+
+/// Emits a sequence of Alpha instructions with label resolution.
+pub struct CodeBuilder {
+    base: u64,
+    insns: Vec<Insn>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl CodeBuilder {
+    /// New builder for a fragment whose first word will live at host
+    /// address `base` (must be 4-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-aligned.
+    pub fn new(base: u64) -> CodeBuilder {
+        assert_eq!(base & 3, 0, "code must be 4-aligned");
+        CodeBuilder {
+            base,
+            insns: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Host address of the next instruction to be emitted.
+    pub fn here(&self) -> u64 {
+        self.base + 4 * self.insns.len() as u64
+    }
+
+    /// Base address given at construction.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder bug, not an input
+    /// error).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.insns.len());
+    }
+
+    /// Emits an arbitrary instruction.
+    pub fn emit(&mut self, insn: Insn) {
+        self.insns.push(insn);
+    }
+
+    /// `lda ra, disp(rb)`
+    pub fn lda(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Insn::Mem {
+            op: MemOp::Lda,
+            ra,
+            rb,
+            disp,
+        });
+    }
+
+    /// `ldah ra, disp(rb)`
+    pub fn ldah(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Insn::Mem {
+            op: MemOp::Ldah,
+            ra,
+            rb,
+            disp,
+        });
+    }
+
+    /// Emits code to set `ra` to `imm` sign-extended to 64 bits, using
+    /// `ldah`/`lda` and — for the 17-bit-carry corner (e.g. `0x7FFF8000..`)
+    /// where the pair alone overshoots in bits 32+ — one canonicalizing
+    /// `addl`.
+    pub fn load_imm32(&mut self, ra: Reg, imm: i32) {
+        let low = imm as i16;
+        let high = ((imm as i64 - low as i64) >> 16) as i16; // truncating cast is the fixup below
+        if high != 0 {
+            self.ldah(ra, high, Reg::ZERO);
+            if low != 0 {
+                self.lda(ra, low, ra);
+            }
+        } else {
+            self.lda(ra, low, Reg::ZERO);
+        }
+        let exact = ((high as i64) << 16) + low as i64;
+        if exact != imm as i64 {
+            // Low 32 bits are correct by modular arithmetic; re-sign-extend.
+            self.op(OpFn::Addl, Reg::ZERO, ra, ra);
+        }
+    }
+
+    /// Memory access helper.
+    pub fn mem(&mut self, op: MemOp, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Insn::Mem { op, ra, rb, disp });
+    }
+
+    /// Operate with register `rb`.
+    pub fn op(&mut self, op: OpFn, ra: Reg, rb: Reg, rc: Reg) {
+        self.emit(Insn::Op {
+            op,
+            ra,
+            rb: Rb::Reg(rb),
+            rc,
+        });
+    }
+
+    /// Operate with literal `rb`.
+    pub fn op_lit(&mut self, op: OpFn, ra: Reg, lit: u8, rc: Reg) {
+        self.emit(Insn::Op {
+            op,
+            ra,
+            rb: Rb::Lit(lit),
+            rc,
+        });
+    }
+
+    /// `mov src, dst` (`bis src, src, dst`); elided when `src == dst`.
+    pub fn mov(&mut self, src: Reg, dst: Reg) {
+        if src != dst {
+            self.op(OpFn::Bis, src, src, dst);
+        }
+    }
+
+    /// Branch to a label.
+    pub fn br_label(&mut self, op: BrOp, ra: Reg, label: Label) {
+        self.fixups.push(Fixup {
+            at: self.insns.len(),
+            label,
+        });
+        self.emit(Insn::Br { op, ra, disp: 0 });
+    }
+
+    /// Branch to an absolute host address (e.g. into another fragment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the displacement does not fit the signed 21-bit range —
+    /// callers guarantee code-cache proximity.
+    pub fn br_abs(&mut self, op: BrOp, ra: Reg, target: u64) {
+        let disp = branch_disp(self.here(), target).expect("branch target within range");
+        self.emit(Insn::Br { op, ra, disp });
+    }
+
+    /// `jmp`/`jsr`/`ret` through a register.
+    pub fn jump(&mut self, kind: JumpKind, ra: Reg, rb: Reg) {
+        self.emit(Insn::Jmp { kind, ra, rb });
+    }
+
+    /// `call_pal func`
+    pub fn call_pal(&mut self, func: u32) {
+        self.emit(Insn::CallPal { func });
+    }
+
+    /// Resolves labels and returns the encoded instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for unbound labels or out-of-range branch
+    /// displacements.
+    pub fn finish(self) -> Result<Vec<u32>, BuildError> {
+        let insns = self.finish_insns()?;
+        Ok(insns.iter().map(encode).collect())
+    }
+
+    /// Resolves labels and returns the instruction list (used by tests and
+    /// the disassembler-driven debugging utilities).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CodeBuilder::finish`].
+    pub fn finish_insns(mut self) -> Result<Vec<Insn>, BuildError> {
+        for f in &self.fixups {
+            let target_idx = self.labels[f.label.0].ok_or(BuildError::UnboundLabel(f.label))?;
+            // Branch displacement counts instructions from pc+4.
+            let disp = target_idx as i64 - (f.at as i64 + 1);
+            if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                return Err(BuildError::BranchOutOfRange { at: f.at });
+            }
+            match &mut self.insns[f.at] {
+                Insn::Br { disp: d, .. } => *d = disp as i32,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Ok(self.insns)
+    }
+}
+
+/// Computes the branch displacement (in instructions) from a branch at
+/// `br_addr` to `target`, if representable in the signed 21-bit field.
+pub fn branch_disp(br_addr: u64, target: u64) -> Option<i32> {
+    debug_assert_eq!(br_addr & 3, 0);
+    debug_assert_eq!(target & 3, 0);
+    let disp = (target as i64 - (br_addr as i64 + 4)) / 4;
+    if (-(1 << 20)..(1 << 20)).contains(&disp) {
+        Some(disp as i32)
+    } else {
+        None
+    }
+}
+
+/// Resolves the target address of a branch instruction located at `br_addr`
+/// with instruction displacement `disp`.
+pub fn branch_target(br_addr: u64, disp: i32) -> u64 {
+    (br_addr as i64 + 4 + 4 * disp as i64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn label_resolution_forward_and_back() {
+        let mut b = CodeBuilder::new(0x1000);
+        let end = b.new_label();
+        let top = b.new_label();
+        b.bind(top);
+        b.op_lit(OpFn::Subq, Reg::R1, 1, Reg::R1);
+        b.br_label(BrOp::Beq, Reg::R1, end);
+        b.br_label(BrOp::Br, Reg::ZERO, top);
+        b.bind(end);
+        b.call_pal(crate::PAL_HALT);
+        let insns = b.finish_insns().unwrap();
+        assert_eq!(
+            insns[1],
+            Insn::Br {
+                op: BrOp::Beq,
+                ra: Reg::R1,
+                disp: 1
+            }
+        );
+        assert_eq!(
+            insns[2],
+            Insn::Br {
+                op: BrOp::Br,
+                ra: Reg::ZERO,
+                disp: -3
+            }
+        );
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = CodeBuilder::new(0);
+        let l = b.new_label();
+        b.br_label(BrOp::Br, Reg::ZERO, l);
+        assert!(matches!(b.finish(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn load_imm32_values() {
+        for imm in [
+            0i32,
+            1,
+            -1,
+            0x7FFF,
+            -0x8000,
+            0x8000,
+            0x12345678,
+            -0x12345678,
+            i32::MAX,
+            i32::MIN,
+        ] {
+            let mut b = CodeBuilder::new(0);
+            b.load_imm32(Reg::R5, imm);
+            let insns = b.finish_insns().unwrap();
+            // Simulate lda/ldah semantics.
+            let mut r5: u64 = 0;
+            for insn in insns {
+                match insn {
+                    Insn::Mem {
+                        op: MemOp::Lda,
+                        rb,
+                        disp,
+                        ..
+                    } => {
+                        let base = if rb == Reg::ZERO { 0 } else { r5 };
+                        r5 = base.wrapping_add(disp as i64 as u64);
+                    }
+                    Insn::Mem {
+                        op: MemOp::Ldah,
+                        rb,
+                        disp,
+                        ..
+                    } => {
+                        let base = if rb == Reg::ZERO { 0 } else { r5 };
+                        r5 = base.wrapping_add(((disp as i64) << 16) as u64);
+                    }
+                    Insn::Op {
+                        op: OpFn::Addl,
+                        ra: Reg::R31,
+                        ..
+                    } => {
+                        r5 = crate::op::eval(OpFn::Addl, 0, r5);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(r5, imm as i64 as u64, "imm {imm:#x}");
+        }
+    }
+
+    #[test]
+    fn absolute_branch_displacement() {
+        let mut b = CodeBuilder::new(0x1000);
+        b.br_abs(BrOp::Br, Reg::ZERO, 0x1010);
+        let insns = b.finish_insns().unwrap();
+        assert_eq!(
+            insns[0],
+            Insn::Br {
+                op: BrOp::Br,
+                ra: Reg::ZERO,
+                disp: 3
+            }
+        );
+        assert_eq!(branch_target(0x1000, 3), 0x1010);
+    }
+
+    #[test]
+    fn branch_disp_range() {
+        assert_eq!(branch_disp(0x1000, 0x1004), Some(0));
+        assert_eq!(branch_disp(0x1000, 0x1000), Some(-1));
+        assert!(branch_disp(0, 4 + 4 * ((1 << 20) - 1)).is_some());
+        assert!(branch_disp(0, 4 + 4 * (1 << 20)).is_none());
+    }
+
+    #[test]
+    fn words_decode_back() {
+        let mut b = CodeBuilder::new(0x2000);
+        b.mem(MemOp::LdqU, Reg::R1, 2, Reg::R2);
+        b.op(OpFn::Extll, Reg::R1, Reg::R22, Reg::R1);
+        b.mov(Reg::R3, Reg::R4);
+        b.call_pal(crate::PAL_EXIT_MONITOR);
+        let words = b.finish().unwrap();
+        assert_eq!(
+            decode(words[0]).unwrap(),
+            Insn::Mem {
+                op: MemOp::LdqU,
+                ra: Reg::R1,
+                rb: Reg::R2,
+                disp: 2
+            }
+        );
+        assert_eq!(
+            decode(words[2]).unwrap(),
+            Insn::Op {
+                op: OpFn::Bis,
+                ra: Reg::R3,
+                rb: Rb::Reg(Reg::R3),
+                rc: Reg::R4
+            }
+        );
+        assert_eq!(
+            decode(words[3]).unwrap(),
+            Insn::CallPal {
+                func: crate::PAL_EXIT_MONITOR
+            }
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! 32-bit instruction-word decoder for the Alpha subset.
+
+use crate::insn::{BrOp, Insn, JumpKind, MemOp, OpFn, Rb};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A primary opcode outside the subset.
+    UnknownOpcode(u8),
+    /// An operate function code outside the subset.
+    UnknownFunction {
+        /// Primary opcode.
+        opcode: u8,
+        /// Function code.
+        func: u8,
+    },
+    /// A jump-format hint outside the subset.
+    UnknownJumpKind(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::UnknownFunction { opcode, func } => {
+                write!(f, "unknown function {func:#04x} under opcode {opcode:#04x}")
+            }
+            DecodeError::UnknownJumpKind(k) => write!(f, "unknown jump kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn ra_of(word: u32) -> Reg {
+    Reg::from_index(((word >> 21) & 31) as usize)
+}
+
+#[inline]
+fn rb_of(word: u32) -> Reg {
+    Reg::from_index(((word >> 16) & 31) as usize)
+}
+
+#[inline]
+fn rc_of(word: u32) -> Reg {
+    Reg::from_index((word & 31) as usize)
+}
+
+/// Decodes one instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for any word outside the subset — the host
+/// simulator turns this into an illegal-instruction machine fault.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let opcode = (word >> 26) as u8;
+    match opcode {
+        0x00 => Ok(Insn::CallPal {
+            func: word & 0x03FF_FFFF,
+        }),
+        0x08 | 0x09 | 0x0A..=0x0F | 0x28 | 0x29 | 0x2C | 0x2D => {
+            let op = MemOp::from_opcode(opcode).expect("matched memory opcode");
+            Ok(Insn::Mem {
+                op,
+                ra: ra_of(word),
+                rb: rb_of(word),
+                disp: word as u16 as i16,
+            })
+        }
+        0x1A => {
+            let bits = ((word >> 14) & 0b11) as u8;
+            let kind = JumpKind::from_bits(bits).ok_or(DecodeError::UnknownJumpKind(bits))?;
+            Ok(Insn::Jmp {
+                kind,
+                ra: ra_of(word),
+                rb: rb_of(word),
+            })
+        }
+        0x10..=0x13 => {
+            let func = ((word >> 5) & 0x7F) as u8;
+            let op = OpFn::from_parts(opcode, func)
+                .ok_or(DecodeError::UnknownFunction { opcode, func })?;
+            let rb = if word & (1 << 12) != 0 {
+                Rb::Lit(((word >> 13) & 0xFF) as u8)
+            } else {
+                Rb::Reg(rb_of(word))
+            };
+            Ok(Insn::Op {
+                op,
+                ra: ra_of(word),
+                rb,
+                rc: rc_of(word),
+            })
+        }
+        0x30 | 0x34 | 0x38..=0x3F => {
+            let op = BrOp::from_opcode(opcode).expect("matched branch opcode");
+            // Sign-extend the 21-bit displacement.
+            let disp = ((word & 0x001F_FFFF) << 11) as i32 >> 11;
+            Ok(Insn::Br {
+                op,
+                ra: ra_of(word),
+                disp,
+            })
+        }
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(insn: Insn) {
+        let word = encode(&insn);
+        assert_eq!(decode(word), Ok(insn), "word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_every_format() {
+        use MemOp::*;
+        for op in [
+            Lda, Ldah, Ldbu, Ldwu, Ldl, Ldq, LdqU, Stb, Stw, Stl, Stq, StqU,
+        ] {
+            roundtrip(Insn::Mem {
+                op,
+                ra: Reg::R7,
+                rb: Reg::R15,
+                disp: -1234,
+            });
+            roundtrip(Insn::Mem {
+                op,
+                ra: Reg::R31,
+                rb: Reg::R0,
+                disp: 32767,
+            });
+        }
+        for op in [
+            BrOp::Br,
+            BrOp::Bsr,
+            BrOp::Beq,
+            BrOp::Bne,
+            BrOp::Blt,
+            BrOp::Ble,
+            BrOp::Bgt,
+            BrOp::Bge,
+            BrOp::Blbc,
+            BrOp::Blbs,
+        ] {
+            roundtrip(Insn::Br {
+                op,
+                ra: Reg::R3,
+                disp: -100_000,
+            });
+            roundtrip(Insn::Br {
+                op,
+                ra: Reg::R3,
+                disp: 0xF_FFFF,
+            });
+        }
+        for op in OpFn::ALL {
+            roundtrip(Insn::Op {
+                op,
+                ra: Reg::R1,
+                rb: Rb::Reg(Reg::R2),
+                rc: Reg::R3,
+            });
+            roundtrip(Insn::Op {
+                op,
+                ra: Reg::R1,
+                rb: Rb::Lit(255),
+                rc: Reg::R3,
+            });
+            roundtrip(Insn::Op {
+                op,
+                ra: Reg::R31,
+                rb: Rb::Lit(0),
+                rc: Reg::R31,
+            });
+        }
+        for kind in [JumpKind::Jmp, JumpKind::Jsr, JumpKind::Ret] {
+            roundtrip(Insn::Jmp {
+                kind,
+                ra: Reg::R26,
+                rb: Reg::R27,
+            });
+        }
+        roundtrip(Insn::CallPal { func: 0 });
+        roundtrip(Insn::CallPal { func: 0x80 });
+        roundtrip(Insn::CallPal { func: 0x03FF_FFFF });
+    }
+
+    #[test]
+    fn branch_displacement_sign_extension() {
+        let w = encode(&Insn::Br {
+            op: BrOp::Br,
+            ra: Reg::R31,
+            disp: -1,
+        });
+        match decode(w).unwrap() {
+            Insn::Br { disp, .. } => assert_eq!(disp, -1),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let max = (1 << 20) - 1;
+        let min = -(1 << 20);
+        for d in [max, min, 0, 1, -1] {
+            roundtrip(Insn::Br {
+                op: BrOp::Bne,
+                ra: Reg::R9,
+                disp: d,
+            });
+        }
+    }
+
+    #[test]
+    fn unknown_words_rejected() {
+        assert!(decode(0x3Fu32 << 26).is_ok()); // bgt is 0x3F — valid
+        assert_eq!(decode(0x07u32 << 26), Err(DecodeError::UnknownOpcode(0x07)));
+        // opcode 0x10 with unused function 0x7F
+        let bad = (0x10u32 << 26) | (0x7F << 5);
+        assert_eq!(
+            decode(bad),
+            Err(DecodeError::UnknownFunction {
+                opcode: 0x10,
+                func: 0x7F
+            })
+        );
+        // jump with hint bits 3
+        let bad_jmp = (0x1Au32 << 26) | (3 << 14);
+        assert_eq!(decode(bad_jmp), Err(DecodeError::UnknownJumpKind(3)));
+    }
+}

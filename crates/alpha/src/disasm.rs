@@ -1,0 +1,206 @@
+//! Disassembler for the Alpha subset, for debugging and test diagnostics.
+
+use crate::builder::branch_target;
+use crate::decode::decode;
+use crate::insn::{Insn, MemOp};
+use crate::{PAL_EXIT_MONITOR, PAL_HALT, PAL_REQUEST_MONITOR};
+use std::fmt::Write as _;
+
+/// Formats a single instruction at `addr` in roughly the style of
+/// `objdump`.
+pub fn format_insn(insn: &Insn, addr: u64) -> String {
+    let mut s = String::new();
+    match *insn {
+        Insn::Mem { op, ra, rb, disp } => {
+            if op == MemOp::Lda && rb == crate::Reg::ZERO {
+                let _ = write!(s, "lda {ra}, {disp}");
+            } else {
+                let _ = write!(s, "{} {ra}, {disp}({rb})", op.mnemonic());
+            }
+        }
+        Insn::Br { op, ra, disp } => {
+            let target = branch_target(addr, disp);
+            if op.is_unconditional() && ra.is_zero() {
+                let _ = write!(s, "{} {target:#x}", op.mnemonic());
+            } else {
+                let _ = write!(s, "{} {ra}, {target:#x}", op.mnemonic());
+            }
+        }
+        Insn::Jmp { kind, ra, rb } => {
+            let _ = write!(s, "{} {ra}, ({rb})", kind.mnemonic());
+        }
+        Insn::Op { op, ra, rb, rc } => {
+            let _ = write!(s, "{} {ra}, {rb}, {rc}", op.mnemonic());
+        }
+        Insn::CallPal { func } => {
+            let name = match func {
+                PAL_HALT => "halt",
+                PAL_EXIT_MONITOR => "exit_monitor",
+                PAL_REQUEST_MONITOR => "request_monitor",
+                _ => "",
+            };
+            if name.is_empty() {
+                let _ = write!(s, "call_pal {func:#x}");
+            } else {
+                let _ = write!(s, "call_pal {name}");
+            }
+        }
+    }
+    s
+}
+
+/// Disassembles a sequence of instruction words starting at `base`,
+/// one line per word. Undecodable words are shown as `.word`.
+pub fn disassemble(words: &[u32], base: u64) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base + 4 * i as u64;
+        match decode(w) {
+            Ok(insn) => {
+                let _ = writeln!(out, "{addr:#010x}:  {w:08x}  {}", format_insn(&insn, addr));
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{addr:#010x}:  {w:08x}  .word {w:#010x}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{BrOp, JumpKind, OpFn, Rb};
+    use crate::reg::Reg;
+
+    #[test]
+    fn formats_each_class() {
+        assert_eq!(
+            format_insn(
+                &Insn::Mem {
+                    op: MemOp::LdqU,
+                    ra: Reg::R1,
+                    rb: Reg::R2,
+                    disp: 2
+                },
+                0x1000
+            ),
+            "ldq_u r1, 2(r2)"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Br {
+                    op: BrOp::Br,
+                    ra: Reg::ZERO,
+                    disp: 3
+                },
+                0x1000
+            ),
+            "br 0x1010"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Br {
+                    op: BrOp::Bne,
+                    ra: Reg::R4,
+                    disp: -2
+                },
+                0x1000
+            ),
+            "bne r4, 0xffc"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Op {
+                    op: OpFn::Extll,
+                    ra: Reg::R1,
+                    rb: Rb::Reg(Reg::R22),
+                    rc: Reg::R1
+                },
+                0
+            ),
+            "extll r1, r22, r1"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Op {
+                    op: OpFn::And,
+                    ra: Reg::R3,
+                    rb: Rb::Lit(7),
+                    rc: Reg::R5
+                },
+                0
+            ),
+            "and r3, #7, r5"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Jmp {
+                    kind: JumpKind::Ret,
+                    ra: Reg::ZERO,
+                    rb: Reg::R26
+                },
+                0
+            ),
+            "ret zero, (r26)"
+        );
+        assert_eq!(
+            format_insn(&Insn::CallPal { func: PAL_HALT }, 0),
+            "call_pal halt"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::CallPal {
+                    func: PAL_EXIT_MONITOR
+                },
+                0
+            ),
+            "call_pal exit_monitor"
+        );
+    }
+
+    #[test]
+    fn every_operate_mnemonic_formats() {
+        for op in OpFn::ALL {
+            let text = format_insn(
+                &Insn::Op {
+                    op,
+                    ra: Reg::R1,
+                    rb: Rb::Reg(Reg::R2),
+                    rc: Reg::R3,
+                },
+                0,
+            );
+            assert!(text.starts_with(op.mnemonic()), "{op:?}: {text}");
+            assert!(text.contains("r1") && text.contains("r2") && text.contains("r3"));
+        }
+    }
+
+    #[test]
+    fn every_memory_mnemonic_formats() {
+        use crate::insn::MemOp::*;
+        for op in [
+            Lda, Ldah, Ldbu, Ldwu, Ldl, Ldq, LdqU, Stb, Stw, Stl, Stq, StqU,
+        ] {
+            let text = format_insn(
+                &Insn::Mem {
+                    op,
+                    ra: Reg::R5,
+                    rb: Reg::R6,
+                    disp: -4,
+                },
+                0,
+            );
+            assert!(text.starts_with(op.mnemonic()), "{op:?}: {text}");
+        }
+    }
+
+    #[test]
+    fn disassemble_handles_bad_words() {
+        let words = [crate::encode::encode(&Insn::NOP), 0x07u32 << 26];
+        let text = disassemble(&words, 0x2000);
+        assert!(text.contains("bis zero, zero, zero"));
+        assert!(text.contains(".word"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

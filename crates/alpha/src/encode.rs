@@ -1,0 +1,134 @@
+//! 32-bit instruction-word encoder for the Alpha subset.
+
+use crate::insn::{Insn, Rb};
+
+fn reg_bits(r: crate::reg::Reg) -> u32 {
+    r.index() as u32
+}
+
+/// Encodes an instruction into its 32-bit instruction word.
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Mem { op, ra, rb, disp } => {
+            (u32::from(op.opcode()) << 26)
+                | (reg_bits(ra) << 21)
+                | (reg_bits(rb) << 16)
+                | u32::from(disp as u16)
+        }
+        Insn::Br { op, ra, disp } => {
+            (u32::from(op.opcode()) << 26) | (reg_bits(ra) << 21) | ((disp as u32) & 0x001F_FFFF)
+        }
+        Insn::Jmp { kind, ra, rb } => {
+            (0x1Au32 << 26)
+                | (reg_bits(ra) << 21)
+                | (reg_bits(rb) << 16)
+                | (u32::from(kind as u8) << 14)
+        }
+        Insn::Op { op, ra, rb, rc } => {
+            let base = (u32::from(op.opcode()) << 26)
+                | (reg_bits(ra) << 21)
+                | (u32::from(op.func()) << 5)
+                | reg_bits(rc);
+            match rb {
+                Rb::Reg(r) => base | (reg_bits(r) << 16),
+                Rb::Lit(l) => base | (u32::from(l) << 13) | (1 << 12),
+            }
+        }
+        Insn::CallPal { func } => func & 0x03FF_FFFF,
+    }
+}
+
+/// Encodes a slice of instructions into words.
+pub fn encode_all(insns: &[Insn]) -> Vec<u32> {
+    insns.iter().map(encode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{BrOp, JumpKind, MemOp, OpFn};
+    use crate::reg::Reg;
+
+    #[test]
+    fn known_words() {
+        // ldq_u r1, 2(r2): opcode 0x0B, ra=1, rb=2, disp=2
+        let w = encode(&Insn::Mem {
+            op: MemOp::LdqU,
+            ra: Reg::R1,
+            rb: Reg::R2,
+            disp: 2,
+        });
+        assert_eq!(w, (0x0B << 26) | (1 << 21) | (2 << 16) | 2);
+
+        // negative displacement sign-bits preserved
+        let w = encode(&Insn::Mem {
+            op: MemOp::Ldl,
+            ra: Reg::R3,
+            rb: Reg::R30,
+            disp: -8,
+        });
+        assert_eq!(w & 0xFFFF, 0xFFF8);
+
+        // br zero, +5
+        let w = encode(&Insn::Br {
+            op: BrOp::Br,
+            ra: Reg::R31,
+            disp: 5,
+        });
+        assert_eq!(w, (0x30 << 26) | (31 << 21) | 5);
+
+        // beq r4, -1 → disp field all ones
+        let w = encode(&Insn::Br {
+            op: BrOp::Beq,
+            ra: Reg::R4,
+            disp: -1,
+        });
+        assert_eq!(w & 0x001F_FFFF, 0x001F_FFFF);
+
+        // addl r1, r2, r3
+        let w = encode(&Insn::Op {
+            op: OpFn::Addl,
+            ra: Reg::R1,
+            rb: Rb::Reg(Reg::R2),
+            rc: Reg::R3,
+        });
+        assert_eq!(w, ((0x10 << 26) | (1 << 21) | (2 << 16)) | 3);
+
+        // and r5, #3, r6 (literal form sets bit 12)
+        let w = encode(&Insn::Op {
+            op: OpFn::And,
+            ra: Reg::R5,
+            rb: Rb::Lit(3),
+            rc: Reg::R6,
+        });
+        assert_eq!(w, ((0x11 << 26) | (5 << 21) | (3 << 13) | (1 << 12)) | 6);
+
+        // ret zero, (r26)
+        let w = encode(&Insn::Jmp {
+            kind: JumpKind::Ret,
+            ra: Reg::R31,
+            rb: Reg::R26,
+        });
+        assert_eq!(w, (0x1A << 26) | (31 << 21) | (26 << 16) | (2 << 14));
+
+        // call_pal halt
+        assert_eq!(encode(&Insn::CallPal { func: 0 }), 0);
+        assert_eq!(encode(&Insn::CallPal { func: 0x80 }), 0x80);
+    }
+
+    #[test]
+    fn nop_encoding() {
+        // bis zero, zero, zero
+        let w = encode(&Insn::NOP);
+        assert_eq!(w, (0x11 << 26) | (31 << 21) | (31 << 16) | (0x20 << 5) | 31);
+    }
+
+    #[test]
+    fn encode_all_preserves_order() {
+        let insns = [Insn::NOP, Insn::CallPal { func: 0 }];
+        let words = encode_all(&insns);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], encode(&Insn::NOP));
+        assert_eq!(words[1], 0);
+    }
+}

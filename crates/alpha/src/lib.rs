@@ -1,0 +1,82 @@
+//! Host ISA for DigitalBridge-RS: an Alpha AXP subset.
+//!
+//! This crate models the *target* architecture of the binary-translation
+//! system from "An Evaluation of Misaligned Data Access Handling Mechanisms
+//! in Dynamic Binary Translation Systems" (CGO 2009). Alpha is the canonical
+//! architecture **with** alignment restrictions: `ldl`/`stl`/`ldq`/`stq`/
+//! `ldwu`/`stw` trap when their effective address is not naturally aligned,
+//! and the trap costs on the order of a thousand cycles once the OS and the
+//! registered handler are involved.
+//!
+//! Alpha also provides the byte-manipulation instructions (`ldq_u`, `stq_u`,
+//! `ext*`, `ins*`, `msk*`) from which a compiler — or a binary translator —
+//! builds the **MDA code sequence**: a branch-free sequence that performs an
+//! unaligned access without ever trapping (the paper's Figure 2).
+//! [`mda_seq`] emits exactly those sequences.
+//!
+//! Layers provided:
+//!
+//! * instruction model ([`Insn`], [`Reg`], [`OpFn`], …),
+//! * real 32-bit instruction-word [`encode`](encode::encode) /
+//!   [`decode`](decode::decode) (memory, branch, operate and PALcode
+//!   formats),
+//! * pure evaluation of operate functions ([`op::eval`]) shared by the host
+//!   simulator and unit tests,
+//! * a label-based [`builder::CodeBuilder`] used by the DBT's
+//!   translator, and
+//! * the canonical unaligned load/store sequences ([`mda_seq`]).
+//!
+//! # Example: the paper's Figure 2 sequence
+//!
+//! ```
+//! use bridge_alpha::builder::CodeBuilder;
+//! use bridge_alpha::mda_seq::{self, AccessWidth, SeqTemps};
+//! use bridge_alpha::reg::Reg;
+//!
+//! let mut b = CodeBuilder::new(0x8000_0000);
+//! // Unaligned 4-byte load of 2(R2) into R1, sign-extended like ldl.
+//! mda_seq::emit_unaligned_load(
+//!     &mut b,
+//!     AccessWidth::W4,
+//!     Reg::R1,
+//!     Reg::R2,
+//!     2,
+//!     true,
+//!     &SeqTemps::default(),
+//! );
+//! let words = b.finish().expect("no unresolved labels");
+//! assert_eq!(words.len(), 7); // ldq_u x2, lda, extll, extlh, bis, addl
+//! ```
+
+pub mod builder;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod insn;
+pub mod mda_seq;
+pub mod op;
+pub mod reg;
+
+pub use builder::CodeBuilder;
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use insn::{BrOp, Insn, JumpKind, MemOp, OpFn, Rb};
+pub use reg::Reg;
+
+/// PALcode function: halt the machine (end of simulation).
+///
+/// Deliberately nonzero so that a wild jump into zero-filled memory (whose
+/// words decode as `call_pal 0`) faults loudly instead of halting
+/// "successfully".
+pub const PAL_HALT: u32 = 0x0001;
+
+/// PALcode function used by the DBT runtime convention: leave translated
+/// code and return to the dispatcher. The next guest PC is in
+/// [`reg::Reg::R16`] by convention.
+pub const PAL_EXIT_MONITOR: u32 = 0x0080;
+
+/// PALcode function used by the DBT runtime convention: request a service
+/// from the monitor (the paper's Figure 8 "br BT monitor" — e.g. reverting
+/// an MDA sequence back to a plain access). The guest PC of the requesting
+/// site is in [`reg::Reg::R16`].
+pub const PAL_REQUEST_MONITOR: u32 = 0x0081;

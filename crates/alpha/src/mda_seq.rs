@@ -1,0 +1,462 @@
+//! The canonical Alpha **MDA code sequences**: branch-free unaligned loads
+//! and stores built from `ldq_u`/`stq_u` and the byte-manipulation
+//! instructions, exactly as in the paper's Figure 2 (loads) and the Alpha
+//! Architecture Handbook (stores).
+//!
+//! A misalignment exception handler performs the same accesses in software;
+//! the point of translating a memory operation *into* one of these sequences
+//! is to pay ~7–11 straight-line instructions instead of a ~1000-cycle trap
+//! on every execution.
+
+use crate::builder::CodeBuilder;
+use crate::insn::{MemOp, OpFn};
+use crate::reg::Reg;
+
+/// Widths for which an access can be misaligned (bytes never are).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessWidth {
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl AccessWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            AccessWidth::W2 => 2,
+            AccessWidth::W4 => 4,
+            AccessWidth::W8 => 8,
+        }
+    }
+
+    /// Access width for a byte count.
+    pub fn from_bytes(bytes: u32) -> Option<AccessWidth> {
+        Some(match bytes {
+            2 => AccessWidth::W2,
+            4 => AccessWidth::W4,
+            8 => AccessWidth::W8,
+            _ => return None,
+        })
+    }
+
+    fn ext_low(self) -> OpFn {
+        match self {
+            AccessWidth::W2 => OpFn::Extwl,
+            AccessWidth::W4 => OpFn::Extll,
+            AccessWidth::W8 => OpFn::Extql,
+        }
+    }
+
+    fn ext_high(self) -> OpFn {
+        match self {
+            AccessWidth::W2 => OpFn::Extwh,
+            AccessWidth::W4 => OpFn::Extlh,
+            AccessWidth::W8 => OpFn::Extqh,
+        }
+    }
+
+    fn ins_low(self) -> OpFn {
+        match self {
+            AccessWidth::W2 => OpFn::Inswl,
+            AccessWidth::W4 => OpFn::Insll,
+            AccessWidth::W8 => OpFn::Insql,
+        }
+    }
+
+    fn ins_high(self) -> OpFn {
+        match self {
+            AccessWidth::W2 => OpFn::Inswh,
+            AccessWidth::W4 => OpFn::Inslh,
+            AccessWidth::W8 => OpFn::Insqh,
+        }
+    }
+
+    fn msk_low(self) -> OpFn {
+        match self {
+            AccessWidth::W2 => OpFn::Mskwl,
+            AccessWidth::W4 => OpFn::Mskll,
+            AccessWidth::W8 => OpFn::Mskql,
+        }
+    }
+
+    fn msk_high(self) -> OpFn {
+        match self {
+            AccessWidth::W2 => OpFn::Mskwh,
+            AccessWidth::W4 => OpFn::Msklh,
+            AccessWidth::W8 => OpFn::Mskqh,
+        }
+    }
+}
+
+/// Temporary registers used by the sequences. The DBT reserves R21–R30 as
+/// translation temporaries (matching the paper's register convention), so
+/// the defaults draw from that range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqTemps {
+    /// First scratch (low quadword).
+    pub t1: Reg,
+    /// Second scratch (high quadword).
+    pub t2: Reg,
+    /// Effective-address scratch.
+    pub t3: Reg,
+    /// Store-merge scratch.
+    pub t4: Reg,
+    /// Store-merge scratch.
+    pub t5: Reg,
+}
+
+impl Default for SeqTemps {
+    fn default() -> SeqTemps {
+        SeqTemps {
+            t1: Reg::R21,
+            t2: Reg::R22,
+            t3: Reg::R23,
+            t4: Reg::R24,
+            t5: Reg::R25,
+        }
+    }
+}
+
+/// Number of instructions [`emit_unaligned_load`] produces for a width.
+pub fn unaligned_load_len(width: AccessWidth, sign_extend: bool) -> usize {
+    match (width, sign_extend) {
+        (AccessWidth::W2, false) => 6,
+        (AccessWidth::W2, true) => 8,
+        (AccessWidth::W4, false) => 6,
+        (AccessWidth::W4, true) => 7,
+        (AccessWidth::W8, _) => 6,
+    }
+}
+
+/// Number of instructions [`emit_unaligned_store`] produces.
+pub fn unaligned_store_len(_width: AccessWidth) -> usize {
+    11
+}
+
+/// Emits the branch-free unaligned-load sequence: `ra ← width bytes at
+/// disp(rb)`.
+///
+/// For [`AccessWidth::W4`] with `sign_extend`, the result matches `ldl`
+/// (sign-extended to 64 bits) — this is the exact 7-instruction sequence of
+/// the paper's Figure 2. Without `sign_extend` the value is zero-extended
+/// (the `movzx` path). [`AccessWidth::W8`] ignores `sign_extend`.
+///
+/// `ra` may equal `rb`; temporaries must be distinct from both.
+///
+/// # Panics
+///
+/// Panics if `disp` is within 8 bytes of `i16::MAX` (the sequence addresses
+/// `disp + width - 1`) or if a temporary aliases `ra`/`rb`.
+pub fn emit_unaligned_load(
+    b: &mut CodeBuilder,
+    width: AccessWidth,
+    ra: Reg,
+    rb: Reg,
+    disp: i16,
+    sign_extend: bool,
+    t: &SeqTemps,
+) {
+    assert!(
+        disp.checked_add(width.bytes() as i16).is_some(),
+        "displacement near i16::MAX"
+    );
+    for tmp in [t.t1, t.t2, t.t3] {
+        assert_ne!(tmp, ra, "temps must not alias operands");
+        assert_ne!(tmp, rb, "temps must not alias operands");
+    }
+    let start = b.len();
+    let last = disp + (width.bytes() - 1) as i16;
+    b.mem(MemOp::LdqU, t.t1, disp, rb); // quad containing the first byte
+    b.mem(MemOp::LdqU, t.t2, last, rb); // quad containing the last byte
+    b.lda(t.t3, disp, rb); // effective address (low 3 bits select)
+    b.op(width.ext_low(), t.t1, t.t3, t.t1);
+    b.op(width.ext_high(), t.t2, t.t3, t.t2);
+    match (width, sign_extend) {
+        (AccessWidth::W4, true) => {
+            b.op(OpFn::Bis, t.t1, t.t2, t.t1);
+            // Sign-extend longword → quadword, as ldl would.
+            b.op(OpFn::Addl, Reg::ZERO, t.t1, ra);
+        }
+        (AccessWidth::W2, true) => {
+            b.op(OpFn::Bis, t.t1, t.t2, t.t1);
+            b.op_lit(OpFn::Sll, t.t1, 48, t.t1);
+            b.op_lit(OpFn::Sra, t.t1, 48, ra);
+        }
+        _ => {
+            b.op(OpFn::Bis, t.t1, t.t2, ra);
+        }
+    }
+    debug_assert_eq!(b.len() - start, unaligned_load_len(width, sign_extend));
+}
+
+/// Emits the branch-free unaligned-store sequence: `width bytes at disp(rb)
+/// ← low bytes of rs`.
+///
+/// The high quadword is stored before the low one, so that when the access
+/// does not actually span two quadwords the final (low) `stq_u` rewrites the
+/// complete, correct value.
+///
+/// # Panics
+///
+/// Panics if `disp` is within 8 bytes of `i16::MAX` or if a temporary
+/// aliases `rs`/`rb`.
+pub fn emit_unaligned_store(
+    b: &mut CodeBuilder,
+    width: AccessWidth,
+    rs: Reg,
+    rb: Reg,
+    disp: i16,
+    t: &SeqTemps,
+) {
+    assert!(
+        disp.checked_add(width.bytes() as i16).is_some(),
+        "displacement near i16::MAX"
+    );
+    for tmp in [t.t1, t.t2, t.t3, t.t4, t.t5] {
+        assert_ne!(tmp, rs, "temps must not alias operands");
+        assert_ne!(tmp, rb, "temps must not alias operands");
+    }
+    let start = b.len();
+    let last = disp + (width.bytes() - 1) as i16;
+    b.lda(t.t3, disp, rb); // effective address
+    b.mem(MemOp::LdqU, t.t1, last, rb); // high quad (or same quad)
+    b.mem(MemOp::LdqU, t.t2, disp, rb); // low quad
+    b.op(width.ins_high(), rs, t.t3, t.t4); // bytes spilling into high quad
+    b.op(width.ins_low(), rs, t.t3, t.t5); // bytes within low quad
+    b.op(width.msk_high(), t.t1, t.t3, t.t1);
+    b.op(width.msk_low(), t.t2, t.t3, t.t2);
+    b.op(OpFn::Bis, t.t1, t.t4, t.t1);
+    b.op(OpFn::Bis, t.t2, t.t5, t.t2);
+    b.mem(MemOp::StqU, t.t1, last, rb); // high first …
+    b.mem(MemOp::StqU, t.t2, disp, rb); // … low last (see doc comment)
+    debug_assert_eq!(b.len() - start, unaligned_store_len(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Insn, Rb};
+
+    /// A tiny interpreter over a byte buffer for validating the sequences
+    /// without the full host simulator (which lives in `bridge-sim`).
+    fn run_seq(insns: &[Insn], regs: &mut [u64; 32], mem: &mut [u8]) {
+        for insn in insns {
+            match *insn {
+                Insn::Mem { op, ra, rb, disp } => {
+                    let addr = regs[rb.index()].wrapping_add(disp as i64 as u64);
+                    match op {
+                        MemOp::Lda => regs[ra.index()] = addr,
+                        MemOp::LdqU => {
+                            let a = (addr & !7) as usize;
+                            regs[ra.index()] =
+                                u64::from_le_bytes(mem[a..a + 8].try_into().unwrap());
+                        }
+                        MemOp::StqU => {
+                            let a = (addr & !7) as usize;
+                            mem[a..a + 8].copy_from_slice(&regs[ra.index()].to_le_bytes());
+                        }
+                        other => panic!("unexpected mem op {other:?}"),
+                    }
+                }
+                Insn::Op { op, ra, rb, rc } => {
+                    let av = regs[ra.index()];
+                    let bv = match rb {
+                        Rb::Reg(r) => regs[r.index()],
+                        Rb::Lit(l) => u64::from(l),
+                    };
+                    regs[rc.index()] = crate::op::eval(op, av, bv);
+                }
+                other => panic!("unexpected insn {other:?}"),
+            }
+            regs[31] = 0;
+        }
+    }
+
+    fn check_load(width: AccessWidth, sign_extend: bool, offset: u64) {
+        let mut mem = vec![0u8; 64];
+        for (i, b) in mem.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let mut regs = [0u64; 32];
+        regs[2] = 16 + offset; // rb = R2
+
+        let mut b = CodeBuilder::new(0x1000);
+        emit_unaligned_load(
+            &mut b,
+            width,
+            Reg::R1,
+            Reg::R2,
+            0,
+            sign_extend,
+            &SeqTemps::default(),
+        );
+        let insns = b.finish_insns().unwrap();
+        run_seq(&insns, &mut regs, &mut mem);
+
+        let n = width.bytes() as usize;
+        let raw: u64 = mem[16 + offset as usize..16 + offset as usize + n]
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &byte| (acc << 8) | u64::from(byte));
+        let expect = if sign_extend {
+            match width {
+                AccessWidth::W2 => raw as u16 as i16 as i64 as u64,
+                AccessWidth::W4 => raw as u32 as i32 as i64 as u64,
+                AccessWidth::W8 => raw,
+            }
+        } else {
+            raw
+        };
+        assert_eq!(
+            regs[1], expect,
+            "width {width:?} sext {sign_extend} offset {offset}"
+        );
+    }
+
+    #[test]
+    fn unaligned_load_all_offsets() {
+        for offset in 0..8 {
+            for width in [AccessWidth::W2, AccessWidth::W4, AccessWidth::W8] {
+                check_load(width, false, offset);
+                check_load(width, true, offset);
+            }
+        }
+    }
+
+    fn check_store(width: AccessWidth, offset: u64) {
+        let mut mem = vec![0xAAu8; 64];
+        let mut regs = [0u64; 32];
+        regs[2] = 16 + offset;
+        regs[4] = 0x1122_3344_5566_7788; // rs = R4
+
+        let mut b = CodeBuilder::new(0x1000);
+        emit_unaligned_store(&mut b, width, Reg::R4, Reg::R2, 0, &SeqTemps::default());
+        let insns = b.finish_insns().unwrap();
+        run_seq(&insns, &mut regs, &mut mem);
+
+        let n = width.bytes() as usize;
+        let start = 16 + offset as usize;
+        for (i, &byte) in mem.iter().enumerate() {
+            if (start..start + n).contains(&i) {
+                let want = (regs[4] >> (8 * (i - start))) as u8;
+                assert_eq!(byte, want, "data byte {i} width {width:?} offset {offset}");
+            } else {
+                assert_eq!(
+                    byte, 0xAA,
+                    "byte {i} clobbered, width {width:?} offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_store_all_offsets() {
+        for offset in 0..8 {
+            for width in [AccessWidth::W2, AccessWidth::W4, AccessWidth::W8] {
+                check_store(width, offset);
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_shape() {
+        // The paper's Figure 2: a 4-byte sign-extending load is
+        // ldq_u, ldq_u, lda, extll, extlh, or, addl — 7 instructions.
+        let mut b = CodeBuilder::new(0x1000);
+        emit_unaligned_load(
+            &mut b,
+            AccessWidth::W4,
+            Reg::R1,
+            Reg::R2,
+            2,
+            true,
+            &SeqTemps::default(),
+        );
+        let insns = b.finish_insns().unwrap();
+        assert_eq!(insns.len(), 7);
+        assert!(matches!(
+            insns[0],
+            Insn::Mem {
+                op: MemOp::LdqU,
+                disp: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insns[1],
+            Insn::Mem {
+                op: MemOp::LdqU,
+                disp: 5,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insns[2],
+            Insn::Mem {
+                op: MemOp::Lda,
+                disp: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insns[3],
+            Insn::Op {
+                op: OpFn::Extll,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insns[4],
+            Insn::Op {
+                op: OpFn::Extlh,
+                ..
+            }
+        ));
+        assert!(matches!(insns[5], Insn::Op { op: OpFn::Bis, .. }));
+        assert!(matches!(
+            insns[6],
+            Insn::Op {
+                op: OpFn::Addl,
+                ra: Reg::R31,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ra_may_alias_rb_for_loads() {
+        // Load through the same register that receives the result.
+        let mut mem = vec![0u8; 64];
+        mem[21..25].copy_from_slice(&0x0BAD_F00Du32.to_le_bytes());
+        let mut regs = [0u64; 32];
+        regs[2] = 21;
+        let mut b = CodeBuilder::new(0x1000);
+        emit_unaligned_load(
+            &mut b,
+            AccessWidth::W4,
+            Reg::R2,
+            Reg::R2,
+            0,
+            true,
+            &SeqTemps::default(),
+        );
+        let insns = b.finish_insns().unwrap();
+        run_seq(&insns, &mut regs, &mut mem);
+        assert_eq!(regs[2], 0x0BAD_F00D);
+    }
+
+    #[test]
+    #[should_panic(expected = "temps must not alias")]
+    fn temp_aliasing_is_rejected() {
+        let mut b = CodeBuilder::new(0x1000);
+        let t = SeqTemps {
+            t1: Reg::R2,
+            ..SeqTemps::default()
+        };
+        emit_unaligned_load(&mut b, AccessWidth::W4, Reg::R1, Reg::R2, 0, true, &t);
+    }
+}

@@ -1,0 +1,89 @@
+//! Alpha integer registers.
+
+use std::fmt;
+
+macro_rules! regs {
+    ($($name:ident = $num:expr),+ $(,)?) => {
+        /// The 32 Alpha integer registers. `R31` always reads as zero and
+        /// ignores writes.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        pub enum Reg {
+            $(
+                #[doc = concat!("Integer register ", stringify!($num), ".")]
+                $name = $num,
+            )+
+        }
+
+        impl Reg {
+            /// All registers in numeric order.
+            pub const ALL: [Reg; 32] = [$(Reg::$name),+];
+        }
+    };
+}
+
+regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg::R31;
+
+    /// Register number (0..32).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register for a number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Reg {
+        Self::ALL[idx]
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Reg::R31
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "zero")
+        } else {
+            write!(f, "r{}", self.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R31.is_zero());
+        assert!(!Reg::R0.is_zero());
+        assert_eq!(Reg::ZERO, Reg::R31);
+        assert_eq!(Reg::R31.to_string(), "zero");
+        assert_eq!(Reg::R7.to_string(), "r7");
+    }
+}

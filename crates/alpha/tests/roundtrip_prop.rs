@@ -1,0 +1,325 @@
+#![allow(clippy::needless_range_loop)] // byte-index loops mirror the oracle's math
+
+//! Property tests for the Alpha subset: word-level encode/decode
+//! roundtrips, decoder totality, and the MDA sequences' equivalence with
+//! direct unaligned memory semantics for arbitrary values and alignments.
+
+use bridge_alpha::builder::CodeBuilder;
+use bridge_alpha::decode::decode;
+use bridge_alpha::encode::encode;
+use bridge_alpha::insn::{BrOp, Insn, JumpKind, MemOp, OpFn, Rb};
+use bridge_alpha::mda_seq::{emit_unaligned_load, emit_unaligned_store, AccessWidth, SeqTemps};
+use bridge_alpha::op;
+use bridge_alpha::reg::Reg;
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::ALL.to_vec())
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop::sample::select(vec![
+        MemOp::Lda,
+        MemOp::Ldah,
+        MemOp::Ldbu,
+        MemOp::Ldwu,
+        MemOp::Ldl,
+        MemOp::Ldq,
+        MemOp::LdqU,
+        MemOp::Stb,
+        MemOp::Stw,
+        MemOp::Stl,
+        MemOp::Stq,
+        MemOp::StqU,
+    ])
+}
+
+fn br_op() -> impl Strategy<Value = BrOp> {
+    prop::sample::select(vec![
+        BrOp::Br,
+        BrOp::Bsr,
+        BrOp::Beq,
+        BrOp::Bne,
+        BrOp::Blt,
+        BrOp::Ble,
+        BrOp::Bgt,
+        BrOp::Bge,
+        BrOp::Blbc,
+        BrOp::Blbs,
+    ])
+}
+
+fn op_fn() -> impl Strategy<Value = OpFn> {
+    prop::sample::select(OpFn::ALL.to_vec())
+}
+
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (mem_op(), reg(), reg(), any::<i16>()).prop_map(|(op, ra, rb, disp)| Insn::Mem {
+            op,
+            ra,
+            rb,
+            disp
+        }),
+        (br_op(), reg(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(op, ra, disp)| Insn::Br {
+            op,
+            ra,
+            disp
+        }),
+        (
+            prop::sample::select(vec![JumpKind::Jmp, JumpKind::Jsr, JumpKind::Ret]),
+            reg(),
+            reg()
+        )
+            .prop_map(|(kind, ra, rb)| Insn::Jmp { kind, ra, rb }),
+        (op_fn(), reg(), reg(), reg()).prop_map(|(op, ra, rb, rc)| Insn::Op {
+            op,
+            ra,
+            rb: Rb::Reg(rb),
+            rc
+        }),
+        (op_fn(), reg(), any::<u8>(), reg()).prop_map(|(op, ra, lit, rc)| Insn::Op {
+            op,
+            ra,
+            rb: Rb::Lit(lit),
+            rc
+        }),
+        (0u32..(1 << 26)).prop_map(|func| Insn::CallPal { func }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4096, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_roundtrip(insn in insn()) {
+        let word = encode(&insn);
+        prop_assert_eq!(decode(word), Ok(insn), "word {:#010x}", word);
+    }
+
+    #[test]
+    fn decoder_is_total(word in any::<u32>()) {
+        let _ = decode(word); // must never panic
+    }
+
+    #[test]
+    fn decode_encode_is_identity_when_decodable(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            // Re-encoding may canonicalize SBZ bits but must stay decodable
+            // to the same instruction.
+            let word2 = encode(&insn);
+            prop_assert_eq!(decode(word2), Ok(insn));
+        }
+    }
+}
+
+/// Executes an instruction list over a register file and byte memory —
+/// the oracle for sequence equivalence.
+fn run_fragment(insns: &[Insn], regs: &mut [u64; 32], mem: &mut [u8]) {
+    for insn in insns {
+        match *insn {
+            Insn::Mem { op, ra, rb, disp } => {
+                let addr = regs[rb.index()].wrapping_add(disp as i64 as u64);
+                match op {
+                    MemOp::Lda => regs[ra.index()] = addr,
+                    MemOp::Ldah => {
+                        regs[ra.index()] =
+                            regs[rb.index()].wrapping_add(((disp as i64) << 16) as u64)
+                    }
+                    MemOp::LdqU => {
+                        let a = (addr & !7) as usize;
+                        regs[ra.index()] = u64::from_le_bytes(mem[a..a + 8].try_into().unwrap());
+                    }
+                    MemOp::StqU => {
+                        let a = (addr & !7) as usize;
+                        mem[a..a + 8].copy_from_slice(&regs[ra.index()].to_le_bytes());
+                    }
+                    other => panic!("sequences use only lda/ldq_u/stq_u, got {other:?}"),
+                }
+            }
+            Insn::Op { op, ra, rb, rc } => {
+                let av = regs[ra.index()];
+                let bv = match rb {
+                    Rb::Reg(r) => regs[r.index()],
+                    Rb::Lit(l) => u64::from(l),
+                };
+                regs[rc.index()] = op::eval(op, av, bv);
+            }
+            other => panic!("unexpected instruction {other:?}"),
+        }
+        regs[31] = 0;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 1024, ..ProptestConfig::default() })]
+
+    #[test]
+    fn unaligned_load_sequence_equals_memory_semantics(
+        offset in 0u64..24,
+        width in prop::sample::select(vec![AccessWidth::W2, AccessWidth::W4, AccessWidth::W8]),
+        sext in any::<bool>(),
+        payload in prop::collection::vec(any::<u8>(), 48),
+        disp in -8i16..8,
+    ) {
+        let mut mem = vec![0u8; 96];
+        mem[16..64].copy_from_slice(&payload);
+        let mut regs = [0u64; 32];
+        let base = 24 + offset;
+        regs[2] = (base as i64 - i64::from(disp)) as u64;
+
+        let mut b = CodeBuilder::new(0x1000);
+        emit_unaligned_load(&mut b, width, Reg::R1, Reg::R2, disp, sext, &SeqTemps::default());
+        let insns = b.finish_insns().expect("builds");
+        run_fragment(&insns, &mut regs, &mut mem);
+
+        let n = width.bytes() as usize;
+        let mut raw = 0u64;
+        for i in 0..n {
+            raw |= u64::from(mem[base as usize + i]) << (8 * i);
+        }
+        let expect = match (width, sext) {
+            (AccessWidth::W2, true) => raw as u16 as i16 as i64 as u64,
+            (AccessWidth::W4, true) => raw as u32 as i32 as i64 as u64,
+            _ => raw,
+        };
+        prop_assert_eq!(regs[1], expect);
+    }
+
+    #[test]
+    fn unaligned_store_sequence_equals_memory_semantics(
+        offset in 0u64..24,
+        width in prop::sample::select(vec![AccessWidth::W2, AccessWidth::W4, AccessWidth::W8]),
+        value in any::<u64>(),
+        background in any::<u8>(),
+        disp in -8i16..8,
+    ) {
+        let mut mem = vec![background; 96];
+        let mut regs = [0u64; 32];
+        let base = 24 + offset;
+        regs[2] = (base as i64 - i64::from(disp)) as u64;
+        regs[4] = value;
+
+        let mut b = CodeBuilder::new(0x1000);
+        emit_unaligned_store(&mut b, width, Reg::R4, Reg::R2, disp, &SeqTemps::default());
+        let insns = b.finish_insns().expect("builds");
+        run_fragment(&insns, &mut regs, &mut mem);
+
+        let n = width.bytes() as usize;
+        for (i, &byte) in mem.iter().enumerate() {
+            if (base as usize..base as usize + n).contains(&i) {
+                prop_assert_eq!(byte, (value >> (8 * (i - base as usize))) as u8,
+                                "data byte {}", i);
+            } else {
+                prop_assert_eq!(byte, background, "byte {} clobbered", i);
+            }
+        }
+        // The source register must be preserved.
+        prop_assert_eq!(regs[4], value);
+    }
+}
+
+/// Byte-level oracle for the byte-manipulation instructions: every
+/// `ext*`/`ins*`/`msk*`/`zap*` result must equal a per-byte recomputation.
+mod byte_zapper_oracle {
+    use super::*;
+
+    fn bytes_of(v: u64) -> [u8; 8] {
+        v.to_le_bytes()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 2048, ..ProptestConfig::default() })]
+
+        #[test]
+        fn zap_clears_exactly_the_masked_bytes(av in any::<u64>(), mask in any::<u8>()) {
+            let z = op::eval(OpFn::Zap, av, u64::from(mask));
+            let zn = op::eval(OpFn::Zapnot, av, u64::from(mask));
+            let src = bytes_of(av);
+            for i in 0..8 {
+                let bit = mask & (1 << i) != 0;
+                let zb = bytes_of(z)[i];
+                let znb = bytes_of(zn)[i];
+                prop_assert_eq!(zb, if bit { 0 } else { src[i] });
+                prop_assert_eq!(znb, if bit { src[i] } else { 0 });
+            }
+        }
+
+        #[test]
+        fn extract_low_selects_a_byte_window(av in any::<u64>(), bl in 0u64..8) {
+            // ext?l: bytes bl.. of av, truncated to the operand width.
+            let src = bytes_of(av);
+            for (op, width) in [
+                (OpFn::Extbl, 1usize),
+                (OpFn::Extwl, 2),
+                (OpFn::Extll, 4),
+                (OpFn::Extql, 8),
+            ] {
+                let got = op::eval(op, av, bl);
+                let gb = bytes_of(got);
+                for i in 0..8 {
+                    let want = if i < width && bl as usize + i < 8 {
+                        src[bl as usize + i]
+                    } else {
+                        0
+                    };
+                    prop_assert_eq!(gb[i], want, "{:?} bl={} byte {}", op, bl, i);
+                }
+            }
+        }
+
+        #[test]
+        fn insert_low_places_a_byte_window(av in any::<u64>(), bl in 0u64..8) {
+            let src = bytes_of(av);
+            for (op, width) in [
+                (OpFn::Insbl, 1usize),
+                (OpFn::Inswl, 2),
+                (OpFn::Insll, 4),
+                (OpFn::Insql, 8),
+            ] {
+                let got = op::eval(op, av, bl);
+                let gb = bytes_of(got);
+                for i in 0..8 {
+                    let from = i as i64 - bl as i64;
+                    let want = if (0..width as i64).contains(&from) {
+                        src[from as usize]
+                    } else {
+                        0
+                    };
+                    prop_assert_eq!(gb[i], want, "{:?} bl={} byte {}", op, bl, i);
+                }
+            }
+        }
+
+        #[test]
+        fn mask_low_and_high_partition_the_quad(av in any::<u64>(), bl in 0u64..8) {
+            // msk?l clears the window within the low quad; msk?h clears the
+            // spill-over within the high quad. Together (for the same
+            // operand width) they must clear exactly `width` bytes of a
+            // 16-byte buffer starting at offset bl.
+            for (lo, hi, width) in [
+                (OpFn::Mskwl, OpFn::Mskwh, 2usize),
+                (OpFn::Mskll, OpFn::Msklh, 4),
+                (OpFn::Mskql, OpFn::Mskqh, 8),
+            ] {
+                let l = op::eval(lo, av, bl);
+                let h = op::eval(hi, av, bl);
+                let src = bytes_of(av);
+                for i in 0..8 {
+                    let in_lo_window = i >= bl as usize && i < bl as usize + width;
+                    prop_assert_eq!(
+                        bytes_of(l)[i],
+                        if in_lo_window { 0 } else { src[i] },
+                        "{:?} bl={} byte {}", lo, bl, i
+                    );
+                    let in_hi_window = i + 8 < bl as usize + width;
+                    prop_assert_eq!(
+                        bytes_of(h)[i],
+                        if in_hi_window { 0 } else { src[i] },
+                        "{:?} bl={} byte {}", hi, bl, i
+                    );
+                }
+            }
+        }
+    }
+}

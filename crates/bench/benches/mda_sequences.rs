@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the three ways a misaligned access can be
+//! served on the host: a plain aligned access, the branch-free MDA code
+//! sequence, and a trap + software fixup. The cycle-model ratios between
+//! these three are the economics the whole paper rests on; this bench
+//! measures the *simulator's* wall-clock cost of each path.
+
+use bridge_alpha::builder::CodeBuilder;
+use bridge_alpha::insn::{BrOp, MemOp, OpFn};
+use bridge_alpha::mda_seq::{emit_unaligned_load, AccessWidth, SeqTemps};
+use bridge_alpha::reg::Reg;
+use bridge_alpha::PAL_HALT;
+use bridge_sim::cost::CostModel;
+use bridge_sim::cpu::Machine;
+use bridge_sim::trap::Exit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const CODE: u64 = 0x1_0000_0000;
+const ITERS: i32 = 1_000;
+
+/// Builds a loop performing `ITERS` loads of the given flavour and returns
+/// the machine ready to run.
+fn machine_with_loop(misaligned: bool, use_sequence: bool) -> Machine {
+    let addr: i32 = if misaligned { 0x1_0002 } else { 0x1_0000 };
+    let mut b = CodeBuilder::new(CODE);
+    b.load_imm32(Reg::R2, addr);
+    b.load_imm32(Reg::R3, ITERS);
+    let top = b.new_label();
+    b.bind(top);
+    if use_sequence {
+        emit_unaligned_load(
+            &mut b,
+            AccessWidth::W4,
+            Reg::R1,
+            Reg::R2,
+            0,
+            true,
+            &SeqTemps::default(),
+        );
+    } else {
+        b.mem(MemOp::Ldl, Reg::R1, 0, Reg::R2);
+    }
+    b.op_lit(OpFn::Subq, Reg::R3, 1, Reg::R3);
+    b.br_label(BrOp::Bne, Reg::R3, top);
+    b.call_pal(PAL_HALT);
+    let words = b.finish().expect("loop builds");
+    let mut m = Machine::without_caches(CostModel::flat());
+    m.write_code(CODE, &words);
+    m
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mda_access_paths");
+
+    g.bench_function("aligned_plain_ldl", |bch| {
+        bch.iter(|| {
+            let mut m = machine_with_loop(false, false);
+            m.set_pc(CODE);
+            assert_eq!(m.run(u64::MAX), Exit::Halted);
+            black_box(m.stats().cycles)
+        })
+    });
+
+    g.bench_function("misaligned_sequence", |bch| {
+        bch.iter(|| {
+            let mut m = machine_with_loop(true, true);
+            m.set_pc(CODE);
+            assert_eq!(m.run(u64::MAX), Exit::Halted);
+            black_box(m.stats().cycles)
+        })
+    });
+
+    g.bench_function("misaligned_trap_fixup", |bch| {
+        bch.iter(|| {
+            let mut m = machine_with_loop(true, false);
+            m.set_pc(CODE);
+            // Emulate the OS fixup loop: resume past each trap.
+            loop {
+                match m.run(u64::MAX) {
+                    Exit::Halted => break,
+                    Exit::Unaligned(info) => {
+                        let raw = m.mem().read_int(info.addr, info.size);
+                        m.set_reg(Reg::R1, raw as u32 as i32 as i64 as u64);
+                        m.set_pc(info.pc + 4);
+                    }
+                    other => panic!("unexpected exit {other:?}"),
+                }
+            }
+            black_box(m.stats().cycles)
+        })
+    });
+
+    g.finish();
+}
+
+/// Sanity-check the simulated cycle ratios once (not a Criterion metric,
+/// but keeps the bench meaningful if cost models drift).
+fn bench_cycle_ratios(c: &mut Criterion) {
+    c.bench_function("cycle_ratio_assertions", |bch| {
+        bch.iter(|| {
+            let run = |mis: bool, seq: bool| {
+                let mut m = machine_with_loop(mis, seq);
+                m.set_pc(CODE);
+                if mis && !seq {
+                    loop {
+                        match m.run(u64::MAX) {
+                            Exit::Halted => break,
+                            Exit::Unaligned(info) => {
+                                let c = m.cost().unaligned_fixup;
+                                m.charge(c);
+                                let raw = m.mem().read_int(info.addr, info.size);
+                                m.set_reg(Reg::R1, raw as u32 as i32 as i64 as u64);
+                                m.set_pc(info.pc + 4);
+                            }
+                            other => panic!("unexpected exit {other:?}"),
+                        }
+                    }
+                } else {
+                    assert_eq!(m.run(u64::MAX), Exit::Halted);
+                }
+                m.stats().cycles
+            };
+            let aligned = run(false, false);
+            let sequence = run(true, true);
+            let trap = run(true, false);
+            assert!(sequence > aligned, "sequence must cost more than aligned");
+            assert!(trap > 20 * sequence, "trap must dwarf the sequence");
+            black_box((aligned, sequence, trap))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_paths, bench_cycle_ratios
+}
+criterion_main!(benches);

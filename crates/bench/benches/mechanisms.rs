@@ -1,0 +1,80 @@
+//! Criterion end-to-end comparison: one calibrated SPEC stand-in run
+//! through each MDA handling mechanism (wall-clock of the whole simulated
+//! run — the unit the experiment binaries aggregate).
+
+use bridge_dbt::{Dbt, DbtConfig, MdaStrategy};
+use bridge_workloads::spec::{benchmark, InputSet, Scale};
+use bridge_workloads::{build, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run(w: &Workload, cfg: DbtConfig) -> u64 {
+    let mut dbt = Dbt::new(cfg);
+    w.load_into(&mut dbt);
+    dbt.run(10_000_000_000).expect("halts").cycles()
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let bench = benchmark("433.milc").expect("in catalog");
+    let spec = bench.workload(Scale::test());
+    let w = build(&spec, InputSet::Ref);
+    let train = {
+        let tw = build(&spec, InputSet::Train);
+        let (_, p) = bridge_dbt::engine::profile_program(
+            &tw.program,
+            &tw.data,
+            Some(tw.stack_top),
+            &bridge_sim::CostModel::es40(),
+            10_000_000_000,
+        )
+        .expect("train halts");
+        p.to_static_profile()
+    };
+
+    let mut g = c.benchmark_group("milc_mechanisms");
+    g.sample_size(10);
+    for strategy in MdaStrategy::ALL {
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let mut cfg = DbtConfig::new(strategy);
+                if strategy == MdaStrategy::StaticProfiling {
+                    cfg = cfg.with_static_profile(train.clone());
+                }
+                black_box(run(&w, cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dpeh_options(c: &mut Criterion) {
+    let bench = benchmark("410.bwaves").expect("in catalog");
+    let w = build(&bench.workload(Scale::test()), InputSet::Ref);
+    let mut g = c.benchmark_group("bwaves_dpeh_options");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("dpeh", DbtConfig::new(MdaStrategy::Dpeh)),
+        (
+            "dpeh+retranslate",
+            DbtConfig::new(MdaStrategy::Dpeh).with_retranslate(true),
+        ),
+        (
+            "dpeh+multiversion",
+            DbtConfig::new(MdaStrategy::Dpeh).with_multiversion(true),
+        ),
+        (
+            "dpeh+rearrange",
+            DbtConfig::new(MdaStrategy::Dpeh).with_rearrange(true),
+        ),
+        (
+            "dpeh-nochain",
+            DbtConfig::new(MdaStrategy::Dpeh).with_chaining(false),
+        ),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(run(&w, cfg.clone()))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_dpeh_options);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks of the DBT's own machinery: block
+//! translation throughput, phase-1 interpretation throughput, and host
+//! simulator execution throughput. These bound how long the paper-scale
+//! experiments take and catch performance regressions in the translator.
+
+use bridge_dbt::interp::interp_block;
+use bridge_dbt::profile::{Profile, SiteId};
+use bridge_dbt::translator::{translate_block, SiteAccess, SitePlan};
+use bridge_sim::cost::CostModel;
+use bridge_sim::cpu::Machine;
+use bridge_sim::mem::Memory;
+use bridge_sim::trap::Exit;
+use bridge_x86::asm::Assembler;
+use bridge_x86::cond::Cond;
+use bridge_x86::insn::{AluOp, Ext, MemRef, Width};
+use bridge_x86::reg::Reg32::*;
+use bridge_x86::state::CpuState;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const ENTRY: u32 = 0x40_0000;
+
+/// A representative hot block: mixed ALU, loads, stores, and a loop branch.
+fn hot_block_memory() -> Memory {
+    let mut a = Assembler::new(ENTRY);
+    a.mov_ri(Ecx, 1000);
+    let top = a.here_label();
+    a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+    a.load(Width::W2, Ext::Sign, Edx, MemRef::base_disp(Ebx, 8));
+    a.store(Width::W4, Eax, MemRef::base_disp(Ebx, 16));
+    a.alu_rr(AluOp::Xor, Edx, Eax);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    let image = a.finish().expect("assembles");
+    let mut mem = Memory::new();
+    mem.write_bytes(u64::from(ENTRY), &image);
+    mem
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mem = hot_block_memory();
+    let mut g = c.benchmark_group("translator");
+    g.throughput(Throughput::Elements(6)); // guest instructions per block
+    for (name, plan) in [
+        ("all_normal", SitePlan::Normal),
+        ("all_sequence", SitePlan::Sequence),
+        ("all_multiversion", SitePlan::MultiVersion),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = |_: SiteId, _: SiteAccess| plan;
+                let tb = translate_block(&mem, ENTRY + 5, 0x1_0000_0000, 64, &mut p)
+                    .expect("translates");
+                black_box(tb.words.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mem = hot_block_memory();
+    let cost = CostModel::flat();
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(6));
+    g.bench_function("hot_block", |b| {
+        b.iter(|| {
+            let mut m = mem.clone();
+            let mut st = CpuState::new(ENTRY + 5);
+            st.set_reg(Ecx, 2);
+            st.set_reg(Ebx, 0x10_0000);
+            let mut profile = Profile::new();
+            let out = interp_block(&mut st, &mut m, &mut profile, &cost).expect("interps");
+            black_box(out.guest_insns)
+        })
+    });
+    g.finish();
+}
+
+fn bench_host_machine(c: &mut Criterion) {
+    // Host loop: 10k iterations of a 4-instruction loop.
+    use bridge_alpha::builder::CodeBuilder;
+    use bridge_alpha::insn::{BrOp, OpFn};
+    use bridge_alpha::reg::Reg;
+    let mut b = CodeBuilder::new(0x1_0000_0000);
+    b.load_imm32(Reg::R1, 10_000);
+    let top = b.new_label();
+    b.bind(top);
+    b.op(OpFn::Addq, Reg::R2, Reg::R1, Reg::R2);
+    b.op_lit(OpFn::Subq, Reg::R1, 1, Reg::R1);
+    b.br_label(BrOp::Bne, Reg::R1, top);
+    b.call_pal(bridge_alpha::PAL_HALT);
+    let words = b.finish().expect("builds");
+
+    let mut g = c.benchmark_group("host_machine");
+    g.throughput(Throughput::Elements(30_000));
+    g.bench_function("without_caches", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::without_caches(CostModel::flat());
+            m.write_code(0x1_0000_0000, &words);
+            m.set_pc(0x1_0000_0000);
+            assert_eq!(m.run(u64::MAX), Exit::Halted);
+            black_box(m.stats().insns)
+        })
+    });
+    g.bench_function("with_es40_caches", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new();
+            m.write_code(0x1_0000_0000, &words);
+            m.set_pc(0x1_0000_0000);
+            assert_eq!(m.run(u64::MAX), Exit::Halted);
+            black_box(m.stats().insns)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_translation, bench_interpreter, bench_host_machine
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the block-chaining ablation. Usage:
+//! `cargo run --release --bin ablation_chaining [-- --scale test|quick|paper]`
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!(
+        "{}",
+        bridge_bench::experiments::ablation_chaining::run(scale)
+    );
+}

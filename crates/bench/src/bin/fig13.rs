@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13. Usage: `cargo run --release --bin fig13 [-- --scale test|quick|paper]`
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!("{}", bridge_bench::experiments::fig13::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15. Usage: `cargo run --release --bin fig15 [-- --scale test|quick|paper]`
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!("{}", bridge_bench::experiments::fig15::run(scale));
+}

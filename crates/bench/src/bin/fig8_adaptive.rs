@@ -1,0 +1,7 @@
+//! Regenerates the §IV-D adaptive-reversion ablation (the paper's Figure 8
+//! mechanism). Usage: `cargo run --release --bin fig8_adaptive [-- --scale test|quick|paper]`
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!("{}", bridge_bench::experiments::fig8_adaptive::run(scale));
+}

@@ -1,0 +1,51 @@
+//! Regenerates every table and figure of the paper's evaluation in order.
+//! Usage: `cargo run --release --bin repro_all [-- --scale test|quick|paper]`
+
+use bridge_bench::experiments as exp;
+use bridge_workloads::spec::Scale;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn section(name: &str, scale: Scale, f: impl FnOnce(Scale) -> exp::Table) {
+    let start = Instant::now();
+    let table = f(scale);
+    println!("{table}");
+    println!("  [{name} regenerated in {:.1?}]\n", start.elapsed());
+    // Also drop each artifact into results/ for EXPERIMENTS.md diffing.
+    if std::fs::create_dir_all("results").is_ok() {
+        let file = format!(
+            "results/{}.txt",
+            name.to_lowercase()
+                .replace(' ', "_")
+                .replace(['(', ')', '§', '-'], "")
+        );
+        if let Ok(mut f) = std::fs::File::create(file) {
+            let _ = writeln!(f, "{table}");
+        }
+    }
+}
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!(
+        "DigitalBridge-RS — full reproduction run (scale: {} outer iterations)\n",
+        scale.outer_iters
+    );
+    section("Table I", scale, exp::table1::run);
+    section("Figure 1", scale, exp::fig1::run);
+    section("Figure 10", scale, exp::fig10::run);
+    section("Figure 11", scale, exp::fig11::run);
+    section("Figure 12", scale, exp::fig12::run);
+    section("Figure 13", scale, exp::fig13::run);
+    section("Figure 14", scale, exp::fig14::run);
+    section(
+        "Figure 8 ablation (§IV-D adaptive reversion)",
+        scale,
+        exp::fig8_adaptive::run,
+    );
+    section("Figure 15", scale, exp::fig15::run);
+    section("Figure 16", scale, exp::fig16::run);
+    section("Table III", scale, exp::table3::run);
+    section("Table IV", scale, exp::table4::run);
+    section("Chaining ablation", scale, exp::ablation_chaining::run);
+}

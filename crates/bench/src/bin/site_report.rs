@@ -1,0 +1,105 @@
+//! Per-benchmark MDA site analysis: where the misaligned accesses come
+//! from, how biased each site is, and what each mechanism would decide for
+//! it. The per-site view behind Table I's aggregates and Figure 15's
+//! classification.
+//!
+//! Usage: `cargo run --release --bin site_report -- 410.bwaves [--scale test|quick|paper]`
+
+use bridge_dbt::{DbtConfig, MdaStrategy};
+use bridge_workloads::build;
+use bridge_workloads::spec::{benchmark, InputSet};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "410.bwaves".to_string());
+    let scale = bridge_bench::scale_from_args();
+    let Some(bench) = benchmark(&name) else {
+        eprintln!("unknown benchmark {name}; see bridge_workloads::spec::CATALOG");
+        std::process::exit(1);
+    };
+
+    let spec = bench.workload(scale);
+    println!("{name} — synthetic workload parameters");
+    println!(
+        "  paper: NMI={} MDAs={:.2e} ratio={:.2}%",
+        bench.nmi, bench.paper_mdas, bench.ratio_percent
+    );
+    println!(
+        "  spec: {} MDA sites ({} early + {} late + {} input-dep + {} mixed), \
+         inner {}×{}, dilution 2^{}, switch@{}, warmup {}, wide={}",
+        spec.mda_sites(),
+        spec.early_sites,
+        spec.late_sites,
+        spec.input_dep_sites,
+        spec.mixed_sites,
+        spec.inner_iters,
+        spec.inner_sites,
+        spec.dilution_pow2,
+        spec.switch_at,
+        spec.warmup_iters,
+        spec.wide
+    );
+
+    // Reference profile over the ref input.
+    let profile = bridge_bench::reference_profile(bench, scale);
+    println!(
+        "\nmeasured: {} accesses, {} MDAs ({:.3}%), NMI {}",
+        profile.mem_accesses,
+        profile.mdas,
+        100.0 * profile.mda_ratio(),
+        profile.nmi()
+    );
+
+    // Top sites by MDA volume.
+    let mut sites: Vec<_> = profile.iter_sites().filter(|(_, s)| s.mdas > 0).collect();
+    sites.sort_by_key(|(_, s)| std::cmp::Reverse(s.mdas));
+    println!(
+        "\n{:<14} {:>5} {:>12} {:>12} {:>8}  class",
+        "site", "slot", "execs", "mdas", "ratio"
+    );
+    for (id, s) in sites.iter().take(24) {
+        let class = if (s.mda_ratio() - 1.0).abs() < 1e-9 {
+            "always misaligned"
+        } else if s.mda_ratio() > 0.5 {
+            ">50%"
+        } else if (s.mda_ratio() - 0.5).abs() < 0.02 {
+            "=50% (mixed)"
+        } else {
+            "<50% (mostly aligned)"
+        };
+        println!(
+            "{:#012x}  {:>5} {:>12} {:>12} {:>7.1}%  {}",
+            id.pc,
+            id.slot,
+            s.execs,
+            s.mdas,
+            100.0 * s.mda_ratio(),
+            class
+        );
+    }
+
+    // What each profiling-based mechanism misses at this scale.
+    let w = build(&spec, InputSet::Ref);
+    let dynp = bridge_bench::run_dbt_on(
+        &w,
+        DbtConfig::new(MdaStrategy::DynamicProfiling).with_threshold(50),
+    );
+    let tp = bridge_bench::train_profile(bench, scale);
+    let stat = bridge_bench::run_dbt_on(
+        &w,
+        DbtConfig::new(MdaStrategy::StaticProfiling).with_static_profile(tp),
+    );
+    println!(
+        "\nundetected MDAs — dynamic profiling (TH=50): {} traps; \
+         static profiling (train): {} traps",
+        dynp.traps(),
+        stat.traps()
+    );
+    println!(
+        "paper fractions: dynamic {:.4}, static {:.4} (Tables III/IV)",
+        bench.late_fraction(),
+        bench.train_miss_fraction()
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1. Usage: `cargo run --release --bin table1 [-- --scale test|quick|paper]`
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!("{}", bridge_bench::experiments::table1::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3. Usage: `cargo run --release --bin table3 [-- --scale test|quick|paper]`
+
+fn main() {
+    let scale = bridge_bench::scale_from_args();
+    println!("{}", bridge_bench::experiments::table3::run(scale));
+}

@@ -1,0 +1,44 @@
+//! Infrastructure ablation (not a paper artifact): what direct block
+//! chaining is worth. DigitalBridge — like every production DBT — links
+//! translated blocks with direct branches so the dispatcher is skipped;
+//! the paper's numbers implicitly include it. This ablation quantifies the
+//! dispatcher cost the mechanisms' comparisons sit on top of.
+
+use super::{gain_loss, Table};
+use bridge_workloads::spec::Scale;
+
+/// Runs DPEH with chaining disabled vs enabled (baseline = no chaining, so
+/// the gain column reads as "what chaining buys").
+pub fn run(scale: Scale) -> Table {
+    let mut t = gain_loss(
+        "Ablation: direct block chaining (baseline: chaining off)",
+        scale,
+        || crate::dpeh_config().with_chaining(false),
+        crate::dpeh_config,
+        false,
+    );
+    t.note("every mechanism in the paper's figures runs with chaining on".to_string());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use bridge_workloads::spec::benchmark;
+    use bridge_workloads::spec::Scale;
+
+    #[test]
+    fn chaining_always_helps_or_ties() {
+        for name in ["188.ammp", "482.sphinx3"] {
+            let b = benchmark(name).unwrap();
+            let scale = Scale::test();
+            let unchained = crate::run_dbt(b, scale, crate::dpeh_config().with_chaining(false));
+            let chained = crate::run_dbt(b, scale, crate::dpeh_config());
+            assert!(
+                chained.cycles() <= unchained.cycles(),
+                "{name}: {} vs {}",
+                chained.cycles(),
+                unchained.cycles()
+            );
+        }
+    }
+}

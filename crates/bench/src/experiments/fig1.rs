@@ -1,0 +1,169 @@
+//! Figure 1: performance of *native* x86 execution with alignment-enforcing
+//! compiler flags (pathscale / icc), relative to the default packed layout.
+//!
+//! The paper's finding: enforcing alignment buys only ~1% (pathscale) and
+//! ~1.8% (icc) on average, because the hardware handles misaligned accesses
+//! cheaply while the padding alignment requires grows the data working set.
+//!
+//! # Model (documented substitution — see DESIGN.md §4)
+//!
+//! Each benchmark becomes a record-traversal kernel on the native x86
+//! machine model ([`bridge_sim::native`]):
+//!
+//! * **default**: a ratio-calibrated slice of the records is packed at
+//!   stride 6 → half of those 4-byte field accesses misalign, giving the
+//!   benchmark its Table I MDA ratio;
+//! * **pathscale** pads 25% and **icc** 40% of the packed slice to stride 8
+//!   — compiler flags only reach compiler-visible data; the paper observes
+//!   that in several benchmarks >90% of MDAs come from shared libraries,
+//!   which no application-build flag fixes — trading the misalignment
+//!   penalty for a one-third-larger footprint on the converted slice.
+//!
+//! Record counts vary per benchmark (deterministic hash) so footprints
+//! straddle the L1 boundary — that is where padding turns into misses and
+//! speedups go negative, matching the paper's mixed bars.
+
+use super::Table;
+use bridge_sim::native::{NativeExit, NativeMachine};
+use bridge_workloads::spec::{selected_benchmarks, Scale, SpecBenchmark};
+use bridge_x86::asm::Assembler;
+use bridge_x86::cond::Cond;
+use bridge_x86::insn::{AluOp, MemRef};
+use bridge_x86::reg::Reg32::*;
+
+const ENTRY: u32 = 0x0040_0000;
+const PACKED_A: u32 = 0x0010_0000; // hot packed array
+const PACKED_B: u32 = 0x0018_0000; // cold packed array (icc-only padding)
+const ALIGNED_ARR: u32 = 0x0030_0000;
+
+/// Layout variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// As-released binary: packed records, misaligned fields.
+    Default,
+    /// `pathscale -align`: hot array padded.
+    Pathscale,
+    /// `icc -align`: everything padded.
+    Icc,
+}
+
+fn fnv(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Builds and runs one variant; returns cycles.
+///
+/// The program sweeps `records` field accesses per pass. A
+/// ratio-proportional slice of them lives in *packed* (stride-6) records —
+/// half of those accesses misalign, giving the benchmark its Table I ratio
+/// — and the rest in already-aligned stride-8 records. The "compiler flags"
+/// convert compiler-visible packed records to stride 8 (pathscale 25%, icc
+/// 40%), each conversion trading the misalignment penalty for a
+/// one-third-larger footprint on that slice.
+fn run_variant(bench: &SpecBenchmark, layout: Layout, passes: u32) -> u64 {
+    // Footprints straddle the 64 KB L1 in both directions so padding can
+    // win (MDA penalty removed) or lose (working set spills a level).
+    let records = 6_000 + (fnv(bench.name) % 12) as u32 * 1_000; // 6k..17k
+    let packed = ((bench.ratio() * 2.0).min(1.0) * f64::from(records)) as u32;
+    let aligned = records - packed;
+    // How much of the packed slice each compiler converts to stride 8:
+    // flags only align compiler-visible data — the paper observes that in
+    // several benchmarks >90% of MDAs come from shared libraries, which no
+    // application-build flag can fix.
+    let converted = match layout {
+        Layout::Default => 0,
+        Layout::Pathscale => packed / 4,
+        Layout::Icc => packed * 2 / 5,
+    };
+    let still_packed = packed - converted;
+
+    let mut a = Assembler::new(ENTRY);
+    a.mov_ri(Eax, 0);
+    a.mov_ri(Edi, passes as i32);
+    let pass_top = a.here_label();
+    let sweep = |a: &mut Assembler, base: u32, count: u32, stride: i32| {
+        if count == 0 {
+            return;
+        }
+        a.mov_ri(Ebx, base as i32);
+        a.mov_ri(Ecx, count as i32);
+        let top = a.here_label();
+        a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+        a.alu_ri(AluOp::Add, Ebx, stride);
+        a.alu_ri(AluOp::Sub, Ecx, 1);
+        a.jcc(Cond::Ne, top);
+    };
+    sweep(&mut a, PACKED_A, still_packed, 6);
+    sweep(&mut a, PACKED_B, converted, 8);
+    sweep(&mut a, ALIGNED_ARR, aligned, 8);
+    a.alu_ri(AluOp::Sub, Edi, 1);
+    a.jcc(Cond::Ne, pass_top);
+    a.hlt();
+    let image = a.finish().expect("fig1 kernel assembles");
+
+    let mut m = NativeMachine::new(ENTRY);
+    m.mem_mut().write_bytes(u64::from(ENTRY), &image);
+    let exit = m.run(20_000_000_000);
+    assert_eq!(exit, NativeExit::Halted, "fig1 kernel halts");
+    m.stats().cycles
+}
+
+/// Regenerates Figure 1. `scale` controls the number of passes.
+pub fn run(scale: Scale) -> Table {
+    let passes = (scale.outer_iters / 120).clamp(2, 40);
+    let mut t = Table::new(
+        "Figure 1: native speedup from alignment-enforcing compiler flags",
+        vec!["benchmark", "pathscale %", "icc %"],
+    );
+    let mut ps = Vec::new();
+    let mut icc = Vec::new();
+    for bench in selected_benchmarks() {
+        let base = run_variant(bench, Layout::Default, passes);
+        let p = run_variant(bench, Layout::Pathscale, passes);
+        let i = run_variant(bench, Layout::Icc, passes);
+        let pg = crate::gain_percent(base, p);
+        let ig = crate::gain_percent(base, i);
+        ps.push(p as f64 / base as f64);
+        icc.push(i as f64 / base as f64);
+        t.row(bench.name, vec![format!("{pg:+.2}"), format!("{ig:+.2}")]);
+    }
+    let mean_ps = 100.0 * (1.0 - crate::geomean(&ps));
+    let mean_icc = 100.0 * (1.0 - crate::geomean(&icc));
+    t.note(format!(
+        "geomean speedup — pathscale: {mean_ps:+.2}%, icc: {mean_icc:+.2}% \
+         (paper: ~1.0% and ~1.8%)"
+    ));
+    t.note(
+        "the point: alignment flags buy little, so released x86 binaries stay misaligned"
+            .to_string(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_workloads::spec::benchmark;
+
+    #[test]
+    fn alignment_speedups_are_small() {
+        // For a high-MDA benchmark, padding must change cycles only
+        // modestly in either direction.
+        let b = benchmark("188.ammp").unwrap();
+        let base = run_variant(b, Layout::Default, 2);
+        let icc = run_variant(b, Layout::Icc, 2);
+        let rel = (base as f64 - icc as f64).abs() / base as f64;
+        assert!(rel < 0.30, "relative change {rel}");
+    }
+
+    #[test]
+    fn low_mda_benchmarks_barely_move() {
+        let b = benchmark("435.gromacs").unwrap(); // ratio 0.01%
+        let base = run_variant(b, Layout::Default, 2);
+        let icc = run_variant(b, Layout::Icc, 2);
+        let rel = (base as f64 - icc as f64).abs() / base as f64;
+        assert!(rel < 0.02, "relative change {rel}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 12: performance gain/loss of **DPEH** (dynamic profiling +
+//! exception handling, §IV-B) over plain Exception Handling.
+//!
+//! The initial dynamic profile catches many MDA sites at translation time,
+//! saving their first-trap and stub-locality costs. The paper: >8% for
+//! 464.h264ref / 471.omnetpp / 433.milc, ~2% overall.
+
+use super::{gain_loss, Table};
+use bridge_workloads::spec::Scale;
+
+/// Regenerates Figure 12.
+pub fn run(scale: Scale) -> Table {
+    let mut t = gain_loss(
+        "Figure 12: gain/loss of DPEH over Exception Handling",
+        scale,
+        crate::eh_config,
+        crate::dpeh_config,
+        false,
+    );
+    t.note("paper shape: overall ~2% gain; EH alone already works well".to_string());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use bridge_workloads::spec::benchmark;
+    use bridge_workloads::spec::Scale;
+
+    #[test]
+    fn dpeh_traps_at_most_as_often_as_eh() {
+        for name in ["188.ammp", "433.milc", "164.gzip"] {
+            let b = benchmark(name).unwrap();
+            let scale = Scale::test();
+            let eh = crate::run_dbt(b, scale, crate::eh_config());
+            let dpeh = crate::run_dbt(b, scale, crate::dpeh_config());
+            assert!(
+                dpeh.traps() <= eh.traps(),
+                "{name}: dpeh {} vs eh {}",
+                dpeh.traps(),
+                eh.traps()
+            );
+        }
+    }
+}

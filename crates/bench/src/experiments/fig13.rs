@@ -1,0 +1,41 @@
+//! Figure 13: performance gain/loss of **retranslation** (§IV-C) on top of
+//! DPEH: a block that takes 4 misalignment traps is invalidated and
+//! re-profiled, so programs with changing behaviour get fresh translations.
+//!
+//! The paper: significant for a few benchmarks, slightly negative for
+//! others (invalidation/retranslation costs), not substantial overall.
+
+use super::{gain_loss, Table};
+use bridge_workloads::spec::Scale;
+
+/// Regenerates Figure 13.
+pub fn run(scale: Scale) -> Table {
+    let mut t = gain_loss(
+        "Figure 13: gain/loss of retranslation (threshold 4) over DPEH",
+        scale,
+        crate::dpeh_config,
+        || crate::dpeh_config().with_retranslate(true),
+        false,
+    );
+    t.note("paper shape: mixed small effects; benefit not substantial overall".to_string());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use bridge_workloads::spec::benchmark;
+    use bridge_workloads::spec::Scale;
+
+    #[test]
+    fn phase_heavy_benchmark_retranslates() {
+        // 410.bwaves: the dominant MDA volume arrives after a phase change,
+        // so its hot block accumulates traps and gets retranslated.
+        let b = benchmark("410.bwaves").unwrap();
+        let r = crate::run_dbt(
+            b,
+            Scale::test(),
+            crate::dpeh_config().with_retranslate(true),
+        );
+        assert!(r.retranslations > 0, "{r}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 15: percentage of MDA instructions classified by their misaligned
+//! ratio (MDAs of the instruction / memory references of the instruction):
+//! `<50%`, `=50%`, `>50%`, `=100%`.
+//!
+//! The paper: data addresses are heavily biased — most MDA instructions are
+//! misaligned essentially always; only ~4.5% are frequently aligned. That
+//! is why simple sequence replacement works and multi-version code adds
+//! little.
+
+use super::Table;
+use bridge_workloads::spec::{selected_benchmarks, Scale};
+use std::collections::HashMap;
+
+/// The four ratio classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RatioClasses {
+    /// ratio < 50%
+    pub below_half: u32,
+    /// ratio = 50%
+    pub half: u32,
+    /// 50% < ratio < 100%
+    pub above_half: u32,
+    /// ratio = 100%
+    pub always: u32,
+}
+
+impl RatioClasses {
+    fn total(&self) -> u32 {
+        self.below_half + self.half + self.above_half + self.always
+    }
+}
+
+/// Classifies one benchmark's MDA instructions from a reference profile.
+pub fn classify(bench: &bridge_workloads::spec::SpecBenchmark, scale: Scale) -> RatioClasses {
+    let profile = crate::reference_profile(bench, scale);
+    // Aggregate site slots to instructions, as the paper does.
+    let mut per_pc: HashMap<u32, (u64, u64)> = HashMap::new();
+    for (site, stats) in profile.iter_sites() {
+        let e = per_pc.entry(site.pc).or_default();
+        e.0 += stats.execs;
+        e.1 += stats.mdas;
+    }
+    let mut c = RatioClasses::default();
+    for (_, (execs, mdas)) in per_pc {
+        if mdas == 0 {
+            continue; // not an MDA instruction
+        }
+        let r = mdas as f64 / execs as f64;
+        if (r - 1.0).abs() < 1e-9 {
+            c.always += 1;
+        } else if (r - 0.5).abs() < 0.02 {
+            c.half += 1;
+        } else if r > 0.5 {
+            c.above_half += 1;
+        } else {
+            c.below_half += 1;
+        }
+    }
+    c
+}
+
+/// Regenerates Figure 15.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 15: MDA instructions by misaligned ratio",
+        vec!["benchmark", "<50%", "=50%", ">50%", "=100%"],
+    );
+    let mut freq_aligned = 0u32;
+    let mut total = 0u32;
+    for bench in selected_benchmarks() {
+        let c = classify(bench, scale);
+        let n = c.total().max(1) as f64;
+        freq_aligned += c.below_half + c.half;
+        total += c.total();
+        t.row(
+            bench.name,
+            vec![
+                format!("{:.0}%", 100.0 * f64::from(c.below_half) / n),
+                format!("{:.0}%", 100.0 * f64::from(c.half) / n),
+                format!("{:.0}%", 100.0 * f64::from(c.above_half) / n),
+                format!("{:.0}%", 100.0 * f64::from(c.always) / n),
+            ],
+        );
+    }
+    t.note(format!(
+        "frequently-aligned MDA instructions overall: {:.1}% (paper: ~4.5%)",
+        100.0 * f64::from(freq_aligned) / f64::from(total.max(1))
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_workloads::spec::benchmark;
+
+    #[test]
+    fn most_sites_are_always_misaligned() {
+        let c = classify(benchmark("188.ammp").unwrap(), Scale::test());
+        assert!(c.always >= c.below_half + c.half + c.above_half);
+        assert!(c.total() > 0);
+    }
+
+    #[test]
+    fn mixed_benchmark_has_half_class() {
+        // soplex carries a mixed site that alternates alignment.
+        let c = classify(benchmark("450.soplex").unwrap(), Scale::test());
+        assert!(c.half + c.below_half >= 1, "{c:?}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 16: overall runtime comparison of all five MDA handling
+//! mechanisms, normalized to Exception Handling, each configured at its
+//! best (static profiling uses the `train` profile; dynamic profiling uses
+//! threshold 50).
+//!
+//! The paper's headline: EH beats Dynamic Profiling by ~16%, Static
+//! Profiling by ~10% and the Direct Method by ~68% on geomean; DPEH adds a
+//! further ~4.5%. The pathological bars — 410.bwaves (4.33×) and
+//! 483.xalancbmk (3.40×) under dynamic profiling; 252.eon / 179.art /
+//! 450.soplex under static profiling — are exactly the benchmarks whose
+//! MDAs the respective profiles cannot see (Tables III/IV).
+
+use super::Table;
+use bridge_dbt::{DbtConfig, MdaStrategy};
+use bridge_workloads::spec::{selected_benchmarks, Scale};
+
+/// Per-benchmark normalized runtimes for the five mechanisms.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// (EH, DPEH, Dynamic, Static, Direct) cycles normalized to EH.
+    pub normalized: [f64; 5],
+}
+
+/// Runs the comparison, returning raw rows for tests and the table.
+pub fn measure(scale: Scale) -> Vec<Fig16Row> {
+    let mut rows = Vec::new();
+    for bench in selected_benchmarks() {
+        let eh = crate::run_dbt(bench, scale, crate::eh_config()).cycles();
+        let dpeh = crate::run_dbt(bench, scale, crate::dpeh_config()).cycles();
+        let dynp = crate::run_dbt(
+            bench,
+            scale,
+            DbtConfig::new(MdaStrategy::DynamicProfiling).with_threshold(50),
+        )
+        .cycles();
+        let tp = crate::train_profile(bench, scale);
+        let stat = crate::run_dbt(
+            bench,
+            scale,
+            DbtConfig::new(MdaStrategy::StaticProfiling).with_static_profile(tp),
+        )
+        .cycles();
+        let direct = crate::run_dbt(bench, scale, DbtConfig::new(MdaStrategy::Direct)).cycles();
+        let e = eh as f64;
+        rows.push(Fig16Row {
+            name: bench.name,
+            normalized: [
+                1.0,
+                dpeh as f64 / e,
+                dynp as f64 / e,
+                stat as f64 / e,
+                direct as f64 / e,
+            ],
+        });
+    }
+    rows
+}
+
+/// Regenerates Figure 16.
+pub fn run(scale: Scale) -> Table {
+    let rows = measure(scale);
+    let mut t = Table::new(
+        "Figure 16: runtime of MDA handling mechanisms (normalized to Exception Handling)",
+        vec!["benchmark", "EH", "DPEH", "Dynamic", "Static", "Direct"],
+    );
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for r in &rows {
+        for (i, v) in r.normalized.iter().enumerate() {
+            geo[i].push(*v);
+        }
+        t.row(
+            r.name,
+            r.normalized.iter().map(|v| format!("{v:.3}")).collect(),
+        );
+    }
+    let geos: Vec<f64> = geo.iter().map(|v| crate::geomean(v)).collect();
+    t.row("geomean", geos.iter().map(|v| format!("{v:.3}")).collect());
+    t.note(format!(
+        "paper geomeans vs EH: DPEH 0.955, Dynamic 1.16, Static 1.10, Direct 1.68; \
+         measured: DPEH {:.3}, Dynamic {:.3}, Static {:.3}, Direct {:.3}",
+        geos[1], geos[2], geos[3], geos[4]
+    ));
+    t.note(format!("scale: {} outer iterations", scale.outer_iters));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_dbt::{DbtConfig, MdaStrategy};
+    use bridge_workloads::spec::benchmark;
+
+    #[test]
+    fn bwaves_is_pathological_for_dynamic_profiling() {
+        let b = benchmark("410.bwaves").unwrap();
+        let scale = Scale::test();
+        let eh = crate::run_dbt(b, scale, crate::eh_config()).cycles();
+        let dynp = crate::run_dbt(
+            b,
+            scale,
+            DbtConfig::new(MdaStrategy::DynamicProfiling).with_threshold(50),
+        )
+        .cycles();
+        assert!(
+            dynp as f64 / eh as f64 > 1.5,
+            "dynamic must badly lose on bwaves: {}",
+            dynp as f64 / eh as f64
+        );
+    }
+
+    #[test]
+    fn eon_is_pathological_for_static_profiling() {
+        let b = benchmark("252.eon").unwrap();
+        let scale = Scale::test();
+        let eh = crate::run_dbt(b, scale, crate::eh_config()).cycles();
+        let tp = crate::train_profile(b, scale);
+        let stat = crate::run_dbt(
+            b,
+            scale,
+            DbtConfig::new(MdaStrategy::StaticProfiling).with_static_profile(tp),
+        )
+        .cycles();
+        assert!(
+            stat as f64 / eh as f64 > 1.2,
+            "static must lose on eon: {}",
+            stat as f64 / eh as f64
+        );
+    }
+
+    #[test]
+    fn direct_loses_on_low_mda_benchmarks() {
+        let b = benchmark("435.gromacs").unwrap(); // ratio 0.01%
+        let scale = Scale::test();
+        let eh = crate::run_dbt(b, scale, crate::eh_config()).cycles();
+        let direct = crate::run_dbt(b, scale, DbtConfig::new(MdaStrategy::Direct)).cycles();
+        assert!(
+            direct as f64 / eh as f64 > 1.1,
+            "direct pays sequences everywhere: {}",
+            direct as f64 / eh as f64
+        );
+    }
+}

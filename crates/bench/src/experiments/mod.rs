@@ -1,0 +1,149 @@
+//! One module per paper table/figure. Every module exposes a `run(scale)`
+//! returning a formatted [`Table`].
+
+pub mod ablation_chaining;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig8_adaptive;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+use bridge_dbt::DbtConfig;
+use bridge_workloads::spec::{selected_benchmarks, Scale};
+use std::fmt;
+
+/// A formatted experiment result: a titled table plus footnotes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title, e.g. `"Figure 16: ..."`.
+    pub title: String,
+    /// Column headers; the first column is the benchmark name.
+    pub header: Vec<String>,
+    /// Rows: `(benchmark, cells)`.
+    pub rows: Vec<(String, Vec<String>)>,
+    /// Footnotes (scale, calibration remarks, headline comparisons).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Table {
+        Table {
+            title: title.into(),
+            header: header.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, name: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((name.into(), cells));
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(self.title.len()))?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        widths[0] = widths[0].max(self.rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0));
+        for (_, cells) in &self.rows {
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                }
+            }
+        }
+        write!(f, "{:<w$}", self.header[0], w = widths[0])?;
+        for (h, w) in self.header.iter().zip(&widths).skip(1) {
+            write!(f, "  {h:>w$}", w = w)?;
+        }
+        writeln!(f)?;
+        for (name, cells) in &self.rows {
+            write!(f, "{name:<w$}", w = widths[0])?;
+            for (c, w) in cells.iter().zip(widths.iter().skip(1)) {
+                write!(f, "  {c:>w$}", w = w)?;
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  * {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared driver for the paper's gain/loss figures (11–14): runs the 21
+/// selected benchmarks under a baseline and a variant configuration and
+/// tabulates the percentage gain of the variant.
+pub fn gain_loss(
+    title: &str,
+    scale: Scale,
+    baseline: impl Fn() -> DbtConfig,
+    variant: impl Fn() -> DbtConfig,
+    needs_train_profile: bool,
+) -> Table {
+    let mut t = Table::new(
+        title,
+        vec!["benchmark", "baseline cyc", "variant cyc", "gain %"],
+    );
+    let mut gains = Vec::new();
+    for bench in selected_benchmarks() {
+        let mut base_cfg = baseline();
+        let mut var_cfg = variant();
+        if needs_train_profile {
+            let tp = crate::train_profile(bench, scale);
+            base_cfg = base_cfg.with_static_profile(tp.clone());
+            var_cfg = var_cfg.with_static_profile(tp);
+        }
+        let base = crate::run_dbt(bench, scale, base_cfg);
+        let var = crate::run_dbt(bench, scale, var_cfg);
+        let gain = crate::gain_percent(base.cycles(), var.cycles());
+        gains.push(var.cycles() as f64 / base.cycles() as f64);
+        t.row(
+            bench.name,
+            vec![
+                base.cycles().to_string(),
+                var.cycles().to_string(),
+                format!("{gain:+.2}"),
+            ],
+        );
+    }
+    let geo_gain = 100.0 * (1.0 - crate::geomean(&gains));
+    t.note(format!("geomean gain: {geo_gain:+.2}%"));
+    t.note(format!("scale: {} outer iterations", scale.outer_iters));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned_columns() {
+        let mut t = Table::new("T", vec!["name", "a", "bb"]);
+        t.row("x", vec!["1".into(), "22".into()]);
+        t.row("longname", vec!["333".into(), "4".into()]);
+        t.note("note");
+        let s = t.to_string();
+        assert!(s.contains("T\n="));
+        assert!(s.contains("longname"));
+        assert!(s.contains("* note"));
+        // Header line then two rows then note.
+        assert_eq!(s.lines().count(), 6);
+    }
+}

@@ -1,0 +1,183 @@
+//! Experiment harness for DigitalBridge-RS.
+//!
+//! Every table and figure of the paper's evaluation (§VI) has a module
+//! under [`experiments`] that regenerates it, and a binary under
+//! `src/bin/` that prints it:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (MDA statistics, 54 benchmarks) | [`experiments::table1`] | `table1` |
+//! | Figure 1 (native alignment-flag speedups) | [`experiments::fig1`] | `fig1` |
+//! | Figure 10 (dynamic-profiling threshold sweep) | [`experiments::fig10`] | `fig10` |
+//! | Figure 11 (code rearrangement gain/loss) | [`experiments::fig11`] | `fig11` |
+//! | Figure 12 (DPEH vs exception handling) | [`experiments::fig12`] | `fig12` |
+//! | Figure 13 (retranslation gain/loss) | [`experiments::fig13`] | `fig13` |
+//! | Figure 14 (multi-version code gain/loss) | [`experiments::fig14`] | `fig14` |
+//! | Figure 15 (MDA-instruction alignment-ratio classes) | [`experiments::fig15`] | `fig15` |
+//! | Figure 16 (overall mechanism comparison) | [`experiments::fig16`] | `fig16` |
+//! | Table III (MDAs undetected at threshold 50) | [`experiments::table3`] | `table3` |
+//! | Table IV (MDAs remaining after train profiling) | [`experiments::table4`] | `table4` |
+//!
+//! `repro_all` runs the lot. Absolute numbers are not expected to match the
+//! paper (different substrate, scaled workloads); the *shape* — who wins,
+//! by roughly what factor, where the pathologies sit — is the reproduction
+//! target. EXPERIMENTS.md records paper-vs-measured for each artifact.
+
+pub mod experiments;
+
+use bridge_dbt::engine::profile_program;
+use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, Profile, RunReport, StaticProfile};
+use bridge_sim::cost::CostModel;
+use bridge_workloads::spec::{InputSet, Scale, SpecBenchmark};
+use bridge_workloads::{build, Workload};
+
+/// Fuel budget handed to every DBT run (large; programs halt by
+/// construction).
+pub const FUEL: u64 = 200_000_000_000;
+
+/// Parses the experiment scale from process args (`--scale
+/// test|quick|paper`, default `quick`).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--scale" {
+            return match w[1].as_str() {
+                "test" => Scale::test(),
+                "paper" | "full" => Scale::paper(),
+                _ => Scale::quick(),
+            };
+        }
+    }
+    Scale::quick()
+}
+
+/// Runs one benchmark's `ref` workload through the DBT under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the workload does not halt within [`FUEL`] (a harness bug).
+pub fn run_dbt(bench: &SpecBenchmark, scale: Scale, cfg: DbtConfig) -> RunReport {
+    let w = build(&bench.workload(scale), InputSet::Ref);
+    run_dbt_on(&w, cfg)
+}
+
+/// Runs a prebuilt workload through the DBT under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the workload does not halt within [`FUEL`].
+pub fn run_dbt_on(w: &Workload, cfg: DbtConfig) -> RunReport {
+    let mut dbt = Dbt::new(cfg);
+    w.load_into(&mut dbt);
+    dbt.run(FUEL).expect("workload halts within fuel")
+}
+
+/// Produces the `train`-input profile for static profiling (the paper's
+/// pre-execution phase, Figure 3).
+///
+/// # Panics
+///
+/// Panics if the training run does not halt (a harness bug).
+pub fn train_profile(bench: &SpecBenchmark, scale: Scale) -> StaticProfile {
+    let w = build(&bench.workload(scale), InputSet::Train);
+    let (_, profile) = profile_program(
+        &w.program,
+        &w.data,
+        Some(w.stack_top),
+        &CostModel::es40(),
+        FUEL,
+    )
+    .expect("training run halts");
+    profile.to_static_profile()
+}
+
+/// Reference-interprets the `ref` workload, returning its full profile
+/// (Table I / Figure 15 measurements).
+///
+/// # Panics
+///
+/// Panics if the run does not halt (a harness bug).
+pub fn reference_profile(bench: &SpecBenchmark, scale: Scale) -> Profile {
+    let w = build(&bench.workload(scale), InputSet::Ref);
+    let (_, profile) = profile_program(
+        &w.program,
+        &w.data,
+        Some(w.stack_top),
+        &CostModel::es40(),
+        FUEL,
+    )
+    .expect("reference run halts");
+    profile
+}
+
+/// A DPEH configuration with the paper's defaults (the baseline most
+/// figures are normalized to builds on).
+pub fn dpeh_config() -> DbtConfig {
+    DbtConfig::new(MdaStrategy::Dpeh)
+}
+
+/// An Exception Handling configuration with the paper's defaults.
+pub fn eh_config() -> DbtConfig {
+    DbtConfig::new(MdaStrategy::ExceptionHandling)
+}
+
+/// Geometric mean (the paper reports geomeans over the 21 benchmarks).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of nothing");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Formats a ratio as a signed percentage gain (positive = faster than the
+/// baseline), the form the paper's gain/loss figures use.
+pub fn gain_percent(baseline_cycles: u64, variant_cycles: u64) -> f64 {
+    100.0 * (baseline_cycles as f64 - variant_cycles as f64) / baseline_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of nothing")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+
+    #[test]
+    fn gain_sign_convention() {
+        assert!(gain_percent(100, 90) > 0.0, "faster is a gain");
+        assert!(gain_percent(100, 110) < 0.0, "slower is a loss");
+        assert!((gain_percent(200, 100) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harness_smoke_one_benchmark() {
+        use bridge_workloads::spec::benchmark;
+        let b = benchmark("470.lbm").unwrap();
+        let scale = Scale::test();
+        let r = run_dbt(b, scale, eh_config());
+        assert!(r.cycles() > 0);
+        let p = reference_profile(b, scale);
+        assert!(p.mdas > 0);
+        let sp = train_profile(b, scale);
+        // lbm has no input-dependent sites: train catches everything.
+        assert!(!sp.is_empty());
+    }
+}

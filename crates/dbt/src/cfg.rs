@@ -1,0 +1,184 @@
+//! Static control-flow discovery over a guest image.
+//!
+//! FX!32 — the system whose profile-guided approach the paper's Static
+//! Profiling mechanism models — was an *offline* translator: it walked the
+//! binary and translated everything it could reach before execution. This
+//! module provides that reachability walk; combined with
+//! [`DbtConfig::pretranslate`](crate::config::DbtConfig::pretranslate) it
+//! turns the engine's Static Profiling mode into a faithful
+//! translate-ahead-of-time pipeline (the paper's Figure 3).
+
+use bridge_sim::mem::Memory;
+use bridge_x86::decode::decode;
+use bridge_x86::insn::Insn;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Result of a discovery walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discovery {
+    /// Basic-block entry addresses, sorted.
+    pub block_entries: Vec<u32>,
+    /// Addresses where decoding failed (walk stopped there).
+    pub decode_failures: Vec<u32>,
+}
+
+/// Walks direct control flow from `entry`, returning every reachable
+/// basic-block entry.
+///
+/// Successors followed: branch targets and fall-throughs of `jcc`, `jmp`
+/// targets, `call` targets and their return points. `ret` and `hlt`
+/// terminate paths (indirect control flow cannot be discovered statically —
+/// exactly why FX!32 paired its static translator with a runtime).
+pub fn discover_blocks(
+    mem: &Memory,
+    entry: u32,
+    max_block_insns: usize,
+    max_blocks: usize,
+) -> Discovery {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut failures = Vec::new();
+    let mut work: VecDeque<u32> = VecDeque::new();
+    work.push_back(entry);
+
+    while let Some(block_entry) = work.pop_front() {
+        if seen.len() >= max_blocks || !seen.insert(block_entry) {
+            continue;
+        }
+        // Walk the block to its end.
+        let mut pc = block_entry;
+        let mut insns = 0usize;
+        loop {
+            let mut buf = [0u8; 16];
+            mem.read_bytes(u64::from(pc), &mut buf);
+            let d = match decode(&buf, pc) {
+                Ok(d) => d,
+                Err(_) => {
+                    failures.push(pc);
+                    break;
+                }
+            };
+            let fall = pc.wrapping_add(d.len);
+            insns += 1;
+            match d.insn {
+                Insn::Jcc { target, .. } => {
+                    work.push_back(target);
+                    work.push_back(fall);
+                    break;
+                }
+                Insn::Jmp { target } => {
+                    work.push_back(target);
+                    break;
+                }
+                Insn::Call { target } => {
+                    work.push_back(target);
+                    work.push_back(fall); // the return point
+                    break;
+                }
+                Insn::Ret | Insn::Hlt => break,
+                _ => {
+                    if insns >= max_block_insns {
+                        work.push_back(fall); // translator cuts here too
+                        break;
+                    }
+                    pc = fall;
+                }
+            }
+        }
+    }
+
+    Discovery {
+        block_entries: seen.into_iter().collect(),
+        decode_failures: failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_x86::asm::Assembler;
+    use bridge_x86::cond::Cond;
+    use bridge_x86::insn::AluOp;
+    use bridge_x86::reg::Reg32::*;
+
+    fn image(build: impl FnOnce(&mut Assembler)) -> Memory {
+        let mut a = Assembler::new(0x40_0000);
+        build(&mut a);
+        let img = a.finish().unwrap();
+        let mut mem = Memory::new();
+        mem.write_bytes(0x40_0000, &img);
+        mem
+    }
+
+    #[test]
+    fn discovers_loop_and_exit_blocks() {
+        let mem = image(|a| {
+            a.mov_ri(Ecx, 10); // block 1
+            let top = a.here_label(); // block 2
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt(); // block 3
+        });
+        let d = discover_blocks(&mem, 0x40_0000, 64, 1000);
+        assert_eq!(d.block_entries.len(), 3);
+        assert!(d.decode_failures.is_empty());
+        assert!(d.block_entries.contains(&0x40_0000));
+        assert!(d.block_entries.contains(&0x40_0005)); // loop head
+    }
+
+    #[test]
+    fn discovers_through_calls_and_returns() {
+        let mem = image(|a| {
+            let f = a.new_label();
+            a.call(f); // block 1 → f and return point
+            a.hlt(); // block 2 (return point)
+            a.bind(f);
+            a.ret(); // block 3 (function body)
+        });
+        let d = discover_blocks(&mem, 0x40_0000, 64, 1000);
+        assert_eq!(d.block_entries.len(), 3);
+    }
+
+    #[test]
+    fn records_decode_failures_without_spreading() {
+        let mut mem = image(|a| {
+            let bad = a.new_label();
+            a.jmp(bad);
+            a.bind(bad);
+            a.nop(); // will be overwritten with garbage
+            a.hlt();
+        });
+        mem.write_u8(0x40_0005, 0xCC);
+        let d = discover_blocks(&mem, 0x40_0000, 64, 1000);
+        assert_eq!(d.decode_failures, vec![0x40_0005]);
+        assert!(d.block_entries.contains(&0x40_0000));
+    }
+
+    #[test]
+    fn respects_block_budget() {
+        // An unrolled chain of jmp → jmp → … capped by max_blocks.
+        let mem = image(|a| {
+            for _ in 0..50 {
+                let l = a.new_label();
+                a.jmp(l);
+                a.bind(l);
+            }
+            a.hlt();
+        });
+        let d = discover_blocks(&mem, 0x40_0000, 64, 10);
+        assert_eq!(d.block_entries.len(), 10);
+    }
+
+    #[test]
+    fn long_straight_line_splits_at_max_insns() {
+        let mem = image(|a| {
+            for _ in 0..10 {
+                a.nop();
+            }
+            a.hlt();
+        });
+        let d = discover_blocks(&mem, 0x40_0000, 4, 1000);
+        // 11 instructions in chunks of 4 → entries at 0, 4, 8 (then the
+        // final chunk reaches hlt).
+        assert!(d.block_entries.len() >= 3, "{d:?}");
+    }
+}

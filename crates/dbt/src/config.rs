@@ -1,0 +1,227 @@
+//! DBT configuration: strategy selection and tuning knobs (the paper's
+//! Table II).
+
+use crate::profile::StaticProfile;
+
+/// The MDA handling mechanism under evaluation (the paper's §III–IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MdaStrategy {
+    /// QEMU-style: every non-byte memory operation becomes the MDA code
+    /// sequence (§III-A). Never traps; pays the sequence everywhere.
+    Direct,
+    /// FX!32-style: a training run's profile decides which sites get the
+    /// sequence (§III-B). Requires [`DbtConfig::static_profile`]. Sites the
+    /// training run missed trap on every dynamic MDA and are fixed up in
+    /// software by the OS handler.
+    StaticProfiling,
+    /// IA-32 EL-style: phase-1 profiling decides (§III-C). Sites that never
+    /// misaligned during the profiling window trap on every dynamic MDA.
+    DynamicProfiling,
+    /// The paper's proposed mechanism (§IV): translate everything as
+    /// aligned; on the first trap at a site, patch it into a branch to an
+    /// MDA-sequence stub in the code cache. Optionally rearrange code to
+    /// restore locality ([`DbtConfig::rearrange`]).
+    ExceptionHandling,
+    /// Dynamic Profiling + Exception Handling (§IV-B): phase-1 profiling
+    /// catches the early sites at translation time; the exception handler
+    /// catches the rest. Supports [`DbtConfig::retranslate`] (§IV-C) and
+    /// [`DbtConfig::multiversion`] (§IV-D).
+    Dpeh,
+}
+
+impl MdaStrategy {
+    /// All five mechanisms, in the paper's presentation order.
+    pub const ALL: [MdaStrategy; 5] = [
+        MdaStrategy::Direct,
+        MdaStrategy::StaticProfiling,
+        MdaStrategy::DynamicProfiling,
+        MdaStrategy::ExceptionHandling,
+        MdaStrategy::Dpeh,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            MdaStrategy::Direct => "Direct Method",
+            MdaStrategy::StaticProfiling => "Static Profiling",
+            MdaStrategy::DynamicProfiling => "Dynamic Profiling",
+            MdaStrategy::ExceptionHandling => "Exception Handling",
+            MdaStrategy::Dpeh => "DPEH",
+        }
+    }
+}
+
+impl std::fmt::Display for MdaStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct DbtConfig {
+    /// The mechanism under evaluation.
+    pub strategy: MdaStrategy,
+    /// Heating threshold: a block is translated after this many
+    /// interpretations (the paper sweeps 10–5000 in Figure 10; 50 is the
+    /// balance point).
+    pub hot_threshold: u64,
+    /// Training-run profile for [`MdaStrategy::StaticProfiling`].
+    pub static_profile: Option<StaticProfile>,
+    /// Exception handling: reposition MDA code inline (retranslating the
+    /// block) instead of branching to a distant stub (§IV-A, Figure 6/11).
+    pub rearrange: bool,
+    /// DPEH: invalidate and retranslate a block once
+    /// [`DbtConfig::retranslate_threshold`] traps have hit it (§IV-C,
+    /// Figure 13).
+    pub retranslate: bool,
+    /// Trap count per block that triggers retranslation (the paper uses 4).
+    pub retranslate_threshold: u32,
+    /// Cap on retranslations per block, to bound thrashing on adversarial
+    /// phase behaviour (not in the paper; documented in DESIGN.md).
+    pub max_retranslations: u32,
+    /// DPEH: emit alignment-checked two-version code for sites whose
+    /// profile shows both aligned and misaligned executions (§IV-D,
+    /// Figure 14).
+    pub multiversion: bool,
+    /// Minimum samples in each class before a site is considered mixed.
+    pub multiversion_min_samples: u64,
+    /// DPEH: emit the paper's Figure 8 "truly adaptive" code instead of
+    /// plain MDA sequences — an alignment-checked sequence that counts
+    /// consecutive aligned executions and asks the monitor to revert the
+    /// site to a plain access once the streak reaches
+    /// [`DbtConfig::reversion_threshold`]. The paper describes this method
+    /// in §IV-D and argues it is not worth its overhead; this option exists
+    /// to measure that claim.
+    pub adaptive_reversion: bool,
+    /// Consecutive aligned executions before an adaptive site reverts
+    /// (Figure 8 uses 1000; must fit an Alpha 8-bit operate literal).
+    pub reversion_threshold: u8,
+    /// Link translated blocks directly (branch chaining). On by default,
+    /// as in DigitalBridge.
+    pub chaining: bool,
+    /// Translate every statically reachable block before execution starts,
+    /// as FX!32's offline translator did (Figure 3's pre-execution phase).
+    /// Most useful with [`MdaStrategy::StaticProfiling`].
+    pub pretranslate: bool,
+    /// Bytes reserved for translated blocks.
+    pub code_bytes: u64,
+    /// Bytes reserved for exception-handler stubs.
+    pub stub_bytes: u64,
+    /// Maximum guest instructions translated into one block.
+    pub max_block_insns: usize,
+}
+
+impl DbtConfig {
+    /// Configuration with the paper's defaults for a given strategy
+    /// (threshold 50, retranslation threshold 4, chaining on, options off).
+    pub fn new(strategy: MdaStrategy) -> DbtConfig {
+        DbtConfig {
+            strategy,
+            hot_threshold: 50,
+            static_profile: None,
+            rearrange: false,
+            retranslate: false,
+            retranslate_threshold: 4,
+            max_retranslations: 8,
+            multiversion: false,
+            multiversion_min_samples: 2,
+            adaptive_reversion: false,
+            reversion_threshold: 200,
+            chaining: true,
+            pretranslate: false,
+            code_bytes: 2 * 1024 * 1024,
+            stub_bytes: 1024 * 1024,
+            max_block_insns: 64,
+        }
+    }
+
+    /// Builder-style: set the heating threshold.
+    pub fn with_threshold(mut self, threshold: u64) -> DbtConfig {
+        self.hot_threshold = threshold;
+        self
+    }
+
+    /// Builder-style: supply a training profile (implies nothing about the
+    /// strategy; only [`MdaStrategy::StaticProfiling`] consults it).
+    pub fn with_static_profile(mut self, profile: StaticProfile) -> DbtConfig {
+        self.static_profile = Some(profile);
+        self
+    }
+
+    /// Builder-style: enable code rearrangement.
+    pub fn with_rearrange(mut self, on: bool) -> DbtConfig {
+        self.rearrange = on;
+        self
+    }
+
+    /// Builder-style: enable retranslation.
+    pub fn with_retranslate(mut self, on: bool) -> DbtConfig {
+        self.retranslate = on;
+        self
+    }
+
+    /// Builder-style: enable multi-version code.
+    pub fn with_multiversion(mut self, on: bool) -> DbtConfig {
+        self.multiversion = on;
+        self
+    }
+
+    /// Builder-style: enable Figure 8 adaptive reversion.
+    pub fn with_adaptive_reversion(mut self, on: bool) -> DbtConfig {
+        self.adaptive_reversion = on;
+        self
+    }
+
+    /// Builder-style: enable or disable block chaining.
+    pub fn with_chaining(mut self, on: bool) -> DbtConfig {
+        self.chaining = on;
+        self
+    }
+
+    /// Builder-style: enable FX!32-style offline pretranslation.
+    pub fn with_pretranslate(mut self, on: bool) -> DbtConfig {
+        self.pretranslate = on;
+        self
+    }
+}
+
+impl Default for DbtConfig {
+    fn default() -> DbtConfig {
+        DbtConfig::new(MdaStrategy::Dpeh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DbtConfig::new(MdaStrategy::Dpeh);
+        assert_eq!(c.hot_threshold, 50);
+        assert_eq!(c.retranslate_threshold, 4);
+        assert!(c.chaining);
+        assert!(!c.rearrange && !c.retranslate && !c.multiversion);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = DbtConfig::new(MdaStrategy::ExceptionHandling)
+            .with_threshold(500)
+            .with_rearrange(true)
+            .with_chaining(false);
+        assert_eq!(c.hot_threshold, 500);
+        assert!(c.rearrange);
+        assert!(!c.chaining);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(MdaStrategy::ALL.len(), 5);
+        for s in MdaStrategy::ALL {
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(MdaStrategy::Dpeh.to_string(), "DPEH");
+    }
+}

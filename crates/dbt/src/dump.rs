@@ -1,0 +1,183 @@
+//! Human-readable dumps of translated code: side-by-side guest/host
+//! listings of installed blocks — the first tool anyone debugging a DBT
+//! reaches for.
+
+use crate::codecache::Block;
+use crate::engine::Dbt;
+use bridge_alpha::disasm as alpha_disasm;
+use bridge_sim::mem::Memory;
+use bridge_x86::decode::decode as decode_x86;
+use bridge_x86::disasm as x86_disasm;
+use std::fmt::Write as _;
+
+/// Renders one installed block: each guest instruction followed by the
+/// Alpha instructions it was lowered to, with site and exit annotations.
+pub fn dump_block(mem: &Memory, block: &Block) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "block {:#010x} → host {:#x} ({} guest insns, {} words, {} traps)",
+        block.guest_pc, block.host_addr, block.guest_insn_count, block.words_len, block.trap_count
+    );
+
+    // Word index where each guest instruction's code starts (and ends).
+    for (i, (gpc, start_word)) in block.insn_starts.iter().enumerate() {
+        let end_word = block
+            .insn_starts
+            .get(i + 1)
+            .map(|(_, w)| *w)
+            .unwrap_or(block.words_len);
+
+        // Guest line.
+        let mut buf = [0u8; 16];
+        mem.read_bytes(u64::from(*gpc), &mut buf);
+        match decode_x86(&buf, *gpc) {
+            Ok(d) => {
+                let _ = writeln!(
+                    out,
+                    "  {gpc:#010x}  {}",
+                    x86_disasm::format_insn(&d.insn, *gpc)
+                );
+            }
+            Err(_) => {
+                let _ = writeln!(out, "  {gpc:#010x}  <undecodable>");
+            }
+        }
+
+        // Host lines.
+        for w in *start_word..end_word {
+            let addr = block.host_addr + 4 * u64::from(w);
+            let word = mem.read_u32(addr);
+            let text = match bridge_alpha::decode(word) {
+                Ok(insn) => alpha_disasm::format_insn(&insn, addr),
+                Err(_) => format!(".word {word:#010x}"),
+            };
+            let site = if block.site_at_host.contains_key(&addr) {
+                "  ; MDA site"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "      {addr:#012x}  {text}{site}");
+        }
+    }
+
+    // Tail: exit stubs and epilogue emitted after the last instruction.
+    if let Some(e) = block.exit_slots.first() {
+        let _ = writeln!(
+            out,
+            "  exits: {}",
+            block
+                .exit_slots
+                .iter()
+                .map(|s| format!(
+                    "{:#x}→{:#x}{}",
+                    s.host_addr,
+                    s.target,
+                    if s.chained { " (chained)" } else { "" }
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = e;
+    }
+    out
+}
+
+/// Renders every installed block of an engine, sorted by guest PC.
+pub fn dump_all(dbt: &Dbt) -> String {
+    let mut blocks: Vec<&Block> = dbt.code_cache_blocks().collect();
+    blocks.sort_by_key(|b| b.guest_pc);
+    let mut out = String::new();
+    for b in blocks {
+        out.push_str(&dump_block(dbt.machine().mem(), b));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DbtConfig, MdaStrategy};
+    use crate::engine::GuestProgram;
+    use bridge_sim::cost::CostModel;
+    use bridge_sim::cpu::Machine;
+    use bridge_x86::asm::Assembler;
+    use bridge_x86::cond::Cond;
+    use bridge_x86::insn::{AluOp, MemRef};
+    use bridge_x86::reg::Reg32::*;
+
+    #[test]
+    fn dump_shows_guest_and_host_sides() {
+        let mut a = Assembler::new(0x40_0000);
+        a.mov_ri(Ebx, 0x10_0002);
+        a.mov_ri(Ecx, 50);
+        let top = a.here_label();
+        a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+        a.alu_ri(AluOp::Sub, Ecx, 1);
+        a.jcc(Cond::Ne, top);
+        a.hlt();
+        let prog = GuestProgram::new(0x40_0000, a.finish().unwrap());
+
+        let mut dbt = crate::Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::Dpeh).with_threshold(5),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        dbt.run(10_000_000).expect("halts");
+
+        let text = dump_all(&dbt);
+        // Guest mnemonics and host mnemonics both present.
+        assert!(text.contains("addl"), "{text}");
+        assert!(text.contains("subl"), "{text}");
+        assert!(text.contains("ldq_u") || text.contains("ldl"), "{text}");
+        assert!(text.contains("exits:"), "{text}");
+        assert!(text.contains("block 0x"), "{text}");
+    }
+
+    #[test]
+    fn dump_shows_adaptive_code() {
+        let mut a = Assembler::new(0x40_0000);
+        a.mov_ri(Ebx, 0x10_0002); // misaligned → DPEH would emit a sequence
+        a.mov_ri(Ecx, 60);
+        let top = a.here_label();
+        a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+        a.alu_ri(AluOp::Sub, Ecx, 1);
+        a.jcc(Cond::Ne, top);
+        a.hlt();
+        let prog = GuestProgram::new(0x40_0000, a.finish().unwrap());
+        let mut dbt = crate::Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::Dpeh)
+                .with_threshold(5)
+                .with_adaptive_reversion(true),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        dbt.run(50_000_000).expect("halts");
+        let text = dump_all(&dbt);
+        // The Figure 8 body is visible: the reversion request and the
+        // streak-counter traffic off the state-block base register (r9).
+        assert!(text.contains("call_pal request_monitor"), "{text}");
+        assert!(text.contains("(r9)"), "{text}");
+    }
+
+    #[test]
+    fn dump_marks_trap_sites() {
+        let mut a = Assembler::new(0x40_0000);
+        a.mov_ri(Ebx, 0x10_0000); // aligned → EH leaves it a plain ldl site
+        a.mov_ri(Ecx, 20);
+        let top = a.here_label();
+        a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+        a.alu_ri(AluOp::Sub, Ecx, 1);
+        a.jcc(Cond::Ne, top);
+        a.hlt();
+        let prog = GuestProgram::new(0x40_0000, a.finish().unwrap());
+        let mut dbt = crate::Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(5),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        dbt.run(10_000_000).expect("halts");
+        assert!(dump_all(&dbt).contains("; MDA site"));
+    }
+}

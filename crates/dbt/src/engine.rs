@@ -1,0 +1,1369 @@
+//! The DBT engine: dispatch loop, guest-state synchronization, strategy
+//! dispatch on misalignment traps, block chaining, retranslation and code
+//! rearrangement.
+
+use crate::codecache::CodeCache;
+use crate::config::{DbtConfig, MdaStrategy};
+use crate::exception::{self, HandlerError};
+use crate::interp::{self, InterpError};
+use crate::profile::{Profile, SiteId, StaticProfile};
+use crate::regmap::{
+    host_gpr, CODE_CACHE_ADDR, EXIT_PC_REG, FLAG_A, FLAG_B, FLAG_KIND_ADD, FLAG_KIND_DIRECT,
+    FLAG_KIND_LOGIC, FLAG_KIND_REG, FLAG_KIND_SHIFT, FLAG_KIND_SUB, MMX_IN_REGS, MMX_REGS,
+    STATE_BASE_REG, STATE_BLOCK_ADDR,
+};
+use crate::report::RunReport;
+use crate::translator::{self, SiteAccess, SitePlan, TranslatedBlock};
+use bridge_alpha::builder::branch_disp;
+use bridge_alpha::encode::encode as encode_alpha;
+use bridge_alpha::insn::{BrOp, Insn as AInsn};
+use bridge_alpha::reg::Reg;
+use bridge_sim::cost::CostModel;
+use bridge_sim::cpu::Machine;
+use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
+use bridge_x86::insn::Width;
+use bridge_x86::reg::Reg32;
+use bridge_x86::state::CpuState;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Fuel units charged per interpreted guest instruction (an interpreted
+/// instruction is roughly this many host instructions of work).
+const INTERP_FUEL_PER_INSN: u64 = 8;
+
+/// A guest program image.
+#[derive(Debug, Clone)]
+pub struct GuestProgram {
+    base: u32,
+    entry: u32,
+    image: Vec<u8>,
+}
+
+impl GuestProgram {
+    /// Program loaded at `base` with entry at its first byte.
+    pub fn new(base: u32, image: Vec<u8>) -> GuestProgram {
+        GuestProgram {
+            base,
+            entry: base,
+            image,
+        }
+    }
+
+    /// Overrides the entry point.
+    pub fn with_entry(mut self, entry: u32) -> GuestProgram {
+        self.entry = entry;
+        self
+    }
+
+    /// Load address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Image bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+}
+
+/// Engine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbtError {
+    /// `run` called before `load`.
+    NotLoaded,
+    /// The fuel budget ran out before the guest executed `hlt`.
+    FuelExhausted,
+    /// The host machine faulted (a translator or engine bug).
+    Machine(MachineFault),
+    /// The interpreter hit undecodable guest bytes.
+    Interp(InterpError),
+    /// The exception handler failed (an engine bug).
+    Handler(HandlerError),
+    /// An internal invariant was violated.
+    Internal(&'static str),
+}
+
+impl fmt::Display for DbtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtError::NotLoaded => write!(f, "no guest program loaded"),
+            DbtError::FuelExhausted => write!(f, "fuel exhausted before guest halt"),
+            DbtError::Machine(m) => write!(f, "host machine fault: {m}"),
+            DbtError::Interp(e) => write!(f, "interpreter error: {e}"),
+            DbtError::Handler(e) => write!(f, "exception handler error: {e}"),
+            DbtError::Internal(s) => write!(f, "internal invariant violated: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DbtError {}
+
+impl From<InterpError> for DbtError {
+    fn from(e: InterpError) -> DbtError {
+        DbtError::Interp(e)
+    }
+}
+
+impl From<HandlerError> for DbtError {
+    fn from(e: HandlerError) -> DbtError {
+        DbtError::Handler(e)
+    }
+}
+
+/// How to resume after the misalignment handler ran.
+enum Resume {
+    /// Continue on the host machine; optionally redirect to a host address.
+    Machine(Option<u64>),
+    /// Return to the dispatcher and interpret from this guest PC.
+    Interp(u32),
+}
+
+/// The dynamic binary translator.
+pub struct Dbt {
+    cfg: DbtConfig,
+    machine: Machine,
+    state: CpuState,
+    profile: Profile,
+    cache: CodeCache,
+    /// host block start → guest pc, for trap attribution.
+    host_blocks: BTreeMap<u64, u32>,
+    interp_only: HashSet<u32>,
+    /// Sites the exception handler has converted to MDA sequences; they
+    /// stay sequences across retranslations until explicitly reverted.
+    forced_sequence: HashSet<SiteId>,
+    /// Sites the Figure 8 adaptive code has reverted to plain accesses.
+    forced_normal: HashSet<SiteId>,
+    decode_cache: interp::DecodeCache,
+    loaded: bool,
+    guest_insns_interpreted: u64,
+    blocks_translated: u64,
+    retranslations: u64,
+    patched_sites: u64,
+    rearrangements: u64,
+    reversions: u64,
+    os_fixups: u64,
+    chains: u64,
+}
+
+impl Dbt {
+    /// Engine with the ES40 cost model and cache hierarchy.
+    pub fn new(cfg: DbtConfig) -> Dbt {
+        Dbt::with_machine(cfg, Machine::new())
+    }
+
+    /// Engine over a custom host machine (cost model, cache configuration).
+    pub fn with_machine(cfg: DbtConfig, machine: Machine) -> Dbt {
+        let cache = CodeCache::new(CODE_CACHE_ADDR, cfg.code_bytes, cfg.stub_bytes);
+        Dbt {
+            cfg,
+            machine,
+            state: CpuState::new(0),
+            profile: Profile::new(),
+            cache,
+            host_blocks: BTreeMap::new(),
+            interp_only: HashSet::new(),
+            forced_sequence: HashSet::new(),
+            forced_normal: HashSet::new(),
+            decode_cache: interp::DecodeCache::new(),
+            loaded: false,
+            guest_insns_interpreted: 0,
+            blocks_translated: 0,
+            retranslations: 0,
+            patched_sites: 0,
+            rearrangements: 0,
+            reversions: 0,
+            os_fixups: 0,
+            chains: 0,
+        }
+    }
+
+    /// Loads a guest program, resetting guest state.
+    pub fn load(&mut self, prog: &GuestProgram) {
+        self.machine
+            .mem_mut()
+            .write_bytes(u64::from(prog.base), prog.image());
+        self.state = CpuState::new(prog.entry());
+        self.machine.set_reg(STATE_BASE_REG, STATE_BLOCK_ADDR);
+        self.loaded = true;
+    }
+
+    /// Presets the guest stack pointer.
+    pub fn set_stack(&mut self, esp: u32) {
+        self.state.set_reg(Reg32::Esp, esp);
+    }
+
+    /// Writes guest data memory (arrays the program will access).
+    pub fn write_guest_memory(&mut self, addr: u32, bytes: &[u8]) {
+        self.machine.mem_mut().write_bytes(u64::from(addr), bytes);
+    }
+
+    /// The host machine (statistics, memory inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The accumulated profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DbtConfig {
+        &self.cfg
+    }
+
+    /// Iterates over the currently installed translated blocks (for the
+    /// [`crate::dump`] listings and diagnostics).
+    pub fn code_cache_blocks(&self) -> impl Iterator<Item = &crate::codecache::Block> {
+        self.cache.iter_blocks()
+    }
+
+    fn state_to_machine(&mut self) {
+        for r in Reg32::ALL {
+            let v = self.state.reg(r) as i32 as i64 as u64; // canonical sign-extended
+            self.machine.set_reg(host_gpr(r), v);
+        }
+        for (i, hr) in MMX_REGS.iter().enumerate() {
+            self.machine.set_reg(*hr, self.state.mm[i]);
+        }
+        for i in MMX_IN_REGS..8 {
+            self.machine
+                .mem_mut()
+                .write_u64(STATE_BLOCK_ADDR + 8 * i as u64, self.state.mm[i]);
+        }
+        self.machine.set_reg(STATE_BASE_REG, STATE_BLOCK_ADDR);
+        // Pack the interpreter's flags into the lazy-flag registers so they
+        // survive translated blocks that set no flags of their own.
+        let f = self.state.flags;
+        let packed =
+            u64::from(f.zf) | u64::from(f.sf) << 1 | u64::from(f.cf) << 2 | u64::from(f.of) << 3;
+        self.machine
+            .set_reg(FLAG_KIND_REG, u64::from(FLAG_KIND_DIRECT));
+        self.machine.set_reg(FLAG_A, packed);
+        self.machine.set_reg(FLAG_B, 0);
+    }
+
+    fn machine_to_state(&mut self) {
+        for r in Reg32::ALL {
+            self.state.set_reg(r, self.machine.reg(host_gpr(r)) as u32);
+        }
+        for (i, hr) in MMX_REGS.iter().enumerate() {
+            self.state.mm[i] = self.machine.reg(*hr);
+        }
+        for i in MMX_IN_REGS..8 {
+            self.state.mm[i] = self.machine.mem().read_u64(STATE_BLOCK_ADDR + 8 * i as u64);
+        }
+        self.state.flags = self.flags_from_machine();
+    }
+
+    /// Reconstructs exact EFLAGS from the lazy-flag registers (the kind tag
+    /// every live flag setter writes, plus its operand snapshots).
+    fn flags_from_machine(&self) -> bridge_x86::state::Flags {
+        use bridge_x86::exec::alu;
+        use bridge_x86::insn::AluOp;
+        use bridge_x86::state::Flags;
+        let kind = self.machine.reg(FLAG_KIND_REG) as u8;
+        let a = self.machine.reg(FLAG_A) as u32;
+        let b = self.machine.reg(FLAG_B) as u32;
+        match kind {
+            FLAG_KIND_ADD => alu(AluOp::Add, a, b).1,
+            FLAG_KIND_SUB => alu(AluOp::Sub, a, b).1,
+            FLAG_KIND_LOGIC => Flags {
+                zf: a == 0,
+                sf: (a as i32) < 0,
+                cf: false,
+                of: false,
+            },
+            FLAG_KIND_SHIFT => Flags {
+                zf: a == 0,
+                sf: (a as i32) < 0,
+                cf: b & 1 != 0,
+                of: false,
+            },
+            FLAG_KIND_DIRECT => Flags {
+                zf: a & 1 != 0,
+                sf: a & 2 != 0,
+                cf: a & 4 != 0,
+                of: a & 8 != 0,
+            },
+            _ => Flags::default(), // FLAG_KIND_CLEARED
+        }
+    }
+
+    /// Runs the loaded program to `hlt`, within a fuel budget (roughly host
+    /// instructions; each interpreted guest instruction costs several fuel
+    /// units).
+    ///
+    /// # Errors
+    ///
+    /// See [`DbtError`]. Programs that do not halt exhaust the fuel.
+    pub fn run(&mut self, fuel: u64) -> Result<RunReport, DbtError> {
+        if !self.loaded {
+            return Err(DbtError::NotLoaded);
+        }
+        if self.cfg.pretranslate && self.blocks_translated == 0 {
+            self.pretranslate()?;
+        }
+        let mut remaining = fuel;
+        let mut in_machine = false;
+        let mut pc = self.state.eip;
+
+        loop {
+            if let Some(host_entry) = self.cache.block(pc).map(|b| b.host_addr) {
+                if !in_machine {
+                    self.state_to_machine();
+                    in_machine = true;
+                }
+                self.machine.set_pc(host_entry);
+                match self.run_machine(&mut remaining)? {
+                    MachineOutcome::Dispatch(next) => {
+                        pc = next;
+                    }
+                    MachineOutcome::SwitchToInterp(next) => {
+                        self.machine_to_state();
+                        in_machine = false;
+                        pc = next;
+                    }
+                    MachineOutcome::Halted(final_pc) => {
+                        self.machine_to_state();
+                        self.state.eip = final_pc;
+                        return Ok(self.build_report());
+                    }
+                }
+            } else {
+                if in_machine {
+                    self.machine_to_state();
+                    in_machine = false;
+                }
+                self.state.eip = pc;
+                let cost = self.machine.cost().clone();
+                let out = {
+                    // Split borrows: interpreter needs machine memory and
+                    // the profile simultaneously.
+                    let Dbt {
+                        machine,
+                        state,
+                        profile,
+                        decode_cache,
+                        ..
+                    } = self;
+                    interp::interp_block_cached(
+                        state,
+                        machine.mem_mut(),
+                        profile,
+                        &cost,
+                        decode_cache,
+                    )?
+                };
+                self.machine.charge(out.cycles);
+                self.guest_insns_interpreted += out.guest_insns;
+                let spent = out.guest_insns.saturating_mul(INTERP_FUEL_PER_INSN);
+                if spent >= remaining {
+                    return Err(DbtError::FuelExhausted);
+                }
+                remaining -= spent;
+                if out.halted {
+                    return Ok(self.build_report());
+                }
+                let heat = self.profile.heat_block(pc);
+                if heat >= self.cfg.hot_threshold && !self.interp_only.contains(&pc) {
+                    self.translate_and_install(pc, 0)?;
+                }
+                pc = out.next_pc;
+            }
+        }
+    }
+
+    /// FX!32-style offline pass: statically discovers every directly
+    /// reachable basic block from the entry point and translates it before
+    /// execution (translation costs are charged as usual). Indirectly
+    /// reached blocks still go through the two-phase runtime. Returns the
+    /// number of blocks translated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-cache exhaustion that survives a flush.
+    pub fn pretranslate(&mut self) -> Result<usize, DbtError> {
+        let discovery = crate::cfg::discover_blocks(
+            self.machine.mem(),
+            self.state.eip,
+            self.cfg.max_block_insns,
+            8192,
+        );
+        let mut translated = 0usize;
+        for pc in discovery.block_entries {
+            if self.cache.block(pc).is_none()
+                && !self.interp_only.contains(&pc)
+                && self.translate_and_install(pc, 0)?
+            {
+                translated += 1;
+            }
+        }
+        Ok(translated)
+    }
+
+    /// Runs the host machine until it needs the engine.
+    fn run_machine(&mut self, remaining: &mut u64) -> Result<MachineOutcome, DbtError> {
+        loop {
+            if *remaining == 0 {
+                return Err(DbtError::FuelExhausted);
+            }
+            let before = self.machine.stats().insns;
+            let exit = self.machine.run(*remaining);
+            let executed = self.machine.stats().insns - before;
+            *remaining = remaining.saturating_sub(executed);
+            match exit {
+                Exit::Monitor => {
+                    let d = self.machine.cost().dispatch;
+                    self.machine.charge(d);
+                    let next = self.machine.reg(EXIT_PC_REG) as u32;
+                    return Ok(MachineOutcome::Dispatch(next));
+                }
+                Exit::Halted => {
+                    let final_pc = self.machine.reg(EXIT_PC_REG) as u32;
+                    return Ok(MachineOutcome::Halted(final_pc));
+                }
+                Exit::Request => {
+                    let gpc = self.handle_reversion_request()?;
+                    return Ok(MachineOutcome::SwitchToInterp(gpc));
+                }
+                Exit::Unaligned(info) => match self.handle_trap(info)? {
+                    Resume::Machine(None) => continue,
+                    Resume::Machine(Some(host)) => {
+                        self.machine.set_pc(host);
+                        continue;
+                    }
+                    Resume::Interp(gpc) => return Ok(MachineOutcome::SwitchToInterp(gpc)),
+                },
+                Exit::Fault(MachineFault::OutOfFuel) => return Err(DbtError::FuelExhausted),
+                Exit::Fault(f) => return Err(DbtError::Machine(f)),
+            }
+        }
+    }
+
+    /// The registered misalignment exception handler.
+    fn handle_trap(&mut self, info: UnalignedInfo) -> Result<Resume, DbtError> {
+        let block_pc = self
+            .host_blocks
+            .range(..=info.pc)
+            .next_back()
+            .map(|(_, g)| *g)
+            .ok_or(DbtError::Internal("trap outside any translated block"))?;
+        let site = {
+            let block = self
+                .cache
+                .block(block_pc)
+                .ok_or(DbtError::Internal("host map points at a missing block"))?;
+            *block
+                .site_at_host
+                .get(&info.pc)
+                .ok_or(DbtError::Internal("trap at an unrecorded site"))?
+        };
+        self.profile.record_trap_mda(site);
+
+        match self.cfg.strategy {
+            MdaStrategy::Direct => Err(DbtError::Internal("direct method cannot trap")),
+            MdaStrategy::StaticProfiling | MdaStrategy::DynamicProfiling => {
+                self.os_fixup(&info)?;
+                Ok(Resume::Machine(None))
+            }
+            MdaStrategy::ExceptionHandling => {
+                if self.cfg.rearrange {
+                    self.rearrange_block(block_pc, site)
+                } else {
+                    self.patch_site(block_pc, site, &info)
+                }
+            }
+            MdaStrategy::Dpeh => {
+                if self.cfg.rearrange {
+                    return self.rearrange_block(block_pc, site);
+                }
+                let resume = self.patch_site(block_pc, site, &info)?;
+                if let Some(block) = self.cache.block(block_pc) {
+                    if self.cfg.retranslate
+                        && block.trap_count >= self.cfg.retranslate_threshold
+                        && block.retrans_count < self.cfg.max_retranslations
+                    {
+                        self.invalidate_block(block_pc, true);
+                        return Ok(Resume::Interp(site.pc));
+                    }
+                }
+                Ok(resume)
+            }
+        }
+    }
+
+    /// Handles a Figure 8 reversion request: the adaptive code at the site
+    /// whose guest PC is in `R16` observed a long aligned streak, so both
+    /// of its access slots revert to plain accesses and the containing
+    /// block is retranslated (the next dispatch re-heats it through one
+    /// interpretation). Returns the guest PC to resume interpretation at.
+    fn handle_reversion_request(&mut self) -> Result<u32, DbtError> {
+        let site_pc = self.machine.reg(EXIT_PC_REG) as u32;
+        let host_pc = self.machine.pc();
+        let block_pc = self
+            .host_blocks
+            .range(..=host_pc)
+            .next_back()
+            .map(|(_, g)| *g)
+            .ok_or(DbtError::Internal("reversion request outside any block"))?;
+        for slot in 0..2 {
+            let site = SiteId::new(site_pc, slot);
+            self.forced_normal.insert(site);
+            self.forced_sequence.remove(&site);
+        }
+        self.invalidate_block(block_pc, false);
+        let c = self.machine.cost().patch_base;
+        self.machine.charge(c);
+        self.reversions += 1;
+        Ok(site_pc)
+    }
+
+    /// The OS software fixup path (profiling-based strategies): emulate the
+    /// access and resume after the faulting instruction — paid on *every*
+    /// MDA at undetected sites.
+    fn os_fixup(&mut self, info: &UnalignedInfo) -> Result<(), DbtError> {
+        let fa = exception::decode_faulting(info)?;
+        if fa.is_store {
+            let v = self.machine.reg(fa.ra);
+            self.machine.mem_mut().write_int(info.addr, info.size, v);
+        } else {
+            let raw = self.machine.mem().read_int(info.addr, info.size);
+            let v = if fa.sign_extend {
+                raw as u32 as i32 as i64 as u64
+            } else {
+                raw
+            };
+            self.machine.set_reg(fa.ra, v);
+        }
+        let c = self.machine.cost().unaligned_fixup;
+        self.machine.charge(c);
+        self.machine.set_pc(info.pc + 4);
+        self.os_fixups += 1;
+        Ok(())
+    }
+
+    /// Exception-handling patch: build a stub and redirect the faulting
+    /// instruction to it (Figure 5).
+    fn patch_site(
+        &mut self,
+        block_pc: u32,
+        site: SiteId,
+        info: &UnalignedInfo,
+    ) -> Result<Resume, DbtError> {
+        let fa = exception::decode_faulting(info)?;
+        let len = exception::stub_len(&fa);
+        let stub_addr = match self.cache.alloc_stub(len) {
+            Ok(a) => a,
+            Err(_) => {
+                // Stub region exhausted: flush everything and restart this
+                // block through the interpreter.
+                self.flush_cache();
+                return Ok(Resume::Interp(site.pc));
+            }
+        };
+        let words = exception::build_stub(&fa, stub_addr, info.pc + 4)?;
+        self.machine.write_code(stub_addr, &words);
+        let patch = exception::patch_word(info.pc, stub_addr)?;
+        self.machine.patch_code_word(info.pc, patch);
+        let cost = self.machine.cost();
+        let charge = cost.patch_base + cost.patch_per_word * (len as u64 + 1);
+        self.machine.charge(charge);
+        if let Some(block) = self.cache.block_mut(block_pc) {
+            block.trap_count += 1;
+        }
+        self.forced_sequence.insert(site);
+        self.forced_normal.remove(&site);
+        self.patched_sites += 1;
+        Ok(Resume::Machine(None))
+    }
+
+    /// Code rearrangement (§IV-A): retranslate the block with every
+    /// handler-discovered site inlined as an MDA sequence, preserving
+    /// spatial locality at the price of relocation work.
+    fn rearrange_block(&mut self, block_pc: u32, site: SiteId) -> Result<Resume, DbtError> {
+        let retrans_count = match self.cache.block(block_pc) {
+            Some(b) => b.retrans_count,
+            None => return Err(DbtError::Internal("rearranging a missing block")),
+        };
+        self.forced_sequence.insert(site);
+        self.forced_normal.remove(&site);
+        self.invalidate_block(block_pc, false);
+        if !self.translate_and_install(block_pc, retrans_count)? {
+            // Translation now fails (cannot happen in practice — it
+            // succeeded before); fall back to interpretation.
+            return Ok(Resume::Interp(site.pc));
+        }
+        // Charge relocation on top of translation (target-address fixup
+        // over the block body).
+        let (resume, words_len) = {
+            let block = self
+                .cache
+                .block(block_pc)
+                .ok_or(DbtError::Internal("rearranged block vanished"))?;
+            let off = block
+                .insn_starts
+                .iter()
+                .find(|(g, _)| *g == site.pc)
+                .map(|(_, w)| *w)
+                .ok_or(DbtError::Internal(
+                    "faulting pc missing from rearranged block",
+                ))?;
+            (block.host_addr + 4 * u64::from(off), block.words_len)
+        };
+        let cost = self.machine.cost();
+        let charge = cost.patch_base + cost.patch_per_word * u64::from(words_len);
+        self.machine.charge(charge);
+        self.rearrangements += 1;
+        Ok(Resume::Machine(Some(resume)))
+    }
+
+    /// Removes a block: unchains incoming links and (optionally, for
+    /// retranslation) resets its profile so the next profiling window sees
+    /// only current behaviour.
+    fn invalidate_block(&mut self, block_pc: u32, reset_profile: bool) {
+        let incoming = self.cache.chained_into(block_pc);
+        let Some(block) = self.cache.remove_block(block_pc) else {
+            return;
+        };
+        self.host_blocks.remove(&block.host_addr);
+        for (src, slot_idx) in incoming {
+            if src == block_pc {
+                continue; // the removed block's own slot is dead code
+            }
+            if let Some(sb) = self.cache.block_mut(src) {
+                let slot = &mut sb.exit_slots[slot_idx];
+                let (addr, orig) = (slot.host_addr, slot.original_word);
+                slot.chained = false;
+                self.machine.patch_code_word(addr, orig);
+                self.cache.add_pending_chain(src, slot_idx, block_pc);
+            }
+        }
+        if reset_profile {
+            let pcs: HashSet<u32> = block.guest_pcs.iter().copied().collect();
+            self.profile.reset_block(block_pc, &pcs);
+            // Re-decide the block's sites from the fresh profiling window.
+            self.forced_sequence.retain(|s| !pcs.contains(&s.pc));
+            self.forced_normal.retain(|s| !pcs.contains(&s.pc));
+            self.retranslations += 1;
+        }
+        let c = self.machine.cost().invalidate_block;
+        self.machine.charge(c);
+    }
+
+    /// Empties the code cache entirely (allocation pressure).
+    fn flush_cache(&mut self) {
+        let blocks = self.cache.block_count() as u64;
+        self.cache.flush();
+        self.host_blocks.clear();
+        let c = self.machine.cost().invalidate_block * blocks;
+        self.machine.charge(c);
+        self.machine.flush_caches();
+    }
+
+    /// Translates `block_pc` with the active strategy's site plans and
+    /// installs it. Returns `false` if the block is untranslatable (it is
+    /// then permanently interpreted).
+    fn translate_and_install(
+        &mut self,
+        block_pc: u32,
+        retrans_count: u32,
+    ) -> Result<bool, DbtError> {
+        for _attempt in 0..2 {
+            let base = self.cache.next_code_addr();
+            let tb = {
+                let strategy = self.cfg.strategy;
+                let multiversion = self.cfg.multiversion;
+                let mv_min = self.cfg.multiversion_min_samples;
+                let adaptive = self
+                    .cfg
+                    .adaptive_reversion
+                    .then_some(self.cfg.reversion_threshold);
+                let profile = &self.profile;
+                let static_profile = self.cfg.static_profile.as_ref();
+                let forced_seq = &self.forced_sequence;
+                let forced_normal = &self.forced_normal;
+                let mut plan = move |site: SiteId, acc: SiteAccess| -> SitePlan {
+                    decide_plan(
+                        strategy,
+                        multiversion,
+                        mv_min,
+                        adaptive,
+                        profile,
+                        static_profile,
+                        forced_seq,
+                        forced_normal,
+                        site,
+                        acc,
+                    )
+                };
+                translator::translate_block(
+                    self.machine.mem(),
+                    block_pc,
+                    base,
+                    self.cfg.max_block_insns,
+                    &mut plan,
+                )
+            };
+            let tb = match tb {
+                Ok(tb) => tb,
+                Err(_) => {
+                    self.interp_only.insert(block_pc);
+                    return Ok(false);
+                }
+            };
+            match self.cache.alloc_block(tb.words.len()) {
+                Ok(addr) => {
+                    debug_assert_eq!(addr, base);
+                    self.install_block(&tb, addr, retrans_count);
+                    return Ok(true);
+                }
+                Err(_) => {
+                    self.flush_cache();
+                    // retry once with a clean cache
+                }
+            }
+        }
+        Err(DbtError::Internal("block larger than the code region"))
+    }
+
+    fn install_block(&mut self, tb: &TranslatedBlock, addr: u64, retrans_count: u32) {
+        self.machine.write_code(addr, &tb.words);
+        let originals: Vec<u32> = tb
+            .exits
+            .iter()
+            .map(|e| tb.words[((e.host_addr - addr) / 4) as usize])
+            .collect();
+        self.cache.install(tb, addr, originals);
+        self.host_blocks.insert(addr, tb.guest_pc);
+        if let Some(b) = self.cache.block_mut(tb.guest_pc) {
+            b.retrans_count = retrans_count;
+        }
+        let cost = self.machine.cost();
+        let charge = cost.translate_per_block
+            + cost.translate_per_guest_insn * u64::from(tb.guest_insn_count);
+        self.machine.charge(charge);
+        self.blocks_translated += 1;
+
+        if self.cfg.chaining {
+            // Outgoing exits whose targets already exist.
+            for (i, exit) in tb.exits.iter().enumerate() {
+                let target_host = if exit.target == tb.guest_pc {
+                    Some(addr)
+                } else {
+                    self.cache.block(exit.target).map(|b| b.host_addr)
+                };
+                match target_host {
+                    Some(t) => self.chain_slot(tb.guest_pc, i, t),
+                    None => self.cache.add_pending_chain(tb.guest_pc, i, exit.target),
+                }
+            }
+            // Incoming exits waiting for this block.
+            for (src, slot_idx) in self.cache.take_pending_chains(tb.guest_pc) {
+                if self.cache.block(src).is_some() {
+                    self.chain_slot(src, slot_idx, addr);
+                }
+            }
+        }
+    }
+
+    /// Patches one exit slot into a direct branch to `target_host`.
+    fn chain_slot(&mut self, block_pc: u32, slot_idx: usize, target_host: u64) {
+        let Some(block) = self.cache.block_mut(block_pc) else {
+            return;
+        };
+        let slot = &mut block.exit_slots[slot_idx];
+        if slot.chained {
+            return;
+        }
+        let disp = branch_disp(slot.host_addr, target_host)
+            .expect("code cache regions are within branch range");
+        let word = encode_alpha(&AInsn::Br {
+            op: BrOp::Br,
+            ra: Reg::ZERO,
+            disp,
+        });
+        let addr = slot.host_addr;
+        slot.chained = true;
+        self.machine.patch_code_word(addr, word);
+        let c = self.machine.cost().patch_per_word;
+        self.machine.charge(c);
+        self.chains += 1;
+    }
+
+    fn build_report(&self) -> RunReport {
+        RunReport {
+            final_state: self.state.clone(),
+            stats: *self.machine.stats(),
+            guest_insns_interpreted: self.guest_insns_interpreted,
+            blocks_translated: self.blocks_translated,
+            retranslations: self.retranslations,
+            patched_sites: self.patched_sites,
+            rearrangements: self.rearrangements,
+            reversions: self.reversions,
+            os_fixups: self.os_fixups,
+            chains: self.chains,
+            cache_flushes: self.cache.flush_count,
+            interp_only_blocks: self.interp_only.len() as u64,
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+enum MachineOutcome {
+    /// Monitor exit: dispatch to this guest PC.
+    Dispatch(u32),
+    /// The handler asked for interpretation from this guest PC.
+    SwitchToInterp(u32),
+    /// Guest `hlt`, with the final guest PC.
+    Halted(u32),
+}
+
+/// The per-site translation decision for each strategy (the table in the
+/// crate docs). `adaptive` carries the Figure 8 reversion threshold when
+/// that option is on; it upgrades would-be sequences to adaptive code.
+#[allow(clippy::too_many_arguments)]
+fn decide_plan(
+    strategy: MdaStrategy,
+    multiversion: bool,
+    mv_min: u64,
+    adaptive: Option<u8>,
+    profile: &Profile,
+    static_profile: Option<&StaticProfile>,
+    forced_seq: &HashSet<SiteId>,
+    forced_normal: &HashSet<SiteId>,
+    site: SiteId,
+    acc: SiteAccess,
+) -> SitePlan {
+    if acc.width == Width::W1 {
+        return SitePlan::Normal; // bytes cannot misalign
+    }
+    let sequence = || match adaptive {
+        Some(threshold) if strategy == MdaStrategy::Dpeh => SitePlan::Adaptive { threshold },
+        _ => SitePlan::Sequence,
+    };
+    if forced_seq.contains(&site) {
+        return sequence();
+    }
+    if forced_normal.contains(&site) {
+        return SitePlan::Normal;
+    }
+    match strategy {
+        MdaStrategy::Direct => SitePlan::Sequence,
+        MdaStrategy::StaticProfiling => {
+            if static_profile.is_some_and(|p| p.contains(site)) {
+                SitePlan::Sequence
+            } else {
+                SitePlan::Normal
+            }
+        }
+        MdaStrategy::DynamicProfiling => {
+            if profile.saw_mda(site) {
+                SitePlan::Sequence
+            } else {
+                SitePlan::Normal
+            }
+        }
+        MdaStrategy::ExceptionHandling => SitePlan::Normal,
+        MdaStrategy::Dpeh => {
+            let s = profile.site(site);
+            if s.mdas == 0 {
+                SitePlan::Normal
+            } else if multiversion && s.mdas >= mv_min && s.execs - s.mdas >= mv_min {
+                SitePlan::MultiVersion
+            } else {
+                sequence()
+            }
+        }
+    }
+}
+
+/// Convenience: interpret a program start-to-finish with full profiling —
+/// the golden reference for equivalence tests, the training runs for
+/// static profiling, and the Table I measurement.
+///
+/// Returns the final state and profile.
+///
+/// # Errors
+///
+/// [`DbtError::Interp`] on undecodable guest bytes;
+/// [`DbtError::FuelExhausted`] if `max_insns` guest instructions run
+/// without a `hlt`.
+pub fn profile_program(
+    prog: &GuestProgram,
+    data: &[(u32, Vec<u8>)],
+    stack: Option<u32>,
+    cost: &CostModel,
+    max_insns: u64,
+) -> Result<(CpuState, Profile), DbtError> {
+    let mut mem = bridge_sim::mem::Memory::new();
+    mem.write_bytes(u64::from(prog.base()), prog.image());
+    for (addr, bytes) in data {
+        mem.write_bytes(u64::from(*addr), bytes);
+    }
+    let mut state = CpuState::new(prog.entry());
+    if let Some(esp) = stack {
+        state.set_reg(Reg32::Esp, esp);
+    }
+    let mut profile = Profile::new();
+    let halted = interp::run_interp_only(&mut state, &mut mem, &mut profile, cost, max_insns)?;
+    if !halted {
+        return Err(DbtError::FuelExhausted);
+    }
+    Ok((state, profile))
+}
+
+/// Compares two guest states for architectural equivalence: registers, MMX
+/// state and condition flags (the engine reconstructs exact EFLAGS from the
+/// lazy-flag registers whenever control leaves translated code).
+pub fn states_equivalent(a: &CpuState, b: &CpuState) -> bool {
+    a.regs == b.regs && a.mm == b.mm && a.flags == b.flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_x86::asm::Assembler;
+    use bridge_x86::cond::Cond;
+    use bridge_x86::insn::{AluOp, MemRef};
+    use bridge_x86::reg::Reg32::*;
+    use bridge_x86::reg::RegMm;
+
+    fn program(build: impl FnOnce(&mut Assembler)) -> GuestProgram {
+        let mut a = Assembler::new(0x40_0000);
+        build(&mut a);
+        GuestProgram::new(0x40_0000, a.finish().unwrap())
+    }
+
+    fn run_with(cfg: DbtConfig, prog: &GuestProgram) -> RunReport {
+        let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+        dbt.load(prog);
+        dbt.set_stack(0x00F0_0000);
+        dbt.run(200_000_000).expect("program halts")
+    }
+
+    fn sum_loop_program(base_addr: i32, iters: i32) -> GuestProgram {
+        program(|a| {
+            a.mov_ri(Ebx, base_addr);
+            a.mov_ri(Ecx, iters);
+            a.mov_ri(Eax, 0);
+            let top = a.here_label();
+            a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        })
+    }
+
+    #[test]
+    fn all_strategies_agree_with_reference() {
+        let prog = sum_loop_program(0x10_0002, 300); // misaligned hot loop
+        let (ref_state, _) = profile_program(
+            &prog,
+            &[(0x10_0002, 7u32.to_le_bytes().to_vec())],
+            Some(0x00F0_0000),
+            &CostModel::flat(),
+            1_000_000,
+        )
+        .unwrap();
+
+        for strategy in MdaStrategy::ALL {
+            let mut cfg = DbtConfig::new(strategy).with_threshold(10);
+            if strategy == MdaStrategy::StaticProfiling {
+                cfg = cfg.with_static_profile(StaticProfile::new());
+            }
+            let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+            dbt.load(&prog);
+            dbt.set_stack(0x00F0_0000);
+            dbt.write_guest_memory(0x10_0002, &7u32.to_le_bytes());
+            let report = dbt.run(200_000_000).expect("halts");
+            assert!(
+                states_equivalent(&report.final_state, &ref_state),
+                "{strategy:?}: {:?} vs {:?}",
+                report.final_state.regs,
+                ref_state.regs
+            );
+            assert_eq!(report.final_state.reg(Eax), 2100, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn direct_never_traps() {
+        let prog = sum_loop_program(0x10_0001, 200);
+        let report = run_with(DbtConfig::new(MdaStrategy::Direct).with_threshold(5), &prog);
+        assert_eq!(report.traps(), 0);
+        assert!(report.blocks_translated >= 1);
+    }
+
+    #[test]
+    fn exception_handling_traps_once_per_site() {
+        let prog = sum_loop_program(0x10_0001, 500);
+        let report = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(5),
+            &prog,
+        );
+        // One trappable MDA site → exactly one trap, then patched.
+        assert_eq!(report.traps(), 1);
+        assert_eq!(report.patched_sites, 1);
+        assert_eq!(report.os_fixups, 0);
+    }
+
+    #[test]
+    fn dynamic_profiling_catches_hot_site_without_traps() {
+        let prog = sum_loop_program(0x10_0001, 500);
+        let report = run_with(
+            DbtConfig::new(MdaStrategy::DynamicProfiling).with_threshold(50),
+            &prog,
+        );
+        // The site misaligns during the 50 profiling iterations, so the
+        // translation uses the sequence: zero traps.
+        assert_eq!(report.traps(), 0);
+        assert_eq!(report.os_fixups, 0);
+    }
+
+    #[test]
+    fn dynamic_profiling_pays_per_occurrence_on_late_sites() {
+        // Phase change: aligned for the first 100 iterations, misaligned
+        // for the next 400 — profiling at threshold 10 sees only aligned.
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0000); // aligned base
+            a.mov_ri(Ecx, 500);
+            let top = a.here_label();
+            a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+            // at iteration 400 remaining (i.e. after 100 done): switch base
+            a.alu_ri(AluOp::Cmp, Ecx, 400);
+            let skip = a.new_label();
+            a.jcc(Cond::Ne, skip);
+            a.mov_ri(Ebx, 0x10_0101); // misaligned base
+            a.bind(skip);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let report = run_with(
+            DbtConfig::new(MdaStrategy::DynamicProfiling).with_threshold(10),
+            &prog,
+        );
+        // Hundreds of per-occurrence fixups: the paper's Table III effect.
+        assert!(report.os_fixups > 100, "fixups: {}", report.os_fixups);
+        assert_eq!(report.traps(), report.os_fixups);
+
+        // Exception handling patches it once instead.
+        let report_eh = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(10),
+            &prog,
+        );
+        assert!(report_eh.traps() <= 3, "traps: {}", report_eh.traps());
+        assert!(report_eh.cycles() < report.cycles());
+    }
+
+    #[test]
+    fn static_profile_from_train_run() {
+        let prog = sum_loop_program(0x10_0001, 500);
+        // Training run with the same behaviour.
+        let (_, train_profile) =
+            profile_program(&prog, &[], Some(0x00F0_0000), &CostModel::flat(), 1_000_000).unwrap();
+        let cfg = DbtConfig::new(MdaStrategy::StaticProfiling)
+            .with_threshold(5)
+            .with_static_profile(train_profile.to_static_profile());
+        let report = run_with(cfg, &prog);
+        assert_eq!(report.traps(), 0, "train profile covers the site");
+    }
+
+    #[test]
+    fn chaining_reduces_monitor_exits() {
+        let prog = sum_loop_program(0x10_0000, 2000);
+        let chained = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(5),
+            &prog,
+        );
+        let unchained = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling)
+                .with_threshold(5)
+                .with_chaining(false),
+            &prog,
+        );
+        assert!(chained.chains >= 1);
+        assert_eq!(unchained.chains, 0);
+        assert!(
+            chained.cycles() < unchained.cycles(),
+            "chaining must pay off"
+        );
+    }
+
+    #[test]
+    fn retranslation_triggers_on_repeated_traps() {
+        // Four sites, all aligned during the profiling window, then all
+        // misaligned after a phase change: each traps once after
+        // translation, so the block accumulates 4 traps and is
+        // retranslated (the paper's Figure 7 flow, threshold 4).
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0000); // aligned base for phase 1
+            a.mov_ri(Ecx, 600);
+            let top = a.here_label();
+            a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+            a.alu_rm(AluOp::Add, Edx, MemRef::base_disp(Ebx, 8));
+            a.alu_rm(AluOp::Add, Esi, MemRef::base_disp(Ebx, 16));
+            a.alu_rm(AluOp::Add, Edi, MemRef::base_disp(Ebx, 24));
+            a.alu_ri(AluOp::Cmp, Ecx, 500);
+            let skip = a.new_label();
+            a.jcc(Cond::Ne, skip);
+            a.mov_ri(Ebx, 0x10_0201); // phase 2: misaligned base
+            a.bind(skip);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let cfg = DbtConfig::new(MdaStrategy::Dpeh)
+            .with_threshold(10)
+            .with_retranslate(true);
+        let report = run_with(cfg, &prog);
+        assert!(report.retranslations >= 1, "report: {report}");
+
+        // Without retranslation the same program just patches the sites.
+        let cfg2 = DbtConfig::new(MdaStrategy::Dpeh).with_threshold(10);
+        let report2 = run_with(cfg2, &prog);
+        assert_eq!(report2.retranslations, 0);
+        assert!(report2.patched_sites >= 4, "report: {report2}");
+    }
+
+    #[test]
+    fn multiversion_handles_mixed_sites_without_traps() {
+        // A site that is aligned half the time: multi-version code executes
+        // the plain path when aligned and the sequence when not.
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0000);
+            a.mov_ri(Esi, 0x10_0102);
+            a.mov_ri(Ecx, 600);
+            let top = a.here_label();
+            a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+            a.mov_rr(Edx, Ebx);
+            a.mov_rr(Ebx, Esi);
+            a.mov_rr(Esi, Edx);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let cfg = DbtConfig::new(MdaStrategy::Dpeh)
+            .with_threshold(20)
+            .with_multiversion(true);
+        let report = run_with(cfg, &prog);
+        assert_eq!(
+            report.traps(),
+            0,
+            "multi-version code never traps: {report}"
+        );
+    }
+
+    #[test]
+    fn rearrangement_inlines_instead_of_stubs() {
+        let prog = sum_loop_program(0x10_0001, 800);
+        let cfg = DbtConfig::new(MdaStrategy::ExceptionHandling)
+            .with_threshold(5)
+            .with_rearrange(true);
+        let report = run_with(cfg, &prog);
+        assert!(report.rearrangements >= 1);
+        assert_eq!(report.patched_sites, 0, "no stub patches when rearranging");
+        // Still only one trap.
+        assert_eq!(report.traps(), 1);
+    }
+
+    #[test]
+    fn pretranslation_discovers_and_translates_everything() {
+        let prog = sum_loop_program(0x10_0001, 300);
+        // Offline mode: no interpretation before translated execution.
+        let mut cfg = DbtConfig::new(MdaStrategy::StaticProfiling)
+            .with_pretranslate(true)
+            .with_static_profile(StaticProfile::new());
+        cfg.hot_threshold = u64::MAX; // runtime heating would never fire
+        let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+        dbt.load(&prog);
+        dbt.set_stack(0x00F0_0000);
+        dbt.write_guest_memory(0x10_0001, &7u32.to_le_bytes());
+        let report = dbt.run(200_000_000).expect("halts");
+        // All blocks translated ahead of time; nothing interpreted.
+        assert!(report.blocks_translated >= 2, "{report}");
+        assert_eq!(report.guest_insns_interpreted, 0, "{report}");
+        assert_eq!(report.final_state.reg(Eax), 2100);
+        // Empty train profile → per-occurrence fixups on the MDA site.
+        assert!(report.os_fixups > 0);
+    }
+
+    #[test]
+    fn adaptive_reversion_converts_back_to_plain_access() {
+        // The site misaligns during profiling (so DPEH would emit a
+        // sequence) but then turns permanently aligned: the Figure 8
+        // adaptive code must observe the aligned streak and revert it.
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0002); // misaligned in phase 1
+            a.mov_ri(Ecx, 3000);
+            let top = a.here_label();
+            a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+            a.alu_ri(AluOp::Cmp, Ecx, 2900);
+            let skip = a.new_label();
+            a.jcc(Cond::Ne, skip);
+            a.mov_ri(Ebx, 0x10_0000); // phase 2: permanently aligned
+            a.bind(skip);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let cfg = DbtConfig::new(MdaStrategy::Dpeh)
+            .with_threshold(10)
+            .with_adaptive_reversion(true);
+        let report = run_with(cfg, &prog);
+        assert!(
+            report.reversions >= 1,
+            "streak must trigger reversion: {report}"
+        );
+
+        // And the result matches the plain-DPEH run.
+        let plain = run_with(DbtConfig::new(MdaStrategy::Dpeh).with_threshold(10), &prog);
+        assert_eq!(report.final_state.regs, plain.final_state.regs);
+        assert_eq!(plain.reversions, 0);
+    }
+
+    #[test]
+    fn adaptive_reversion_roundtrip_with_renewed_misalignment() {
+        // Misaligned → long aligned streak (revert) → misaligned again:
+        // the reverted plain access traps and is re-patched to a sequence.
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0002);
+            a.mov_ri(Ecx, 3000);
+            let top = a.here_label();
+            a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+            a.alu_ri(AluOp::Cmp, Ecx, 2900);
+            let s1 = a.new_label();
+            a.jcc(Cond::Ne, s1);
+            a.mov_ri(Ebx, 0x10_0000); // aligned phase
+            a.bind(s1);
+            a.alu_ri(AluOp::Cmp, Ecx, 300);
+            let s2 = a.new_label();
+            a.jcc(Cond::Ne, s2);
+            a.mov_ri(Ebx, 0x10_0002); // misaligned again
+            a.bind(s2);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let cfg = DbtConfig::new(MdaStrategy::Dpeh)
+            .with_threshold(10)
+            .with_adaptive_reversion(true);
+        let report = run_with(cfg, &prog);
+        assert!(report.reversions >= 1, "{report}");
+        assert!(
+            report.traps() >= 1,
+            "the reverted site must trap when misalignment returns: {report}"
+        );
+        let plain = run_with(DbtConfig::new(MdaStrategy::Dpeh).with_threshold(10), &prog);
+        assert_eq!(report.final_state.regs, plain.final_state.regs);
+    }
+
+    #[test]
+    fn os_fixup_handles_every_width() {
+        // 2-, 4- and 8-byte misaligned stores and loads fixed up in
+        // software under static profiling with an empty training profile.
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0001);
+            a.mov_ri(Ecx, 60);
+            a.mov_ri(Eax, 0x1234_5678);
+            let top = a.here_label();
+            a.store(bridge_x86::insn::Width::W2, Eax, MemRef::base_disp(Ebx, 0));
+            a.store(bridge_x86::insn::Width::W4, Eax, MemRef::base_disp(Ebx, 8));
+            a.movq_load(RegMm::Mm0, MemRef::base_disp(Ebx, 8));
+            a.movq_store(RegMm::Mm0, MemRef::base_disp(Ebx, 16));
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let mut dbt = Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::StaticProfiling)
+                .with_threshold(5)
+                .with_static_profile(StaticProfile::new()),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        dbt.set_stack(0x00F0_0000);
+        let report = dbt.run(100_000_000).expect("halts");
+        assert!(report.os_fixups > 100, "{report}");
+        // Fixed-up stores really landed.
+        assert_eq!(dbt.machine().mem().read_int(0x10_0001, 2), 0x5678);
+        assert_eq!(dbt.machine().mem().read_int(0x10_0009, 4), 0x1234_5678);
+        assert_eq!(dbt.machine().mem().read_int(0x10_0011, 8), 0x1234_5678);
+        assert_eq!(report.final_state.mm(RegMm::Mm0), 0x1234_5678);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let prog = program(|a| {
+            let top = a.here_label();
+            a.jmp(top);
+        });
+        let mut dbt = Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::ExceptionHandling),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        assert!(matches!(dbt.run(10_000), Err(DbtError::FuelExhausted)));
+    }
+
+    #[test]
+    fn not_loaded_is_an_error() {
+        let mut dbt = Dbt::new(DbtConfig::default());
+        assert!(matches!(dbt.run(1000), Err(DbtError::NotLoaded)));
+    }
+
+    #[test]
+    fn call_ret_across_blocks() {
+        let prog = program(|a| {
+            let func = a.new_label();
+            a.mov_ri(Eax, 1);
+            a.call(func);
+            a.alu_ri(AluOp::Add, Eax, 100);
+            a.hlt();
+            a.bind(func);
+            a.alu_ri(AluOp::Add, Eax, 10);
+            a.ret();
+        });
+        for strategy in MdaStrategy::ALL {
+            let mut cfg = DbtConfig::new(strategy).with_threshold(1);
+            if strategy == MdaStrategy::StaticProfiling {
+                cfg = cfg.with_static_profile(StaticProfile::new());
+            }
+            let report = run_with(cfg, &prog);
+            assert_eq!(report.final_state.reg(Eax), 111, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn movq_8byte_mda_handled() {
+        let prog = program(|a| {
+            a.mov_ri(Ebx, 0x10_0003); // 8-byte misaligned
+            a.mov_ri(Ecx, 300);
+            let top = a.here_label();
+            a.movq_load(RegMm::Mm0, MemRef::base_disp(Ebx, 0));
+            a.movq_store(RegMm::Mm0, MemRef::base_disp(Ebx, 16));
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let mut dbt = Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::Dpeh).with_threshold(10),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        dbt.write_guest_memory(0x10_0003, &0xAABB_CCDD_EEFF_0011u64.to_le_bytes());
+        let report = dbt.run(100_000_000).expect("halts");
+        assert_eq!(report.traps(), 0, "profiled 8-byte MDAs get sequences");
+        assert_eq!(
+            dbt.machine().mem().read_int(0x10_0013, 8),
+            0xAABB_CCDD_EEFF_0011
+        );
+        assert_eq!(report.final_state.mm(RegMm::Mm0), 0xAABB_CCDD_EEFF_0011);
+    }
+}

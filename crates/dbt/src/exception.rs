@@ -1,0 +1,329 @@
+//! The misalignment exception handler (the paper's §IV).
+//!
+//! When translated code traps, the handler receives the faulting PC and the
+//! instruction word from the exception context (exactly the steps the paper
+//! lists): it **decodes the offending memory instruction**, **generates the
+//! MDA code sequence** for it, **allocates code-cache memory** for the stub,
+//! and **patches** the offending instruction into a branch to the stub, with
+//! a branch back to `pc + 4` at the stub's end (Figure 5).
+
+use bridge_alpha::builder::{branch_disp, CodeBuilder};
+use bridge_alpha::insn::{BrOp, Insn, MemOp};
+use bridge_alpha::mda_seq::{
+    emit_unaligned_load, emit_unaligned_store, unaligned_load_len, unaligned_store_len,
+    AccessWidth, SeqTemps,
+};
+use bridge_alpha::reg::Reg;
+use bridge_alpha::{decode, encode};
+use bridge_sim::trap::UnalignedInfo;
+use std::fmt;
+
+/// The decoded faulting access, reconstructed from the exception context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultingAccess {
+    /// Access width.
+    pub width: AccessWidth,
+    /// Whether it is a store.
+    pub is_store: bool,
+    /// Whether the load sign-extends (`ldl`).
+    pub sign_extend: bool,
+    /// Data register.
+    pub ra: Reg,
+    /// Base register.
+    pub rb: Reg,
+    /// Displacement.
+    pub disp: i16,
+}
+
+/// Handler failures (all indicate an engine bug, not a program condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerError {
+    /// The faulting word did not decode to a trappable memory instruction.
+    NotAMemoryAccess {
+        /// The faulting word.
+        word: u32,
+    },
+    /// The stub is out of branch range from the patch point.
+    StubOutOfRange,
+}
+
+impl fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandlerError::NotAMemoryAccess { word } => {
+                write!(
+                    f,
+                    "faulting word {word:#010x} is not a trappable memory access"
+                )
+            }
+            HandlerError::StubOutOfRange => write!(f, "stub out of branch range"),
+        }
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+/// Step 1 of the handler: analyse the faulting instruction from the
+/// exception context.
+///
+/// # Errors
+///
+/// [`HandlerError::NotAMemoryAccess`] if the word is not an alignment-
+/// trappable memory instruction (an engine invariant violation).
+pub fn decode_faulting(info: &UnalignedInfo) -> Result<FaultingAccess, HandlerError> {
+    let insn = decode(info.insn_word).map_err(|_| HandlerError::NotAMemoryAccess {
+        word: info.insn_word,
+    })?;
+    match insn {
+        Insn::Mem { op, ra, rb, disp } if op.required_alignment() > 1 => {
+            let width = AccessWidth::from_bytes(op.size()).expect("trappable ops are 2/4/8 bytes");
+            Ok(FaultingAccess {
+                width,
+                is_store: op.is_store(),
+                sign_extend: op == MemOp::Ldl,
+                ra,
+                rb,
+                disp,
+            })
+        }
+        _ => Err(HandlerError::NotAMemoryAccess {
+            word: info.insn_word,
+        }),
+    }
+}
+
+/// Number of words the stub for `fa` will occupy (sequence + branch back).
+pub fn stub_len(fa: &FaultingAccess) -> usize {
+    let seq = if fa.is_store {
+        unaligned_store_len(fa.width)
+    } else {
+        unaligned_load_len(fa.width, fa.sign_extend)
+    };
+    seq + 1
+}
+
+/// Step 2 of the handler: generate the MDA code sequence stub at
+/// `stub_addr`, ending with a branch back to `resume_addr` (= faulting pc
+/// + 4).
+///
+/// # Errors
+///
+/// [`HandlerError::StubOutOfRange`] if the return branch cannot reach.
+pub fn build_stub(
+    fa: &FaultingAccess,
+    stub_addr: u64,
+    resume_addr: u64,
+) -> Result<Vec<u32>, HandlerError> {
+    let mut b = CodeBuilder::new(stub_addr);
+    let temps = SeqTemps::default();
+    if fa.is_store {
+        emit_unaligned_store(&mut b, fa.width, fa.ra, fa.rb, fa.disp, &temps);
+    } else {
+        emit_unaligned_load(
+            &mut b,
+            fa.width,
+            fa.ra,
+            fa.rb,
+            fa.disp,
+            fa.sign_extend,
+            &temps,
+        );
+    }
+    let br_addr = b.here();
+    branch_disp(br_addr, resume_addr).ok_or(HandlerError::StubOutOfRange)?;
+    b.br_abs(BrOp::Br, Reg::ZERO, resume_addr);
+    let words = b.finish().expect("stub has no labels");
+    debug_assert_eq!(words.len(), stub_len(fa));
+    Ok(words)
+}
+
+/// Step 3 of the handler: the word that patches the faulting instruction
+/// into `br stub_addr` (Figure 5's `pc1: br pc2`).
+///
+/// # Errors
+///
+/// [`HandlerError::StubOutOfRange`] if the stub cannot be reached.
+pub fn patch_word(fault_pc: u64, stub_addr: u64) -> Result<u32, HandlerError> {
+    let disp = branch_disp(fault_pc, stub_addr).ok_or(HandlerError::StubOutOfRange)?;
+    Ok(encode::encode(&Insn::Br {
+        op: BrOp::Br,
+        ra: Reg::ZERO,
+        disp,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_alpha::insn::{OpFn, Rb};
+    use bridge_alpha::{Reg as AReg, PAL_HALT};
+    use bridge_sim::cost::CostModel;
+    use bridge_sim::cpu::Machine;
+    use bridge_sim::trap::Exit;
+
+    fn info_for(op: MemOp, ra: AReg, rb: AReg, disp: i16, addr: u64) -> UnalignedInfo {
+        let word = encode::encode(&Insn::Mem { op, ra, rb, disp });
+        UnalignedInfo {
+            pc: 0x1_0000_0000,
+            addr,
+            size: op.size(),
+            is_store: op.is_store(),
+            insn_word: word,
+        }
+    }
+
+    #[test]
+    fn decodes_faulting_loads_and_stores() {
+        let fa = decode_faulting(&info_for(MemOp::Ldl, AReg::R3, AReg::R7, 10, 0x1002)).unwrap();
+        assert_eq!(fa.width, AccessWidth::W4);
+        assert!(!fa.is_store);
+        assert!(fa.sign_extend);
+        assert_eq!((fa.ra, fa.rb, fa.disp), (AReg::R3, AReg::R7, 10));
+
+        let fa = decode_faulting(&info_for(MemOp::Stq, AReg::R5, AReg::R6, -8, 0x1001)).unwrap();
+        assert_eq!(fa.width, AccessWidth::W8);
+        assert!(fa.is_store);
+        assert!(!fa.sign_extend);
+    }
+
+    #[test]
+    fn rejects_non_memory_words() {
+        let word = encode::encode(&Insn::Op {
+            op: OpFn::Addq,
+            ra: AReg::R1,
+            rb: Rb::Reg(AReg::R2),
+            rc: AReg::R3,
+        });
+        let info = UnalignedInfo {
+            pc: 0,
+            addr: 0,
+            size: 0,
+            is_store: false,
+            insn_word: word,
+        };
+        assert_eq!(
+            decode_faulting(&info),
+            Err(HandlerError::NotAMemoryAccess { word })
+        );
+        // ldq_u cannot trap either.
+        let w2 = encode::encode(&Insn::Mem {
+            op: MemOp::LdqU,
+            ra: AReg::R1,
+            rb: AReg::R2,
+            disp: 0,
+        });
+        let info2 = UnalignedInfo {
+            insn_word: w2,
+            ..info
+        };
+        assert!(decode_faulting(&info2).is_err());
+    }
+
+    /// End-to-end patch test: run code that traps, apply the handler's
+    /// patch, and check execution completes with the right value —
+    /// reproducing the paper's Figure 5 exactly.
+    #[test]
+    fn figure5_patch_roundtrip() {
+        const CODE: u64 = 0x1_0000_0000;
+        const STUB: u64 = 0x1_0010_0000;
+
+        let mut b = CodeBuilder::new(CODE);
+        b.load_imm32(AReg::R2, 0x2000);
+        b.mem(MemOp::Ldl, AReg::R1, 2, AReg::R2); // pc1: ldl r1, 2(r2) — misaligned
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.mem_mut().write_int(0x2002, 4, 0xF00D_CAFE);
+        m.write_code(CODE, &words);
+        m.set_pc(CODE);
+
+        // First run traps at pc1.
+        let exit = m.run(100);
+        let info = *exit.unaligned().expect("must trap");
+        assert_eq!(info.addr, 0x2002);
+
+        // Handler: decode, build stub, patch.
+        let fa = decode_faulting(&info).unwrap();
+        let stub = build_stub(&fa, STUB, info.pc + 4).unwrap();
+        m.write_code(STUB, &stub);
+        m.patch_code_word(info.pc, patch_word(info.pc, STUB).unwrap());
+
+        // Resume at the same pc: now a br to the stub; the program halts
+        // with the unaligned value loaded and sign-extended.
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.reg(AReg::R1), 0xF00D_CAFEu32 as i32 as i64 as u64);
+        // Exactly one trap in total: the patched path never traps again.
+        m.set_pc(CODE);
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.stats().unaligned_traps, 1);
+    }
+
+    #[test]
+    fn store_stub_roundtrip() {
+        const CODE: u64 = 0x1_0000_0000;
+        const STUB: u64 = 0x1_0000_4000;
+        let mut b = CodeBuilder::new(CODE);
+        b.load_imm32(AReg::R2, 0x3000);
+        b.load_imm32(AReg::R1, 0x0BAD_BEEF);
+        b.mem(MemOp::Stl, AReg::R1, 1, AReg::R2); // misaligned store
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.write_code(CODE, &words);
+        m.set_pc(CODE);
+        let info = *m.run(100).unaligned().expect("traps");
+        let fa = decode_faulting(&info).unwrap();
+        assert!(fa.is_store);
+        let stub = build_stub(&fa, STUB, info.pc + 4).unwrap();
+        m.write_code(STUB, &stub);
+        m.patch_code_word(info.pc, patch_word(info.pc, STUB).unwrap());
+        assert_eq!(m.run(200), Exit::Halted);
+        assert_eq!(m.mem().read_int(0x3001, 4), 0x0BAD_BEEF);
+        // Neighbours untouched.
+        assert_eq!(m.mem().read_u8(0x3000), 0);
+        assert_eq!(m.mem().read_u8(0x3005), 0);
+    }
+
+    #[test]
+    fn out_of_range_stub_rejected() {
+        let fa = FaultingAccess {
+            width: AccessWidth::W4,
+            is_store: false,
+            sign_extend: true,
+            ra: AReg::R1,
+            rb: AReg::R2,
+            disp: 0,
+        };
+        // 2^31 away: unreachable by a 21-bit branch.
+        assert_eq!(
+            build_stub(&fa, 0x1_0000_0000, 0x2_0000_0000).unwrap_err(),
+            HandlerError::StubOutOfRange
+        );
+        assert!(patch_word(0x1_0000_0000, 0x2_0000_0000).is_err());
+    }
+
+    #[test]
+    fn stub_lengths_match() {
+        for (is_store, width, sext) in [
+            (false, AccessWidth::W2, false),
+            (false, AccessWidth::W4, true),
+            (false, AccessWidth::W8, false),
+            (true, AccessWidth::W2, false),
+            (true, AccessWidth::W4, false),
+            (true, AccessWidth::W8, false),
+        ] {
+            let fa = FaultingAccess {
+                width,
+                is_store,
+                sign_extend: sext,
+                ra: AReg::R1,
+                rb: AReg::R2,
+                disp: 4,
+            };
+            let stub = build_stub(&fa, 0x1_0000_0000, 0x1_0000_1000).unwrap();
+            assert_eq!(stub.len(), stub_len(&fa));
+        }
+    }
+}

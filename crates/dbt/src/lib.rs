@@ -1,0 +1,80 @@
+//! DigitalBridge-RS: a dynamic binary translator migrating x86 binaries to
+//! Alpha, built to reproduce **"An Evaluation of Misaligned Data Access
+//! Handling Mechanisms in Dynamic Binary Translation Systems"** (Li, Wu,
+//! Hsu — CGO 2009).
+//!
+//! # Architecture (the paper's Figures 4 and 9)
+//!
+//! The engine is a classic two-phase DBT:
+//!
+//! 1. **Phase 1 — interpretation with light profiling.** Guest basic blocks
+//!    are interpreted ([`interp`]); each block accrues heat, and every
+//!    memory access is profiled for misalignment ([`profile`]).
+//! 2. **Phase 2 — translation.** When a block's heat reaches the
+//!    configurable threshold, the [`translator`] lowers it to Alpha code in
+//!    the [`codecache`], where the host [`Machine`](bridge_sim::Machine)
+//!    executes it for the rest of the run (with direct block chaining).
+//!
+//! A **misalignment exception handler** ([`exception`]) is registered with
+//! the simulated OS: when translated code traps on a misaligned access, the
+//! active [`config::MdaStrategy`] decides what happens —
+//! software fixup (the profiling-based mechanisms), or patching the
+//! offending instruction into a branch to an **MDA code sequence** stub (the
+//! paper's proposed exception-handling mechanism), optionally with code
+//! rearrangement, block retranslation, and multi-version code.
+//!
+//! # Strategies evaluated
+//!
+//! | Strategy | Initial translation of a memory op | On runtime MDA trap |
+//! |---|---|---|
+//! | `Direct` | always the MDA sequence | (cannot trap) |
+//! | `StaticProfiling` | sequence iff site is in the training profile | OS software fixup, every time |
+//! | `DynamicProfiling` | sequence iff site misaligned during phase 1 | OS software fixup, every time |
+//! | `ExceptionHandling` | always a plain access | patch to a stub (or rearrange) |
+//! | `Dpeh` | sequence iff site misaligned during phase 1 | patch; optional retranslation & multi-version |
+//!
+//! # Example
+//!
+//! ```
+//! use bridge_dbt::{Dbt, DbtConfig, GuestProgram};
+//! use bridge_dbt::config::MdaStrategy;
+//! use bridge_x86::asm::Assembler;
+//! use bridge_x86::insn::{AluOp, Ext, MemRef, Width};
+//! use bridge_x86::cond::Cond;
+//! use bridge_x86::reg::Reg32::*;
+//!
+//! // A loop summing a misaligned array.
+//! let mut a = Assembler::new(0x40_0000);
+//! a.mov_ri(Ebx, 0x10_0002); // misaligned base
+//! a.mov_ri(Ecx, 100);
+//! let top = a.here_label();
+//! a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+//! a.alu_ri(AluOp::Sub, Ecx, 1);
+//! a.jcc(Cond::Ne, top);
+//! a.hlt();
+//! let program = GuestProgram::new(0x40_0000, a.finish().unwrap());
+//!
+//! let cfg = DbtConfig::new(MdaStrategy::Dpeh);
+//! let mut dbt = Dbt::new(cfg);
+//! dbt.load(&program);
+//! let report = dbt.run(1_000_000).expect("program halts");
+//! assert_eq!(report.final_state.reg(Eax), 0); // array was zero-filled
+//! assert!(report.blocks_translated >= 1);
+//! ```
+
+pub mod cfg;
+pub mod codecache;
+pub mod config;
+pub mod dump;
+pub mod engine;
+pub mod exception;
+pub mod interp;
+pub mod profile;
+pub mod regmap;
+pub mod report;
+pub mod translator;
+
+pub use config::{DbtConfig, MdaStrategy};
+pub use engine::{Dbt, DbtError, GuestProgram};
+pub use profile::{Profile, SiteId, StaticProfile};
+pub use report::RunReport;

@@ -1,0 +1,149 @@
+//! The guest→host register convention.
+//!
+//! Matches the paper's description: guest GPRs live permanently in low Alpha
+//! registers (`%eax`→`R1`, `%ebx`→`R2` in its Figure 2 example maps to our
+//! ordered mapping below), and `R21`–`R30` are translation temporaries.
+//!
+//! Guest 32-bit register values are kept **sign-extended to 64 bits**
+//! (the canonical form `addl`/`ldl` produce), so signed comparisons work
+//! directly; unsigned comparisons zero-extend via `zapnot` first.
+
+use bridge_alpha::reg::Reg;
+use bridge_x86::reg::{Reg32, RegMm};
+
+/// Host register holding a guest GPR: `%eax..%edi` → `R1..R8`.
+pub fn host_gpr(r: Reg32) -> Reg {
+    Reg::from_index(1 + r.index())
+}
+
+/// Base register of the in-memory guest state block (MMX spill area).
+pub const STATE_BASE_REG: Reg = Reg::R9;
+
+/// Lazy condition-code state: the *kind tag* of the most recent
+/// flag-setting guest instruction. Every live flag setter writes one of the
+/// `FLAG_KIND_*` values here, so the engine can reconstruct exact EFLAGS
+/// from `FLAG_A`/`FLAG_B` whenever control leaves translated code — even
+/// across chained blocks that set no flags themselves.
+pub const FLAG_KIND_REG: Reg = Reg::R0;
+
+/// Kind tag: all flags cleared (`imul`).
+pub const FLAG_KIND_CLEARED: u8 = 0;
+/// Kind tag: flags of `FLAG_A + FLAG_B` (add).
+pub const FLAG_KIND_ADD: u8 = 1;
+/// Kind tag: flags of `FLAG_A - FLAG_B` (sub/cmp).
+pub const FLAG_KIND_SUB: u8 = 2;
+/// Kind tag: flags of the result value in `FLAG_A`; CF=OF=0 (logic ops).
+pub const FLAG_KIND_LOGIC: u8 = 3;
+/// Kind tag: result in `FLAG_A`, carry bit in `FLAG_B`; OF=0 (shifts).
+pub const FLAG_KIND_SHIFT: u8 = 4;
+/// Kind tag: `FLAG_A` holds packed `zf | sf<<1 | cf<<2 | of<<3` bits —
+/// written only by the engine when entering translated code, so the flags
+/// the interpreter left behind survive flag-neutral translated blocks.
+pub const FLAG_KIND_DIRECT: u8 = 5;
+
+/// Lazy condition-code state: left operand snapshot.
+pub const FLAG_A: Reg = Reg::R10;
+/// Lazy condition-code state: right operand snapshot (or carry bit for
+/// shifts).
+pub const FLAG_B: Reg = Reg::R11;
+
+/// Effective-address scratch.
+pub const ADDR_TMP: Reg = Reg::R12;
+/// Memory-value scratch (RMW forms, `imul` memory operand).
+pub const VALUE_TMP: Reg = Reg::R13;
+/// Condition materialization scratch.
+pub const COND_TMP: Reg = Reg::R14;
+/// Immediate / secondary scratch.
+pub const IMM_TMP: Reg = Reg::R15;
+
+/// Dispatcher communication: translated code leaves the next guest PC here
+/// before `call_pal exit_monitor`.
+pub const EXIT_PC_REG: Reg = Reg::R16;
+
+/// Host registers caching the hot MMX registers `mm0..mm3`; `mm4..mm7`
+/// live in the state block.
+pub const MMX_REGS: [Reg; 4] = [Reg::R17, Reg::R18, Reg::R19, Reg::R20];
+
+/// Number of MMX registers cached in host registers.
+pub const MMX_IN_REGS: usize = MMX_REGS.len();
+
+/// Host address of the guest state block (8-aligned; outside the guest's
+/// 32-bit address space).
+pub const STATE_BLOCK_ADDR: u64 = 0x2_0000_0000;
+
+/// Byte offset of an MMX register slot within the state block.
+pub fn mmx_spill_offset(r: RegMm) -> i16 {
+    (r.index() as i16) * 8
+}
+
+/// Byte offset (from the state block base in [`STATE_BASE_REG`]) of the
+/// aligned-streak counter used by the Figure 8 adaptive code for the site
+/// at `(pc, slot)`. Counters live in a sparse region above the MMX spill
+/// area; the paged host memory allocates them on demand.
+pub fn streak_counter_offset(pc: u32, slot: u8) -> i64 {
+    0x1000 + i64::from(pc & 0x003F_FFFF) * 8 + i64::from(slot) * 4
+}
+
+/// Host register caching an MMX register, if it is one of the hot four.
+pub fn mmx_host_reg(r: RegMm) -> Option<Reg> {
+    MMX_REGS.get(r.index()).copied()
+}
+
+/// Base host address of the translated-code region (outside the guest's
+/// 32-bit address space, so guest data can never collide with host code).
+pub const CODE_CACHE_ADDR: u64 = 0x1_0000_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_mapping_is_dense_and_low() {
+        assert_eq!(host_gpr(Reg32::Eax), Reg::R1);
+        assert_eq!(host_gpr(Reg32::Ebx), Reg::R4); // ebx is register #3
+        assert_eq!(host_gpr(Reg32::Edi), Reg::R8);
+        // All guest GPRs map to distinct host registers.
+        let mut seen = std::collections::HashSet::new();
+        for r in Reg32::ALL {
+            assert!(seen.insert(host_gpr(r)));
+        }
+    }
+
+    #[test]
+    fn temporaries_do_not_collide_with_state() {
+        let reserved = [
+            STATE_BASE_REG,
+            FLAG_A,
+            FLAG_B,
+            ADDR_TMP,
+            VALUE_TMP,
+            COND_TMP,
+            IMM_TMP,
+            EXIT_PC_REG,
+        ];
+        for r in Reg32::ALL {
+            assert!(!reserved.contains(&host_gpr(r)));
+            assert!(!MMX_REGS.contains(&host_gpr(r)));
+        }
+        let mut all: Vec<Reg> = reserved.into_iter().chain(MMX_REGS).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before, "reserved registers must be distinct");
+    }
+
+    #[test]
+    fn mmx_split() {
+        assert_eq!(mmx_host_reg(RegMm::Mm0), Some(Reg::R17));
+        assert_eq!(mmx_host_reg(RegMm::Mm3), Some(Reg::R20));
+        assert_eq!(mmx_host_reg(RegMm::Mm4), None);
+        assert_eq!(mmx_spill_offset(RegMm::Mm7), 56);
+    }
+
+    #[test]
+    fn address_spaces_disjoint() {
+        assert!(CODE_CACHE_ADDR > u64::from(u32::MAX));
+        assert!(STATE_BLOCK_ADDR > u64::from(u32::MAX));
+        assert_eq!(STATE_BLOCK_ADDR & 7, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Run reports: everything the experiments need to print the paper's
+//! tables and figures.
+
+use crate::profile::Profile;
+use bridge_sim::stats::Stats;
+use bridge_x86::state::CpuState;
+use std::fmt;
+
+/// The result of a completed DBT run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Guest-visible final state (flags are not synchronized from
+    /// translated code; compare registers and memory).
+    pub final_state: CpuState,
+    /// Host machine statistics, including total cycles and trap counts.
+    pub stats: Stats,
+    /// Guest instructions executed by the phase-1 interpreter.
+    pub guest_insns_interpreted: u64,
+    /// Estimated guest instructions executed as translated code (block
+    /// entries × block length; chained executions are counted via host
+    /// block entries where observable).
+    pub blocks_translated: u64,
+    /// Block retranslations performed (§IV-C).
+    pub retranslations: u64,
+    /// Sites patched by the exception handler (§IV).
+    pub patched_sites: u64,
+    /// Blocks rearranged inline by the handler (§IV-A).
+    pub rearrangements: u64,
+    /// Figure 8 adaptive reversions (sites converted back to plain
+    /// accesses after a long aligned streak).
+    pub reversions: u64,
+    /// Misaligned accesses fixed up in software by the OS-style handler
+    /// (per occurrence — the profiling-based mechanisms' failure mode).
+    pub os_fixups: u64,
+    /// Exit slots chained into direct branches.
+    pub chains: u64,
+    /// Whole-cache flushes forced by exhaustion.
+    pub cache_flushes: u64,
+    /// Blocks permanently left to the interpreter (translator fallback).
+    pub interp_only_blocks: u64,
+    /// The accumulated profile (Table I columns, Figure 15 ratios).
+    pub profile: Profile,
+}
+
+impl RunReport {
+    /// Total cycles of the run (the paper's execution-time metric).
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Total misalignment traps delivered (Table III's undetected MDAs
+    /// under dynamic profiling are exactly these).
+    pub fn traps(&self) -> u64 {
+        self.stats.unaligned_traps
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles            {:>16}", self.cycles())?;
+        writeln!(f, "traps             {:>16}", self.traps())?;
+        writeln!(f, "os fixups         {:>16}", self.os_fixups)?;
+        writeln!(f, "patched sites     {:>16}", self.patched_sites)?;
+        writeln!(f, "rearrangements    {:>16}", self.rearrangements)?;
+        writeln!(f, "reversions        {:>16}", self.reversions)?;
+        writeln!(f, "retranslations    {:>16}", self.retranslations)?;
+        writeln!(f, "blocks translated {:>16}", self.blocks_translated)?;
+        writeln!(f, "chains            {:>16}", self.chains)?;
+        writeln!(f, "interp-only       {:>16}", self.interp_only_blocks)?;
+        writeln!(f, "interp insns      {:>16}", self.guest_insns_interpreted)?;
+        writeln!(f, "guest mdas seen   {:>16}", self.profile.mdas)?;
+        write!(f, "host: {}", self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let r = RunReport {
+            final_state: CpuState::new(0),
+            stats: Stats {
+                cycles: 123,
+                unaligned_traps: 4,
+                ..Stats::new()
+            },
+            guest_insns_interpreted: 10,
+            blocks_translated: 2,
+            retranslations: 1,
+            patched_sites: 3,
+            rearrangements: 0,
+            reversions: 0,
+            os_fixups: 7,
+            chains: 5,
+            cache_flushes: 0,
+            interp_only_blocks: 0,
+            profile: Profile::new(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("123"));
+        assert!(s.contains("traps"));
+        assert_eq!(r.cycles(), 123);
+        assert_eq!(r.traps(), 4);
+    }
+}

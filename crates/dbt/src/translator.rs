@@ -1,0 +1,1387 @@
+//! The basic-block translator: lowers decoded x86 instructions to Alpha
+//! code.
+//!
+//! # Design notes
+//!
+//! * **Register convention** — see [`crate::regmap`]. Guest GPR values are
+//!   held sign-extended to 64 bits (the form `addl`/`ldl` produce).
+//! * **Condition codes** are handled lazily, as real DBTs do: each
+//!   flag-setting guest instruction snapshots its operands into
+//!   `FLAG_A`/`FLAG_B` (only when a later `jcc` in the same block will
+//!   consume them — dead flags cost nothing), and the `jcc` materializes
+//!   exactly the condition it needs with 1–5 Alpha instructions. Flags do
+//!   not cross basic-block boundaries; a block whose `jcc` has no in-block
+//!   setter is rejected with [`TranslateError::FlagsCrossBlock`] and stays
+//!   interpreted (a standard DBT fallback).
+//! * **Memory sites** are the heart of the paper: for every guest memory
+//!   access the translator asks the active strategy for a [`SitePlan`] —
+//!   emit a plain (trappable) Alpha access, the branch-free MDA sequence,
+//!   or alignment-checked multi-version code (§IV-D).
+//! * **Block exits** set the next guest PC in `R16` and execute
+//!   `call_pal exit_monitor`; constant-target exits are recorded so the
+//!   engine can chain them into direct branches once the target block
+//!   exists.
+
+use crate::profile::SiteId;
+use crate::regmap::{
+    host_gpr, mmx_host_reg, mmx_spill_offset, streak_counter_offset, ADDR_TMP, COND_TMP,
+    EXIT_PC_REG, FLAG_A, FLAG_B, FLAG_KIND_ADD, FLAG_KIND_CLEARED, FLAG_KIND_LOGIC, FLAG_KIND_REG,
+    FLAG_KIND_SHIFT, FLAG_KIND_SUB, IMM_TMP, STATE_BASE_REG, VALUE_TMP,
+};
+use bridge_alpha::builder::{BuildError, CodeBuilder};
+use bridge_alpha::insn::{BrOp, MemOp, OpFn};
+use bridge_alpha::mda_seq::{emit_unaligned_load, emit_unaligned_store, AccessWidth, SeqTemps};
+use bridge_alpha::reg::Reg;
+use bridge_alpha::{PAL_EXIT_MONITOR, PAL_HALT, PAL_REQUEST_MONITOR};
+use bridge_sim::mem::Memory;
+use bridge_x86::cond::Cond;
+use bridge_x86::decode::{decode as decode_x86, DecodeError};
+use bridge_x86::insn::{AluOp, Ext, Insn, MemRef, Scale, ShiftOp, Width};
+use bridge_x86::reg::Reg32;
+use std::fmt;
+
+/// How a memory site is translated (the strategy's per-site decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SitePlan {
+    /// A single plain Alpha memory instruction; traps if misaligned.
+    Normal,
+    /// The branch-free MDA code sequence; never traps, always slower than
+    /// an aligned plain access.
+    Sequence,
+    /// Alignment check selecting between the plain instruction and the
+    /// sequence at run time (multi-version code, §IV-D).
+    MultiVersion,
+    /// The paper's Figure 8 "truly adaptive" code: like
+    /// [`SitePlan::MultiVersion`], but the aligned path counts consecutive
+    /// aligned executions in a per-site streak counter and asks the monitor
+    /// (via `call_pal request_monitor`) to revert the site to a plain
+    /// access once the streak reaches `threshold`; the misaligned path
+    /// resets the streak.
+    Adaptive {
+        /// Aligned-streak length that triggers reversion.
+        threshold: u8,
+    },
+}
+
+/// Description of a memory access the strategy decides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteAccess {
+    /// Access width.
+    pub width: Width,
+    /// Whether it is a store.
+    pub is_store: bool,
+}
+
+/// Callback deciding the plan for each site.
+pub type PlanFn<'a> = dyn FnMut(SiteId, SiteAccess) -> SitePlan + 'a;
+
+/// Why a block could not be translated (the engine keeps interpreting it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// Guest bytes did not decode.
+    Decode {
+        /// Address of the undecodable instruction.
+        pc: u32,
+        /// Decoder diagnosis.
+        err: DecodeError,
+    },
+    /// A conditional branch whose flags were set in a previous block.
+    FlagsCrossBlock {
+        /// Address of the consuming `jcc`.
+        pc: u32,
+    },
+    /// Internal emission failure (label misuse — a translator bug).
+    Build(BuildError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Decode { pc, err } => write!(f, "decode error at {pc:#x}: {err}"),
+            TranslateError::FlagsCrossBlock { pc } => {
+                write!(f, "jcc at {pc:#x} consumes flags from a previous block")
+            }
+            TranslateError::Build(e) => write!(f, "emission error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<BuildError> for TranslateError {
+    fn from(e: BuildError) -> TranslateError {
+        TranslateError::Build(e)
+    }
+}
+
+/// A constant-target block exit, recorded for chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitStub {
+    /// Host address of the stub's first word (the chain patch point).
+    pub host_addr: u64,
+    /// Guest address the exit transfers to.
+    pub target: u32,
+}
+
+/// A translated basic block ready to be installed in the code cache.
+#[derive(Debug, Clone)]
+pub struct TranslatedBlock {
+    /// Guest address of the block's first instruction.
+    pub guest_pc: u32,
+    /// Guest address just past the block's last instruction.
+    pub guest_end: u32,
+    /// Number of guest instructions covered.
+    pub guest_insn_count: u32,
+    /// Encoded Alpha words, to be written at the base address given to
+    /// [`translate_block`].
+    pub words: Vec<u32>,
+    /// Host address of each *trappable* (plain) memory instruction,
+    /// with its site identity.
+    pub trap_sites: Vec<(u64, SiteId)>,
+    /// Constant-target exits, in emission order.
+    pub exits: Vec<ExitStub>,
+    /// Guest PCs of all instructions in the block (for profile reset on
+    /// retranslation).
+    pub guest_pcs: Vec<u32>,
+    /// `(guest pc, word index)` of each instruction's first emitted word —
+    /// lets the rearrangement handler resume mid-block after relocating.
+    pub insn_starts: Vec<(u32, u32)>,
+}
+
+/// Decodes and translates the basic block starting at `guest_pc`, emitting
+/// code for host address `base`.
+///
+/// `plan` is consulted once per memory site, in program order.
+///
+/// # Errors
+///
+/// See [`TranslateError`]; on error the engine falls back to interpretation
+/// for this block.
+pub fn translate_block(
+    mem: &Memory,
+    guest_pc: u32,
+    base: u64,
+    max_insns: usize,
+    plan: &mut PlanFn<'_>,
+) -> Result<TranslatedBlock, TranslateError> {
+    // ---- Decode the guest block. ----
+    let mut insns: Vec<(u32, Insn, u32)> = Vec::new();
+    let mut pc = guest_pc;
+    loop {
+        let mut buf = [0u8; 16];
+        mem.read_bytes(u64::from(pc), &mut buf);
+        let d = decode_x86(&buf, pc).map_err(|err| TranslateError::Decode { pc, err })?;
+        insns.push((pc, d.insn, d.len));
+        pc = pc.wrapping_add(d.len);
+        if d.insn.ends_block() || insns.len() >= max_insns {
+            break;
+        }
+    }
+    let guest_end = pc;
+
+    // ---- Flag liveness: does setter at index i feed a later jcc? ----
+    let flag_live = compute_flag_liveness(&insns);
+
+    // Reject blocks whose flag consumer has no in-block setter.
+    let mut have_flags = false;
+    for (ipc, insn, _) in &insns {
+        if sets_flags(insn) {
+            have_flags = true;
+        }
+        if consumes_flags(insn) && !have_flags {
+            return Err(TranslateError::FlagsCrossBlock { pc: *ipc });
+        }
+    }
+
+    // ---- Emit. ----
+    let mut t = Emitter {
+        b: CodeBuilder::new(base),
+        flag_kind: FlagKind::Cleared,
+        trap_sites: Vec::new(),
+        exits: Vec::new(),
+    };
+
+    let mut insn_starts = Vec::with_capacity(insns.len());
+    for (i, (ipc, insn, len)) in insns.iter().enumerate() {
+        let fall = ipc.wrapping_add(*len);
+        let live = flag_live[i];
+        insn_starts.push((*ipc, t.b.len() as u32));
+        t.emit_insn(*ipc, insn, fall, live, plan)?;
+    }
+
+    // A block cut by max_insns ends without a control transfer: fall
+    // through to the next guest pc.
+    if !insns.last().expect("nonempty block").1.ends_block() {
+        t.emit_exit(guest_end);
+    }
+
+    let guest_pcs = insns.iter().map(|(p, _, _)| *p).collect();
+    let guest_insn_count = insns.len() as u32;
+    let words = t.b.finish()?;
+    Ok(TranslatedBlock {
+        guest_pc,
+        guest_end,
+        guest_insn_count,
+        words,
+        trap_sites: t.trap_sites,
+        exits: t.exits,
+        guest_pcs,
+        insn_starts,
+    })
+}
+
+fn sets_flags(insn: &Insn) -> bool {
+    match insn {
+        Insn::AluRR { .. }
+        | Insn::AluRI { .. }
+        | Insn::AluRM { .. }
+        | Insn::AluMR { .. }
+        | Insn::ImulRR { .. }
+        | Insn::ImulRM { .. } => true,
+        Insn::Shift { amount, .. } => amount & 31 != 0,
+        Insn::Neg { .. } => true,
+        _ => false,
+    }
+}
+
+fn consumes_flags(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Jcc { .. } | Insn::Setcc { .. } | Insn::Cmovcc { .. }
+    )
+}
+
+/// For each instruction index, whether — if it sets flags — those flags are
+/// live: consumed by a later `jcc` in this block, or escaping the block
+/// (the *last* setter is always live so the engine can reconstruct exact
+/// EFLAGS for interpreter-executed successors).
+fn compute_flag_liveness(insns: &[(u32, Insn, u32)]) -> Vec<bool> {
+    let mut live = vec![false; insns.len()];
+    let mut pending_setter: Option<usize> = None;
+    for (i, (_, insn, _)) in insns.iter().enumerate() {
+        if consumes_flags(insn) {
+            if let Some(s) = pending_setter {
+                live[s] = true;
+            }
+        }
+        if sets_flags(insn) {
+            pending_setter = Some(i);
+        }
+    }
+    if let Some(s) = pending_setter {
+        live[s] = true; // flags escape the block
+    }
+    live
+}
+
+/// Lazy condition-code classification of the most recent flag setter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlagKind {
+    /// `FLAG_A + FLAG_B` (add).
+    Add,
+    /// `FLAG_A - FLAG_B` (sub/cmp).
+    Sub,
+    /// Result value in `FLAG_A`; CF=OF=0 (and/or/xor/test).
+    Logic,
+    /// Result in `FLAG_A`, carry bit in `FLAG_B`; OF=0 (shifts).
+    Shift,
+    /// All flags cleared (imul).
+    Cleared,
+}
+
+/// A materialized condition: either statically known or a register to
+/// branch on.
+enum CondVal {
+    Static(bool),
+    /// Branch taken iff `reg` is nonzero (when `if_nonzero`) / zero.
+    Dynamic {
+        reg: Reg,
+        if_nonzero: bool,
+    },
+}
+
+struct Emitter {
+    b: CodeBuilder,
+    flag_kind: FlagKind,
+    trap_sites: Vec<(u64, SiteId)>,
+    exits: Vec<ExitStub>,
+}
+
+impl Emitter {
+    /// Writes the lazy-flag kind tag so the engine can reconstruct EFLAGS
+    /// after the block (see [`crate::regmap::FLAG_KIND_REG`]).
+    fn tag_flags(&mut self, kind: FlagKind) {
+        let id = match kind {
+            FlagKind::Cleared => FLAG_KIND_CLEARED,
+            FlagKind::Add => FLAG_KIND_ADD,
+            FlagKind::Sub => FLAG_KIND_SUB,
+            FlagKind::Logic => FLAG_KIND_LOGIC,
+            FlagKind::Shift => FLAG_KIND_SHIFT,
+        };
+        self.b.lda(FLAG_KIND_REG, i16::from(id), Reg::ZERO);
+        self.flag_kind = kind;
+    }
+    /// Emits a constant-target exit stub: `R16 ← target; call_pal
+    /// exit_monitor`, and records it for chaining.
+    fn emit_exit(&mut self, target: u32) {
+        let host_addr = self.b.here();
+        self.b.load_imm32(EXIT_PC_REG, target as i32);
+        self.b.call_pal(PAL_EXIT_MONITOR);
+        self.exits.push(ExitStub { host_addr, target });
+    }
+
+    /// Computes the effective address of `m` (guest u32 semantics,
+    /// zero-extended to a host address) into [`ADDR_TMP`]. Returns the
+    /// displacement left for the memory instruction to fold in.
+    fn emit_ea(&mut self, m: &MemRef) -> i16 {
+        let b = &mut self.b;
+        match (m.base, m.index) {
+            (None, None) => {
+                b.load_imm32(ADDR_TMP, m.disp);
+                b.op_lit(OpFn::Zapnot, ADDR_TMP, 0x0F, ADDR_TMP);
+                0
+            }
+            (Some(base), None) => {
+                // Common case: zero-extend the base, fold a small disp into
+                // the memory instruction (leaving headroom for the MDA
+                // sequence's `disp + width - 1`).
+                if (-16384..16376).contains(&m.disp) {
+                    b.op_lit(OpFn::Zapnot, host_gpr(base), 0x0F, ADDR_TMP);
+                    m.disp as i16
+                } else {
+                    b.load_imm32(IMM_TMP, m.disp);
+                    b.op(OpFn::Addl, host_gpr(base), IMM_TMP, ADDR_TMP);
+                    b.op_lit(OpFn::Zapnot, ADDR_TMP, 0x0F, ADDR_TMP);
+                    0
+                }
+            }
+            (base, Some((index, scale))) => {
+                let hi = host_gpr(index);
+                // index*scale (+ base) as a sign-extended 32-bit sum.
+                match (base, scale) {
+                    (Some(bs), Scale::S1) => b.op(OpFn::Addl, host_gpr(bs), hi, ADDR_TMP),
+                    (Some(bs), Scale::S4) => b.op(OpFn::S4addl, hi, host_gpr(bs), ADDR_TMP),
+                    (Some(bs), sc) => {
+                        b.op_lit(OpFn::Sll, hi, sc.bits(), ADDR_TMP);
+                        b.op(OpFn::Addl, ADDR_TMP, host_gpr(bs), ADDR_TMP);
+                    }
+                    (None, Scale::S1) => b.op(OpFn::Addl, hi, Reg::ZERO, ADDR_TMP),
+                    (None, sc) => {
+                        b.op_lit(OpFn::Sll, hi, sc.bits(), ADDR_TMP);
+                        b.op(OpFn::Addl, ADDR_TMP, Reg::ZERO, ADDR_TMP);
+                    }
+                }
+                if m.disp != 0 {
+                    if let Ok(d16) = i16::try_from(m.disp) {
+                        b.lda(ADDR_TMP, d16, ADDR_TMP);
+                    } else {
+                        b.load_imm32(IMM_TMP, m.disp);
+                        b.op(OpFn::Addq, ADDR_TMP, IMM_TMP, ADDR_TMP);
+                    }
+                    b.op(OpFn::Addl, Reg::ZERO, ADDR_TMP, ADDR_TMP);
+                }
+                b.op_lit(OpFn::Zapnot, ADDR_TMP, 0x0F, ADDR_TMP);
+                0
+            }
+        }
+    }
+
+    /// Emits a plan-gated load of `width` at `disp(ADDR_TMP)` into `dst`
+    /// (a host register), with x86 `ext` semantics for narrow widths
+    /// (W4 is sign-extended — the canonical form; W8 raw).
+    fn emit_load(
+        &mut self,
+        site: SiteId,
+        width: Width,
+        ext: Ext,
+        dst: Reg,
+        disp: i16,
+        plan: &mut PlanFn<'_>,
+    ) {
+        let decision = plan(
+            site,
+            SiteAccess {
+                width,
+                is_store: false,
+            },
+        );
+        match width {
+            Width::W1 => {
+                // Byte accesses can never be misaligned; always plain.
+                self.b.mem(MemOp::Ldbu, dst, disp, ADDR_TMP);
+                if ext == Ext::Sign {
+                    self.b.op_lit(OpFn::Sll, dst, 56, dst);
+                    self.b.op_lit(OpFn::Sra, dst, 56, dst);
+                }
+                return;
+            }
+            Width::W2 | Width::W4 | Width::W8 => {}
+        }
+        let aw = AccessWidth::from_bytes(width.bytes()).expect("non-byte width");
+        let emit_plain = |e: &mut Emitter, record: bool| {
+            let host = e.b.here();
+            match width {
+                Width::W2 => e.b.mem(MemOp::Ldwu, dst, disp, ADDR_TMP),
+                Width::W4 => e.b.mem(MemOp::Ldl, dst, disp, ADDR_TMP),
+                Width::W8 => e.b.mem(MemOp::Ldq, dst, disp, ADDR_TMP),
+                Width::W1 => unreachable!(),
+            }
+            if record {
+                e.trap_sites.push((host, site));
+            }
+        };
+        let emit_seq = |e: &mut Emitter| {
+            let sext = width == Width::W4; // ldl semantics; W2 extension below
+            emit_unaligned_load(
+                &mut e.b,
+                aw,
+                dst,
+                ADDR_TMP,
+                disp,
+                sext,
+                &SeqTemps::default(),
+            );
+        };
+        match decision {
+            SitePlan::Normal => emit_plain(self, true),
+            SitePlan::Sequence => emit_seq(self),
+            SitePlan::MultiVersion => {
+                self.emit_alignment_check(width, disp);
+                let seq_l = self.b.new_label();
+                let done_l = self.b.new_label();
+                self.b.br_label(BrOp::Bne, COND_TMP, seq_l);
+                emit_plain(self, false); // guarded: cannot trap
+                self.b.br_label(BrOp::Br, Reg::ZERO, done_l);
+                self.b.bind(seq_l);
+                emit_seq(self);
+                self.b.bind(done_l);
+            }
+            SitePlan::Adaptive { threshold } => {
+                self.emit_adaptive(
+                    site,
+                    width,
+                    disp,
+                    threshold,
+                    &mut |e| emit_plain(e, false),
+                    &mut |e| emit_seq(e),
+                );
+            }
+        }
+        // x86 extension semantics for 2-byte loads (ldwu zero-extends).
+        if width == Width::W2 && ext == Ext::Sign {
+            self.b.op_lit(OpFn::Sll, dst, 48, dst);
+            self.b.op_lit(OpFn::Sra, dst, 48, dst);
+        }
+    }
+
+    /// Emits a plan-gated store of `src` (host register, low `width` bytes)
+    /// at `disp(ADDR_TMP)`.
+    fn emit_store(
+        &mut self,
+        site: SiteId,
+        width: Width,
+        src: Reg,
+        disp: i16,
+        plan: &mut PlanFn<'_>,
+    ) {
+        let decision = plan(
+            site,
+            SiteAccess {
+                width,
+                is_store: true,
+            },
+        );
+        if width == Width::W1 {
+            self.b.mem(MemOp::Stb, src, disp, ADDR_TMP);
+            return;
+        }
+        let aw = AccessWidth::from_bytes(width.bytes()).expect("non-byte width");
+        let emit_plain = |e: &mut Emitter, record: bool| {
+            let host = e.b.here();
+            match width {
+                Width::W2 => e.b.mem(MemOp::Stw, src, disp, ADDR_TMP),
+                Width::W4 => e.b.mem(MemOp::Stl, src, disp, ADDR_TMP),
+                Width::W8 => e.b.mem(MemOp::Stq, src, disp, ADDR_TMP),
+                Width::W1 => unreachable!(),
+            }
+            if record {
+                e.trap_sites.push((host, site));
+            }
+        };
+        match decision {
+            SitePlan::Normal => emit_plain(self, true),
+            SitePlan::Sequence => {
+                emit_unaligned_store(&mut self.b, aw, src, ADDR_TMP, disp, &SeqTemps::default());
+            }
+            SitePlan::MultiVersion => {
+                self.emit_alignment_check(width, disp);
+                let seq_l = self.b.new_label();
+                let done_l = self.b.new_label();
+                self.b.br_label(BrOp::Bne, COND_TMP, seq_l);
+                emit_plain(self, false);
+                self.b.br_label(BrOp::Br, Reg::ZERO, done_l);
+                self.b.bind(seq_l);
+                emit_unaligned_store(&mut self.b, aw, src, ADDR_TMP, disp, &SeqTemps::default());
+                self.b.bind(done_l);
+            }
+            SitePlan::Adaptive { threshold } => {
+                self.emit_adaptive(
+                    site,
+                    width,
+                    disp,
+                    threshold,
+                    &mut |e| emit_plain(e, false),
+                    &mut |e| {
+                        emit_unaligned_store(
+                            &mut e.b,
+                            aw,
+                            src,
+                            ADDR_TMP,
+                            disp,
+                            &SeqTemps::default(),
+                        );
+                    },
+                );
+            }
+        }
+    }
+
+    /// Leaves the address of `site`'s aligned-streak counter in
+    /// [`IMM_TMP`] (state-block relative; see
+    /// [`streak_counter_offset`]).
+    fn emit_counter_addr(&mut self, site: SiteId) {
+        let off = streak_counter_offset(site.pc, site.slot);
+        let lo = off as i16;
+        let hi = ((off - i64::from(lo)) >> 16) as i16;
+        self.b.ldah(IMM_TMP, hi, STATE_BASE_REG);
+        if lo != 0 {
+            self.b.lda(IMM_TMP, lo, IMM_TMP);
+        }
+    }
+
+    /// Emits the Figure 8 adaptive body shared by loads and stores:
+    /// alignment check, streak bookkeeping, reversion request, and the
+    /// two access paths supplied by the callers.
+    fn emit_adaptive(
+        &mut self,
+        site: SiteId,
+        width: Width,
+        disp: i16,
+        threshold: u8,
+        emit_plain: &mut dyn FnMut(&mut Emitter),
+        emit_seq: &mut dyn FnMut(&mut Emitter),
+    ) {
+        self.emit_alignment_check(width, disp);
+        let seq_l = self.b.new_label();
+        let op_l = self.b.new_label();
+        let done_l = self.b.new_label();
+        self.b.br_label(BrOp::Bne, COND_TMP, seq_l);
+        // Aligned path: bump the consecutive-aligned streak counter.
+        self.emit_counter_addr(site);
+        self.b.mem(MemOp::Ldl, COND_TMP, 0, IMM_TMP);
+        self.b.op_lit(OpFn::Addl, COND_TMP, 1, COND_TMP);
+        self.b.mem(MemOp::Stl, COND_TMP, 0, IMM_TMP);
+        self.b.op_lit(OpFn::Cmple, COND_TMP, threshold, COND_TMP);
+        self.b.br_label(BrOp::Bne, COND_TMP, op_l);
+        // Streak exceeded: "br BT monitor" — request reversion of this
+        // site to a plain access.
+        self.b.load_imm32(EXIT_PC_REG, site.pc as i32);
+        self.b.call_pal(PAL_REQUEST_MONITOR);
+        self.b.bind(op_l);
+        emit_plain(self);
+        self.b.br_label(BrOp::Br, Reg::ZERO, done_l);
+        self.b.bind(seq_l);
+        // Misaligned path: reset the streak and run the MDA sequence.
+        self.emit_counter_addr(site);
+        self.b.mem(MemOp::Stl, Reg::ZERO, 0, IMM_TMP);
+        emit_seq(self);
+        self.b.bind(done_l);
+    }
+
+    /// Leaves `(ADDR_TMP + disp) & (width-1)` in [`COND_TMP`] — nonzero when
+    /// the access would be misaligned (Figure 8's `and`/`bne` check).
+    fn emit_alignment_check(&mut self, width: Width, disp: i16) {
+        let mask = (width.bytes() - 1) as u8;
+        if disp == 0 {
+            self.b.op_lit(OpFn::And, ADDR_TMP, mask, COND_TMP);
+        } else {
+            self.b.lda(COND_TMP, disp, ADDR_TMP);
+            self.b.op_lit(OpFn::And, COND_TMP, mask, COND_TMP);
+        }
+    }
+
+    /// Snapshots ALU operands into the flag registers when live and emits
+    /// the operation. `a_reg`/`b_reg` hold the operand values; `write_to`
+    /// receives the result for write-back ops.
+    fn emit_alu(&mut self, op: AluOp, a_reg: Reg, b_reg: Reg, write_to: Option<Reg>, live: bool) {
+        let (kind, alpha_op) = match op {
+            AluOp::Add => (FlagKind::Add, Some(OpFn::Addl)),
+            AluOp::Sub => (FlagKind::Sub, Some(OpFn::Subl)),
+            AluOp::Cmp => (FlagKind::Sub, None),
+            AluOp::And | AluOp::Test => (FlagKind::Logic, Some(OpFn::And)),
+            AluOp::Or => (FlagKind::Logic, Some(OpFn::Bis)),
+            AluOp::Xor => (FlagKind::Logic, Some(OpFn::Xor)),
+        };
+        if live {
+            self.tag_flags(kind);
+            match kind {
+                FlagKind::Add | FlagKind::Sub => {
+                    self.b.mov(a_reg, FLAG_A);
+                    self.b.mov(b_reg, FLAG_B);
+                    if let (Some(f), Some(dst)) = (alpha_op, write_to.filter(|_| op.writes_back()))
+                    {
+                        self.b.op(f, FLAG_A, FLAG_B, dst);
+                    }
+                }
+                FlagKind::Logic => {
+                    let f = alpha_op.expect("logic ops have an Alpha op");
+                    self.b.op(f, a_reg, b_reg, FLAG_A);
+                    if let Some(dst) = write_to.filter(|_| op.writes_back()) {
+                        self.b.mov(FLAG_A, dst);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        } else if let (Some(f), Some(dst)) = (alpha_op, write_to.filter(|_| op.writes_back())) {
+            self.b.op(f, a_reg, b_reg, dst);
+        }
+    }
+
+    /// Materializes `cond` from the lazy flag state.
+    fn emit_cond(&mut self, cond: Cond) -> CondVal {
+        use Cond::*;
+        let b = &mut self.b;
+        match self.flag_kind {
+            FlagKind::Sub => match cond {
+                E => {
+                    b.op(OpFn::Cmpeq, FLAG_A, FLAG_B, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: true,
+                    }
+                }
+                Ne => {
+                    b.op(OpFn::Cmpeq, FLAG_A, FLAG_B, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: false,
+                    }
+                }
+                L | Ge => {
+                    b.op(OpFn::Cmplt, FLAG_A, FLAG_B, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == L,
+                    }
+                }
+                Le | G => {
+                    b.op(OpFn::Cmple, FLAG_A, FLAG_B, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Le,
+                    }
+                }
+                B | Ae => {
+                    b.op_lit(OpFn::Zapnot, FLAG_A, 0x0F, COND_TMP);
+                    b.op_lit(OpFn::Zapnot, FLAG_B, 0x0F, IMM_TMP);
+                    b.op(OpFn::Cmpult, COND_TMP, IMM_TMP, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == B,
+                    }
+                }
+                Be | A => {
+                    b.op_lit(OpFn::Zapnot, FLAG_A, 0x0F, COND_TMP);
+                    b.op_lit(OpFn::Zapnot, FLAG_B, 0x0F, IMM_TMP);
+                    b.op(OpFn::Cmpule, COND_TMP, IMM_TMP, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Be,
+                    }
+                }
+                S | Ns => {
+                    b.op(OpFn::Subl, FLAG_A, FLAG_B, COND_TMP);
+                    b.op(OpFn::Cmplt, COND_TMP, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == S,
+                    }
+                }
+            },
+            FlagKind::Add => match cond {
+                E | Ne => {
+                    b.op(OpFn::Addl, FLAG_A, FLAG_B, COND_TMP);
+                    b.op(OpFn::Cmpeq, COND_TMP, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == E,
+                    }
+                }
+                S | Ns => {
+                    b.op(OpFn::Addl, FLAG_A, FLAG_B, COND_TMP);
+                    b.op(OpFn::Cmplt, COND_TMP, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == S,
+                    }
+                }
+                L | Ge => {
+                    // Exact signed sum in 64 bits: SF != OF ⇔ sum < 0.
+                    b.op(OpFn::Addq, FLAG_A, FLAG_B, COND_TMP);
+                    b.op(OpFn::Cmplt, COND_TMP, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == L,
+                    }
+                }
+                Le | G => {
+                    b.op(OpFn::Addq, FLAG_A, FLAG_B, COND_TMP);
+                    b.op(OpFn::Cmple, COND_TMP, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Le,
+                    }
+                }
+                B | Ae => {
+                    // Carry out of the 32-bit unsigned add.
+                    b.op_lit(OpFn::Zapnot, FLAG_A, 0x0F, COND_TMP);
+                    b.op_lit(OpFn::Zapnot, FLAG_B, 0x0F, IMM_TMP);
+                    b.op(OpFn::Addq, COND_TMP, IMM_TMP, COND_TMP);
+                    b.op_lit(OpFn::Srl, COND_TMP, 32, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == B,
+                    }
+                }
+                Be | A => {
+                    b.op_lit(OpFn::Zapnot, FLAG_A, 0x0F, COND_TMP);
+                    b.op_lit(OpFn::Zapnot, FLAG_B, 0x0F, IMM_TMP);
+                    b.op(OpFn::Addq, COND_TMP, IMM_TMP, COND_TMP);
+                    b.op_lit(OpFn::Srl, COND_TMP, 32, COND_TMP);
+                    // ZF: the 32-bit result is zero.
+                    b.op(OpFn::Addl, FLAG_A, FLAG_B, IMM_TMP);
+                    b.op(OpFn::Cmpeq, IMM_TMP, Reg::ZERO, IMM_TMP);
+                    b.op(OpFn::Bis, COND_TMP, IMM_TMP, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Be,
+                    }
+                }
+            },
+            FlagKind::Logic => match cond {
+                E | Ne => {
+                    b.op(OpFn::Cmpeq, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == E,
+                    }
+                }
+                S | Ns | L | Ge => {
+                    // OF = 0, so L ≡ S and Ge ≡ Ns.
+                    b.op(OpFn::Cmplt, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == S || cond == L,
+                    }
+                }
+                Le | G => {
+                    b.op(OpFn::Cmple, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Le,
+                    }
+                }
+                B => CondVal::Static(false),
+                Ae => CondVal::Static(true),
+                Be | A => {
+                    b.op(OpFn::Cmpeq, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Be,
+                    }
+                }
+            },
+            FlagKind::Shift => match cond {
+                E | Ne => {
+                    b.op(OpFn::Cmpeq, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == E,
+                    }
+                }
+                S | Ns | L | Ge => {
+                    b.op(OpFn::Cmplt, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == S || cond == L,
+                    }
+                }
+                Le | G => {
+                    b.op(OpFn::Cmple, FLAG_A, Reg::ZERO, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Le,
+                    }
+                }
+                B | Ae => CondVal::Dynamic {
+                    reg: FLAG_B,
+                    if_nonzero: cond == B,
+                },
+                Be | A => {
+                    b.op(OpFn::Cmpeq, FLAG_A, Reg::ZERO, COND_TMP);
+                    b.op(OpFn::Bis, COND_TMP, FLAG_B, COND_TMP);
+                    CondVal::Dynamic {
+                        reg: COND_TMP,
+                        if_nonzero: cond == Be,
+                    }
+                }
+            },
+            FlagKind::Cleared => {
+                // ZF=SF=CF=OF=0.
+                let taken = matches!(cond, Ne | Ae | A | Ns | Ge | G);
+                CondVal::Static(taken)
+            }
+        }
+    }
+
+    /// Materializes `cond` as a 0/1 value in [`COND_TMP`].
+    fn emit_cond_value(&mut self, cond: Cond) {
+        match self.emit_cond(cond) {
+            CondVal::Static(b) => self.b.lda(COND_TMP, i16::from(b), Reg::ZERO),
+            CondVal::Dynamic {
+                reg,
+                if_nonzero: true,
+            } => {
+                self.b.op(OpFn::Cmpult, Reg::ZERO, reg, COND_TMP);
+            }
+            CondVal::Dynamic {
+                reg,
+                if_nonzero: false,
+            } => {
+                self.b.op(OpFn::Cmpeq, reg, Reg::ZERO, COND_TMP);
+            }
+        }
+    }
+
+    fn emit_insn(
+        &mut self,
+        pc: u32,
+        insn: &Insn,
+        fall: u32,
+        live: bool,
+        plan: &mut PlanFn<'_>,
+    ) -> Result<(), TranslateError> {
+        match *insn {
+            Insn::MovRI { dst, imm } => self.b.load_imm32(host_gpr(dst), imm),
+            Insn::MovRR { dst, src } => self.b.mov(host_gpr(src), host_gpr(dst)),
+            Insn::Load {
+                width,
+                ext,
+                dst,
+                src,
+            } => {
+                let disp = self.emit_ea(&src);
+                self.emit_load(SiteId::new(pc, 0), width, ext, host_gpr(dst), disp, plan);
+            }
+            Insn::Store { width, src, dst } => {
+                let disp = self.emit_ea(&dst);
+                self.emit_store(SiteId::new(pc, 0), width, host_gpr(src), disp, plan);
+            }
+            Insn::MovqLoad { dst, src } => {
+                let disp = self.emit_ea(&src);
+                match mmx_host_reg(dst) {
+                    Some(h) => {
+                        self.emit_load(SiteId::new(pc, 0), Width::W8, Ext::Zero, h, disp, plan);
+                    }
+                    None => {
+                        self.emit_load(
+                            SiteId::new(pc, 0),
+                            Width::W8,
+                            Ext::Zero,
+                            VALUE_TMP,
+                            disp,
+                            plan,
+                        );
+                        self.b
+                            .mem(MemOp::Stq, VALUE_TMP, mmx_spill_offset(dst), STATE_BASE_REG);
+                    }
+                }
+            }
+            Insn::MovqStore { src, dst } => {
+                let disp = self.emit_ea(&dst);
+                let h = match mmx_host_reg(src) {
+                    Some(h) => h,
+                    None => {
+                        self.b
+                            .mem(MemOp::Ldq, VALUE_TMP, mmx_spill_offset(src), STATE_BASE_REG);
+                        VALUE_TMP
+                    }
+                };
+                self.emit_store(SiteId::new(pc, 0), Width::W8, h, disp, plan);
+            }
+            Insn::Lea { dst, src } => {
+                let d = host_gpr(dst);
+                match (src.base, src.index) {
+                    (None, None) => self.b.load_imm32(d, src.disp),
+                    (Some(base), None) => {
+                        if src.disp == 0 {
+                            self.b.mov(host_gpr(base), d);
+                        } else if let Ok(d16) = i16::try_from(src.disp) {
+                            self.b.lda(d, d16, host_gpr(base));
+                            self.b.op(OpFn::Addl, Reg::ZERO, d, d);
+                        } else {
+                            self.b.load_imm32(IMM_TMP, src.disp);
+                            self.b.op(OpFn::Addl, host_gpr(base), IMM_TMP, d);
+                        }
+                    }
+                    (base, Some((index, scale))) => {
+                        let hi = host_gpr(index);
+                        match (base, scale) {
+                            (Some(bs), Scale::S1) => self.b.op(OpFn::Addl, host_gpr(bs), hi, d),
+                            (Some(bs), Scale::S4) => self.b.op(OpFn::S4addl, hi, host_gpr(bs), d),
+                            (Some(bs), sc) => {
+                                self.b.op_lit(OpFn::Sll, hi, sc.bits(), d);
+                                self.b.op(OpFn::Addl, d, host_gpr(bs), d);
+                            }
+                            (None, Scale::S1) => self.b.op(OpFn::Addl, hi, Reg::ZERO, d),
+                            (None, sc) => {
+                                self.b.op_lit(OpFn::Sll, hi, sc.bits(), d);
+                                self.b.op(OpFn::Addl, d, Reg::ZERO, d);
+                            }
+                        }
+                        if src.disp != 0 {
+                            if let Ok(d16) = i16::try_from(src.disp) {
+                                self.b.lda(d, d16, d);
+                            } else {
+                                self.b.load_imm32(IMM_TMP, src.disp);
+                                self.b.op(OpFn::Addq, d, IMM_TMP, d);
+                            }
+                            self.b.op(OpFn::Addl, Reg::ZERO, d, d);
+                        }
+                    }
+                }
+            }
+            Insn::AluRR { op, dst, src } => {
+                self.emit_alu(op, host_gpr(dst), host_gpr(src), Some(host_gpr(dst)), live);
+            }
+            Insn::AluRI { op, dst, imm } => {
+                if live {
+                    self.b.load_imm32(FLAG_B, imm);
+                    self.emit_alu(op, host_gpr(dst), FLAG_B, Some(host_gpr(dst)), live);
+                } else if (0..=255).contains(&imm) && op.writes_back() {
+                    let f = match op {
+                        AluOp::Add => OpFn::Addl,
+                        AluOp::Sub => OpFn::Subl,
+                        AluOp::And => OpFn::And,
+                        AluOp::Or => OpFn::Bis,
+                        AluOp::Xor => OpFn::Xor,
+                        AluOp::Cmp | AluOp::Test => unreachable!("no write-back"),
+                    };
+                    self.b.op_lit(f, host_gpr(dst), imm as u8, host_gpr(dst));
+                } else if op.writes_back() {
+                    self.b.load_imm32(IMM_TMP, imm);
+                    self.emit_alu(op, host_gpr(dst), IMM_TMP, Some(host_gpr(dst)), live);
+                }
+                // Dead cmp/test with immediate: nothing at all.
+            }
+            Insn::AluRM { op, dst, src } => {
+                let disp = self.emit_ea(&src);
+                self.emit_load(
+                    SiteId::new(pc, 0),
+                    Width::W4,
+                    Ext::Zero,
+                    VALUE_TMP,
+                    disp,
+                    plan,
+                );
+                self.emit_alu(op, host_gpr(dst), VALUE_TMP, Some(host_gpr(dst)), live);
+            }
+            Insn::AluMR { op, dst, src } => {
+                let disp = self.emit_ea(&dst);
+                self.emit_load(
+                    SiteId::new(pc, 0),
+                    Width::W4,
+                    Ext::Zero,
+                    VALUE_TMP,
+                    disp,
+                    plan,
+                );
+                self.emit_alu(op, VALUE_TMP, host_gpr(src), Some(VALUE_TMP), live);
+                if op.writes_back() {
+                    self.emit_store(SiteId::new(pc, 1), Width::W4, VALUE_TMP, disp, plan);
+                }
+            }
+            Insn::Shift { op, dst, amount } => {
+                let amt = amount & 31;
+                if amt == 0 {
+                    return Ok(());
+                }
+                let d = host_gpr(dst);
+                if live {
+                    // Carry bit from the pre-shift value.
+                    let cf_bit = match op {
+                        ShiftOp::Shl => 32 - amt,
+                        ShiftOp::Shr | ShiftOp::Sar => amt - 1,
+                    };
+                    if cf_bit == 0 {
+                        self.b.op_lit(OpFn::And, d, 1, FLAG_B);
+                    } else {
+                        self.b.op_lit(OpFn::Srl, d, cf_bit, FLAG_B);
+                        self.b.op_lit(OpFn::And, FLAG_B, 1, FLAG_B);
+                    }
+                }
+                match op {
+                    ShiftOp::Shl => {
+                        self.b.op_lit(OpFn::Sll, d, amt, d);
+                        self.b.op(OpFn::Addl, Reg::ZERO, d, d);
+                    }
+                    ShiftOp::Shr => {
+                        self.b.op_lit(OpFn::Zapnot, d, 0x0F, d);
+                        self.b.op_lit(OpFn::Srl, d, amt, d);
+                    }
+                    ShiftOp::Sar => {
+                        self.b.op_lit(OpFn::Sra, d, amt, d);
+                    }
+                }
+                if live {
+                    self.b.mov(d, FLAG_A);
+                    self.tag_flags(FlagKind::Shift);
+                }
+            }
+            Insn::ImulRR { dst, src } => {
+                self.b
+                    .op(OpFn::Mull, host_gpr(dst), host_gpr(src), host_gpr(dst));
+                if live {
+                    self.tag_flags(FlagKind::Cleared);
+                }
+            }
+            Insn::ImulRM { dst, src } => {
+                let disp = self.emit_ea(&src);
+                self.emit_load(
+                    SiteId::new(pc, 0),
+                    Width::W4,
+                    Ext::Zero,
+                    VALUE_TMP,
+                    disp,
+                    plan,
+                );
+                self.b
+                    .op(OpFn::Mull, host_gpr(dst), VALUE_TMP, host_gpr(dst));
+                if live {
+                    self.tag_flags(FlagKind::Cleared);
+                }
+            }
+            Insn::Push { src } => {
+                // Address and stored value use the *old* esp (x86 `push
+                // %esp` stores the pre-decrement value).
+                let esp = host_gpr(Reg32::Esp);
+                self.b.lda(ADDR_TMP, -4, esp);
+                self.b.op_lit(OpFn::Zapnot, ADDR_TMP, 0x0F, ADDR_TMP);
+                self.emit_store(SiteId::new(pc, 0), Width::W4, host_gpr(src), 0, plan);
+                self.b.op_lit(OpFn::Subl, esp, 4, esp);
+            }
+            Insn::Neg { dst } => {
+                // neg r32 ≡ sub with a zero left operand (CF = r32 != 0).
+                self.emit_alu(
+                    AluOp::Sub,
+                    Reg::ZERO,
+                    host_gpr(dst),
+                    Some(host_gpr(dst)),
+                    live,
+                );
+            }
+            Insn::Not { dst } => {
+                // ornot zero, x → !x; complement preserves the canonical
+                // sign-extended form. No flags.
+                let d = host_gpr(dst);
+                self.b.op(OpFn::Ornot, Reg::ZERO, d, d);
+            }
+            Insn::Xchg { a, b } => {
+                if a != b {
+                    let (ha, hb) = (host_gpr(a), host_gpr(b));
+                    self.b.mov(ha, IMM_TMP);
+                    self.b.mov(hb, ha);
+                    self.b.mov(IMM_TMP, hb);
+                }
+            }
+            Insn::Pop { dst } => {
+                let esp = host_gpr(Reg32::Esp);
+                self.b.op_lit(OpFn::Zapnot, esp, 0x0F, ADDR_TMP);
+                if dst == Reg32::Esp {
+                    // `pop %esp`: the loaded value *is* the new esp; the
+                    // increment is architecturally discarded.
+                    self.emit_load(SiteId::new(pc, 0), Width::W4, Ext::Zero, esp, 0, plan);
+                } else {
+                    // Load first: a trap must arrive before any guest state
+                    // changes, so the handler can resume by re-execution.
+                    self.emit_load(
+                        SiteId::new(pc, 0),
+                        Width::W4,
+                        Ext::Zero,
+                        host_gpr(dst),
+                        0,
+                        plan,
+                    );
+                    self.b.op_lit(OpFn::Addl, esp, 4, esp);
+                }
+            }
+            Insn::Setcc { cond, dst } => {
+                self.emit_cond_value(cond);
+                let d = host_gpr(dst);
+                self.b.op_lit(OpFn::Zap, d, 0x01, d); // clear the low byte
+                self.b.op(OpFn::Bis, d, COND_TMP, d);
+            }
+            Insn::Cmovcc { cond, dst, src } => {
+                self.emit_cond_value(cond);
+                self.b
+                    .op(OpFn::Cmovne, COND_TMP, host_gpr(src), host_gpr(dst));
+            }
+            Insn::RepMovsd => {
+                // Inline copy loop. Both memory sites are plan-gated, so a
+                // misaligned glibc-style memcpy can run entirely on MDA
+                // sequences after one trap (or immediately, under DPEH).
+                let esi = host_gpr(Reg32::Esi);
+                let edi = host_gpr(Reg32::Edi);
+                let ecx = host_gpr(Reg32::Ecx);
+                let done = self.b.new_label();
+                let top = self.b.new_label();
+                self.b.br_label(BrOp::Beq, ecx, done);
+                self.b.bind(top);
+                self.b.op_lit(OpFn::Zapnot, esi, 0x0F, ADDR_TMP);
+                self.emit_load(SiteId::new(pc, 0), Width::W4, Ext::Zero, VALUE_TMP, 0, plan);
+                self.b.op_lit(OpFn::Zapnot, edi, 0x0F, ADDR_TMP);
+                self.emit_store(SiteId::new(pc, 1), Width::W4, VALUE_TMP, 0, plan);
+                self.b.op_lit(OpFn::Addl, esi, 4, esi);
+                self.b.op_lit(OpFn::Addl, edi, 4, edi);
+                self.b.op_lit(OpFn::Subl, ecx, 1, ecx);
+                self.b.br_label(BrOp::Bne, ecx, top);
+                self.b.bind(done);
+            }
+            Insn::Jcc { cond, target } => match self.emit_cond(cond) {
+                CondVal::Static(true) => self.emit_exit(target),
+                CondVal::Static(false) => self.emit_exit(fall),
+                CondVal::Dynamic { reg, if_nonzero } => {
+                    let taken_l = self.b.new_label();
+                    let brop = if if_nonzero { BrOp::Bne } else { BrOp::Beq };
+                    self.b.br_label(brop, reg, taken_l);
+                    self.emit_exit(fall);
+                    self.b.bind(taken_l);
+                    self.emit_exit(target);
+                }
+            },
+            Insn::Jmp { target } => self.emit_exit(target),
+            Insn::Call { target } => {
+                // The return address rides in VALUE_TMP, not IMM_TMP: the
+                // adaptive store path uses IMM_TMP for counter addressing.
+                let esp = host_gpr(Reg32::Esp);
+                self.b.load_imm32(VALUE_TMP, fall as i32);
+                self.b.lda(ADDR_TMP, -4, esp);
+                self.b.op_lit(OpFn::Zapnot, ADDR_TMP, 0x0F, ADDR_TMP);
+                self.emit_store(SiteId::new(pc, 0), Width::W4, VALUE_TMP, 0, plan);
+                self.b.op_lit(OpFn::Subl, esp, 4, esp);
+                self.emit_exit(target);
+            }
+            Insn::Ret => {
+                let esp = host_gpr(Reg32::Esp);
+                self.b.op_lit(OpFn::Zapnot, esp, 0x0F, ADDR_TMP);
+                self.emit_load(
+                    SiteId::new(pc, 0),
+                    Width::W4,
+                    Ext::Zero,
+                    EXIT_PC_REG,
+                    0,
+                    plan,
+                );
+                self.b.op_lit(OpFn::Addl, esp, 4, esp);
+                // Dynamic target: not chainable.
+                self.b.call_pal(PAL_EXIT_MONITOR);
+            }
+            Insn::Nop => {}
+            Insn::Hlt => {
+                self.b.load_imm32(EXIT_PC_REG, fall as i32);
+                self.b.call_pal(PAL_HALT);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_x86::asm::Assembler;
+    use bridge_x86::encode::encode_to_vec;
+
+    fn assemble_at(entry: u32, build: impl FnOnce(&mut Assembler)) -> Memory {
+        let mut a = Assembler::new(entry);
+        build(&mut a);
+        let image = a.finish().expect("assembles");
+        let mut mem = Memory::new();
+        mem.write_bytes(u64::from(entry), &image);
+        mem
+    }
+
+    fn all_normal(_: SiteId, _: SiteAccess) -> SitePlan {
+        SitePlan::Normal
+    }
+
+    const BASE: u64 = crate::regmap::CODE_CACHE_ADDR;
+
+    #[test]
+    fn translates_straight_line_block() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.mov_ri(Reg32::Eax, 5);
+            a.mov_rr(Reg32::Ebx, Reg32::Eax);
+            a.hlt();
+        });
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).expect("translates");
+        assert_eq!(tb.guest_insn_count, 3);
+        assert!(tb.trap_sites.is_empty());
+        assert!(tb.exits.is_empty()); // hlt is not a chainable exit
+        assert!(!tb.words.is_empty());
+    }
+
+    #[test]
+    fn plan_callback_sees_each_site_in_order() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.load(Width::W4, Ext::Zero, Reg32::Eax, MemRef::abs(0x1000));
+            a.alu_mr(AluOp::Add, MemRef::abs(0x2000), Reg32::Eax); // RMW: 2 sites
+            a.hlt();
+        });
+        let mut seen = Vec::new();
+        let mut plan = |site: SiteId, acc: SiteAccess| {
+            seen.push((site, acc.is_store));
+            SitePlan::Normal
+        };
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan).unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0.slot, 0);
+        assert!(!seen[0].1);
+        assert_eq!(seen[1].0.slot, 0);
+        assert!(!seen[1].1);
+        assert_eq!(seen[2].0.slot, 1);
+        assert!(seen[2].1);
+        assert_eq!(tb.trap_sites.len(), 3);
+    }
+
+    #[test]
+    fn sequence_plan_has_no_trap_sites() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.load(Width::W4, Ext::Zero, Reg32::Eax, MemRef::abs(0x1002));
+            a.hlt();
+        });
+        let mut plan = |_: SiteId, _: SiteAccess| SitePlan::Sequence;
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan).unwrap();
+        assert!(tb.trap_sites.is_empty());
+        // Sequence is longer than a plain load.
+        let mut plan2 = |_: SiteId, _: SiteAccess| SitePlan::Normal;
+        let tb2 = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan2).unwrap();
+        assert!(tb.words.len() > tb2.words.len());
+    }
+
+    #[test]
+    fn multiversion_emits_both_paths() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.load(
+                Width::W4,
+                Ext::Zero,
+                Reg32::Eax,
+                MemRef::base_disp(Reg32::Ebx, 0),
+            );
+            a.hlt();
+        });
+        let mut plan = |_: SiteId, _: SiteAccess| SitePlan::MultiVersion;
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan).unwrap();
+        let mut plan2 = |_: SiteId, _: SiteAccess| SitePlan::Sequence;
+        let tb_seq = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan2).unwrap();
+        // Multi-version contains the sequence *and* the check + plain path.
+        assert!(tb.words.len() > tb_seq.words.len());
+        assert!(tb.trap_sites.is_empty(), "guarded plain path cannot trap");
+    }
+
+    #[test]
+    fn jcc_without_setter_is_rejected() {
+        let entry = 0x40_0000u32;
+        // Hand-build: a block that *starts* with jcc (flags from elsewhere).
+        let jcc = encode_to_vec(
+            &Insn::Jcc {
+                cond: Cond::E,
+                target: entry,
+            },
+            entry,
+        )
+        .unwrap();
+        let mut mem = Memory::new();
+        mem.write_bytes(u64::from(entry), &jcc);
+        let err = translate_block(&mem, entry, BASE, 64, &mut all_normal).unwrap_err();
+        assert_eq!(err, TranslateError::FlagsCrossBlock { pc: entry });
+    }
+
+    #[test]
+    fn decode_error_is_reported() {
+        let mut mem = Memory::new();
+        mem.write_bytes(0x40_0000, &[0xCC]);
+        let err = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).unwrap_err();
+        assert!(matches!(err, TranslateError::Decode { pc: 0x40_0000, .. }));
+    }
+
+    #[test]
+    fn jcc_records_two_chainable_exits() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.alu_ri(AluOp::Sub, Reg32::Ecx, 1);
+            let top = a.new_label();
+            a.bind(top); // degenerate: jcc to next insn
+            a.jcc(Cond::Ne, top);
+        });
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).unwrap();
+        assert_eq!(tb.exits.len(), 2);
+        // Exit targets: fallthrough and the branch target.
+        let targets: Vec<u32> = tb.exits.iter().map(|e| e.target).collect();
+        assert!(targets.contains(&tb.guest_end));
+    }
+
+    #[test]
+    fn max_insns_cuts_block_with_fallthrough_exit() {
+        let mem = assemble_at(0x40_0000, |a| {
+            for _ in 0..10 {
+                a.nop();
+            }
+            a.hlt();
+        });
+        let tb = translate_block(&mem, 0x40_0000, BASE, 4, &mut all_normal).unwrap();
+        assert_eq!(tb.guest_insn_count, 4);
+        assert_eq!(tb.exits.len(), 1);
+        assert_eq!(tb.exits[0].target, 0x40_0004);
+    }
+
+    #[test]
+    fn dead_flags_cost_nothing() {
+        // Two versions: flags consumed vs not.
+        let mem_dead = assemble_at(0x40_0000, |a| {
+            a.alu_ri(AluOp::Add, Reg32::Eax, 1);
+            a.hlt();
+        });
+        let mem_live = assemble_at(0x40_0000, |a| {
+            a.alu_ri(AluOp::Add, Reg32::Eax, 1);
+            let l = a.here_label();
+            a.jcc(Cond::Ne, l); // consumes flags (degenerate self-target)
+        });
+        let dead = translate_block(&mem_dead, 0x40_0000, BASE, 1, &mut all_normal).unwrap();
+        let live = translate_block(&mem_live, 0x40_0000, BASE, 64, &mut all_normal).unwrap();
+        // Dead add with a small immediate is a single addl-literal… plus the
+        // fallthrough exit stub.
+        assert!(dead.words.len() < live.words.len());
+    }
+
+    #[test]
+    fn guest_pcs_recorded() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.mov_ri(Reg32::Eax, 1); // 5 bytes
+            a.nop(); // 1 byte
+            a.hlt();
+        });
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).unwrap();
+        assert_eq!(tb.guest_pcs, vec![0x40_0000, 0x40_0005, 0x40_0006]);
+        assert_eq!(tb.guest_end, 0x40_0007);
+    }
+}

@@ -1,0 +1,631 @@
+//! The host CPU: fetches, decodes and executes encoded Alpha words from
+//! simulated memory, with alignment enforcement and cycle accounting.
+
+use crate::cache::Cache;
+use crate::cost::CostModel;
+use crate::mem::Memory;
+use crate::stats::Stats;
+use crate::trap::{Exit, MachineFault, UnalignedInfo};
+use bridge_alpha::insn::{Insn, MemOp, Rb};
+use bridge_alpha::reg::Reg;
+use bridge_alpha::{decode, op, PAL_EXIT_MONITOR, PAL_HALT, PAL_REQUEST_MONITOR};
+use std::collections::HashMap;
+
+/// The simulated Alpha machine.
+///
+/// Executes real encoded instruction words out of its [`Memory`], so the
+/// DBT's code patching takes effect on the very next fetch of the patched
+/// address. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    mem: Memory,
+    regs: [u64; 32],
+    pc: u64,
+    cost: CostModel,
+    icache: Option<Cache>,
+    dcache: Option<Cache>,
+    l2: Option<Cache>,
+    stats: Stats,
+    /// Decoded-instruction cache. Sound because *all* code writes go
+    /// through [`Machine::write_code`], which invalidates it; guest stores
+    /// cannot reach the code-cache region (it lies above the 32-bit guest
+    /// address space). Purely a simulator speedup — no cycle effect.
+    decoded: HashMap<u64, Insn>,
+}
+
+impl Machine {
+    /// Machine with the ES40 cost model and cache geometry.
+    pub fn new() -> Machine {
+        Machine::with_cost(CostModel::es40())
+    }
+
+    /// Machine with a custom cost model and the ES40 cache geometry.
+    pub fn with_cost(cost: CostModel) -> Machine {
+        Machine {
+            mem: Memory::new(),
+            regs: [0; 32],
+            pc: 0,
+            cost,
+            icache: Some(Cache::es40_l1()),
+            dcache: Some(Cache::es40_l1()),
+            l2: Some(Cache::es40_l2()),
+            stats: Stats::new(),
+            decoded: HashMap::new(),
+        }
+    }
+
+    /// Machine without cache modelling (cycle counts become purely
+    /// instruction-proportional; useful for deterministic tests).
+    pub fn without_caches(cost: CostModel) -> Machine {
+        Machine {
+            icache: None,
+            dcache: None,
+            l2: None,
+            ..Machine::with_cost(cost)
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Shared access to memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (guest data, image loading).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Reads an integer register (`R31` reads as zero).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes an integer register (`R31` writes are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not 4-aligned.
+    pub fn set_pc(&mut self, pc: u64) {
+        assert_eq!(pc & 3, 0, "pc must be 4-aligned");
+        self.pc = pc;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Charges extra cycles (used by the DBT engine for its runtime
+    /// services: interpretation, translation, handler work).
+    pub fn charge(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Adds an externally raised misalignment trap to the counters (the OS
+    /// fixup path, where the engine emulates the access in software rather
+    /// than resuming through patched code).
+    pub fn count_external_trap(&mut self) {
+        self.stats.unaligned_traps += 1;
+    }
+
+    /// Writes instruction words at `addr` (4-aligned) and invalidates the
+    /// corresponding I-cache lines, as the DBT's code-cache writes must.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-aligned.
+    pub fn write_code(&mut self, addr: u64, words: &[u32]) {
+        assert_eq!(addr & 3, 0, "code must be 4-aligned");
+        for (i, &w) in words.iter().enumerate() {
+            let a = addr + 4 * i as u64;
+            self.mem.write_u32(a, w);
+            self.decoded.remove(&a);
+            if let Some(ic) = &mut self.icache {
+                ic.invalidate(a);
+            }
+        }
+    }
+
+    /// Overwrites a single instruction word (the exception handler's patch
+    /// primitive) and invalidates its I-cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-aligned.
+    pub fn patch_code_word(&mut self, addr: u64, word: u32) {
+        self.write_code(addr, &[word]);
+    }
+
+    /// Flushes all cache state (used between benchmark runs).
+    pub fn flush_caches(&mut self) {
+        for c in [&mut self.icache, &mut self.dcache, &mut self.l2]
+            .into_iter()
+            .flatten()
+        {
+            c.flush();
+        }
+    }
+
+    fn fetch_cost(&mut self, pc: u64) {
+        self.stats.cycles += self.cost.insn_base;
+        if let Some(ic) = &mut self.icache {
+            self.stats.icache_accesses += 1;
+            if !ic.access(pc) {
+                self.stats.icache_misses += 1;
+                self.stats.cycles += self.cost.l1_miss;
+                if let Some(l2) = &mut self.l2 {
+                    self.stats.l2_accesses += 1;
+                    if !l2.access(pc) {
+                        self.stats.l2_misses += 1;
+                        self.stats.cycles += self.cost.l2_miss;
+                    }
+                }
+            }
+        }
+    }
+
+    fn data_cost(&mut self, addr: u64, is_store: bool) {
+        self.stats.cycles += if is_store {
+            self.cost.store_extra
+        } else {
+            self.cost.load_extra
+        };
+        if let Some(dc) = &mut self.dcache {
+            self.stats.dcache_accesses += 1;
+            if !dc.access(addr) {
+                self.stats.dcache_misses += 1;
+                self.stats.cycles += self.cost.l1_miss;
+                if let Some(l2) = &mut self.l2 {
+                    self.stats.l2_accesses += 1;
+                    if !l2.access(addr) {
+                        self.stats.l2_misses += 1;
+                        self.stats.cycles += self.cost.l2_miss;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction. Returns `None` to continue, or the exit /
+    /// trap that stopped the machine. On an [`Exit::Unaligned`] the PC still
+    /// addresses the faulting instruction.
+    pub fn step(&mut self) -> Option<Exit> {
+        let pc = self.pc;
+        self.fetch_cost(pc);
+        self.stats.insns += 1;
+        let insn = match self.decoded.get(&pc) {
+            Some(i) => *i,
+            None => {
+                let word = self.mem.read_u32(pc);
+                match decode(word) {
+                    Ok(i) => {
+                        self.decoded.insert(pc, i);
+                        i
+                    }
+                    Err(_) => {
+                        return Some(Exit::Fault(MachineFault::IllegalInstruction { pc, word }));
+                    }
+                }
+            }
+        };
+
+        match insn {
+            Insn::Mem { op, ra, rb, disp } => {
+                let ea = self.reg(rb).wrapping_add(disp as i64 as u64);
+                match op {
+                    MemOp::Lda => self.set_reg(ra, ea),
+                    MemOp::Ldah => {
+                        let v = self.reg(rb).wrapping_add(((disp as i64) << 16) as u64);
+                        self.set_reg(ra, v);
+                    }
+                    _ => {
+                        let align = op.required_alignment();
+                        if align > 1 && ea & u64::from(align - 1) != 0 {
+                            self.stats.unaligned_traps += 1;
+                            self.stats.cycles += self.cost.unaligned_trap;
+                            return Some(Exit::Unaligned(UnalignedInfo {
+                                pc,
+                                addr: ea,
+                                size: op.size(),
+                                is_store: op.is_store(),
+                                // The handler reads the faulting word from
+                                // the exception context.
+                                insn_word: self.mem.read_u32(pc),
+                            }));
+                        }
+                        let access_addr = match op {
+                            MemOp::LdqU | MemOp::StqU => ea & !7,
+                            _ => ea,
+                        };
+                        self.data_cost(access_addr, op.is_store());
+                        if op.is_store() {
+                            self.stats.stores += 1;
+                            let v = self.reg(ra);
+                            self.mem.write_int(access_addr, op.size(), v);
+                        } else {
+                            self.stats.loads += 1;
+                            let raw = self.mem.read_int(access_addr, op.size());
+                            let v = match op {
+                                MemOp::Ldl => raw as u32 as i32 as i64 as u64,
+                                _ => raw,
+                            };
+                            self.set_reg(ra, v);
+                        }
+                    }
+                }
+                self.pc = pc.wrapping_add(4);
+            }
+            Insn::Br { op, ra, disp } => {
+                let link = pc.wrapping_add(4);
+                let taken = op.taken(self.reg(ra));
+                if op.is_unconditional() {
+                    self.set_reg(ra, link);
+                }
+                if taken {
+                    self.stats.taken_branches += 1;
+                    self.stats.cycles += self.cost.branch_taken_extra;
+                    self.pc = bridge_alpha::builder::branch_target(pc, disp);
+                } else {
+                    self.pc = link;
+                }
+            }
+            Insn::Jmp { ra, rb, .. } => {
+                let link = pc.wrapping_add(4);
+                let target = self.reg(rb) & !3;
+                self.set_reg(ra, link);
+                self.stats.taken_branches += 1;
+                self.stats.cycles += self.cost.branch_taken_extra;
+                self.pc = target;
+            }
+            Insn::Op { op, ra, rb, rc } => {
+                let av = self.reg(ra);
+                let bv = match rb {
+                    Rb::Reg(r) => self.reg(r),
+                    Rb::Lit(l) => u64::from(l),
+                };
+                if op.is_cmov() {
+                    if op.cmov_taken(av) {
+                        self.set_reg(rc, bv);
+                    }
+                } else {
+                    self.set_reg(rc, op::eval(op, av, bv));
+                }
+                self.pc = pc.wrapping_add(4);
+            }
+            Insn::CallPal { func } => {
+                self.pc = pc.wrapping_add(4);
+                return match func {
+                    PAL_HALT => Some(Exit::Halted),
+                    PAL_EXIT_MONITOR => Some(Exit::Monitor),
+                    PAL_REQUEST_MONITOR => Some(Exit::Request),
+                    _ => Some(Exit::Fault(MachineFault::UnknownPal { pc, func })),
+                };
+            }
+        }
+        None
+    }
+
+    /// Runs until an exit, a trap, or `fuel` instructions have executed.
+    pub fn run(&mut self, mut fuel: u64) -> Exit {
+        loop {
+            if fuel == 0 {
+                return Exit::Fault(MachineFault::OutOfFuel);
+            }
+            fuel -= 1;
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_alpha::builder::CodeBuilder;
+    use bridge_alpha::insn::{BrOp, JumpKind, OpFn};
+
+    const BASE: u64 = 0x8000_0000;
+
+    fn run_fragment(build: impl FnOnce(&mut CodeBuilder)) -> (Machine, Exit) {
+        let mut b = CodeBuilder::new(BASE);
+        build(&mut b);
+        let words = b.finish().expect("fragment builds");
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        let exit = m.run(100_000);
+        (m, exit)
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // r1 = 10; r2 = 0; while (r1 != 0) { r2 += r1; r1 -= 1 } → r2 = 55
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 10);
+            b.load_imm32(Reg::R2, 0);
+            let top = b.new_label();
+            b.bind(top);
+            b.op(OpFn::Addq, Reg::R2, Reg::R1, Reg::R2);
+            b.op_lit(OpFn::Subq, Reg::R1, 1, Reg::R1);
+            b.br_label(BrOp::Bne, Reg::R1, top);
+            b.call_pal(PAL_HALT);
+        });
+        assert_eq!(exit, Exit::Halted);
+        assert_eq!(m.reg(Reg::R2), 55);
+    }
+
+    #[test]
+    fn aligned_memory_roundtrip() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 0x1000);
+            b.load_imm32(Reg::R2, -123);
+            b.mem(MemOp::Stl, Reg::R2, 0, Reg::R1);
+            b.mem(MemOp::Ldl, Reg::R3, 0, Reg::R1);
+            b.mem(MemOp::Ldq, Reg::R4, 0x40, Reg::R1); // untouched → 0
+            b.call_pal(PAL_HALT);
+        });
+        assert_eq!(exit, Exit::Halted);
+        assert_eq!(m.reg(Reg::R3), (-123i64) as u64); // ldl sign-extends
+        assert_eq!(m.reg(Reg::R4), 0);
+    }
+
+    #[test]
+    fn misaligned_ldl_traps() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 0x1002);
+            b.mem(MemOp::Ldl, Reg::R2, 0, Reg::R1);
+            b.call_pal(PAL_HALT);
+        });
+        let info = exit.unaligned().expect("should trap");
+        assert_eq!(info.addr, 0x1002);
+        assert_eq!(info.size, 4);
+        assert!(!info.is_store);
+        // PC still points at the faulting ldl.
+        assert_eq!(m.pc(), info.pc);
+        assert_eq!(m.stats().unaligned_traps, 1);
+        assert!(m.stats().cycles >= m.cost().unaligned_trap);
+    }
+
+    #[test]
+    fn misaligned_store_traps_with_store_flag() {
+        let (_, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 0x1001);
+            b.mem(MemOp::Stw, Reg::R2, 0, Reg::R1);
+            b.call_pal(PAL_HALT);
+        });
+        let info = exit.unaligned().expect("should trap");
+        assert!(info.is_store);
+        assert_eq!(info.size, 2);
+    }
+
+    #[test]
+    fn ldq_u_never_traps() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 0x1007);
+            b.mem(MemOp::LdqU, Reg::R2, 0, Reg::R1);
+            b.call_pal(PAL_HALT);
+        });
+        assert_eq!(exit, Exit::Halted);
+        assert_eq!(m.reg(Reg::R2), 0);
+        assert_eq!(m.stats().unaligned_traps, 0);
+    }
+
+    #[test]
+    fn mda_sequence_loads_unaligned_value() {
+        use bridge_alpha::mda_seq::{emit_unaligned_load, AccessWidth, SeqTemps};
+        let mut b = CodeBuilder::new(BASE);
+        b.load_imm32(Reg::R2, 0x2001);
+        emit_unaligned_load(
+            &mut b,
+            AccessWidth::W4,
+            Reg::R1,
+            Reg::R2,
+            0,
+            true,
+            &SeqTemps::default(),
+        );
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.mem_mut().write_int(0x2001, 4, 0x8899_AABB);
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        assert_eq!(m.run(1000), Exit::Halted);
+        assert_eq!(m.reg(Reg::R1), 0x8899_AABBu32 as i32 as i64 as u64);
+        assert_eq!(m.stats().unaligned_traps, 0);
+    }
+
+    #[test]
+    fn monitor_exit_advances_pc() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R16, 0x40_0000);
+            b.call_pal(PAL_EXIT_MONITOR);
+        });
+        assert_eq!(exit, Exit::Monitor);
+        assert_eq!(m.reg(Reg::R16), 0x40_0000);
+        // PC is after the call_pal: 2 insns for load_imm32? (one lda) + pal
+        assert_eq!(m.pc() & 3, 0);
+    }
+
+    #[test]
+    fn request_monitor_exit() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R16, 0x1234);
+            b.call_pal(bridge_alpha::PAL_REQUEST_MONITOR);
+        });
+        assert_eq!(exit, Exit::Request);
+        assert_eq!(m.reg(Reg::R16), 0x1234);
+    }
+
+    #[test]
+    fn unknown_pal_faults() {
+        let (_, exit) = run_fragment(|b| b.call_pal(0x3FF));
+        assert!(matches!(
+            exit,
+            Exit::Fault(MachineFault::UnknownPal { func: 0x3FF, .. })
+        ));
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.write_code(BASE, &[0x07u32 << 26]);
+        m.set_pc(BASE);
+        assert!(matches!(
+            m.run(10),
+            Exit::Fault(MachineFault::IllegalInstruction { pc: BASE, .. })
+        ));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut b = CodeBuilder::new(BASE);
+        let top = b.new_label();
+        b.bind(top);
+        b.br_label(BrOp::Br, Reg::ZERO, top);
+        let words = b.finish().unwrap();
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        assert_eq!(m.run(100), Exit::Fault(MachineFault::OutOfFuel));
+    }
+
+    #[test]
+    fn jump_and_link() {
+        // Placed low so the absolute target fits load_imm32's i32 range.
+        let base = 0x10_0000u64;
+        let mut b = CodeBuilder::new(base);
+        b.load_imm32(Reg::R5, (base + 4 * 4) as i32); // target: final halt
+        b.jump(JumpKind::Jsr, Reg::R26, Reg::R5);
+        b.call_pal(PAL_HALT); // skipped
+        b.call_pal(PAL_HALT); // skipped
+        b.call_pal(PAL_HALT); // jump target
+        let words = b.finish().unwrap();
+        assert_eq!(words.len(), 6, "ldah+lda, jsr, three halts");
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.write_code(base, &words);
+        m.set_pc(base);
+        assert_eq!(m.run(100), Exit::Halted);
+        // Link register holds the return address (after the jsr at +8).
+        assert_eq!(m.reg(Reg::R26), base + 3 * 4);
+        // Only the jump target executed: ldah+lda+jsr+halt.
+        assert_eq!(m.stats().insns, 4);
+    }
+
+    #[test]
+    fn cmov_conditional_write() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 0); // condition: zero
+            b.load_imm32(Reg::R2, 7);
+            b.load_imm32(Reg::R3, 100);
+            b.op(OpFn::Cmoveq, Reg::R1, Reg::R2, Reg::R3); // taken: r3 = 7
+            b.op(OpFn::Cmovne, Reg::R1, Reg::R2, Reg::R4); // not taken
+            b.call_pal(PAL_HALT);
+        });
+        assert_eq!(exit, Exit::Halted);
+        assert_eq!(m.reg(Reg::R3), 7);
+        assert_eq!(m.reg(Reg::R4), 0);
+    }
+
+    #[test]
+    fn r31_is_hardwired_zero() {
+        let (m, exit) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 55);
+            b.op(OpFn::Addq, Reg::R1, Reg::R1, Reg::R31); // write discarded
+            b.op(OpFn::Addq, Reg::R31, Reg::R31, Reg::R2); // 0 + 0
+            b.call_pal(PAL_HALT);
+        });
+        assert_eq!(exit, Exit::Halted);
+        assert_eq!(m.reg(Reg::R31), 0);
+        assert_eq!(m.reg(Reg::R2), 0);
+    }
+
+    #[test]
+    fn patching_takes_effect_on_next_fetch() {
+        // A loop that exits only after its body is patched from nop to
+        // "subq r1, 1, r1" — emulates the exception handler's patch.
+        let mut b = CodeBuilder::new(BASE);
+        b.load_imm32(Reg::R1, 1);
+        let top = b.new_label();
+        b.bind(top);
+        b.emit(bridge_alpha::Insn::NOP); // will be patched
+        b.br_label(BrOp::Bne, Reg::R1, top);
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        // Run a few instructions: the loop spins.
+        for _ in 0..10 {
+            assert!(m.step().is_none());
+        }
+        // Patch the nop (at BASE + 4, after the 1-insn load_imm32).
+        let patched = bridge_alpha::encode::encode(&bridge_alpha::Insn::Op {
+            op: OpFn::Subq,
+            ra: Reg::R1,
+            rb: bridge_alpha::Rb::Lit(1),
+            rc: Reg::R1,
+        });
+        m.patch_code_word(BASE + 4, patched);
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn cycle_accounting_flat_model() {
+        let (m, _) = run_fragment(|b| {
+            b.load_imm32(Reg::R1, 1);
+            b.call_pal(PAL_HALT);
+        });
+        // flat model: 1 cycle per instruction, 2 instructions.
+        assert_eq!(m.stats().cycles, 2);
+        assert_eq!(m.stats().insns, 2);
+    }
+
+    #[test]
+    fn cache_stats_populated_with_caches_enabled() {
+        let mut b = CodeBuilder::new(BASE);
+        b.load_imm32(Reg::R1, 0x1000);
+        b.mem(MemOp::Ldl, Reg::R2, 0, Reg::R1);
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+        let mut m = Machine::new();
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        assert_eq!(m.run(100), Exit::Halted);
+        assert!(m.stats().icache_accesses >= 3);
+        assert_eq!(m.stats().dcache_accesses, 1);
+        assert!(m.stats().icache_misses >= 1); // cold caches
+        assert!(m.stats().cycles > m.stats().insns); // miss penalties landed
+    }
+}

@@ -1,0 +1,54 @@
+//! Host machine simulator for DigitalBridge-RS.
+//!
+//! Models the paper's evaluation machine — a one-processor Alpha ES40 with
+//! split 64 KB 2-way L1 caches and a 2 MB direct-mapped L2 — at the level of
+//! detail the MDA-handling mechanisms differ on:
+//!
+//! * it **executes the encoded Alpha instruction words** placed in its
+//!   memory by the translator (so code patching is real: the exception
+//!   handler overwrites an instruction word and the machine fetches the new
+//!   one),
+//! * `ldl`/`stl`/`ldq`/`stq`/`ldwu`/`stw` **trap on misaligned addresses**,
+//!   returning control to the embedder exactly as the OS would deliver a
+//!   misalignment exception to the DBT's registered handler,
+//! * a configurable [`CostModel`] charges cycles per instruction class, per
+//!   cache outcome and per trap (~1000 cycles, the figure the paper cites),
+//!   and
+//! * the [`native`] module provides the x86-machine cost model used only to
+//!   reproduce the paper's Figure 1 (native alignment-flag comparison).
+//!
+//! The simulator is deliberately single-threaded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use bridge_sim::{Machine, Exit};
+//! use bridge_alpha::{CodeBuilder, Reg, PAL_HALT};
+//!
+//! let mut b = CodeBuilder::new(0x8000_0000);
+//! b.load_imm32(Reg::R1, 41);
+//! b.op_lit(bridge_alpha::OpFn::Addq, Reg::R1, 1, Reg::R1);
+//! b.call_pal(PAL_HALT);
+//! let words = b.finish().expect("valid fragment");
+//!
+//! let mut m = Machine::new();
+//! m.write_code(0x8000_0000, &words);
+//! m.set_pc(0x8000_0000);
+//! assert_eq!(m.run(1_000), Exit::Halted);
+//! assert_eq!(m.reg(Reg::R1), 42);
+//! ```
+
+pub mod cache;
+pub mod cost;
+pub mod cpu;
+pub mod mem;
+pub mod native;
+pub mod stats;
+pub mod trap;
+
+pub use cache::Cache;
+pub use cost::CostModel;
+pub use cpu::Machine;
+pub use mem::Memory;
+pub use stats::Stats;
+pub use trap::{Exit, MachineFault, UnalignedInfo};

@@ -1,0 +1,263 @@
+//! Sparse paged byte-addressable memory shared by the guest image, guest
+//! data, the DBT's code cache and the host machine.
+
+use bridge_x86::exec::GuestMem;
+use bridge_x86::insn::Width;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// Sparse 64-bit-addressed memory. Unmapped bytes read as zero; writes
+/// allocate pages on demand. All accesses may be unaligned — alignment
+/// *policy* lives in the CPUs, not in memory.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// New empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of mapped pages (for diagnostics / footprint checks).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, mapping the page if needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `size` bytes little-endian, zero-extended. `size` must be
+    /// 1..=8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn read_int(&self, addr: u64, size: u32) -> u64 {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        // Fast path: whole access within one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            if let Some(p) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                let mut buf = [0u8; 8];
+                buf[..size as usize].copy_from_slice(&p[off..off + size as usize]);
+                return u64::from_le_bytes(buf);
+            }
+            return 0;
+        }
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= u64::from(self.read_u8(addr.wrapping_add(u64::from(i)))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn write_int(&mut self, addr: u64, size: u32, value: u64) {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            page[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+            return;
+        }
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(u64::from(i)), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 32-bit word (used for instruction fetch).
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_int(addr, 4) as u32
+    }
+
+    /// Writes a 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_int(addr, 4, u64::from(value));
+    }
+
+    /// Reads a 64-bit quadword.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_int(addr, 8)
+    }
+
+    /// Writes a 64-bit quadword.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_int(addr, 8, value);
+    }
+
+    /// Copies bytes out of memory.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+    }
+
+    /// Copies bytes into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Formats `len` bytes starting at `addr` as a classic 16-byte-per-line
+    /// hexdump with an ASCII gutter (diagnostics).
+    pub fn hexdump(&self, addr: u64, len: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for line in 0..len.div_ceil(16) {
+            let base = addr + 16 * line as u64;
+            let _ = write!(out, "{base:#012x}  ");
+            let n = 16.min(len - 16 * line);
+            for i in 0..16 {
+                if i < n {
+                    let _ = write!(out, "{:02x} ", self.read_u8(base + i as u64));
+                } else {
+                    out.push_str("   ");
+                }
+                if i == 7 {
+                    out.push(' ');
+                }
+            }
+            out.push(' ');
+            for i in 0..n {
+                let b = self.read_u8(base + i as u64);
+                out.push(if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl GuestMem for Memory {
+    fn load(&mut self, addr: u32, width: Width) -> u64 {
+        self.read_int(u64::from(addr), width.bytes())
+    }
+
+    fn store(&mut self, addr: u32, width: Width, value: u64) {
+        self.write_int(u64::from(addr), width.bytes(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut m = Memory::new();
+        m.write_int(0x1000, 1, 0xAB);
+        m.write_int(0x2000, 2, 0xCDEF);
+        m.write_int(0x3000, 4, 0x1234_5678);
+        m.write_int(0x4000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_int(0x1000, 1), 0xAB);
+        assert_eq!(m.read_int(0x2000, 2), 0xCDEF);
+        assert_eq!(m.read_int(0x3000, 4), 0x1234_5678);
+        assert_eq!(m.read_int(0x4000, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // 3 bytes before a page boundary
+        m.write_int(addr, 8, 0x0807_0605_0403_0201);
+        assert_eq!(m.read_int(addr, 8), 0x0807_0605_0403_0201);
+        assert_eq!(m.read_u8(addr + 7), 0x08);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0xAABB_CCDD);
+        assert_eq!(m.read_u8(0x100), 0xDD);
+        assert_eq!(m.read_u8(0x103), 0xAA);
+    }
+
+    #[test]
+    fn misaligned_accesses_allowed() {
+        let mut m = Memory::new();
+        m.write_int(0x1001, 4, 0xCAFE_BABE);
+        assert_eq!(m.read_int(0x1001, 4), 0xCAFE_BABE);
+        assert_eq!(m.read_int(0x1003, 2), 0xCAFE);
+    }
+
+    #[test]
+    fn bytes_helpers() {
+        let mut m = Memory::new();
+        m.write_bytes(0x500, &[1, 2, 3, 4, 5]);
+        let mut buf = [0u8; 5];
+        m.read_bytes(0x500, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn guest_mem_trait() {
+        use bridge_x86::exec::GuestMem as _;
+        let mut m = Memory::new();
+        m.store(0x77, Width::W4, 0x0102_0304);
+        assert_eq!(m.load(0x77, Width::W4), 0x0102_0304);
+        assert_eq!(m.load(0x77, Width::W2), 0x0304);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be 1..=8")]
+    fn oversized_read_panics() {
+        Memory::new().read_int(0, 9);
+    }
+
+    #[test]
+    fn hexdump_format() {
+        let mut m = Memory::new();
+        m.write_bytes(0x1000, b"Hello, world!\x00\xff ABC");
+        let dump = m.hexdump(0x1000, 20);
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("48 65 6c 6c 6f"), "{dump}");
+        assert!(dump.contains("Hello, world!"), "{dump}");
+        assert!(dump.contains('.'), "non-printables become dots: {dump}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Execution statistics counters.
+
+use std::fmt;
+
+/// Counters accumulated by the host machine (and added to by the DBT engine
+/// for its runtime services).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Host instructions executed.
+    pub insns: u64,
+    /// Host loads executed (including `ldq_u`).
+    pub loads: u64,
+    /// Host stores executed (including `stq_u`).
+    pub stores: u64,
+    /// Taken branches and jumps.
+    pub taken_branches: u64,
+    /// Misalignment traps raised.
+    pub unaligned_traps: u64,
+    /// I-cache accesses.
+    pub icache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache accesses.
+    pub dcache_accesses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// L2 accesses (from either L1).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+}
+
+impl Stats {
+    /// Zeroed counters.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.insns += other.insns;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.taken_branches += other.taken_branches;
+        self.unaligned_traps += other.unaligned_traps;
+        self.icache_accesses += other.icache_accesses;
+        self.icache_misses += other.icache_misses;
+        self.dcache_accesses += other.dcache_accesses;
+        self.dcache_misses += other.dcache_misses;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} insns={} loads={} stores={} taken={} traps={}",
+            self.cycles,
+            self.insns,
+            self.loads,
+            self.stores,
+            self.taken_branches,
+            self.unaligned_traps
+        )?;
+        write!(
+            f,
+            "icache {}/{} miss, dcache {}/{} miss, l2 {}/{} miss",
+            self.icache_misses,
+            self.icache_accesses,
+            self.dcache_misses,
+            self.dcache_accesses,
+            self.l2_misses,
+            self.l2_accesses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Stats {
+            cycles: 10,
+            insns: 5,
+            ..Stats::new()
+        };
+        let b = Stats {
+            cycles: 7,
+            insns: 2,
+            unaligned_traps: 1,
+            ..Stats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.insns, 7);
+        assert_eq!(a.unaligned_traps, 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Stats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Machine exits, traps and faults.
+
+use std::fmt;
+
+/// Details of a misalignment trap, delivered to the embedder exactly as the
+/// OS would deliver a `SIGBUS`-style unaligned-access exception to the DBT's
+/// registered handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnalignedInfo {
+    /// PC of the faulting instruction (not advanced — the handler decides
+    /// how to resume).
+    pub pc: u64,
+    /// Faulting effective address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u32,
+    /// Whether the access was a store.
+    pub is_store: bool,
+    /// The faulting instruction word, as the handler would read it from the
+    /// exception context.
+    pub insn_word: u32,
+}
+
+/// Hard machine faults (bugs in translated code or the embedder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineFault {
+    /// Fetched a word that does not decode.
+    IllegalInstruction {
+        /// PC of the undecodable word.
+        pc: u64,
+        /// The word itself.
+        word: u32,
+    },
+    /// An unknown PALcode function.
+    UnknownPal {
+        /// PC of the `call_pal`.
+        pc: u64,
+        /// The PAL function code.
+        func: u32,
+    },
+    /// The fuel budget given to [`Machine::run`](crate::cpu::Machine::run)
+    /// ran out.
+    OutOfFuel,
+}
+
+impl fmt::Display for MachineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineFault::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#x}")
+            }
+            MachineFault::UnknownPal { pc, func } => {
+                write!(f, "unknown PAL function {func:#x} at {pc:#x}")
+            }
+            MachineFault::OutOfFuel => write!(f, "fuel exhausted"),
+        }
+    }
+}
+
+/// Why [`Machine::run`](crate::cpu::Machine::run) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// `call_pal halt` executed.
+    Halted,
+    /// `call_pal exit_monitor` executed: translated code returned control
+    /// to the DBT dispatcher. PC points *after* the `call_pal`.
+    Monitor,
+    /// `call_pal request_monitor` executed: translated code asks the DBT
+    /// for a service (Figure 8's adaptive reversion). PC points *after*
+    /// the `call_pal`.
+    Request,
+    /// A memory instruction faulted on alignment. PC still points at the
+    /// faulting instruction.
+    Unaligned(UnalignedInfo),
+    /// A hard fault.
+    Fault(MachineFault),
+}
+
+impl Exit {
+    /// Convenience: the unaligned-trap payload, if that is what this exit
+    /// is.
+    pub fn unaligned(&self) -> Option<&UnalignedInfo> {
+        match self {
+            Exit::Unaligned(info) => Some(info),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Exit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exit::Halted => write!(f, "halted"),
+            Exit::Monitor => write!(f, "monitor exit"),
+            Exit::Request => write!(f, "monitor service request"),
+            Exit::Unaligned(u) => write!(
+                f,
+                "unaligned {} of {} bytes at {:#x} (pc {:#x})",
+                if u.is_store { "store" } else { "load" },
+                u.size,
+                u.addr,
+                u.pc
+            ),
+            Exit::Fault(m) => write!(f, "fault: {m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let info = UnalignedInfo {
+            pc: 0x100,
+            addr: 0x2002,
+            size: 4,
+            is_store: false,
+            insn_word: 0,
+        };
+        assert!(Exit::Unaligned(info).to_string().contains("load"));
+        assert!(Exit::Halted.to_string().contains("halted"));
+        assert!(Exit::Fault(MachineFault::OutOfFuel)
+            .to_string()
+            .contains("fuel"));
+        assert!(
+            Exit::Fault(MachineFault::IllegalInstruction { pc: 4, word: 9 })
+                .to_string()
+                .contains("illegal")
+        );
+    }
+
+    #[test]
+    fn unaligned_accessor() {
+        let info = UnalignedInfo {
+            pc: 0,
+            addr: 1,
+            size: 2,
+            is_store: true,
+            insn_word: 3,
+        };
+        assert_eq!(Exit::Unaligned(info).unaligned(), Some(&info));
+        assert_eq!(Exit::Halted.unaligned(), None);
+    }
+}

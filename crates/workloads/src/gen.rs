@@ -1,0 +1,472 @@
+//! The synthetic workload generator: lowers a [`WorkloadSpec`] to a guest
+//! x86 program whose dynamic misalignment behaviour matches the paper's
+//! per-benchmark measurements.
+//!
+//! # Program shape
+//!
+//! ```text
+//! outer loop (N iterations, counted down in %ecx):
+//!   inner loop (I iterations): k always-aligned sites   ← dilution to hit
+//!   every 2^p-th iteration:                               Table I's ratio
+//!     early sites   — misaligned from the start (after a warmup)
+//!     late sites    — misaligned only after the phase switch  (Table III)
+//!     input sites   — misaligned only under the `ref` input   (Table IV)
+//!     mixed sites   — alternate aligned/misaligned            (Figure 15)
+//! ```
+//!
+//! Site shapes rotate through load / read-modify-write / store forms, and
+//! FP-suite benchmarks use 8-byte `movq` accesses for their MDA sites.
+
+use crate::spec::{InputSet, Scale, SpecBenchmark};
+use bridge_dbt::engine::GuestProgram;
+use bridge_x86::asm::Assembler;
+use bridge_x86::cond::Cond;
+use bridge_x86::insn::{AluOp, Ext, MemRef, Scale as XScale, Width};
+use bridge_x86::reg::{Reg32, RegMm};
+
+/// Guest address of the program image.
+pub const IMAGE_BASE: u32 = 0x0040_0000;
+/// Guest address of the input-configuration word (the `train`/`ref` knob).
+pub const CONFIG_ADDR: u32 = 0x0010_0000;
+/// Base of the always-aligned data region.
+pub const ALIGNED_REGION: u32 = 0x0012_0000;
+/// Base of the indexed data region.
+pub const IDX_REGION: u32 = 0x0014_0000;
+/// Base of the MDA data region (sites address `base + site*64`).
+pub const MDA_REGION: u32 = 0x0020_0000;
+/// Guest stack top.
+pub const STACK_TOP: u32 = 0x00F0_0000;
+
+/// Parameters of one synthetic workload (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Benchmark name this models.
+    pub name: String,
+    /// Outer loop iterations `N`.
+    pub outer_iters: u32,
+    /// Inner (aligned) loop iterations `I`.
+    pub inner_iters: u32,
+    /// Always-aligned sites per inner iteration `k`.
+    pub inner_sites: u32,
+    /// The MDA body runs on every `2^p`-th outer iteration.
+    pub dilution_pow2: u32,
+    /// Sites misaligned from the start (after `warmup_iters`).
+    pub early_sites: u32,
+    /// Outer iterations before the early sites start misaligning.
+    pub warmup_iters: u32,
+    /// Sites that misalign only after `switch_at` (phase change).
+    pub late_sites: u32,
+    /// Outer iteration at which the late sites switch to misaligned.
+    pub switch_at: u32,
+    /// Sites misaligned only under [`InputSet::Ref`].
+    pub input_dep_sites: u32,
+    /// Sites whose alignment alternates every MDA-body execution.
+    pub mixed_sites: u32,
+    /// Use 8-byte `movq` accesses for MDA sites (FP suites).
+    pub wide: bool,
+}
+
+impl WorkloadSpec {
+    /// Total static MDA sites (the synthetic analogue of a scaled-down
+    /// Table I NMI).
+    pub fn mda_sites(&self) -> u32 {
+        self.early_sites + self.late_sites + self.input_dep_sites + self.mixed_sites
+    }
+
+    /// Rough count of dynamic memory accesses the `Ref` run performs.
+    pub fn approx_mem_ops(&self) -> u64 {
+        let n = u64::from(self.outer_iters);
+        let aligned = n * u64::from(self.inner_iters) * u64::from(self.inner_sites);
+        let mda = (n * u64::from(self.mda_sites())) >> self.dilution_pow2;
+        aligned + mda
+    }
+
+    /// Rough count of guest instructions the `Ref` run executes.
+    pub fn approx_guest_insns(&self) -> u64 {
+        let n = u64::from(self.outer_iters);
+        let inner = n * u64::from(self.inner_iters) * (u64::from(self.inner_sites) + 2);
+        let mda = ((n * u64::from(self.mda_sites())) >> self.dilution_pow2) * 2;
+        inner + mda + n * 8
+    }
+
+    /// Derives the workload for a catalog benchmark at a given scale. The
+    /// calibration rules (documented in DESIGN.md §4):
+    ///
+    /// * MDA sites `m` ≈ `√NMI`, clamped to 2..=20 (a scaled NMI);
+    /// * the inner-loop dilution is solved so the dynamic MDA ratio equals
+    ///   Table I's Ratio column;
+    /// * late/input-dependent site counts and the phase-switch point are
+    ///   solved so the fraction of MDA volume invisible to a threshold-50
+    ///   dynamic profile (resp. a `train` profile) matches Table III
+    ///   (resp. Table IV).
+    pub fn derive(b: &SpecBenchmark, scale: Scale) -> WorkloadSpec {
+        let n = scale.outer_iters;
+        let m = ((b.nmi as f64).sqrt().round() as u32).clamp(2, 20);
+        let r = b.ratio();
+
+        // Partition the m sites.
+        let late_frac = b.late_fraction();
+        let train_frac = b.train_miss_fraction();
+        let mut late = if late_frac > 1e-4 {
+            ((late_frac * f64::from(m) / 0.75).ceil() as u32).clamp(1, m)
+        } else {
+            0
+        };
+        let mut input_dep = if train_frac > 1e-4 {
+            ((train_frac * f64::from(m)).round() as u32).clamp(1, m)
+        } else {
+            0
+        };
+        let mut mixed = u32::from(b.mixed);
+        // Keep the partition within m (priority: late, then input, mixed).
+        while late + input_dep + mixed > m {
+            if mixed > 0 {
+                mixed -= 1;
+            } else if input_dep > 1 || (input_dep > 0 && late >= m) {
+                input_dep -= 1;
+            } else {
+                late -= 1;
+            }
+        }
+        let early = m - late - input_dep - mixed;
+
+        // Phase-switch point: post-switch late volume should be
+        // `late_frac` of total MDA volume.
+        let switch_at = if late == 0 {
+            n
+        } else {
+            let post = (late_frac * f64::from(m) * f64::from(n) / f64::from(late)) as u32;
+            n.saturating_sub(post)
+                .clamp(n / 8, n.saturating_sub(n / 10))
+        };
+
+        // Dilution: aligned volume per iteration to hit the ratio.
+        let k = 4u32;
+        let mut p = 0u32;
+        let per_mda = (1.0 - r) / r; // aligned ops wanted per MDA op
+        let mut aligned_per_iter = per_mda * f64::from(m);
+        while aligned_per_iter / f64::from(k) > 400.0 && p < 12 {
+            p += 1;
+            aligned_per_iter /= 2.0;
+        }
+        let inner_iters = ((aligned_per_iter / f64::from(k)).round() as u32).max(1);
+
+        WorkloadSpec {
+            name: b.name.to_string(),
+            outer_iters: n,
+            inner_iters,
+            inner_sites: k,
+            dilution_pow2: p,
+            early_sites: early,
+            warmup_iters: b.warmup_iters.min(n / 4),
+            late_sites: late,
+            switch_at,
+            input_dep_sites: input_dep,
+            mixed_sites: mixed,
+            wide: b.suite.is_fp(),
+        }
+    }
+}
+
+/// A generated workload, ready to load into a DBT or interpreter.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The guest program image.
+    pub program: GuestProgram,
+    /// Data segments `(address, bytes)` the program reads and writes.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Initial stack pointer.
+    pub stack_top: u32,
+}
+
+impl Workload {
+    /// Loads the program and its data into a DBT engine.
+    pub fn load_into(&self, dbt: &mut bridge_dbt::Dbt) {
+        dbt.load(&self.program);
+        dbt.set_stack(self.stack_top);
+        for (addr, bytes) in &self.data {
+            dbt.write_guest_memory(*addr, bytes);
+        }
+    }
+}
+
+fn pattern_bytes(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+/// Emits one MDA site accessing `base_reg + site_index*64`, rotating
+/// through load / RMW / store shapes (8-byte `movq` shapes when `wide`).
+fn emit_mda_site(a: &mut Assembler, base: Reg32, site_index: u32, wide: bool) {
+    let m = MemRef::base_disp(base, (site_index * 64) as i32);
+    match (site_index % 4, wide) {
+        (3, false) => a.store(Width::W4, Reg32::Eax, m),
+        (3, true) => a.movq_store(RegMm::Mm0, m),
+        (1, false) => a.alu_mr(AluOp::Add, m, Reg32::Eax), // RMW: two accesses
+        (_, false) => a.alu_rm(AluOp::Add, Reg32::Eax, m),
+        (_, true) => a.movq_load(RegMm::Mm0, m),
+    }
+}
+
+/// Builds the guest program and data for a workload under an input set.
+///
+/// The `train`/`ref` distinction is carried entirely by the data (the
+/// configuration word the program loads at startup), exactly like a real
+/// program whose allocator alignment depends on its input.
+pub fn build(spec: &WorkloadSpec, input: InputSet) -> Workload {
+    let n = spec.outer_iters;
+    let mut a = Assembler::new(IMAGE_BASE);
+
+    // --- Prologue: bases and counters. ---
+    let early_base = if spec.warmup_iters == 0 && spec.early_sites > 0 {
+        MDA_REGION + 1
+    } else {
+        MDA_REGION
+    };
+    a.mov_ri(Reg32::Ebx, early_base as i32);
+    a.mov_ri(Reg32::Edi, MDA_REGION as i32); // late: aligned until the switch
+    a.mov_ri(Reg32::Ebp, MDA_REGION as i32); // mixed: starts aligned
+    a.load(Width::W4, Ext::Zero, Reg32::Esi, MemRef::abs(CONFIG_ADDR));
+    a.mov_ri(Reg32::Eax, 0);
+    a.mov_ri(Reg32::Ecx, n as i32);
+
+    let outer_top = a.here_label();
+
+    // --- Inner aligned loop. ---
+    a.mov_ri(Reg32::Edx, spec.inner_iters as i32);
+    let inner_top = a.here_label();
+    for s in 0..spec.inner_sites.saturating_sub(1) {
+        a.alu_rm(AluOp::Add, Reg32::Eax, MemRef::abs(ALIGNED_REGION + s * 64));
+    }
+    // One indexed site for addressing-mode coverage (always aligned).
+    a.alu_rm(
+        AluOp::Add,
+        Reg32::Eax,
+        MemRef::index_disp(Reg32::Edx, XScale::S4, IDX_REGION as i32),
+    );
+    a.alu_ri(AluOp::Sub, Reg32::Edx, 1);
+    a.jcc(Cond::Ne, inner_top);
+
+    // --- Dilution guard. ---
+    let after_mda = a.new_label();
+    if spec.dilution_pow2 > 0 {
+        let mask = (1i32 << spec.dilution_pow2) - 1;
+        a.alu_ri(AluOp::Test, Reg32::Ecx, mask);
+        a.jcc(Cond::Ne, after_mda);
+    }
+
+    // --- MDA body. ---
+    let mut site = 0u32;
+    for _ in 0..spec.early_sites {
+        emit_mda_site(&mut a, Reg32::Ebx, site, spec.wide);
+        site += 1;
+    }
+    for _ in 0..spec.late_sites {
+        emit_mda_site(&mut a, Reg32::Edi, site, spec.wide);
+        site += 1;
+    }
+    for _ in 0..spec.input_dep_sites {
+        emit_mda_site(&mut a, Reg32::Esi, site, spec.wide);
+        site += 1;
+    }
+    for _ in 0..spec.mixed_sites {
+        emit_mda_site(&mut a, Reg32::Ebp, site, spec.wide);
+        site += 1;
+    }
+    if spec.mixed_sites > 0 {
+        // Flip the mixed base between aligned and odd.
+        a.alu_ri(AluOp::Xor, Reg32::Ebp, 1);
+    }
+    a.bind(after_mda);
+
+    // --- Warmup end: early sites switch to misaligned. ---
+    if spec.warmup_iters > 0 && spec.early_sites > 0 {
+        let skip = a.new_label();
+        a.alu_ri(AluOp::Cmp, Reg32::Ecx, (n - spec.warmup_iters) as i32);
+        a.jcc(Cond::Ne, skip);
+        a.mov_ri(Reg32::Ebx, (MDA_REGION + 1) as i32);
+        a.bind(skip);
+    }
+
+    // --- Phase switch: late sites become misaligned. ---
+    if spec.late_sites > 0 && spec.switch_at < n {
+        let skip = a.new_label();
+        a.alu_ri(AluOp::Cmp, Reg32::Ecx, (n - spec.switch_at) as i32);
+        a.jcc(Cond::Ne, skip);
+        a.mov_ri(Reg32::Edi, (MDA_REGION + 1) as i32);
+        a.bind(skip);
+    }
+
+    a.alu_ri(AluOp::Sub, Reg32::Ecx, 1);
+    a.jcc(Cond::Ne, outer_top);
+    a.hlt();
+
+    let image = a.finish().expect("workload assembles");
+
+    // --- Data segments. ---
+    let config: u32 = match input {
+        InputSet::Train => MDA_REGION,
+        InputSet::Ref => {
+            if spec.input_dep_sites > 0 {
+                MDA_REGION + 1
+            } else {
+                MDA_REGION
+            }
+        }
+    };
+    let mda_len = (spec.mda_sites() as usize) * 64 + 16;
+    let data = vec![
+        (CONFIG_ADDR, config.to_le_bytes().to_vec()),
+        (
+            ALIGNED_REGION,
+            pattern_bytes((spec.inner_sites as usize) * 64 + 8, 11),
+        ),
+        (
+            IDX_REGION,
+            pattern_bytes((spec.inner_iters as usize + 2) * 4, 29),
+        ),
+        (MDA_REGION, pattern_bytes(mda_len.max(64), 43)),
+    ];
+
+    Workload {
+        program: GuestProgram::new(IMAGE_BASE, image),
+        data,
+        stack_top: STACK_TOP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::benchmark;
+    use bridge_dbt::engine::profile_program;
+    use bridge_sim::cost::CostModel;
+
+    fn interp_profile(
+        spec: &WorkloadSpec,
+        input: InputSet,
+    ) -> (bridge_x86::state::CpuState, bridge_dbt::Profile) {
+        let w = build(spec, input);
+        profile_program(
+            &w.program,
+            &w.data,
+            Some(w.stack_top),
+            &CostModel::flat(),
+            200_000_000,
+        )
+        .expect("halts")
+    }
+
+    #[test]
+    fn derive_produces_sane_parameters() {
+        for b in crate::spec::CATALOG.iter() {
+            let s = WorkloadSpec::derive(b, Scale::test());
+            assert!(s.mda_sites() >= 2, "{}", b.name);
+            assert!(s.mda_sites() <= 20, "{}", b.name);
+            assert!(s.inner_iters >= 1 && s.inner_iters <= 401, "{}", b.name);
+            assert!(s.switch_at <= s.outer_iters, "{}", b.name);
+            assert_eq!(s.wide, b.suite.is_fp(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn ratio_calibration_holds() {
+        for name in ["188.ammp", "410.bwaves", "164.gzip", "400.perlbench"] {
+            let b = benchmark(name).unwrap();
+            let spec = b.workload(Scale::test());
+            let (_, profile) = interp_profile(&spec, InputSet::Ref);
+            let measured = profile.mda_ratio();
+            let target = b.ratio();
+            assert!(
+                measured > target * 0.4 && measured < target * 2.5,
+                "{name}: measured {measured:.5} vs target {target:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn nmi_matches_site_count() {
+        let b = benchmark("433.milc").unwrap();
+        let spec = b.workload(Scale::test());
+        let (_, profile) = interp_profile(&spec, InputSet::Ref);
+        // Every MDA site (and only those) performs MDAs under Ref. Mixed
+        // sites count too; RMW sites are one instruction.
+        assert_eq!(profile.nmi() as u32, spec.mda_sites());
+    }
+
+    #[test]
+    fn train_and_ref_inputs_differ_exactly_on_input_dep_sites() {
+        let b = benchmark("252.eon").unwrap(); // large Table IV miss
+        let spec = b.workload(Scale::test());
+        assert!(spec.input_dep_sites > 0);
+        let (_, train) = interp_profile(&spec, InputSet::Train);
+        let (_, reff) = interp_profile(&spec, InputSet::Ref);
+        assert!(
+            reff.mdas > train.mdas,
+            "ref {} vs train {}",
+            reff.mdas,
+            train.mdas
+        );
+        assert_eq!(
+            reff.nmi() as u32 - train.nmi() as u32,
+            spec.input_dep_sites,
+            "the extra NMI under ref is exactly the input-dependent sites"
+        );
+    }
+
+    #[test]
+    fn late_sites_misalign_only_after_switch() {
+        let b = benchmark("410.bwaves").unwrap(); // huge Table III miss
+        let spec = b.workload(Scale::test());
+        assert!(spec.late_sites > 0);
+        assert!(spec.switch_at > 0 && spec.switch_at < spec.outer_iters);
+        let (_, profile) = interp_profile(&spec, InputSet::Ref);
+        // Late sites have both aligned (pre-switch) and misaligned
+        // (post-switch) executions.
+        let mut saw_partial = false;
+        for (_, stats) in profile.iter_sites() {
+            if stats.mdas > 0 && stats.mdas < stats.execs {
+                saw_partial = true;
+            }
+        }
+        assert!(saw_partial, "phase-changing sites must exist");
+    }
+
+    #[test]
+    fn program_state_deterministic_across_rebuilds() {
+        let b = benchmark("164.gzip").unwrap();
+        let spec = b.workload(Scale::test());
+        let (s1, p1) = interp_profile(&spec, InputSet::Ref);
+        let (s2, p2) = interp_profile(&spec, InputSet::Ref);
+        assert_eq!(s1.regs, s2.regs);
+        assert_eq!(p1.mdas, p2.mdas);
+    }
+
+    #[test]
+    fn wide_benchmarks_use_8_byte_mdas() {
+        let b = benchmark("470.lbm").unwrap();
+        let spec = b.workload(Scale::test());
+        assert!(spec.wide);
+        let w = build(&spec, InputSet::Ref);
+        // The image contains movq opcodes (0F 6F / 0F 7F).
+        let img = w.program.image();
+        let has_movq = img
+            .windows(2)
+            .any(|p| p == [0x0F, 0x6F] || p == [0x0F, 0x7F]);
+        assert!(has_movq);
+    }
+
+    #[test]
+    fn approximations_are_in_the_ballpark() {
+        let b = benchmark("482.sphinx3").unwrap();
+        let spec = b.workload(Scale::test());
+        let (_, profile) = interp_profile(&spec, InputSet::Ref);
+        let approx = spec.approx_mem_ops();
+        let measured = profile.mem_accesses;
+        assert!(
+            measured > approx / 2 && measured < approx * 2,
+            "approx {approx} vs measured {measured}"
+        );
+    }
+}

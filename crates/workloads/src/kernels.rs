@@ -1,0 +1,405 @@
+//! Hand-written guest kernels used by examples and tests.
+//!
+//! Unlike the calibrated SPEC stand-ins in [`gen`](crate::gen), these are
+//! small, readable programs exhibiting the classic sources of misaligned
+//! accesses: unaligned `memcpy`, packed-struct traversal, and stack
+//! misalignment.
+
+use crate::gen::STACK_TOP;
+use bridge_dbt::engine::GuestProgram;
+use bridge_x86::asm::Assembler;
+use bridge_x86::cond::Cond;
+use bridge_x86::insn::{AluOp, Ext, MemRef, Scale, Width};
+use bridge_x86::reg::Reg32::*;
+
+/// Where kernels are loaded.
+pub const KERNEL_BASE: u32 = 0x0040_0000;
+
+/// A kernel program plus its data.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The program.
+    pub program: GuestProgram,
+    /// Data segments.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Initial stack pointer.
+    pub stack_top: u32,
+}
+
+impl Kernel {
+    /// Loads the kernel into a DBT engine.
+    pub fn load_into(&self, dbt: &mut bridge_dbt::Dbt) {
+        dbt.load(&self.program);
+        dbt.set_stack(self.stack_top);
+        for (addr, bytes) in &self.data {
+            dbt.write_guest_memory(*addr, bytes);
+        }
+    }
+}
+
+/// Word-at-a-time `memcpy(dst, src, len)` where `src` is misaligned —
+/// glibc-style copies are a classic MDA source the paper observes in
+/// `libc.so.6`.
+///
+/// Copies `len` bytes (a multiple of 4) from `src` to `dst` in 4-byte
+/// chunks. Returns with `%eax` = number of words copied.
+pub fn memcpy_unaligned(src: u32, dst: u32, len: u32) -> Kernel {
+    assert_eq!(len % 4, 0, "len must be a multiple of 4");
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Esi, src as i32);
+    a.mov_ri(Edi, dst as i32);
+    a.mov_ri(Ecx, (len / 4) as i32);
+    a.mov_ri(Eax, 0);
+    let top = a.here_label();
+    a.load(
+        Width::W4,
+        Ext::Zero,
+        Edx,
+        MemRef::base_index(Esi, Eax, Scale::S4, 0),
+    );
+    a.store(Width::W4, Edx, MemRef::base_index(Edi, Eax, Scale::S4, 0));
+    a.alu_ri(AluOp::Add, Eax, 1);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+
+    let payload: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(7).wrapping_add(3))
+        .collect();
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![(src, payload)],
+        stack_top: STACK_TOP,
+    }
+}
+
+/// Sums `count` packed records of `stride` bytes whose 4-byte field sits at
+/// `field_off` — the packed-struct traversal pattern (think network packets
+/// or on-disk records) that misaligns when `stride` is not a multiple of 4.
+///
+/// Result in `%eax`.
+pub fn packed_struct_sum(base: u32, stride: u32, field_off: u32, count: u32) -> Kernel {
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Ebx, (base + field_off) as i32);
+    a.mov_ri(Ecx, count as i32);
+    a.mov_ri(Eax, 0);
+    let top = a.here_label();
+    a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+    a.alu_ri(AluOp::Add, Ebx, stride as i32);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+
+    // Fill each record's field with 1 so the expected sum is `count`.
+    let mut data = vec![0u8; (stride * count + field_off + 4) as usize];
+    for i in 0..count {
+        let off = (i * stride + field_off) as usize;
+        data[off..off + 4].copy_from_slice(&1u32.to_le_bytes());
+    }
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![(base, data)],
+        stack_top: STACK_TOP,
+    }
+}
+
+/// A call-heavy kernel running on a deliberately misaligned stack: every
+/// `push`, `call` and `ret` performs a misaligned 4-byte access.
+///
+/// Computes `iterations * 3` in `%eax` via a helper function.
+pub fn misaligned_stack(iterations: u32) -> Kernel {
+    let mut a = Assembler::new(KERNEL_BASE);
+    let func = a.new_label();
+    let done = a.new_label();
+    // Misalign the stack by 2.
+    a.mov_ri(Esp, (STACK_TOP - 2) as i32);
+    a.mov_ri(Eax, 0);
+    a.mov_ri(Ecx, iterations as i32);
+    let top = a.here_label();
+    a.call(func);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.jmp(done);
+    a.bind(func);
+    a.push(Ebx);
+    a.alu_ri(AluOp::Add, Eax, 3);
+    a.pop(Ebx);
+    a.ret();
+    a.bind(done);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![],
+        stack_top: STACK_TOP - 2,
+    }
+}
+
+/// Chases a linked list whose nodes were allocated two bytes off natural
+/// alignment: every `next`-pointer and payload access misaligns — the
+/// pointer-heavy 471.omnetpp pattern (the paper's "dynamically allocated
+/// data may or may not be aligned"). Sums `count` payloads into `%eax`.
+pub fn linked_list_chase(base: u32, count: u32) -> Kernel {
+    const NODE: u32 = 12; // 4B next + 4B payload + 4B padding
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Ebx, (base + 2) as i32); // first node, misaligned by 2
+    a.mov_ri(Ecx, count as i32);
+    a.mov_ri(Eax, 0);
+    let top = a.here_label();
+    a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 4)); // payload
+    a.load(Width::W4, Ext::Zero, Ebx, MemRef::base_disp(Ebx, 0)); // next
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+
+    // Lay the nodes out back-to-back; each points at the next, the last
+    // wraps to the first (the loop is bounded by %ecx anyway).
+    let mut data = vec![0u8; (NODE * count + 8) as usize];
+    for i in 0..count {
+        let off = (i * NODE) as usize;
+        let next = base + 2 + ((i + 1) % count) * NODE;
+        data[off..off + 4].copy_from_slice(&next.to_le_bytes());
+        data[off + 4..off + 8].copy_from_slice(&2u32.to_le_bytes());
+    }
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![(base + 2, data)],
+        stack_top: STACK_TOP,
+    }
+}
+
+/// Byte-wise string scan (`strlen`-style): demonstrates that byte accesses
+/// can never misalign — the whole kernel produces **zero** MDAs no matter
+/// how the string is placed. Returns the length in `%eax`.
+pub fn byte_string_scan(addr: u32, len: u32) -> Kernel {
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Ebx, addr as i32);
+    a.mov_ri(Eax, 0);
+    let top = a.here_label();
+    a.load(
+        Width::W1,
+        Ext::Zero,
+        Edx,
+        MemRef::base_index(Ebx, Eax, Scale::S1, 0),
+    );
+    a.alu_ri(AluOp::Cmp, Edx, 0);
+    let done = a.new_label();
+    a.jcc(Cond::E, done);
+    a.alu_ri(AluOp::Add, Eax, 1);
+    a.jmp(top);
+    a.bind(done);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+
+    let mut data = vec![b'x'; len as usize];
+    data.push(0);
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![(addr, data)],
+        stack_top: STACK_TOP,
+    }
+}
+
+/// Column-major traversal of a row-major matrix of packed 6-byte cells —
+/// the dense-FP pattern (433.milc-style) where every other column access
+/// misaligns. Sums `rows × cols` 4-byte fields into `%eax`.
+pub fn packed_matrix_column_sum(base: u32, rows: u32, cols: u32) -> Kernel {
+    const CELL: u32 = 6;
+    let row_bytes = cols * CELL;
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Eax, 0);
+    a.mov_ri(Esi, 0); // column index
+    let col_top = a.here_label();
+    // %ebx = &matrix[0][col]
+    a.mov_ri(Ebx, base as i32);
+    a.mov_rr(Edx, Esi);
+    a.imul_rm(Edx, MemRef::abs(base.wrapping_sub(8))); // cell size from memory
+    a.alu_rr(AluOp::Add, Ebx, Edx);
+    a.mov_ri(Ecx, rows as i32);
+    let row_top = a.here_label();
+    a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+    a.alu_ri(AluOp::Add, Ebx, row_bytes as i32);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, row_top);
+    a.alu_ri(AluOp::Add, Esi, 1);
+    a.alu_ri(AluOp::Cmp, Esi, cols as i32);
+    a.jcc(Cond::Ne, col_top);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+
+    let mut cell_size = vec![0u8; 8];
+    cell_size[..4].copy_from_slice(&CELL.to_le_bytes());
+    let mut data = vec![0u8; (rows * row_bytes + 8) as usize];
+    for r in 0..rows {
+        for c in 0..cols {
+            let off = (r * row_bytes + c * CELL) as usize;
+            data[off..off + 4].copy_from_slice(&1u32.to_le_bytes());
+        }
+    }
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![(base.wrapping_sub(8), cell_size), (base, data)],
+        stack_top: STACK_TOP,
+    }
+}
+
+/// The real thing: `rep movsd` from a misaligned source — glibc's
+/// `memcpy` inner loop, the paper's §II observation that even
+/// alignment-optimized applications inherit MDAs from `libc.so.6`.
+/// Copies `len` bytes (multiple of 4); `%eax` is set to 1 afterwards.
+pub fn rep_movsd_memcpy(src: u32, dst: u32, len: u32) -> Kernel {
+    assert_eq!(len % 4, 0, "len must be a multiple of 4");
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Esi, src as i32);
+    a.mov_ri(Edi, dst as i32);
+    a.mov_ri(Ecx, (len / 4) as i32);
+    a.emit(bridge_x86::insn::Insn::RepMovsd);
+    a.mov_ri(Eax, 1);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+    let payload: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(11).wrapping_add(5))
+        .collect();
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![(src, payload)],
+        stack_top: STACK_TOP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bridge_dbt::engine::profile_program;
+    use bridge_sim::cost::CostModel;
+
+    fn run_reference(k: &Kernel) -> (bridge_x86::state::CpuState, bridge_dbt::Profile) {
+        profile_program(
+            &k.program,
+            &k.data,
+            Some(k.stack_top),
+            &CostModel::flat(),
+            10_000_000,
+        )
+        .expect("kernel halts")
+    }
+
+    #[test]
+    fn memcpy_copies_and_misaligns() {
+        let k = memcpy_unaligned(0x10_0001, 0x20_0000, 64);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 16);
+        // Every load is misaligned; every store is aligned.
+        assert_eq!(profile.mdas, 16);
+        assert_eq!(profile.mem_accesses, 32);
+    }
+
+    #[test]
+    fn packed_struct_sum_counts() {
+        // stride 6, field at 0: addresses 0, 6, 12, 18 … half misaligned.
+        let k = packed_struct_sum(0x10_0000, 6, 0, 10);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 10);
+        assert_eq!(profile.mem_accesses, 10);
+        assert_eq!(profile.mdas, 5, "addresses ≡ 2 mod 4 are misaligned");
+    }
+
+    #[test]
+    fn linked_list_chase_misaligns_every_access() {
+        let k = linked_list_chase(0x10_0000, 16);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 32, "16 payloads of 2");
+        // Payload load + next-pointer load per node, all at +2 (mod 4).
+        assert_eq!(profile.mem_accesses, 32);
+        assert_eq!(profile.mdas, 32);
+    }
+
+    #[test]
+    fn byte_scan_never_misaligns() {
+        for misplace in [0u32, 1, 3, 7] {
+            let k = byte_string_scan(0x10_0001 + misplace, 37);
+            let (state, profile) = run_reference(&k);
+            assert_eq!(state.reg(Eax), 37);
+            assert_eq!(profile.mdas, 0, "byte accesses cannot misalign");
+        }
+    }
+
+    #[test]
+    fn matrix_column_sum_counts_and_misaligns_half() {
+        let k = packed_matrix_column_sum(0x10_0000, 8, 6);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 48);
+        // 6-byte cells: columns at offsets 0,6,12,… → half the field
+        // addresses are ≡ 2 (mod 4).
+        let data_accesses = 48;
+        assert!(profile.mdas >= data_accesses / 2 - 6);
+        assert!(profile.mdas <= data_accesses / 2 + 6);
+    }
+
+    #[test]
+    fn rep_movsd_copies_and_misaligns() {
+        let k = rep_movsd_memcpy(0x10_0001, 0x20_0000, 64);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 1);
+        assert_eq!(state.reg(Ecx), 0);
+        assert_eq!(state.reg(Esi), 0x10_0001 + 64);
+        // 16 misaligned loads + 16 aligned stores.
+        assert_eq!(profile.mem_accesses, 32);
+        assert_eq!(profile.mdas, 16);
+        // One static instruction performed all the MDAs (NMI = 1).
+        assert_eq!(profile.nmi(), 1);
+    }
+
+    #[test]
+    fn rep_movsd_through_the_dbt_for_every_strategy() {
+        use bridge_dbt::config::MdaStrategy;
+        use bridge_dbt::{Dbt, DbtConfig, StaticProfile};
+        let k = rep_movsd_memcpy(0x10_0003, 0x20_0000, 256);
+        let (ref_state, _) = run_reference(&k);
+        for strategy in MdaStrategy::ALL {
+            let mut cfg = DbtConfig::new(strategy).with_threshold(4);
+            if strategy == MdaStrategy::StaticProfiling {
+                cfg = cfg.with_static_profile(StaticProfile::new());
+            }
+            let mut dbt = Dbt::new(cfg);
+            k.load_into(&mut dbt);
+            let report = dbt.run(1_000_000_000).expect("halts");
+            assert_eq!(report.final_state.regs, ref_state.regs, "{strategy:?}");
+            let mut copied = vec![0u8; 256];
+            dbt.machine().mem().read_bytes(0x20_0000, &mut copied);
+            let expect: Vec<u8> = (0..256u32)
+                .map(|i| (i as u8).wrapping_mul(11).wrapping_add(5))
+                .collect();
+            assert_eq!(copied, expect, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn kernels_run_identically_under_the_dbt() {
+        use bridge_dbt::config::MdaStrategy;
+        use bridge_dbt::{Dbt, DbtConfig};
+        for kernel in [
+            linked_list_chase(0x10_0000, 12),
+            byte_string_scan(0x10_0003, 21),
+            packed_matrix_column_sum(0x10_0000, 5, 4),
+        ] {
+            let (ref_state, _) = run_reference(&kernel);
+            let mut dbt = Dbt::new(DbtConfig::new(MdaStrategy::Dpeh).with_threshold(3));
+            kernel.load_into(&mut dbt);
+            let report = dbt.run(1_000_000_000).expect("halts");
+            assert_eq!(report.final_state.reg(Eax), ref_state.reg(Eax));
+        }
+    }
+
+    #[test]
+    fn misaligned_stack_traffic() {
+        let k = misaligned_stack(8);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 24);
+        // call + push + pop + ret per iteration, all misaligned by 2.
+        assert_eq!(profile.mdas, 32);
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic SPEC stand-in workloads for DigitalBridge-RS.
+//!
+//! The paper evaluates MDA handling on SPEC CPU2000/CPU2006 binaries
+//! compiled with pathscale 2.4. Neither the benchmarks nor the compiler are
+//! redistributable here, so this crate builds **synthetic guest programs
+//! calibrated per benchmark** to the paper's own measurements:
+//!
+//! * [`spec`] carries the full Table I (all 54 benchmarks: NMI, MDA count,
+//!   MDA ratio), the Table III column (MDAs a threshold-50 dynamic profile
+//!   misses — late/phase-changing sites), and the Table IV column (MDAs a
+//!   `train`-input profile misses — input-dependent sites).
+//! * [`gen`] lowers a [`gen::WorkloadSpec`] to an x86 guest
+//!   program whose *dynamic* behaviour reproduces those knobs: overall MDA
+//!   ratio, number of MDA sites, fraction of MDA volume from
+//!   late-activating sites, fraction from input-dependent sites (`train`
+//!   vs `ref`), mixed-alignment sites, and 8-byte accesses for the
+//!   FP-dominated benchmarks.
+//! * [`kernels`] provides hand-written guest kernels (unaligned memcpy,
+//!   strided sums, pointer chasing) used by examples and tests.
+//!
+//! The mechanisms under evaluation are sensitive to exactly these knobs —
+//! *when* and *how often* each static site misaligns — which is what makes
+//! the substitution behaviour-preserving (see DESIGN.md §4).
+//!
+//! # Example
+//!
+//! ```
+//! use bridge_workloads::spec::{benchmark, InputSet, Scale};
+//! use bridge_workloads::gen::build;
+//!
+//! let bench = benchmark("410.bwaves").expect("in the catalog");
+//! let spec = bench.workload(Scale::test());
+//! let w = build(&spec, InputSet::Ref);
+//! assert!(w.program.image().len() > 40);
+//! ```
+
+pub mod gen;
+pub mod kernels;
+pub mod spec;
+
+pub use gen::{build, Workload, WorkloadSpec};
+pub use spec::{benchmark, selected_benchmarks, InputSet, Scale, SpecBenchmark, Suite, CATALOG};

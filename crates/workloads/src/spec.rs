@@ -1,0 +1,501 @@
+//! The SPEC CPU2000 / CPU2006 catalog with the paper's measurements, and
+//! the per-benchmark derivation of synthetic workload parameters.
+
+use crate::gen::WorkloadSpec;
+
+/// Benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2000 integer.
+    Int2000,
+    /// SPEC CPU2000 floating point.
+    Fp2000,
+    /// SPEC CPU2006 integer.
+    Int2006,
+    /// SPEC CPU2006 floating point.
+    Fp2006,
+}
+
+impl Suite {
+    /// Whether 8-byte (double-precision-style) accesses dominate the MDA
+    /// traffic.
+    pub fn is_fp(self) -> bool {
+        matches!(self, Suite::Fp2000 | Suite::Fp2006)
+    }
+}
+
+/// Input set selection (the paper profiles with `train` and evaluates with
+/// `ref`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSet {
+    /// Training input: input-dependent sites stay aligned.
+    Train,
+    /// Reference input: input-dependent sites misalign.
+    Ref,
+}
+
+/// Workload size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Outer loop iterations of the generated program.
+    pub outer_iters: u32,
+}
+
+impl Scale {
+    /// Tiny runs for unit/integration tests.
+    pub fn test() -> Scale {
+        Scale { outer_iters: 240 }
+    }
+
+    /// Default experiment scale (seconds per benchmark).
+    pub fn quick() -> Scale {
+        Scale { outer_iters: 2_000 }
+    }
+
+    /// Full experiment scale, large enough for the paper's threshold sweep
+    /// up to 5000 to be meaningful.
+    pub fn paper() -> Scale {
+        Scale {
+            outer_iters: 20_000,
+        }
+    }
+}
+
+/// One benchmark row of the paper's Table I, with the Table III / Table IV
+/// columns where the benchmark is in the 21-benchmark evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecBenchmark {
+    /// SPEC name, e.g. `"410.bwaves"`.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Table I **NMI**: static instructions that performed ≥1 MDA.
+    pub nmi: u32,
+    /// Table I: dynamic MDAs with the `ref` input.
+    pub paper_mdas: f64,
+    /// Table I **Ratio**: MDAs / all memory accesses, in percent.
+    pub ratio_percent: f64,
+    /// Whether the paper evaluates this benchmark in Figures 10–16
+    /// ("significant number of MDAs").
+    pub selected: bool,
+    /// Table III: MDAs a threshold-50 dynamic profile fails to detect
+    /// (late / phase-changing sites). `None` for unselected benchmarks.
+    pub undetected_dynamic: Option<f64>,
+    /// Table IV: MDAs remaining when profiling with the `train` input
+    /// (input-dependent sites). `None` for unselected benchmarks.
+    pub undetected_train: Option<f64>,
+    /// Whether some MDA sites have mixed alignment (Figure 15's
+    /// "frequently aligned" ~4.5%; calibration choice documented in
+    /// EXPERIMENTS.md).
+    pub mixed: bool,
+    /// Outer iterations before the *early* sites start misaligning (models
+    /// benchmarks like 400.perlbench that "definitely need a threshold
+    /// greater than 10" in Figure 10).
+    pub warmup_iters: u32,
+}
+
+impl SpecBenchmark {
+    /// Table I ratio as a fraction. Rows printed as `0.00%` are given a
+    /// small positive floor so their (tiny) MDA populations still exist.
+    pub fn ratio(&self) -> f64 {
+        (self.ratio_percent / 100.0).max(2e-5)
+    }
+
+    /// Fraction of MDA volume invisible to a threshold-50 dynamic profile.
+    pub fn late_fraction(&self) -> f64 {
+        match self.undetected_dynamic {
+            Some(u) if self.paper_mdas > 0.0 => (u / self.paper_mdas).clamp(0.0, 0.9),
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of MDA volume invisible to a `train`-input profile.
+    pub fn train_miss_fraction(&self) -> f64 {
+        match self.undetected_train {
+            Some(u) if self.paper_mdas > 0.0 => (u / self.paper_mdas).clamp(0.0, 0.9),
+            _ => 0.0,
+        }
+    }
+
+    /// Derives the synthetic workload parameters for this benchmark (see
+    /// module docs and DESIGN.md §4 for the calibration rules).
+    pub fn workload(&self, scale: Scale) -> WorkloadSpec {
+        WorkloadSpec::derive(self, scale)
+    }
+}
+
+macro_rules! bench {
+    ($name:literal, $suite:ident, $nmi:literal, $mdas:literal, $ratio:literal) => {
+        SpecBenchmark {
+            name: $name,
+            suite: Suite::$suite,
+            nmi: $nmi,
+            paper_mdas: $mdas as f64,
+            ratio_percent: $ratio,
+            selected: false,
+            undetected_dynamic: None,
+            undetected_train: None,
+            mixed: false,
+            warmup_iters: 0,
+        }
+    };
+    ($name:literal, $suite:ident, $nmi:literal, $mdas:literal, $ratio:literal,
+     t3 = $t3:literal, t4 = $t4:literal $(, mixed = $mixed:literal)? $(, warmup = $w:literal)?) => {
+        SpecBenchmark {
+            name: $name,
+            suite: Suite::$suite,
+            nmi: $nmi,
+            paper_mdas: $mdas as f64,
+            ratio_percent: $ratio,
+            selected: true,
+            undetected_dynamic: Some($t3 as f64),
+            undetected_train: Some($t4 as f64),
+            mixed: false $(|| $mixed)?,
+            warmup_iters: 0 $(+ $w)?,
+        }
+    };
+}
+
+/// The paper's Table I — all 54 SPEC CPU2000/CPU2006 benchmarks — with the
+/// Table III/IV columns attached to the 21 evaluated benchmarks.
+pub const CATALOG: [SpecBenchmark; 54] = [
+    // --- CPU2000 integer ---
+    bench!(
+        "164.gzip",
+        Int2000,
+        80,
+        406_431_686u64,
+        0.52,
+        t3 = 156_000_000u64,
+        t4 = 46u64,
+        warmup = 0
+    ),
+    bench!("175.vpr", Int2000, 134, 2_762_730u64, 0.01),
+    bench!("176.gcc", Int2000, 154, 37_894_632u64, 0.06),
+    bench!("181.mcf", Int2000, 16, 1_649_912u64, 0.02),
+    bench!("186.crafty", Int2000, 20, 4_950u64, 0.00),
+    bench!("197.parser", Int2000, 16, 291_054u64, 0.00),
+    bench!(
+        "252.eon",
+        Int2000,
+        3096,
+        8_523_707_162u64,
+        9.63,
+        t3 = 24_630u64,
+        t4 = 3_220_000_000u64
+    ),
+    bench!("253.perlbmk", Int2000, 270, 148_689_820u64, 0.23),
+    bench!("254.gap", Int2000, 14, 1_128_048u64, 0.00),
+    bench!("255.vortex", Int2000, 90, 12_361_950u64, 0.03),
+    bench!("256.bzip2", Int2000, 44, 25_233_188u64, 0.04),
+    bench!("300.twolf", Int2000, 98, 441_176_894u64, 0.92),
+    // --- CPU2000 floating point ---
+    bench!("168.wupwise", Fp2000, 132, 9_682u64, 0.00),
+    bench!("171.swim", Fp2000, 284, 49_605_944u64, 0.03),
+    bench!("172.mgrid", Fp2000, 78, 1_772_430u64, 0.00),
+    bench!("173.applu", Fp2000, 306, 2_243_041_896u64, 1.60),
+    bench!("177.mesa", Fp2000, 54, 9_370u64, 0.00),
+    bench!(
+        "178.galgel",
+        Fp2000,
+        5282,
+        492_949_052u64,
+        0.27,
+        t3 = 3_436u64,
+        t4 = 4_930_086u64
+    ),
+    bench!(
+        "179.art",
+        Fp2000,
+        1024,
+        21_244_446_764u64,
+        38.33,
+        t3 = 312_000_000u64,
+        t4 = 3_600_000_000u64
+    ),
+    bench!("183.equake", Fp2000, 30, 524u64, 0.00),
+    bench!("187.facerec", Fp2000, 112, 6_240_872u64, 0.01),
+    bench!(
+        "188.ammp",
+        Fp2000,
+        1134,
+        73_194_953_020u64,
+        43.12,
+        t3 = 0u64,
+        t4 = 0u64
+    ),
+    bench!("189.lucas", Fp2000, 64, 17_383_280u64, 0.02),
+    bench!("191.fma3d", Fp2000, 398, 5_383_029_436u64, 3.36),
+    bench!(
+        "200.sixtrack",
+        Fp2000,
+        1324,
+        8_673_947_498u64,
+        4.21,
+        t3 = 235_950u64,
+        t4 = 0u64
+    ),
+    bench!("301.apsi", Fp2000, 356, 1_568_299_486u64, 0.86),
+    // --- CPU2006 integer ---
+    bench!(
+        "400.perlbench",
+        Int2006,
+        77,
+        1_469_188_415u64,
+        0.26,
+        t3 = 57_874_640u64,
+        t4 = 1_244_769u64,
+        warmup = 30
+    ),
+    bench!("401.bzip2", Int2006, 45, 82_641_256u64, 0.01),
+    bench!("403.gcc", Int2006, 53, 32_624u64, 0.00),
+    bench!("429.mcf", Int2006, 10, 883_518u64, 0.00),
+    bench!("445.gobmk", Int2006, 76, 1_741_956u64, 0.00),
+    bench!("456.hmmer", Int2006, 127, 13_757_509u64, 0.00),
+    bench!("458.sjeng", Int2006, 9, 1_303u64, 0.00),
+    bench!("462.libquantum", Int2006, 9, 435u64, 0.00),
+    bench!(
+        "464.h264ref",
+        Int2006,
+        96,
+        138_883_221u64,
+        0.01,
+        t3 = 9_347u64,
+        t4 = 1_020u64,
+        mixed = true
+    ),
+    bench!(
+        "471.omnetpp",
+        Int2006,
+        394,
+        6_303_605_195u64,
+        3.37,
+        t3 = 38_979u64,
+        t4 = 48_638_638u64,
+        mixed = true
+    ),
+    bench!("473.astar", Int2006, 32, 758u64, 0.00),
+    bench!(
+        "483.xalancbmk",
+        Int2006,
+        53,
+        5_749_815_279u64,
+        1.60,
+        t3 = 8_320_000_000u64,
+        t4 = 12_761u64
+    ),
+    // --- CPU2006 floating point ---
+    bench!(
+        "410.bwaves",
+        Fp2006,
+        602,
+        99_916_961_773u64,
+        12.67,
+        t3 = 41_500_000_000u64,
+        t4 = 0u64
+    ),
+    bench!("416.gamess", Fp2006, 424, 13_073_700u64, 0.00),
+    bench!(
+        "433.milc",
+        Fp2006,
+        3825,
+        67_272_361_837u64,
+        12.09,
+        t3 = 134_000_000u64,
+        t4 = 6u64,
+        mixed = true
+    ),
+    bench!(
+        "434.zeusmp",
+        Fp2006,
+        3484,
+        87_873_451_026u64,
+        4.14,
+        t3 = 1_716u64,
+        t4 = 644_100u64
+    ),
+    bench!(
+        "435.gromacs",
+        Fp2006,
+        197,
+        123_577_765u64,
+        0.01,
+        t3 = 1_820u64,
+        t4 = 0u64
+    ),
+    bench!("436.cactusADM", Fp2006, 48, 1_745_161u64, 0.00),
+    bench!(
+        "437.leslie3d",
+        Fp2006,
+        205,
+        23_645_192_624u64,
+        2.54,
+        t3 = 1_716u64,
+        t4 = 21_168u64
+    ),
+    bench!("444.namd", Fp2006, 103, 10_516_106u64, 0.00),
+    bench!(
+        "450.soplex",
+        Fp2006,
+        538,
+        13_446_836_143u64,
+        5.71,
+        t3 = 933_000_000u64,
+        t4 = 4_030_000_000u64,
+        mixed = true
+    ),
+    bench!(
+        "453.povray",
+        Fp2006,
+        918,
+        36_294_822_277u64,
+        8.30,
+        t3 = 241_000_000u64,
+        t4 = 0u64,
+        mixed = true
+    ),
+    bench!(
+        "454.calculix",
+        Fp2006,
+        139,
+        478_592_675u64,
+        0.02,
+        t3 = 2_609u64,
+        t4 = 183_000_000u64
+    ),
+    bench!("459.GemsFDTD", Fp2006, 3304, 31_740_862u64, 0.00),
+    bench!(
+        "465.tonto",
+        Fp2006,
+        1748,
+        38_717_125_228u64,
+        3.80,
+        t3 = 116_450u64,
+        t4 = 262u64
+    ),
+    bench!(
+        "470.lbm",
+        Fp2006,
+        8,
+        7_124_766_678u64,
+        1.14,
+        t3 = 0u64,
+        t4 = 0u64
+    ),
+    bench!("481.wrf", Fp2006, 92, 49_694_156u64, 0.00),
+    bench!(
+        "482.sphinx3",
+        Fp2006,
+        115,
+        3_118_790_131u64,
+        0.31,
+        t3 = 1u64,
+        t4 = 0u64
+    ),
+];
+
+/// Looks up a benchmark by its SPEC name.
+pub fn benchmark(name: &str) -> Option<&'static SpecBenchmark> {
+    CATALOG.iter().find(|b| b.name == name)
+}
+
+/// The 21 benchmarks the paper evaluates in Figures 10–16, in catalog
+/// order.
+pub fn selected_benchmarks() -> impl Iterator<Item = &'static SpecBenchmark> {
+    CATALOG.iter().filter(|b| b.selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_54_rows_and_21_selected() {
+        assert_eq!(CATALOG.len(), 54);
+        assert_eq!(selected_benchmarks().count(), 21);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let b = benchmark("410.bwaves").unwrap();
+        assert_eq!(b.nmi, 602);
+        assert!(b.selected);
+        assert!(b.suite.is_fp());
+        assert!(benchmark("999.nonesuch").is_none());
+    }
+
+    #[test]
+    fn table_i_spot_checks() {
+        // The paper's headline rows.
+        let bwaves = benchmark("410.bwaves").unwrap();
+        assert!((bwaves.ratio_percent - 12.67).abs() < 1e-9);
+        let ammp = benchmark("188.ammp").unwrap();
+        assert!((ammp.ratio_percent - 43.12).abs() < 1e-9);
+        let libq = benchmark("462.libquantum").unwrap();
+        assert_eq!(libq.paper_mdas as u64, 435);
+        assert!(!libq.selected);
+    }
+
+    #[test]
+    fn fractions_are_calibrated() {
+        let gzip = benchmark("164.gzip").unwrap();
+        // Table III: 1.56E8 of 4.06E8 MDAs escape a threshold-50 profile.
+        assert!((gzip.late_fraction() - 0.3838).abs() < 0.01);
+        // Table IV: essentially everything is caught by train.
+        assert!(gzip.train_miss_fraction() < 1e-6);
+
+        let eon = benchmark("252.eon").unwrap();
+        assert!(eon.late_fraction() < 1e-4, "eon's dynamic profile is fine");
+        assert!((eon.train_miss_fraction() - 0.3778).abs() < 0.01);
+
+        let xalanc = benchmark("483.xalancbmk").unwrap();
+        assert_eq!(xalanc.late_fraction(), 0.9, "clamped at 0.9");
+
+        let ammp = benchmark("188.ammp").unwrap();
+        assert_eq!(ammp.late_fraction(), 0.0);
+        assert_eq!(ammp.train_miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ratio_floor_for_zero_rows() {
+        let crafty = benchmark("186.crafty").unwrap();
+        assert!(crafty.ratio() > 0.0);
+        assert!(crafty.ratio() < 1e-4);
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(Scale::test().outer_iters < Scale::quick().outer_iters);
+        assert!(Scale::quick().outer_iters < Scale::paper().outer_iters);
+    }
+
+    #[test]
+    fn selected_set_matches_table_iii() {
+        let names: Vec<&str> = selected_benchmarks().map(|b| b.name).collect();
+        for expected in [
+            "164.gzip",
+            "252.eon",
+            "178.galgel",
+            "179.art",
+            "188.ammp",
+            "200.sixtrack",
+            "400.perlbench",
+            "464.h264ref",
+            "471.omnetpp",
+            "483.xalancbmk",
+            "410.bwaves",
+            "433.milc",
+            "434.zeusmp",
+            "435.gromacs",
+            "437.leslie3d",
+            "450.soplex",
+            "453.povray",
+            "454.calculix",
+            "465.tonto",
+            "470.lbm",
+            "482.sphinx3",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! A small label-based assembler for building guest programs.
+//!
+//! Used by the synthetic workload generators and by tests to construct x86
+//! images without hand-writing byte sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use bridge_x86::asm::Assembler;
+//! use bridge_x86::insn::{AluOp, MemRef, Width, Ext};
+//! use bridge_x86::cond::Cond;
+//! use bridge_x86::reg::Reg32::*;
+//!
+//! // for (ecx = 10; ecx != 0; ecx--) eax += [0x1002];  (misaligned load)
+//! let mut a = Assembler::new(0x40_0000);
+//! a.mov_ri(Ecx, 10);
+//! let top = a.here_label();
+//! a.alu_rm(AluOp::Add, Eax, MemRef::abs(0x1002));
+//! a.alu_ri(AluOp::Sub, Ecx, 1);
+//! a.jcc(Cond::Ne, top);
+//! a.hlt();
+//! let image = a.finish().expect("assembles");
+//! assert!(image.len() > 10);
+//! ```
+
+use crate::cond::Cond;
+use crate::encode::{encode, EncodeError};
+use crate::insn::{AluOp, Ext, Insn, MemRef, ShiftOp, Width};
+use crate::reg::{Reg32, RegMm};
+use std::fmt;
+
+/// A forward- or backward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// An instruction could not be encoded.
+    Encode(EncodeError),
+    /// `finish` was called while a label was still unbound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} never bound", l),
+            AsmError::Rebound(l) => write!(f, "label {:?} bound twice", l),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+struct Fixup {
+    /// Byte offset of the instruction within the image.
+    insn_off: usize,
+    /// Encoded instruction length (the rel32 is its last 4 bytes).
+    insn_len: u32,
+    label: Label,
+}
+
+/// Builds an x86 machine-code image at a fixed base address.
+pub struct Assembler {
+    base: u32,
+    code: Vec<u8>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+    first_error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// New assembler producing an image whose first byte will live at guest
+    /// address `base`.
+    pub fn new(base: u32) -> Assembler {
+        Assembler {
+            base,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            first_error: None,
+        }
+    }
+
+    /// The base address given at construction.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Guest address of the next instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        self.base + self.code.len() as u32
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        if self.labels[label.0].is_some() {
+            self.set_error(AsmError::Rebound(label));
+            return;
+        }
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Address a bound label resolves to, if bound.
+    pub fn label_addr(&self, label: Label) -> Option<u32> {
+        self.labels[label.0]
+    }
+
+    fn set_error(&mut self, e: AsmError) {
+        if self.first_error.is_none() {
+            self.first_error = Some(e);
+        }
+    }
+
+    /// Emits an arbitrary instruction. Branch targets inside `insn` must be
+    /// absolute addresses; prefer the labelled helpers for control flow.
+    pub fn emit(&mut self, insn: Insn) {
+        let addr = self.here();
+        if let Err(e) = encode(&insn, addr, &mut self.code) {
+            self.set_error(e.into());
+        }
+    }
+
+    fn emit_branch(&mut self, insn: Insn, label: Label) {
+        let insn_off = self.code.len();
+        let addr = self.here();
+        match encode(&insn, addr, &mut self.code) {
+            Ok(len) => self.fixups.push(Fixup {
+                insn_off,
+                insn_len: len,
+                label,
+            }),
+            Err(e) => self.set_error(e.into()),
+        }
+    }
+
+    /// `mov dst, imm`
+    pub fn mov_ri(&mut self, dst: Reg32, imm: i32) {
+        self.emit(Insn::MovRI { dst, imm });
+    }
+
+    /// `mov dst, src`
+    pub fn mov_rr(&mut self, dst: Reg32, src: Reg32) {
+        self.emit(Insn::MovRR { dst, src });
+    }
+
+    /// Memory load (`mov`/`movzx`/`movsx` depending on width and extension).
+    pub fn load(&mut self, width: Width, ext: Ext, dst: Reg32, src: MemRef) {
+        self.emit(Insn::Load {
+            width,
+            ext,
+            dst,
+            src,
+        });
+    }
+
+    /// Memory store of the low `width` bytes of `src`.
+    pub fn store(&mut self, width: Width, src: Reg32, dst: MemRef) {
+        self.emit(Insn::Store { width, src, dst });
+    }
+
+    /// 8-byte MMX load.
+    pub fn movq_load(&mut self, dst: RegMm, src: MemRef) {
+        self.emit(Insn::MovqLoad { dst, src });
+    }
+
+    /// 8-byte MMX store.
+    pub fn movq_store(&mut self, src: RegMm, dst: MemRef) {
+        self.emit(Insn::MovqStore { src, dst });
+    }
+
+    /// `lea dst, src`
+    pub fn lea(&mut self, dst: Reg32, src: MemRef) {
+        self.emit(Insn::Lea { dst, src });
+    }
+
+    /// Register-register ALU.
+    pub fn alu_rr(&mut self, op: AluOp, dst: Reg32, src: Reg32) {
+        self.emit(Insn::AluRR { op, dst, src });
+    }
+
+    /// Register-immediate ALU.
+    pub fn alu_ri(&mut self, op: AluOp, dst: Reg32, imm: i32) {
+        self.emit(Insn::AluRI { op, dst, imm });
+    }
+
+    /// Register ← register op memory.
+    pub fn alu_rm(&mut self, op: AluOp, dst: Reg32, src: MemRef) {
+        self.emit(Insn::AluRM { op, dst, src });
+    }
+
+    /// Memory ← memory op register (read-modify-write unless `cmp`/`test`).
+    pub fn alu_mr(&mut self, op: AluOp, dst: MemRef, src: Reg32) {
+        self.emit(Insn::AluMR { op, dst, src });
+    }
+
+    /// Shift by immediate.
+    pub fn shift(&mut self, op: ShiftOp, dst: Reg32, amount: u8) {
+        self.emit(Insn::Shift { op, dst, amount });
+    }
+
+    /// `imul dst, src`
+    pub fn imul_rr(&mut self, dst: Reg32, src: Reg32) {
+        self.emit(Insn::ImulRR { dst, src });
+    }
+
+    /// `imul dst, m32`
+    pub fn imul_rm(&mut self, dst: Reg32, src: MemRef) {
+        self.emit(Insn::ImulRM { dst, src });
+    }
+
+    /// `push src`
+    pub fn push(&mut self, src: Reg32) {
+        self.emit(Insn::Push { src });
+    }
+
+    /// `pop dst`
+    pub fn pop(&mut self, dst: Reg32) {
+        self.emit(Insn::Pop { dst });
+    }
+
+    /// `setcc dst` — condition into the low byte of `dst`.
+    pub fn setcc(&mut self, cond: Cond, dst: Reg32) {
+        self.emit(Insn::Setcc { cond, dst });
+    }
+
+    /// `cmovcc dst, src` — conditional register move.
+    pub fn cmovcc(&mut self, cond: Cond, dst: Reg32, src: Reg32) {
+        self.emit(Insn::Cmovcc { cond, dst, src });
+    }
+
+    /// Conditional branch to a label.
+    pub fn jcc(&mut self, cond: Cond, target: Label) {
+        self.emit_branch(Insn::Jcc { cond, target: 0 }, target);
+    }
+
+    /// Unconditional branch to a label.
+    pub fn jmp(&mut self, target: Label) {
+        self.emit_branch(Insn::Jmp { target: 0 }, target);
+    }
+
+    /// Call a label.
+    pub fn call(&mut self, target: Label) {
+        self.emit_branch(Insn::Call { target: 0 }, target);
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.emit(Insn::Ret);
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.emit(Insn::Nop);
+    }
+
+    /// `hlt` — guest program exit.
+    pub fn hlt(&mut self) {
+        self.emit(Insn::Hlt);
+    }
+
+    /// Resolves all label fixups and returns the image bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered while emitting, or
+    /// [`AsmError::UnboundLabel`] if a referenced label was never bound.
+    pub fn finish(mut self) -> Result<Vec<u8>, AsmError> {
+        if let Some(e) = self.first_error.take() {
+            return Err(e);
+        }
+        for f in &self.fixups {
+            let target = self.labels[f.label.0].ok_or(AsmError::UnboundLabel(f.label))?;
+            let insn_addr = self.base + f.insn_off as u32;
+            let rel = target.wrapping_sub(insn_addr.wrapping_add(f.insn_len));
+            let patch_at = f.insn_off + f.insn_len as usize - 4;
+            self.code[patch_at..patch_at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        Ok(self.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Assembler::new(0x1000);
+        let end = a.new_label();
+        let top = a.here_label();
+        a.alu_ri(AluOp::Sub, Reg32::Ecx, 1);
+        a.jcc(Cond::E, end);
+        a.jmp(top);
+        a.bind(end);
+        a.hlt();
+        let code = a.finish().unwrap();
+
+        // Walk the image and confirm the branches resolve correctly.
+        let mut addr = 0x1000u32;
+        let mut pos = 0usize;
+        let mut decoded = Vec::new();
+        while pos < code.len() {
+            let d = decode(&code[pos..], addr).unwrap();
+            decoded.push(d.insn);
+            pos += d.len as usize;
+            addr += d.len;
+        }
+        assert!(matches!(decoded[1], Insn::Jcc { cond: Cond::E, target } if target == addr - 1));
+        assert!(matches!(decoded[2], Insn::Jmp { target: 0x1000 }));
+        assert!(matches!(decoded[3], Insn::Hlt));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.jmp(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.here_label();
+        a.nop();
+        a.bind(l);
+        a.hlt();
+        assert!(matches!(a.finish(), Err(AsmError::Rebound(_))));
+    }
+
+    #[test]
+    fn encode_errors_surface_at_finish() {
+        let mut a = Assembler::new(0);
+        a.store(Width::W1, Reg32::Edi, MemRef::abs(0x100)); // no low byte
+        a.hlt();
+        assert!(matches!(a.finish(), Err(AsmError::Encode(_))));
+    }
+
+    #[test]
+    fn here_tracks_addresses() {
+        let mut a = Assembler::new(0x40_0000);
+        assert_eq!(a.here(), 0x40_0000);
+        a.mov_ri(Reg32::Eax, 1); // 5 bytes
+        assert_eq!(a.here(), 0x40_0005);
+        a.nop();
+        assert_eq!(a.here(), 0x40_0006);
+    }
+
+    #[test]
+    fn call_ret_roundtrip_assembles() {
+        let mut a = Assembler::new(0x2000);
+        let func = a.new_label();
+        a.call(func);
+        a.hlt();
+        a.bind(func);
+        a.ret();
+        let code = a.finish().unwrap();
+        let d = decode(&code, 0x2000).unwrap();
+        assert!(matches!(d.insn, Insn::Call { target } if target == 0x2000 + 6));
+    }
+}

@@ -1,0 +1,203 @@
+//! Condition codes for conditional branches.
+
+use crate::state::Flags;
+use std::fmt;
+
+/// x86 condition codes supported by the subset's `Jcc` instruction.
+///
+/// The numeric value of each variant is the x86 condition-code nibble, so
+/// `0x0F 0x80 + cc` is the corresponding 32-bit-displacement `Jcc` opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Below (unsigned `<`): CF.
+    B = 0x2,
+    /// Above or equal (unsigned `>=`): !CF.
+    Ae = 0x3,
+    /// Equal / zero: ZF.
+    E = 0x4,
+    /// Not equal / not zero: !ZF.
+    Ne = 0x5,
+    /// Below or equal (unsigned `<=`): CF || ZF.
+    Be = 0x6,
+    /// Above (unsigned `>`): !CF && !ZF.
+    A = 0x7,
+    /// Sign (negative): SF.
+    S = 0x8,
+    /// Not sign (non-negative): !SF.
+    Ns = 0x9,
+    /// Less (signed `<`): SF != OF.
+    L = 0xC,
+    /// Greater or equal (signed `>=`): SF == OF.
+    Ge = 0xD,
+    /// Less or equal (signed `<=`): ZF || SF != OF.
+    Le = 0xE,
+    /// Greater (signed `>`): !ZF && SF == OF.
+    G = 0xF,
+}
+
+impl Cond {
+    /// All supported condition codes.
+    pub const ALL: [Cond; 12] = [
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// The condition-code nibble used in the `0F 8x` opcode.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a condition-code nibble; `None` for unsupported codes
+    /// (O/NO/P/NP are outside the subset).
+    pub fn from_code(code: u8) -> Option<Cond> {
+        Some(match code {
+            0x2 => Cond::B,
+            0x3 => Cond::Ae,
+            0x4 => Cond::E,
+            0x5 => Cond::Ne,
+            0x6 => Cond::Be,
+            0x7 => Cond::A,
+            0x8 => Cond::S,
+            0x9 => Cond::Ns,
+            0xC => Cond::L,
+            0xD => Cond::Ge,
+            0xE => Cond::Le,
+            0xF => Cond::G,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition against a flags state.
+    #[inline]
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::B => f.cf,
+            Cond::Ae => !f.cf,
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+            Cond::L => f.sf != f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+        }
+    }
+
+    /// The logically opposite condition (`jX` ⇔ `jNX`).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::B => Cond::Ae,
+            Cond::Ae => Cond::B,
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+        }
+    }
+
+    /// AT&T-style mnemonic suffix, e.g. `"ne"` for [`Cond::Ne`].
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(zf: bool, sf: bool, cf: bool, of: bool) -> Flags {
+        Flags { zf, sf, cf, of }
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(0x0), None);
+        assert_eq!(Cond::from_code(0xA), None);
+    }
+
+    #[test]
+    fn negation_is_involutive_and_opposite() {
+        let samples = [
+            flags(false, false, false, false),
+            flags(true, false, false, false),
+            flags(false, true, false, true),
+            flags(true, true, true, false),
+            flags(false, false, true, true),
+        ];
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for f in samples {
+                assert_eq!(c.eval(f), !c.negate().eval(f), "{c:?} vs {:?}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // After `cmp a, b` with a < b (signed, no overflow): SF=1, OF=0.
+        let lt = flags(false, true, true, false);
+        assert!(Cond::L.eval(lt));
+        assert!(Cond::Le.eval(lt));
+        assert!(!Cond::G.eval(lt));
+        assert!(!Cond::Ge.eval(lt));
+        // Equal: ZF=1.
+        let eq = flags(true, false, false, false);
+        assert!(Cond::E.eval(eq));
+        assert!(Cond::Le.eval(eq));
+        assert!(Cond::Ge.eval(eq));
+        assert!(!Cond::L.eval(eq));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // a < b unsigned: CF=1.
+        let below = flags(false, false, true, false);
+        assert!(Cond::B.eval(below));
+        assert!(Cond::Be.eval(below));
+        assert!(!Cond::A.eval(below));
+        assert!(!Cond::Ae.eval(below));
+    }
+}

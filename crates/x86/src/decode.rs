@@ -1,0 +1,647 @@
+//! Machine-code decoder for the x86 subset.
+//!
+//! The decoder accepts exactly the canonical encodings produced by
+//! [`encode`](crate::encode::encode) and reports a descriptive error for
+//! anything else, so a translation system built on it fails loudly rather
+//! than silently mistranslating.
+
+use crate::cond::Cond;
+use crate::insn::{AluOp, Ext, Insn, MemRef, Scale, ShiftOp, Width};
+use crate::reg::{Reg32, RegMm};
+use std::fmt;
+
+/// A successfully decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The instruction.
+    pub insn: Insn,
+    /// Encoded length in bytes.
+    pub len: u32,
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes available than the instruction needs.
+    Truncated,
+    /// An opcode byte outside the subset.
+    UnknownOpcode(u8),
+    /// A `0F`-prefixed opcode outside the subset.
+    UnknownOpcode0F(u8),
+    /// A structurally valid but unsupported or non-canonical form.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction bytes truncated"),
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            DecodeError::UnknownOpcode0F(b) => write!(f, "unknown opcode 0f {b:#04x}"),
+            DecodeError::Invalid(what) => write!(f, "invalid instruction form: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(i32::from_le_bytes(slice.try_into().expect("4 bytes")))
+    }
+}
+
+/// Result of parsing a ModRM byte: either a register or a memory operand.
+enum Rm {
+    Reg(Reg32),
+    Mem(MemRef),
+}
+
+/// Parses ModRM (+SIB +disp); returns the reg-field value and the r/m
+/// operand.
+fn parse_modrm(c: &mut Cursor<'_>) -> Result<(u8, Rm), DecodeError> {
+    let byte = c.u8()?;
+    let mode = byte >> 6;
+    let reg = (byte >> 3) & 7;
+    let rm = byte & 7;
+
+    if mode == 3 {
+        return Ok((reg, Rm::Reg(Reg32::from_index(rm as usize))));
+    }
+
+    let mem = if rm == 0b100 {
+        // SIB byte.
+        let sib = c.u8()?;
+        let scale = Scale::from_bits(sib >> 6);
+        let index_bits = (sib >> 3) & 7;
+        let base_bits = sib & 7;
+        let index = if index_bits == 0b100 {
+            None
+        } else {
+            Some((Reg32::from_index(index_bits as usize), scale))
+        };
+        let (base, disp) = if base_bits == 0b101 && mode == 0 {
+            (None, c.i32()?)
+        } else {
+            let base = Some(Reg32::from_index(base_bits as usize));
+            let disp = match mode {
+                0 => 0,
+                1 => c.i8()? as i32,
+                _ => c.i32()?,
+            };
+            (base, disp)
+        };
+        MemRef { base, index, disp }
+    } else if rm == 0b101 && mode == 0 {
+        MemRef::abs(c.i32()? as u32)
+    } else {
+        let base = Reg32::from_index(rm as usize);
+        let disp = match mode {
+            0 => 0,
+            1 => c.i8()? as i32,
+            _ => c.i32()?,
+        };
+        MemRef::base_disp(base, disp)
+    };
+    Ok((reg, Rm::Mem(mem)))
+}
+
+fn alu_from_mr_opcode(op: u8) -> Option<AluOp> {
+    Some(match op {
+        0x01 => AluOp::Add,
+        0x09 => AluOp::Or,
+        0x21 => AluOp::And,
+        0x29 => AluOp::Sub,
+        0x31 => AluOp::Xor,
+        0x39 => AluOp::Cmp,
+        0x85 => AluOp::Test,
+        _ => return None,
+    })
+}
+
+fn alu_from_rm_opcode(op: u8) -> Option<AluOp> {
+    Some(match op {
+        0x03 => AluOp::Add,
+        0x0B => AluOp::Or,
+        0x23 => AluOp::And,
+        0x2B => AluOp::Sub,
+        0x33 => AluOp::Xor,
+        0x3B => AluOp::Cmp,
+        _ => return None,
+    })
+}
+
+/// Decodes one instruction from `bytes`, located at guest address `addr`
+/// (needed to resolve relative branch targets to absolute addresses).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated or outside the
+/// canonical subset.
+pub fn decode(bytes: &[u8], addr: u32) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let insn = decode_inner(&mut c, addr)?;
+    Ok(Decoded {
+        insn,
+        len: c.pos as u32,
+    })
+}
+
+fn decode_inner(c: &mut Cursor<'_>, addr: u32) -> Result<Insn, DecodeError> {
+    let opcode = c.u8()?;
+    match opcode {
+        0x66 => {
+            // Operand-size prefix: only the 2-byte store form is in the subset.
+            let next = c.u8()?;
+            if next != 0x89 {
+                return Err(DecodeError::Invalid("66 prefix is only valid before 89"));
+            }
+            let (reg, rm) = parse_modrm(c)?;
+            match rm {
+                Rm::Mem(mem) => Ok(Insn::Store {
+                    width: Width::W2,
+                    src: Reg32::from_index(reg as usize),
+                    dst: mem,
+                }),
+                Rm::Reg(_) => Err(DecodeError::Invalid("16-bit register move unsupported")),
+            }
+        }
+        0x0F => {
+            let op2 = c.u8()?;
+            match op2 {
+                0xB6 | 0xB7 | 0xBE | 0xBF => {
+                    let (width, ext) = match op2 {
+                        0xB6 => (Width::W1, Ext::Zero),
+                        0xB7 => (Width::W2, Ext::Zero),
+                        0xBE => (Width::W1, Ext::Sign),
+                        _ => (Width::W2, Ext::Sign),
+                    };
+                    let (reg, rm) = parse_modrm(c)?;
+                    match rm {
+                        Rm::Mem(mem) => Ok(Insn::Load {
+                            width,
+                            ext,
+                            dst: Reg32::from_index(reg as usize),
+                            src: mem,
+                        }),
+                        Rm::Reg(_) => Err(DecodeError::Invalid(
+                            "movzx/movsx from register unsupported",
+                        )),
+                    }
+                }
+                0xAF => {
+                    let (reg, rm) = parse_modrm(c)?;
+                    let dst = Reg32::from_index(reg as usize);
+                    match rm {
+                        Rm::Reg(src) => Ok(Insn::ImulRR { dst, src }),
+                        Rm::Mem(src) => Ok(Insn::ImulRM { dst, src }),
+                    }
+                }
+                0x6F => {
+                    let (reg, rm) = parse_modrm(c)?;
+                    match rm {
+                        Rm::Mem(mem) => Ok(Insn::MovqLoad {
+                            dst: RegMm::from_index(reg as usize),
+                            src: mem,
+                        }),
+                        Rm::Reg(_) => Err(DecodeError::Invalid("movq mm,mm unsupported")),
+                    }
+                }
+                0x7F => {
+                    let (reg, rm) = parse_modrm(c)?;
+                    match rm {
+                        Rm::Mem(mem) => Ok(Insn::MovqStore {
+                            src: RegMm::from_index(reg as usize),
+                            dst: mem,
+                        }),
+                        Rm::Reg(_) => Err(DecodeError::Invalid("movq mm,mm unsupported")),
+                    }
+                }
+                0x40..=0x4F => {
+                    let cond = Cond::from_code(op2 - 0x40)
+                        .ok_or(DecodeError::Invalid("unsupported condition code"))?;
+                    let (reg, rm) = parse_modrm(c)?;
+                    match rm {
+                        Rm::Reg(src) => Ok(Insn::Cmovcc {
+                            cond,
+                            dst: Reg32::from_index(reg as usize),
+                            src,
+                        }),
+                        Rm::Mem(_) => Err(DecodeError::Invalid("cmov from memory unsupported")),
+                    }
+                }
+                0x90..=0x9F => {
+                    let cond = Cond::from_code(op2 - 0x90)
+                        .ok_or(DecodeError::Invalid("unsupported condition code"))?;
+                    let (digit, rm) = parse_modrm(c)?;
+                    if digit != 0 {
+                        return Err(DecodeError::Invalid("setcc reg field must be 0"));
+                    }
+                    match rm {
+                        Rm::Reg(dst) if dst.has_low_byte() => Ok(Insn::Setcc { cond, dst }),
+                        Rm::Reg(_) => {
+                            Err(DecodeError::Invalid("setcc destination needs a low byte"))
+                        }
+                        Rm::Mem(_) => Err(DecodeError::Invalid("setcc to memory unsupported")),
+                    }
+                }
+                0x80..=0x8F => {
+                    let cond = Cond::from_code(op2 - 0x80)
+                        .ok_or(DecodeError::Invalid("unsupported condition code"))?;
+                    let rel = c.i32()?;
+                    let target = addr.wrapping_add(c.pos as u32).wrapping_add(rel as u32);
+                    Ok(Insn::Jcc { cond, target })
+                }
+                other => Err(DecodeError::UnknownOpcode0F(other)),
+            }
+        }
+        0xB8..=0xBF => Ok(Insn::MovRI {
+            dst: Reg32::from_index((opcode - 0xB8) as usize),
+            imm: c.i32()?,
+        }),
+        0x89 => {
+            let (reg, rm) = parse_modrm(c)?;
+            let src = Reg32::from_index(reg as usize);
+            match rm {
+                Rm::Reg(dst) => Ok(Insn::MovRR { dst, src }),
+                Rm::Mem(mem) => Ok(Insn::Store {
+                    width: Width::W4,
+                    src,
+                    dst: mem,
+                }),
+            }
+        }
+        0x8B => {
+            let (reg, rm) = parse_modrm(c)?;
+            match rm {
+                Rm::Mem(mem) => Ok(Insn::Load {
+                    width: Width::W4,
+                    ext: Ext::Zero,
+                    dst: Reg32::from_index(reg as usize),
+                    src: mem,
+                }),
+                Rm::Reg(_) => Err(DecodeError::Invalid("canonical mov r,r uses 89")),
+            }
+        }
+        0x88 => {
+            let (reg, rm) = parse_modrm(c)?;
+            let src = Reg32::from_index(reg as usize);
+            if !src.has_low_byte() {
+                return Err(DecodeError::Invalid("byte store from high register"));
+            }
+            match rm {
+                Rm::Mem(mem) => Ok(Insn::Store {
+                    width: Width::W1,
+                    src,
+                    dst: mem,
+                }),
+                Rm::Reg(_) => Err(DecodeError::Invalid("8-bit register move unsupported")),
+            }
+        }
+        0x8D => {
+            let (reg, rm) = parse_modrm(c)?;
+            match rm {
+                Rm::Mem(mem) => Ok(Insn::Lea {
+                    dst: Reg32::from_index(reg as usize),
+                    src: mem,
+                }),
+                Rm::Reg(_) => Err(DecodeError::Invalid("lea requires memory operand")),
+            }
+        }
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 | 0x85 => {
+            let op = alu_from_mr_opcode(opcode).expect("matched above");
+            let (reg, rm) = parse_modrm(c)?;
+            let src = Reg32::from_index(reg as usize);
+            match rm {
+                Rm::Reg(dst) => Ok(Insn::AluRR { op, dst, src }),
+                Rm::Mem(mem) => Ok(Insn::AluMR { op, dst: mem, src }),
+            }
+        }
+        0x03 | 0x0B | 0x23 | 0x2B | 0x33 | 0x3B => {
+            let op = alu_from_rm_opcode(opcode).expect("matched above");
+            let (reg, rm) = parse_modrm(c)?;
+            match rm {
+                Rm::Mem(mem) => Ok(Insn::AluRM {
+                    op,
+                    dst: Reg32::from_index(reg as usize),
+                    src: mem,
+                }),
+                Rm::Reg(_) => Err(DecodeError::Invalid("canonical reg-reg ALU uses MR form")),
+            }
+        }
+        0x81 => {
+            let (digit, rm) = parse_modrm(c)?;
+            let dst = match rm {
+                Rm::Reg(r) => r,
+                Rm::Mem(_) => return Err(DecodeError::Invalid("ALU imm to memory unsupported")),
+            };
+            let op = match digit {
+                0 => AluOp::Add,
+                1 => AluOp::Or,
+                4 => AluOp::And,
+                5 => AluOp::Sub,
+                6 => AluOp::Xor,
+                7 => AluOp::Cmp,
+                _ => return Err(DecodeError::Invalid("unsupported 81 /digit")),
+            };
+            Ok(Insn::AluRI {
+                op,
+                dst,
+                imm: c.i32()?,
+            })
+        }
+        0xF7 => {
+            let (digit, rm) = parse_modrm(c)?;
+            let dst = match rm {
+                Rm::Reg(r) => r,
+                Rm::Mem(_) => return Err(DecodeError::Invalid("F7 group on memory unsupported")),
+            };
+            match digit {
+                0 => Ok(Insn::AluRI {
+                    op: AluOp::Test,
+                    dst,
+                    imm: c.i32()?,
+                }),
+                2 => Ok(Insn::Not { dst }),
+                3 => Ok(Insn::Neg { dst }),
+                _ => Err(DecodeError::Invalid("unsupported F7 /digit")),
+            }
+        }
+        0x87 => {
+            let (reg, rm) = parse_modrm(c)?;
+            match rm {
+                Rm::Reg(b) => Ok(Insn::Xchg {
+                    a: Reg32::from_index(reg as usize),
+                    b,
+                }),
+                Rm::Mem(_) => Err(DecodeError::Invalid("xchg with memory unsupported")),
+            }
+        }
+        0xC1 => {
+            let (digit, rm) = parse_modrm(c)?;
+            let dst = match rm {
+                Rm::Reg(r) => r,
+                Rm::Mem(_) => return Err(DecodeError::Invalid("memory shift unsupported")),
+            };
+            let op = match digit {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                _ => return Err(DecodeError::Invalid("unsupported C1 /digit")),
+            };
+            Ok(Insn::Shift {
+                op,
+                dst,
+                amount: c.u8()?,
+            })
+        }
+        0x50..=0x57 => Ok(Insn::Push {
+            src: Reg32::from_index((opcode - 0x50) as usize),
+        }),
+        0x58..=0x5F => Ok(Insn::Pop {
+            dst: Reg32::from_index((opcode - 0x58) as usize),
+        }),
+        0xE9 => {
+            let rel = c.i32()?;
+            let target = addr.wrapping_add(c.pos as u32).wrapping_add(rel as u32);
+            Ok(Insn::Jmp { target })
+        }
+        0xE8 => {
+            let rel = c.i32()?;
+            let target = addr.wrapping_add(c.pos as u32).wrapping_add(rel as u32);
+            Ok(Insn::Call { target })
+        }
+        0xF3 => {
+            let next = c.u8()?;
+            if next == 0xA5 {
+                Ok(Insn::RepMovsd)
+            } else {
+                Err(DecodeError::Invalid(
+                    "rep prefix is only valid before movsd",
+                ))
+            }
+        }
+        0xC3 => Ok(Insn::Ret),
+        0x90 => Ok(Insn::Nop),
+        0xF4 => Ok(Insn::Hlt),
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_to_vec;
+
+    fn roundtrip(insn: Insn) {
+        let addr = 0x40_1000;
+        let bytes = encode_to_vec(&insn, addr).expect("encodable");
+        let d = decode(&bytes, addr).expect("decodable");
+        assert_eq!(d.insn, insn, "bytes: {bytes:02x?}");
+        assert_eq!(d.len as usize, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        use crate::insn::Scale;
+        use Reg32::*;
+        let mems = [
+            MemRef::abs(0x601000),
+            MemRef::base_disp(Ebx, 0),
+            MemRef::base_disp(Ebp, 0),
+            MemRef::base_disp(Esp, -8),
+            MemRef::base_disp(Esi, 0x1234),
+            MemRef::base_index(Ebx, Esi, Scale::S4, 3),
+            MemRef::base_index(Ebp, Ecx, Scale::S1, 0),
+            MemRef::index_disp(Edi, Scale::S8, 0x100),
+            MemRef::base_index(Esp, Edx, Scale::S2, 5),
+        ];
+        for m in mems {
+            roundtrip(Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Eax,
+                src: m,
+            });
+            roundtrip(Insn::Load {
+                width: Width::W2,
+                ext: Ext::Sign,
+                dst: Edi,
+                src: m,
+            });
+            roundtrip(Insn::Load {
+                width: Width::W1,
+                ext: Ext::Zero,
+                dst: Ecx,
+                src: m,
+            });
+            roundtrip(Insn::Store {
+                width: Width::W4,
+                src: Edx,
+                dst: m,
+            });
+            roundtrip(Insn::Store {
+                width: Width::W2,
+                src: Esi,
+                dst: m,
+            });
+            roundtrip(Insn::Store {
+                width: Width::W1,
+                src: Ebx,
+                dst: m,
+            });
+            roundtrip(Insn::MovqLoad {
+                dst: RegMm::Mm2,
+                src: m,
+            });
+            roundtrip(Insn::MovqStore {
+                src: RegMm::Mm7,
+                dst: m,
+            });
+            roundtrip(Insn::Lea { dst: Ebp, src: m });
+            roundtrip(Insn::AluRM {
+                op: AluOp::Add,
+                dst: Eax,
+                src: m,
+            });
+            roundtrip(Insn::AluMR {
+                op: AluOp::Sub,
+                dst: m,
+                src: Ecx,
+            });
+            roundtrip(Insn::AluMR {
+                op: AluOp::Test,
+                dst: m,
+                src: Ecx,
+            });
+            roundtrip(Insn::ImulRM { dst: Edx, src: m });
+        }
+        for op in AluOp::ALL {
+            roundtrip(Insn::AluRR {
+                op,
+                dst: Esi,
+                src: Ebp,
+            });
+            roundtrip(Insn::AluRI {
+                op,
+                dst: Edx,
+                imm: -44,
+            });
+        }
+        for cond in Cond::ALL {
+            roundtrip(Insn::Jcc {
+                cond,
+                target: 0x40_0f00,
+            });
+        }
+        roundtrip(Insn::MovRI {
+            dst: Esp,
+            imm: 0x00ff_0000,
+        });
+        roundtrip(Insn::MovRR { dst: Eax, src: Edi });
+        roundtrip(Insn::Shift {
+            op: ShiftOp::Shl,
+            dst: Eax,
+            amount: 3,
+        });
+        roundtrip(Insn::Shift {
+            op: ShiftOp::Sar,
+            dst: Ebx,
+            amount: 31,
+        });
+        roundtrip(Insn::ImulRR { dst: Eax, src: Ebx });
+        roundtrip(Insn::Push { src: Ebp });
+        roundtrip(Insn::Pop { dst: Edi });
+        roundtrip(Insn::Jmp { target: 0x3f_fff0 });
+        roundtrip(Insn::Call { target: 0x41_0000 });
+        roundtrip(Insn::Ret);
+        roundtrip(Insn::Nop);
+        roundtrip(Insn::Hlt);
+    }
+
+    #[test]
+    fn truncated_input() {
+        assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xB8, 0x01], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x8B], 0), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcodes() {
+        assert_eq!(decode(&[0xCC], 0), Err(DecodeError::UnknownOpcode(0xCC)));
+        assert_eq!(
+            decode(&[0x0F, 0x05], 0),
+            Err(DecodeError::UnknownOpcode0F(0x05))
+        );
+    }
+
+    #[test]
+    fn non_canonical_and_unsupported_forms_are_rejected() {
+        use DecodeError::Invalid;
+        let cases: &[(&[u8], &str)] = &[
+            // 66 prefix before anything but 89.
+            (&[0x66, 0x8B, 0x00], "66 prefix is only valid before 89"),
+            // 16-bit register-register move.
+            (&[0x66, 0x89, 0xC1], "16-bit register move unsupported"),
+            // mov r,r through 8B (canonical form is 89).
+            (&[0x8B, 0xC1], "canonical mov r,r uses 89"),
+            // 8-bit register move.
+            (&[0x88, 0xC1], "8-bit register move unsupported"),
+            // lea with a register operand.
+            (&[0x8D, 0xC1], "lea requires memory operand"),
+            // reg-reg ALU through the RM opcode family.
+            (&[0x03, 0xC1], "canonical reg-reg ALU uses MR form"),
+            // 81 /2 (adc) is outside the subset.
+            (&[0x81, 0xD1, 0, 0, 0, 0], "unsupported 81 /digit"),
+            // F7 /4 (mul) is outside the subset.
+            (&[0xF7, 0xE1, 0, 0, 0, 0], "unsupported F7 /digit"),
+            // C1 /0 (rol) is outside the subset.
+            (&[0xC1, 0xC1, 3], "unsupported C1 /digit"),
+            // rep prefix before anything but movsd.
+            (&[0xF3, 0x90], "rep prefix is only valid before movsd"),
+            // movzx from a register.
+            (&[0x0F, 0xB6, 0xC1], "movzx/movsx from register unsupported"),
+            // movq between MMX registers.
+            (&[0x0F, 0x6F, 0xC1], "movq mm,mm unsupported"),
+        ];
+        for (bytes, why) in cases {
+            assert_eq!(decode(bytes, 0), Err(Invalid(why)), "{bytes:02x?}");
+        }
+    }
+
+    #[test]
+    fn figure2_example_decodes() {
+        // The paper's running example: mov 0x2(%ebx), %eax
+        let d = decode(&[0x8B, 0x43, 0x02], 0x40_0000).unwrap();
+        assert_eq!(
+            d.insn,
+            Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Reg32::Eax,
+                src: MemRef::base_disp(Reg32::Ebx, 2),
+            }
+        );
+    }
+}

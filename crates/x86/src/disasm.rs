@@ -1,0 +1,261 @@
+//! AT&T-style disassembler for the x86 subset, used for debugging dumps and
+//! the DBT's side-by-side translation listings.
+
+use crate::decode::decode;
+use crate::insn::{Ext, Insn, Width};
+use std::fmt::Write as _;
+
+fn width_suffix(width: Width) -> &'static str {
+    match width {
+        Width::W1 => "b",
+        Width::W2 => "w",
+        Width::W4 => "l",
+        Width::W8 => "q",
+    }
+}
+
+/// Formats a single instruction at `addr` in AT&T syntax (source before
+/// destination, `%`-prefixed registers, `$`-prefixed immediates).
+pub fn format_insn(insn: &Insn, _addr: u32) -> String {
+    let mut s = String::new();
+    match *insn {
+        Insn::MovRI { dst, imm } => {
+            let _ = write!(s, "movl ${imm:#x}, {dst}");
+        }
+        Insn::MovRR { dst, src } => {
+            let _ = write!(s, "movl {src}, {dst}");
+        }
+        Insn::Load {
+            width,
+            ext,
+            dst,
+            src,
+        } => match (width, ext) {
+            (Width::W4, _) => {
+                let _ = write!(s, "movl {src}, {dst}");
+            }
+            (w, Ext::Zero) => {
+                let _ = write!(s, "movz{}l {src}, {dst}", width_suffix(w));
+            }
+            (w, Ext::Sign) => {
+                let _ = write!(s, "movs{}l {src}, {dst}", width_suffix(w));
+            }
+        },
+        Insn::Store { width, src, dst } => {
+            let _ = write!(s, "mov{} {src}, {dst}", width_suffix(width));
+        }
+        Insn::MovqLoad { dst, src } => {
+            let _ = write!(s, "movq {src}, {dst}");
+        }
+        Insn::MovqStore { src, dst } => {
+            let _ = write!(s, "movq {src}, {dst}");
+        }
+        Insn::Lea { dst, src } => {
+            let _ = write!(s, "leal {src}, {dst}");
+        }
+        Insn::AluRR { op, dst, src } => {
+            let _ = write!(s, "{op}l {src}, {dst}");
+        }
+        Insn::AluRI { op, dst, imm } => {
+            let _ = write!(s, "{op}l ${imm:#x}, {dst}");
+        }
+        Insn::AluRM { op, dst, src } => {
+            let _ = write!(s, "{op}l {src}, {dst}");
+        }
+        Insn::AluMR { op, dst, src } => {
+            let _ = write!(s, "{op}l {src}, {dst}");
+        }
+        Insn::Shift { op, dst, amount } => {
+            let _ = write!(s, "{op}l ${amount}, {dst}");
+        }
+        Insn::ImulRR { dst, src } => {
+            let _ = write!(s, "imull {src}, {dst}");
+        }
+        Insn::ImulRM { dst, src } => {
+            let _ = write!(s, "imull {src}, {dst}");
+        }
+        Insn::Push { src } => {
+            let _ = write!(s, "pushl {src}");
+        }
+        Insn::Pop { dst } => {
+            let _ = write!(s, "popl {dst}");
+        }
+        Insn::Jcc { cond, target } => {
+            let _ = write!(s, "j{cond} {target:#x}");
+        }
+        Insn::Jmp { target } => {
+            let _ = write!(s, "jmp {target:#x}");
+        }
+        Insn::Call { target } => {
+            let _ = write!(s, "call {target:#x}");
+        }
+        Insn::Neg { dst } => {
+            let _ = write!(s, "negl {dst}");
+        }
+        Insn::Not { dst } => {
+            let _ = write!(s, "notl {dst}");
+        }
+        Insn::Xchg { a, b } => {
+            let _ = write!(s, "xchgl {b}, {a}");
+        }
+        Insn::Setcc { cond, dst } => {
+            let _ = write!(s, "set{cond} {dst}");
+        }
+        Insn::Cmovcc { cond, dst, src } => {
+            let _ = write!(s, "cmov{cond}l {src}, {dst}");
+        }
+        Insn::RepMovsd => s.push_str("rep movsd"),
+        Insn::Ret => s.push_str("ret"),
+        Insn::Nop => s.push_str("nop"),
+        Insn::Hlt => s.push_str("hlt"),
+    }
+    s
+}
+
+/// Disassembles a byte image starting at `base`, one line per instruction.
+/// Undecodable bytes are shown as `.byte` and skipped one at a time.
+pub fn disassemble(bytes: &[u8], base: u32) -> String {
+    let mut out = String::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let addr = base.wrapping_add(pos as u32);
+        match decode(&bytes[pos..], addr) {
+            Ok(d) => {
+                let raw: Vec<String> = bytes[pos..pos + d.len as usize]
+                    .iter()
+                    .map(|b| format!("{b:02x}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{addr:#010x}:  {:<24} {}",
+                    raw.join(" "),
+                    format_insn(&d.insn, addr)
+                );
+                pos += d.len as usize;
+            }
+            Err(_) => {
+                let _ = writeln!(
+                    out,
+                    "{addr:#010x}:  {:02x}                       .byte",
+                    bytes[pos]
+                );
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::cond::Cond;
+    use crate::insn::{AluOp, MemRef, ShiftOp};
+    use crate::reg::{Reg32, RegMm};
+
+    #[test]
+    fn formats_core_instructions() {
+        assert_eq!(
+            format_insn(
+                &Insn::MovRI {
+                    dst: Reg32::Eax,
+                    imm: 0x10
+                },
+                0
+            ),
+            "movl $0x10, %eax"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Load {
+                    width: Width::W4,
+                    ext: Ext::Zero,
+                    dst: Reg32::Eax,
+                    src: MemRef::base_disp(Reg32::Ebx, 2),
+                },
+                0
+            ),
+            "movl 0x2(%ebx), %eax"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Load {
+                    width: Width::W2,
+                    ext: Ext::Sign,
+                    dst: Reg32::Ecx,
+                    src: MemRef::abs(0x100),
+                },
+                0
+            ),
+            "movswl 0x100(), %ecx"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::AluRR {
+                    op: AluOp::Add,
+                    dst: Reg32::Eax,
+                    src: Reg32::Ebx
+                },
+                0
+            ),
+            "addl %ebx, %eax"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Shift {
+                    op: ShiftOp::Sar,
+                    dst: Reg32::Edx,
+                    amount: 3
+                },
+                0
+            ),
+            "sarl $3, %edx"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::Jcc {
+                    cond: Cond::Ne,
+                    target: 0x400100
+                },
+                0x400000
+            ),
+            "jne 0x400100"
+        );
+        assert_eq!(
+            format_insn(
+                &Insn::MovqLoad {
+                    dst: RegMm::Mm1,
+                    src: MemRef::base_disp(Reg32::Esi, 8)
+                },
+                0
+            ),
+            "movq 0x8(%esi), %mm1"
+        );
+        assert_eq!(format_insn(&Insn::Ret, 0), "ret");
+    }
+
+    #[test]
+    fn disassembles_an_image() {
+        let mut a = Assembler::new(0x40_0000);
+        a.mov_ri(Reg32::Ecx, 5);
+        let top = a.here_label();
+        a.alu_ri(AluOp::Sub, Reg32::Ecx, 1);
+        a.jcc(Cond::Ne, top);
+        a.hlt();
+        let image = a.finish().unwrap();
+        let text = disassemble(&image, 0x40_0000);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("movl $0x5, %ecx"));
+        assert!(text.contains("subl $0x1, %ecx"));
+        assert!(text.contains("jne 0x400005"));
+        assert!(text.contains("hlt"));
+    }
+
+    #[test]
+    fn bad_bytes_become_byte_directives() {
+        let text = disassemble(&[0xCC, 0x90], 0);
+        assert!(text.contains(".byte"));
+        assert!(text.contains("nop"));
+    }
+}

@@ -1,0 +1,548 @@
+//! Machine-code encoder for the x86 subset.
+//!
+//! Encodings are the canonical forms a real assembler would pick (smallest
+//! displacement, `89 /r` for register-register moves, …) so that
+//! [`decode`](crate::decode::decode) ∘ [`encode`] is the identity on
+//! [`Insn`] values.
+
+use crate::insn::{AluOp, Ext, Insn, MemRef, Width};
+use crate::reg::Reg32;
+use std::fmt;
+
+/// Errors produced when an [`Insn`] has no encoding in the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The memory operand uses `%esp` as an index register.
+    InvalidMemRef,
+    /// A 1-byte store from a register without an addressable low byte.
+    ByteStoreNeedsLowByte(Reg32),
+    /// `test r32, m32` has no reg-destination encoding; use the
+    /// memory-destination form ([`Insn::AluMR`]) instead.
+    TestHasNoRmForm,
+    /// An 8-bit-register or other form outside the subset.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::InvalidMemRef => write!(f, "%esp cannot be an index register"),
+            EncodeError::ByteStoreNeedsLowByte(r) => {
+                write!(f, "1-byte store requires %eax..%ebx source, got {r}")
+            }
+            EncodeError::TestHasNoRmForm => {
+                write!(
+                    f,
+                    "test with memory source must use the memory-destination form"
+                )
+            }
+            EncodeError::Unsupported(what) => write!(f, "unsupported encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn modrm(mode: u8, reg: u8, rm: u8) -> u8 {
+    (mode << 6) | (reg << 3) | rm
+}
+
+/// Emits a ModRM (+ optional SIB + displacement) sequence addressing `mem`,
+/// with `reg_field` in the ModRM reg slot.
+fn emit_mem(reg_field: u8, mem: &MemRef, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    if !mem.is_valid() {
+        return Err(EncodeError::InvalidMemRef);
+    }
+    let disp = mem.disp;
+    let disp_fits_i8 = i8::try_from(disp).is_ok();
+
+    match (mem.base, mem.index) {
+        (None, None) => {
+            // Absolute: mod=00 rm=101 disp32.
+            out.push(modrm(0, reg_field, 0b101));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        (Some(base), None) if base != Reg32::Esp => {
+            let rm = base.index() as u8;
+            if disp == 0 && base != Reg32::Ebp {
+                out.push(modrm(0, reg_field, rm));
+            } else if disp_fits_i8 {
+                out.push(modrm(1, reg_field, rm));
+                out.push(disp as i8 as u8);
+            } else {
+                out.push(modrm(2, reg_field, rm));
+                out.extend_from_slice(&disp.to_le_bytes());
+            }
+        }
+        (base, index) => {
+            // SIB required: %esp base, or any indexed form.
+            let (scale_bits, index_bits) = match index {
+                Some((idx, scale)) => (scale.bits(), idx.index() as u8),
+                None => (0, 0b100),
+            };
+            match base {
+                None => {
+                    // No base: mod=00, SIB base=101, disp32.
+                    out.push(modrm(0, reg_field, 0b100));
+                    out.push((scale_bits << 6) | (index_bits << 3) | 0b101);
+                    out.extend_from_slice(&disp.to_le_bytes());
+                }
+                Some(b) => {
+                    let base_bits = b.index() as u8;
+                    if disp == 0 && b != Reg32::Ebp {
+                        out.push(modrm(0, reg_field, 0b100));
+                        out.push((scale_bits << 6) | (index_bits << 3) | base_bits);
+                    } else if disp_fits_i8 {
+                        out.push(modrm(1, reg_field, 0b100));
+                        out.push((scale_bits << 6) | (index_bits << 3) | base_bits);
+                        out.push(disp as i8 as u8);
+                    } else {
+                        out.push(modrm(2, reg_field, 0b100));
+                        out.push((scale_bits << 6) | (index_bits << 3) | base_bits);
+                        out.extend_from_slice(&disp.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn alu_mr_opcode(op: AluOp) -> u8 {
+    // `op r/m32, r32` opcode family.
+    match op {
+        AluOp::Add => 0x01,
+        AluOp::Or => 0x09,
+        AluOp::And => 0x21,
+        AluOp::Sub => 0x29,
+        AluOp::Xor => 0x31,
+        AluOp::Cmp => 0x39,
+        AluOp::Test => 0x85,
+    }
+}
+
+fn alu_rm_opcode(op: AluOp) -> Option<u8> {
+    // `op r32, r/m32` opcode family; `test` has none.
+    Some(match op {
+        AluOp::Add => 0x03,
+        AluOp::Or => 0x0B,
+        AluOp::And => 0x23,
+        AluOp::Sub => 0x2B,
+        AluOp::Xor => 0x33,
+        AluOp::Cmp => 0x3B,
+        AluOp::Test => return None,
+    })
+}
+
+fn alu_imm_digit(op: AluOp) -> Option<u8> {
+    Some(match op {
+        AluOp::Add => 0,
+        AluOp::Or => 1,
+        AluOp::And => 4,
+        AluOp::Sub => 5,
+        AluOp::Xor => 6,
+        AluOp::Cmp => 7,
+        AluOp::Test => return None, // encoded as F7 /0
+    })
+}
+
+/// Length in bytes of the encoding of a control-transfer instruction, needed
+/// for relative-displacement computation.
+fn branch_len(insn: &Insn) -> u32 {
+    match insn {
+        Insn::Jcc { .. } => 6,
+        Insn::Jmp { .. } | Insn::Call { .. } => 5,
+        _ => unreachable!("not a relative branch"),
+    }
+}
+
+/// Encodes `insn`, assumed to be located at guest address `addr`, appending
+/// its bytes to `out`. Returns the encoded length.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] for operand combinations outside the subset
+/// (see the error variants).
+pub fn encode(insn: &Insn, addr: u32, out: &mut Vec<u8>) -> Result<u32, EncodeError> {
+    let start = out.len();
+    match insn {
+        Insn::MovRI { dst, imm } => {
+            out.push(0xB8 + dst.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::MovRR { dst, src } => {
+            out.push(0x89);
+            out.push(modrm(3, src.index() as u8, dst.index() as u8));
+        }
+        Insn::Load {
+            width,
+            ext,
+            dst,
+            src,
+        } => match (width, ext) {
+            (Width::W4, _) => {
+                out.push(0x8B);
+                emit_mem(dst.index() as u8, src, out)?;
+            }
+            (Width::W2, Ext::Zero) => {
+                out.extend_from_slice(&[0x0F, 0xB7]);
+                emit_mem(dst.index() as u8, src, out)?;
+            }
+            (Width::W2, Ext::Sign) => {
+                out.extend_from_slice(&[0x0F, 0xBF]);
+                emit_mem(dst.index() as u8, src, out)?;
+            }
+            (Width::W1, Ext::Zero) => {
+                out.extend_from_slice(&[0x0F, 0xB6]);
+                emit_mem(dst.index() as u8, src, out)?;
+            }
+            (Width::W1, Ext::Sign) => {
+                out.extend_from_slice(&[0x0F, 0xBE]);
+                emit_mem(dst.index() as u8, src, out)?;
+            }
+            (Width::W8, _) => return Err(EncodeError::Unsupported("8-byte GPR load")),
+        },
+        Insn::Store { width, src, dst } => match width {
+            Width::W4 => {
+                out.push(0x89);
+                emit_mem(src.index() as u8, dst, out)?;
+            }
+            Width::W2 => {
+                out.push(0x66);
+                out.push(0x89);
+                emit_mem(src.index() as u8, dst, out)?;
+            }
+            Width::W1 => {
+                if !src.has_low_byte() {
+                    return Err(EncodeError::ByteStoreNeedsLowByte(*src));
+                }
+                out.push(0x88);
+                emit_mem(src.index() as u8, dst, out)?;
+            }
+            Width::W8 => return Err(EncodeError::Unsupported("8-byte GPR store")),
+        },
+        Insn::MovqLoad { dst, src } => {
+            out.extend_from_slice(&[0x0F, 0x6F]);
+            emit_mem(dst.index() as u8, src, out)?;
+        }
+        Insn::MovqStore { src, dst } => {
+            out.extend_from_slice(&[0x0F, 0x7F]);
+            emit_mem(src.index() as u8, dst, out)?;
+        }
+        Insn::Lea { dst, src } => {
+            out.push(0x8D);
+            emit_mem(dst.index() as u8, src, out)?;
+        }
+        Insn::AluRR { op, dst, src } => {
+            out.push(alu_mr_opcode(*op));
+            out.push(modrm(3, src.index() as u8, dst.index() as u8));
+        }
+        Insn::AluRI { op, dst, imm } => match alu_imm_digit(*op) {
+            Some(digit) => {
+                out.push(0x81);
+                out.push(modrm(3, digit, dst.index() as u8));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            None => {
+                // test r32, imm32
+                out.push(0xF7);
+                out.push(modrm(3, 0, dst.index() as u8));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        },
+        Insn::AluRM { op, dst, src } => {
+            let opcode = alu_rm_opcode(*op).ok_or(EncodeError::TestHasNoRmForm)?;
+            out.push(opcode);
+            emit_mem(dst.index() as u8, src, out)?;
+        }
+        Insn::AluMR { op, dst, src } => {
+            out.push(alu_mr_opcode(*op));
+            emit_mem(src.index() as u8, dst, out)?;
+        }
+        Insn::Shift { op, dst, amount } => {
+            out.push(0xC1);
+            out.push(modrm(3, op.digit(), dst.index() as u8));
+            out.push(*amount);
+        }
+        Insn::ImulRR { dst, src } => {
+            out.extend_from_slice(&[0x0F, 0xAF]);
+            out.push(modrm(3, dst.index() as u8, src.index() as u8));
+        }
+        Insn::ImulRM { dst, src } => {
+            out.extend_from_slice(&[0x0F, 0xAF]);
+            emit_mem(dst.index() as u8, src, out)?;
+        }
+        Insn::Setcc { cond, dst } => {
+            if !dst.has_low_byte() {
+                return Err(EncodeError::ByteStoreNeedsLowByte(*dst));
+            }
+            out.push(0x0F);
+            out.push(0x90 + cond.code());
+            out.push(modrm(3, 0, dst.index() as u8));
+        }
+        Insn::Cmovcc { cond, dst, src } => {
+            out.push(0x0F);
+            out.push(0x40 + cond.code());
+            out.push(modrm(3, dst.index() as u8, src.index() as u8));
+        }
+        Insn::Neg { dst } => {
+            out.push(0xF7);
+            out.push(modrm(3, 3, dst.index() as u8));
+        }
+        Insn::Not { dst } => {
+            out.push(0xF7);
+            out.push(modrm(3, 2, dst.index() as u8));
+        }
+        Insn::Xchg { a, b } => {
+            out.push(0x87);
+            out.push(modrm(3, a.index() as u8, b.index() as u8));
+        }
+        Insn::Push { src } => out.push(0x50 + src.index() as u8),
+        Insn::Pop { dst } => out.push(0x58 + dst.index() as u8),
+        Insn::Jcc { cond, target } => {
+            let rel = target.wrapping_sub(addr.wrapping_add(branch_len(insn)));
+            out.push(0x0F);
+            out.push(0x80 + cond.code());
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Insn::Jmp { target } => {
+            let rel = target.wrapping_sub(addr.wrapping_add(branch_len(insn)));
+            out.push(0xE9);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Insn::Call { target } => {
+            let rel = target.wrapping_sub(addr.wrapping_add(branch_len(insn)));
+            out.push(0xE8);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Insn::RepMovsd => out.extend_from_slice(&[0xF3, 0xA5]),
+        Insn::Ret => out.push(0xC3),
+        Insn::Nop => out.push(0x90),
+        Insn::Hlt => out.push(0xF4),
+    }
+    Ok((out.len() - start) as u32)
+}
+
+/// Convenience wrapper: encodes into a fresh vector.
+///
+/// # Errors
+///
+/// Same as [`encode`].
+pub fn encode_to_vec(insn: &Insn, addr: u32) -> Result<Vec<u8>, EncodeError> {
+    let mut v = Vec::with_capacity(8);
+    encode(insn, addr, &mut v)?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::insn::Scale;
+    use crate::reg::RegMm;
+
+    fn enc(insn: Insn) -> Vec<u8> {
+        encode_to_vec(&insn, 0x40_0000).expect("encodable")
+    }
+
+    #[test]
+    fn mov_ri_is_b8_plus_r() {
+        assert_eq!(
+            enc(Insn::MovRI {
+                dst: Reg32::Eax,
+                imm: 0x12345678
+            }),
+            vec![0xB8, 0x78, 0x56, 0x34, 0x12]
+        );
+        assert_eq!(
+            enc(Insn::MovRI {
+                dst: Reg32::Edi,
+                imm: -1
+            })[0],
+            0xBF
+        );
+    }
+
+    #[test]
+    fn mov_rr_uses_89() {
+        // mov %ebx, %eax  (AT&T: src=%ebx? here dst=eax src=ebx) => 89 D8
+        assert_eq!(
+            enc(Insn::MovRR {
+                dst: Reg32::Eax,
+                src: Reg32::Ebx
+            }),
+            vec![0x89, 0xD8]
+        );
+    }
+
+    #[test]
+    fn load_disp8_form() {
+        // mov 0x2(%ebx), %eax => 8B 43 02 (the paper's Figure 2 example)
+        assert_eq!(
+            enc(Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Reg32::Eax,
+                src: MemRef::base_disp(Reg32::Ebx, 2),
+            }),
+            vec![0x8B, 0x43, 0x02]
+        );
+    }
+
+    #[test]
+    fn absolute_address_form() {
+        // mov 0x1000, %ecx => 8B 0D 00 10 00 00
+        assert_eq!(
+            enc(Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Reg32::Ecx,
+                src: MemRef::abs(0x1000),
+            }),
+            vec![0x8B, 0x0D, 0x00, 0x10, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn sib_form_with_index() {
+        // mov (%ebx,%esi,4), %eax => 8B 04 B3
+        assert_eq!(
+            enc(Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Reg32::Eax,
+                src: MemRef::base_index(Reg32::Ebx, Reg32::Esi, Scale::S4, 0),
+            }),
+            vec![0x8B, 0x04, 0xB3]
+        );
+    }
+
+    #[test]
+    fn esp_base_needs_sib() {
+        // mov 4(%esp), %eax => 8B 44 24 04
+        assert_eq!(
+            enc(Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Reg32::Eax,
+                src: MemRef::base_disp(Reg32::Esp, 4),
+            }),
+            vec![0x8B, 0x44, 0x24, 0x04]
+        );
+    }
+
+    #[test]
+    fn ebp_base_zero_disp_uses_disp8() {
+        // mov (%ebp), %eax => 8B 45 00
+        assert_eq!(
+            enc(Insn::Load {
+                width: Width::W4,
+                ext: Ext::Zero,
+                dst: Reg32::Eax,
+                src: MemRef::base_disp(Reg32::Ebp, 0),
+            }),
+            vec![0x8B, 0x45, 0x00]
+        );
+    }
+
+    #[test]
+    fn store_widths() {
+        assert_eq!(
+            enc(Insn::Store {
+                width: Width::W2,
+                src: Reg32::Ecx,
+                dst: MemRef::abs(0x10)
+            })[0],
+            0x66
+        );
+        assert_eq!(
+            enc(Insn::Store {
+                width: Width::W1,
+                src: Reg32::Edx,
+                dst: MemRef::abs(0x10)
+            })[0],
+            0x88
+        );
+    }
+
+    #[test]
+    fn byte_store_rejects_high_regs() {
+        let err = encode_to_vec(
+            &Insn::Store {
+                width: Width::W1,
+                src: Reg32::Esi,
+                dst: MemRef::abs(0x10),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, EncodeError::ByteStoreNeedsLowByte(Reg32::Esi));
+    }
+
+    #[test]
+    fn esp_index_rejected() {
+        let err = encode_to_vec(
+            &Insn::Lea {
+                dst: Reg32::Eax,
+                src: MemRef::index_disp(Reg32::Esp, Scale::S2, 0),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, EncodeError::InvalidMemRef);
+    }
+
+    #[test]
+    fn test_rm_form_rejected() {
+        let err = encode_to_vec(
+            &Insn::AluRM {
+                op: AluOp::Test,
+                dst: Reg32::Eax,
+                src: MemRef::abs(0),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, EncodeError::TestHasNoRmForm);
+    }
+
+    #[test]
+    fn branch_relative_displacement() {
+        // jmp to self+5 => rel 0
+        assert_eq!(enc(Insn::Jmp { target: 0x40_0005 }), vec![0xE9, 0, 0, 0, 0]);
+        // jcc backward
+        let b = enc(Insn::Jcc {
+            cond: Cond::Ne,
+            target: 0x40_0000,
+        });
+        assert_eq!(&b[..2], &[0x0F, 0x85]);
+        assert_eq!(i32::from_le_bytes(b[2..6].try_into().unwrap()), -6);
+    }
+
+    #[test]
+    fn movq_forms() {
+        assert_eq!(
+            enc(Insn::MovqLoad {
+                dst: RegMm::Mm1,
+                src: MemRef::abs(0x20)
+            })[..2],
+            [0x0F, 0x6F]
+        );
+        assert_eq!(
+            enc(Insn::MovqStore {
+                src: RegMm::Mm1,
+                dst: MemRef::abs(0x20)
+            })[..2],
+            [0x0F, 0x7F]
+        );
+    }
+
+    #[test]
+    fn single_byte_insns() {
+        assert_eq!(enc(Insn::Push { src: Reg32::Ebp }), vec![0x55]);
+        assert_eq!(enc(Insn::Pop { dst: Reg32::Ebp }), vec![0x5D]);
+        assert_eq!(enc(Insn::Ret), vec![0xC3]);
+        assert_eq!(enc(Insn::Nop), vec![0x90]);
+        assert_eq!(enc(Insn::Hlt), vec![0xF4]);
+    }
+}

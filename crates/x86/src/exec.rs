@@ -1,0 +1,854 @@
+//! Reference execution semantics for the x86 subset.
+//!
+//! [`execute`] is the golden model: the DBT's phase-1 interpreter runs it
+//! directly, and translated Alpha code is required (and property-tested) to
+//! produce identical guest-visible state.
+
+use crate::insn::{AluOp, Ext, Insn, ShiftOp, Width};
+use crate::state::{CpuState, Flags};
+
+/// Memory as seen by the guest: byte-addressable, with **no alignment
+/// restriction** — this is precisely the x86 property the paper's problem
+/// stems from.
+///
+/// Values are exchanged as zero-extended `u64` regardless of width; `store`
+/// writes only the low `width` bytes.
+pub trait GuestMem {
+    /// Loads `width` bytes at `addr` (little-endian), zero-extended.
+    fn load(&mut self, addr: u32, width: Width) -> u64;
+    /// Stores the low `width` bytes of `value` at `addr` (little-endian).
+    fn store(&mut self, addr: u32, width: Width, value: u64);
+}
+
+impl<M: GuestMem + ?Sized> GuestMem for &mut M {
+    fn load(&mut self, addr: u32, width: Width) -> u64 {
+        (**self).load(addr, width)
+    }
+    fn store(&mut self, addr: u32, width: Width, value: u64) {
+        (**self).store(addr, width, value)
+    }
+}
+
+/// One dynamic memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u32,
+    /// Access width.
+    pub width: Width,
+    /// `true` for stores.
+    pub store: bool,
+}
+
+impl MemAccess {
+    /// Whether this access is misaligned (crosses a natural boundary).
+    #[inline]
+    pub fn misaligned(&self) -> bool {
+        self.width.misaligned(self.addr)
+    }
+}
+
+/// The memory accesses of one executed instruction (at most two: RMW forms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessList {
+    items: [Option<MemAccess>; 2],
+    len: u8,
+}
+
+impl AccessList {
+    fn push(&mut self, a: MemAccess) {
+        self.items[self.len as usize] = Some(a);
+        self.len += 1;
+    }
+
+    /// Number of accesses (0..=2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no memory was touched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the accesses in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = MemAccess> + '_ {
+        self.items
+            .iter()
+            .take(self.len as usize)
+            .map(|a| a.expect("within len"))
+    }
+}
+
+/// Where control goes after an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Next {
+    /// Fall through to the next sequential instruction.
+    Fall,
+    /// Control transfer to an absolute guest address (taken branch, call,
+    /// return).
+    Jump(u32),
+    /// The program executed `hlt`.
+    Halt,
+}
+
+/// Outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepResult {
+    /// Control-flow outcome. `eip` has already been updated to match.
+    pub next: Next,
+    /// Memory accesses performed.
+    pub accesses: AccessList,
+}
+
+fn flags_add(a: u32, b: u32) -> (u32, Flags) {
+    let res = a.wrapping_add(b);
+    (
+        res,
+        Flags {
+            zf: res == 0,
+            sf: (res as i32) < 0,
+            cf: res < a,
+            of: ((a ^ res) & (b ^ res)) >> 31 != 0,
+        },
+    )
+}
+
+fn flags_sub(a: u32, b: u32) -> (u32, Flags) {
+    let res = a.wrapping_sub(b);
+    (
+        res,
+        Flags {
+            zf: res == 0,
+            sf: (res as i32) < 0,
+            cf: a < b,
+            of: ((a ^ b) & (a ^ res)) >> 31 != 0,
+        },
+    )
+}
+
+fn flags_logic(res: u32) -> Flags {
+    Flags {
+        zf: res == 0,
+        sf: (res as i32) < 0,
+        cf: false,
+        of: false,
+    }
+}
+
+/// Applies a two-operand ALU op, returning the (possibly discarded) result
+/// and the new flags.
+pub fn alu(op: AluOp, a: u32, b: u32) -> (u32, Flags) {
+    match op {
+        AluOp::Add => flags_add(a, b),
+        AluOp::Sub | AluOp::Cmp => flags_sub(a, b),
+        AluOp::And | AluOp::Test => {
+            let r = a & b;
+            (r, flags_logic(r))
+        }
+        AluOp::Or => {
+            let r = a | b;
+            (r, flags_logic(r))
+        }
+        AluOp::Xor => {
+            let r = a ^ b;
+            (r, flags_logic(r))
+        }
+    }
+}
+
+/// Applies a shift, returning the result and new flags.
+///
+/// A shift count of zero (after masking to 5 bits) leaves flags unchanged,
+/// as on hardware. OF is architecturally undefined for counts > 1; this
+/// model (and the translator, identically) leaves it cleared.
+pub fn shift(op: ShiftOp, a: u32, amount: u8, old: Flags) -> (u32, Flags) {
+    let amt = (amount & 31) as u32;
+    if amt == 0 {
+        return (a, old);
+    }
+    let (res, cf) = match op {
+        ShiftOp::Shl => (a.wrapping_shl(amt), (a >> (32 - amt)) & 1 != 0),
+        ShiftOp::Shr => (a.wrapping_shr(amt), (a >> (amt - 1)) & 1 != 0),
+        ShiftOp::Sar => (
+            ((a as i32) >> amt) as u32,
+            ((a as i32) >> (amt - 1)) & 1 != 0,
+        ),
+    };
+    (
+        res,
+        Flags {
+            zf: res == 0,
+            sf: (res as i32) < 0,
+            cf,
+            of: false,
+        },
+    )
+}
+
+fn extend(value: u64, width: Width, ext: Ext) -> u32 {
+    match (width, ext) {
+        (Width::W4, _) => value as u32,
+        (Width::W2, Ext::Zero) => value as u16 as u32,
+        (Width::W2, Ext::Sign) => value as u16 as i16 as i32 as u32,
+        (Width::W1, Ext::Zero) => value as u8 as u32,
+        (Width::W1, Ext::Sign) => value as u8 as i8 as i32 as u32,
+        (Width::W8, _) => unreachable!("W8 loads use the MMX path"),
+    }
+}
+
+/// Executes one decoded instruction of encoded length `len` located at
+/// `state.eip`, updating `state` (including `eip`) and `mem`.
+///
+/// Returns the control-flow outcome and the memory accesses performed, which
+/// the caller can inspect for MDA profiling.
+pub fn execute(insn: &Insn, len: u32, state: &mut CpuState, mem: &mut impl GuestMem) -> StepResult {
+    let mut acc = AccessList::default();
+    let fall = state.eip.wrapping_add(len);
+    let mut next = Next::Fall;
+
+    match *insn {
+        Insn::MovRI { dst, imm } => state.set_reg(dst, imm as u32),
+        Insn::MovRR { dst, src } => {
+            let v = state.reg(src);
+            state.set_reg(dst, v);
+        }
+        Insn::Load {
+            width,
+            ext,
+            dst,
+            src,
+        } => {
+            let addr = src.effective(&state.regs);
+            let raw = mem.load(addr, width);
+            acc.push(MemAccess {
+                addr,
+                width,
+                store: false,
+            });
+            state.set_reg(dst, extend(raw, width, ext));
+        }
+        Insn::Store { width, src, dst } => {
+            let addr = dst.effective(&state.regs);
+            mem.store(addr, width, state.reg(src) as u64);
+            acc.push(MemAccess {
+                addr,
+                width,
+                store: true,
+            });
+        }
+        Insn::MovqLoad { dst, src } => {
+            let addr = src.effective(&state.regs);
+            let raw = mem.load(addr, Width::W8);
+            acc.push(MemAccess {
+                addr,
+                width: Width::W8,
+                store: false,
+            });
+            state.set_mm(dst, raw);
+        }
+        Insn::MovqStore { src, dst } => {
+            let addr = dst.effective(&state.regs);
+            mem.store(addr, Width::W8, state.mm(src));
+            acc.push(MemAccess {
+                addr,
+                width: Width::W8,
+                store: true,
+            });
+        }
+        Insn::Lea { dst, src } => {
+            let ea = src.effective(&state.regs);
+            state.set_reg(dst, ea);
+        }
+        Insn::AluRR { op, dst, src } => {
+            let (res, f) = alu(op, state.reg(dst), state.reg(src));
+            if op.writes_back() {
+                state.set_reg(dst, res);
+            }
+            state.flags = f;
+        }
+        Insn::AluRI { op, dst, imm } => {
+            let (res, f) = alu(op, state.reg(dst), imm as u32);
+            if op.writes_back() {
+                state.set_reg(dst, res);
+            }
+            state.flags = f;
+        }
+        Insn::AluRM { op, dst, src } => {
+            let addr = src.effective(&state.regs);
+            let m = mem.load(addr, Width::W4) as u32;
+            acc.push(MemAccess {
+                addr,
+                width: Width::W4,
+                store: false,
+            });
+            let (res, f) = alu(op, state.reg(dst), m);
+            if op.writes_back() {
+                state.set_reg(dst, res);
+            }
+            state.flags = f;
+        }
+        Insn::AluMR { op, dst, src } => {
+            let addr = dst.effective(&state.regs);
+            let m = mem.load(addr, Width::W4) as u32;
+            acc.push(MemAccess {
+                addr,
+                width: Width::W4,
+                store: false,
+            });
+            let (res, f) = alu(op, m, state.reg(src));
+            if op.writes_back() {
+                mem.store(addr, Width::W4, res as u64);
+                acc.push(MemAccess {
+                    addr,
+                    width: Width::W4,
+                    store: true,
+                });
+            }
+            state.flags = f;
+        }
+        Insn::Shift { op, dst, amount } => {
+            let (res, f) = shift(op, state.reg(dst), amount, state.flags);
+            state.set_reg(dst, res);
+            state.flags = f;
+        }
+        Insn::ImulRR { dst, src } => {
+            let res = state.reg(dst).wrapping_mul(state.reg(src));
+            state.set_reg(dst, res);
+            state.flags = Flags::default();
+        }
+        Insn::ImulRM { dst, src } => {
+            let addr = src.effective(&state.regs);
+            let m = mem.load(addr, Width::W4) as u32;
+            acc.push(MemAccess {
+                addr,
+                width: Width::W4,
+                store: false,
+            });
+            let res = state.reg(dst).wrapping_mul(m);
+            state.set_reg(dst, res);
+            state.flags = Flags::default();
+        }
+        Insn::Push { src } => {
+            let sp = state.reg(crate::reg::Reg32::Esp).wrapping_sub(4);
+            mem.store(sp, Width::W4, state.reg(src) as u64);
+            acc.push(MemAccess {
+                addr: sp,
+                width: Width::W4,
+                store: true,
+            });
+            state.set_reg(crate::reg::Reg32::Esp, sp);
+        }
+        Insn::Pop { dst } => {
+            let sp = state.reg(crate::reg::Reg32::Esp);
+            let v = mem.load(sp, Width::W4) as u32;
+            acc.push(MemAccess {
+                addr: sp,
+                width: Width::W4,
+                store: false,
+            });
+            state.set_reg(crate::reg::Reg32::Esp, sp.wrapping_add(4));
+            state.set_reg(dst, v);
+        }
+        Insn::Neg { dst } => {
+            let (res, f) = alu(AluOp::Sub, 0, state.reg(dst));
+            state.set_reg(dst, res);
+            state.flags = f;
+        }
+        Insn::Not { dst } => {
+            let v = !state.reg(dst);
+            state.set_reg(dst, v);
+        }
+        Insn::Xchg { a, b } => {
+            let (va, vb) = (state.reg(a), state.reg(b));
+            state.set_reg(a, vb);
+            state.set_reg(b, va);
+        }
+        Insn::Setcc { cond, dst } => {
+            let bit = u32::from(cond.eval(state.flags));
+            let v = (state.reg(dst) & !0xFF) | bit;
+            state.set_reg(dst, v);
+        }
+        Insn::Cmovcc { cond, dst, src } => {
+            if cond.eval(state.flags) {
+                let v = state.reg(src);
+                state.set_reg(dst, v);
+            }
+        }
+        Insn::RepMovsd => {
+            // One iteration per architectural step (hardware makes REP
+            // interruptible the same way).
+            let count = state.reg(crate::reg::Reg32::Ecx);
+            if count != 0 {
+                let src = state.reg(crate::reg::Reg32::Esi);
+                let dst = state.reg(crate::reg::Reg32::Edi);
+                let v = mem.load(src, Width::W4);
+                acc.push(MemAccess {
+                    addr: src,
+                    width: Width::W4,
+                    store: false,
+                });
+                mem.store(dst, Width::W4, v);
+                acc.push(MemAccess {
+                    addr: dst,
+                    width: Width::W4,
+                    store: true,
+                });
+                state.set_reg(crate::reg::Reg32::Esi, src.wrapping_add(4));
+                state.set_reg(crate::reg::Reg32::Edi, dst.wrapping_add(4));
+                state.set_reg(crate::reg::Reg32::Ecx, count - 1);
+                if count > 1 {
+                    next = Next::Jump(state.eip); // repeat in place
+                }
+            }
+        }
+        Insn::Jcc { cond, target } => {
+            if cond.eval(state.flags) {
+                next = Next::Jump(target);
+            }
+        }
+        Insn::Jmp { target } => next = Next::Jump(target),
+        Insn::Call { target } => {
+            let sp = state.reg(crate::reg::Reg32::Esp).wrapping_sub(4);
+            mem.store(sp, Width::W4, fall as u64);
+            acc.push(MemAccess {
+                addr: sp,
+                width: Width::W4,
+                store: true,
+            });
+            state.set_reg(crate::reg::Reg32::Esp, sp);
+            next = Next::Jump(target);
+        }
+        Insn::Ret => {
+            let sp = state.reg(crate::reg::Reg32::Esp);
+            let v = mem.load(sp, Width::W4) as u32;
+            acc.push(MemAccess {
+                addr: sp,
+                width: Width::W4,
+                store: false,
+            });
+            state.set_reg(crate::reg::Reg32::Esp, sp.wrapping_add(4));
+            next = Next::Jump(v);
+        }
+        Insn::Nop => {}
+        Insn::Hlt => next = Next::Halt,
+    }
+
+    state.eip = match next {
+        Next::Fall => fall,
+        Next::Jump(t) => t,
+        Next::Halt => fall,
+    };
+    StepResult {
+        next,
+        accesses: acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::insn::MemRef;
+    use crate::reg::{Reg32, RegMm};
+    use std::collections::HashMap;
+
+    /// Simple byte-map memory for tests.
+    #[derive(Default)]
+    struct MapMem(HashMap<u32, u8>);
+
+    impl GuestMem for MapMem {
+        fn load(&mut self, addr: u32, width: Width) -> u64 {
+            let mut v = 0u64;
+            for i in 0..width.bytes() {
+                v |= u64::from(*self.0.get(&addr.wrapping_add(i)).unwrap_or(&0)) << (8 * i);
+            }
+            v
+        }
+        fn store(&mut self, addr: u32, width: Width, value: u64) {
+            for i in 0..width.bytes() {
+                self.0
+                    .insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            }
+        }
+    }
+
+    fn run_one(insn: Insn, st: &mut CpuState, mem: &mut MapMem) -> StepResult {
+        execute(&insn, 4, st, mem)
+    }
+
+    #[test]
+    fn mov_and_alu() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        run_one(
+            Insn::MovRI {
+                dst: Reg32::Eax,
+                imm: 5,
+            },
+            &mut st,
+            &mut mem,
+        );
+        run_one(
+            Insn::MovRI {
+                dst: Reg32::Ebx,
+                imm: 7,
+            },
+            &mut st,
+            &mut mem,
+        );
+        run_one(
+            Insn::AluRR {
+                op: AluOp::Add,
+                dst: Reg32::Eax,
+                src: Reg32::Ebx,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 12);
+        assert!(!st.flags.zf);
+        run_one(
+            Insn::AluRI {
+                op: AluOp::Sub,
+                dst: Reg32::Eax,
+                imm: 12,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert!(st.flags.zf);
+        assert_eq!(st.reg(Reg32::Eax), 0);
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let (_, f) = alu(AluOp::Add, u32::MAX, 1);
+        assert!(f.cf && f.zf && !f.of);
+        let (_, f) = alu(AluOp::Add, 0x7fff_ffff, 1);
+        assert!(f.of && !f.cf && f.sf);
+        let (_, f) = alu(AluOp::Sub, 0, 1);
+        assert!(f.cf && f.sf && !f.of);
+        let (_, f) = alu(AluOp::Sub, i32::MIN as u32, 1);
+        assert!(f.of && !f.cf);
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let old = Flags {
+            zf: true,
+            sf: true,
+            cf: true,
+            of: true,
+        };
+        // Count 0 preserves flags.
+        let (r, f) = shift(ShiftOp::Shl, 0xff, 0, old);
+        assert_eq!((r, f), (0xff, old));
+        // Count 32 masks to 0 and also preserves.
+        let (r, f) = shift(ShiftOp::Shl, 0xff, 32, old);
+        assert_eq!((r, f), (0xff, old));
+        let (r, f) = shift(ShiftOp::Shl, 0x8000_0001, 1, old);
+        assert_eq!(r, 2);
+        assert!(f.cf && !f.zf);
+        let (r, f) = shift(ShiftOp::Sar, 0x8000_0000, 31, old);
+        assert_eq!(r, 0xffff_ffff);
+        assert!(f.sf && !f.cf);
+        let (r, f) = shift(ShiftOp::Shr, 0x8000_0000, 31, old);
+        assert_eq!(r, 1);
+        assert!(!f.sf && !f.cf);
+    }
+
+    #[test]
+    fn load_extension() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        mem.store(0x100, Width::W2, 0x8001);
+        run_one(
+            Insn::Load {
+                width: Width::W2,
+                ext: Ext::Zero,
+                dst: Reg32::Eax,
+                src: MemRef::abs(0x100),
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 0x8001);
+        run_one(
+            Insn::Load {
+                width: Width::W2,
+                ext: Ext::Sign,
+                dst: Reg32::Ebx,
+                src: MemRef::abs(0x100),
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Ebx), 0xffff_8001);
+    }
+
+    #[test]
+    fn rmw_reports_two_accesses() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        mem.store(0x101, Width::W4, 10); // misaligned location
+        st.set_reg(Reg32::Ecx, 32);
+        let r = run_one(
+            Insn::AluMR {
+                op: AluOp::Add,
+                dst: MemRef::abs(0x101),
+                src: Reg32::Ecx,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(r.accesses.len(), 2);
+        let both: Vec<_> = r.accesses.iter().collect();
+        assert!(!both[0].store && both[1].store);
+        assert!(both[0].misaligned() && both[1].misaligned());
+        assert_eq!(mem.load(0x101, Width::W4), 42);
+    }
+
+    #[test]
+    fn push_pop_call_ret() {
+        let mut st = CpuState::new(0x40_0000);
+        let mut mem = MapMem::default();
+        st.set_reg(Reg32::Esp, 0x1000);
+        st.set_reg(Reg32::Eax, 99);
+        run_one(Insn::Push { src: Reg32::Eax }, &mut st, &mut mem);
+        assert_eq!(st.reg(Reg32::Esp), 0xffc);
+        run_one(Insn::Pop { dst: Reg32::Ebx }, &mut st, &mut mem);
+        assert_eq!(st.reg(Reg32::Ebx), 99);
+        assert_eq!(st.reg(Reg32::Esp), 0x1000);
+
+        st.eip = 0x40_0000;
+        let r = execute(&Insn::Call { target: 0x40_1000 }, 5, &mut st, &mut mem);
+        assert_eq!(r.next, Next::Jump(0x40_1000));
+        assert_eq!(st.eip, 0x40_1000);
+        let r = run_one(Insn::Ret, &mut st, &mut mem);
+        assert_eq!(r.next, Next::Jump(0x40_0005));
+        assert_eq!(st.eip, 0x40_0005);
+    }
+
+    #[test]
+    fn misaligned_stack_traffic_detected() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        st.set_reg(Reg32::Esp, 0x1001); // misaligned stack pointer
+        let r = run_one(Insn::Push { src: Reg32::Eax }, &mut st, &mut mem);
+        assert!(r.accesses.iter().next().unwrap().misaligned());
+    }
+
+    #[test]
+    fn conditional_branches() {
+        let mut st = CpuState::new(0x100);
+        let mut mem = MapMem::default();
+        st.flags.zf = true;
+        let r = run_one(
+            Insn::Jcc {
+                cond: Cond::E,
+                target: 0x200,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(r.next, Next::Jump(0x200));
+        assert_eq!(st.eip, 0x200);
+        let r = run_one(
+            Insn::Jcc {
+                cond: Cond::Ne,
+                target: 0x300,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(r.next, Next::Fall);
+        assert_eq!(st.eip, 0x204);
+    }
+
+    #[test]
+    fn movq_is_8_bytes() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        mem.store(0x203, Width::W8, 0x1122_3344_5566_7788);
+        let r = run_one(
+            Insn::MovqLoad {
+                dst: RegMm::Mm0,
+                src: MemRef::abs(0x203),
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.mm(RegMm::Mm0), 0x1122_3344_5566_7788);
+        let a = r.accesses.iter().next().unwrap();
+        assert_eq!(a.width, Width::W8);
+        assert!(a.misaligned());
+    }
+
+    #[test]
+    fn halt() {
+        let mut st = CpuState::new(0x10);
+        let mut mem = MapMem::default();
+        let r = execute(&Insn::Hlt, 1, &mut st, &mut mem);
+        assert_eq!(r.next, Next::Halt);
+    }
+
+    #[test]
+    fn neg_flags_match_sub_from_zero() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        st.set_reg(Reg32::Eax, 5);
+        run_one(Insn::Neg { dst: Reg32::Eax }, &mut st, &mut mem);
+        assert_eq!(st.reg(Reg32::Eax), (-5i32) as u32);
+        assert!(st.flags.cf, "CF set for nonzero operand");
+        assert!(st.flags.sf);
+        st.set_reg(Reg32::Ebx, 0);
+        run_one(Insn::Neg { dst: Reg32::Ebx }, &mut st, &mut mem);
+        assert!(!st.flags.cf, "CF clear for zero operand");
+        assert!(st.flags.zf);
+        // neg of i32::MIN overflows.
+        st.set_reg(Reg32::Ecx, i32::MIN as u32);
+        run_one(Insn::Neg { dst: Reg32::Ecx }, &mut st, &mut mem);
+        assert_eq!(st.reg(Reg32::Ecx), i32::MIN as u32);
+        assert!(st.flags.of);
+    }
+
+    #[test]
+    fn not_preserves_flags() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        st.flags = Flags {
+            zf: true,
+            sf: true,
+            cf: true,
+            of: true,
+        };
+        st.set_reg(Reg32::Eax, 0x00FF_00FF);
+        run_one(Insn::Not { dst: Reg32::Eax }, &mut st, &mut mem);
+        assert_eq!(st.reg(Reg32::Eax), 0xFF00_FF00);
+        assert_eq!(
+            st.flags,
+            Flags {
+                zf: true,
+                sf: true,
+                cf: true,
+                of: true
+            }
+        );
+    }
+
+    #[test]
+    fn xchg_swaps_without_flags() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        st.set_reg(Reg32::Eax, 1);
+        st.set_reg(Reg32::Ebx, 2);
+        st.flags.zf = true;
+        run_one(
+            Insn::Xchg {
+                a: Reg32::Eax,
+                b: Reg32::Ebx,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!((st.reg(Reg32::Eax), st.reg(Reg32::Ebx)), (2, 1));
+        assert!(st.flags.zf);
+        // Self-exchange is the identity.
+        run_one(
+            Insn::Xchg {
+                a: Reg32::Eax,
+                b: Reg32::Eax,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 2);
+    }
+
+    #[test]
+    fn setcc_writes_only_the_low_byte() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        st.set_reg(Reg32::Eax, 0xAABB_CCDDu32 as i32 as u32);
+        st.flags.zf = true;
+        run_one(
+            Insn::Setcc {
+                cond: Cond::E,
+                dst: Reg32::Eax,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 0xAABB_CC01);
+        run_one(
+            Insn::Setcc {
+                cond: Cond::Ne,
+                dst: Reg32::Eax,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 0xAABB_CC00);
+    }
+
+    #[test]
+    fn cmov_moves_conditionally() {
+        let mut st = CpuState::new(0);
+        let mut mem = MapMem::default();
+        st.set_reg(Reg32::Eax, 1);
+        st.set_reg(Reg32::Ebx, 99);
+        st.flags.zf = false;
+        run_one(
+            Insn::Cmovcc {
+                cond: Cond::E,
+                dst: Reg32::Eax,
+                src: Reg32::Ebx,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 1, "condition false: no move");
+        st.flags.zf = true;
+        run_one(
+            Insn::Cmovcc {
+                cond: Cond::E,
+                dst: Reg32::Eax,
+                src: Reg32::Ebx,
+            },
+            &mut st,
+            &mut mem,
+        );
+        assert_eq!(st.reg(Reg32::Eax), 99);
+    }
+
+    #[test]
+    fn rep_movsd_iterates_in_place() {
+        let mut st = CpuState::new(0x100);
+        let mut mem = MapMem::default();
+        mem.store(0x1001, Width::W4, 0xAAAA_AAAA);
+        mem.store(0x1005, Width::W4, 0xBBBB_BBBB);
+        st.set_reg(Reg32::Esi, 0x1001); // misaligned source
+        st.set_reg(Reg32::Edi, 0x2000);
+        st.set_reg(Reg32::Ecx, 2);
+        // First iteration repeats at the same eip.
+        let r = execute(&Insn::RepMovsd, 2, &mut st, &mut mem);
+        assert_eq!(r.next, Next::Jump(0x100));
+        assert_eq!(st.eip, 0x100);
+        assert_eq!(st.reg(Reg32::Ecx), 1);
+        assert!(r.accesses.iter().next().unwrap().misaligned());
+        // Second (final) iteration falls through.
+        let r = execute(&Insn::RepMovsd, 2, &mut st, &mut mem);
+        assert_eq!(r.next, Next::Fall);
+        assert_eq!(st.eip, 0x102);
+        assert_eq!(st.reg(Reg32::Ecx), 0);
+        assert_eq!(mem.load(0x2000, Width::W4), 0xAAAA_AAAA);
+        assert_eq!(mem.load(0x2004, Width::W4), 0xBBBB_BBBB);
+        // With ecx = 0 it is a no-op.
+        let r = execute(&Insn::RepMovsd, 2, &mut st, &mut mem);
+        assert_eq!(r.next, Next::Fall);
+        assert!(r.accesses.is_empty());
+    }
+}

@@ -1,0 +1,633 @@
+//! The instruction model for the x86 subset.
+
+use crate::cond::Cond;
+use crate::reg::{Reg32, RegMm};
+use std::fmt;
+
+/// Access width of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 1 byte. Byte accesses can never be misaligned.
+    W1,
+    /// 2 bytes (word).
+    W2,
+    /// 4 bytes (longword / doubleword).
+    W4,
+    /// 8 bytes (quadword, via MMX `movq`).
+    W8,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// Whether an access of this width at `addr` is misaligned on a machine
+    /// with natural-boundary alignment restrictions.
+    #[inline]
+    pub fn misaligned(self, addr: u32) -> bool {
+        addr & (self.bytes() - 1) != 0
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// Extension applied by a narrow load when writing a 32-bit destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ext {
+    /// Zero-extension (`movzx`).
+    Zero,
+    /// Sign-extension (`movsx`).
+    Sign,
+}
+
+/// Index scale factor of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Scale {
+    /// `index * 1`
+    S1 = 0,
+    /// `index * 2`
+    S2 = 1,
+    /// `index * 4`
+    S4 = 2,
+    /// `index * 8`
+    S8 = 3,
+}
+
+impl Scale {
+    /// Multiplier value (1, 2, 4 or 8).
+    #[inline]
+    pub fn factor(self) -> u32 {
+        1 << (self as u8)
+    }
+
+    /// The two-bit SIB encoding of this scale.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Scale from SIB bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 4`.
+    pub fn from_bits(bits: u8) -> Scale {
+        match bits {
+            0 => Scale::S1,
+            1 => Scale::S2,
+            2 => Scale::S4,
+            3 => Scale::S8,
+            _ => panic!("scale bits out of range: {bits}"),
+        }
+    }
+}
+
+/// A memory operand: `disp(base, index, scale)`.
+///
+/// Any combination of base and index may be absent; a bare displacement is an
+/// absolute address. `%esp` cannot be an index register (SIB restriction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg32>,
+    /// Index register and scale, if any.
+    pub index: Option<(Reg32, Scale)>,
+    /// Constant displacement.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// Absolute-address operand: `[disp]`.
+    pub fn abs(disp: u32) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            disp: disp as i32,
+        }
+    }
+
+    /// Base-plus-displacement operand: `[base + disp]`.
+    pub fn base_disp(base: Reg32, disp: i32) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// Fully general operand: `[base + index*scale + disp]`.
+    pub fn base_index(base: Reg32, index: Reg32, scale: Scale, disp: i32) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// Index-only operand: `[index*scale + disp]`.
+    pub fn index_disp(index: Reg32, scale: Scale, disp: i32) -> MemRef {
+        MemRef {
+            base: None,
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// Whether the operand is valid: `%esp` may not be used as an index.
+    pub fn is_valid(&self) -> bool {
+        !matches!(self.index, Some((Reg32::Esp, _)))
+    }
+
+    /// Computes the effective address given register values (wrapping
+    /// 32-bit arithmetic, as on hardware).
+    #[inline]
+    pub fn effective(&self, regs: &[u32; 8]) -> u32 {
+        let mut ea = self.disp as u32;
+        if let Some(b) = self.base {
+            ea = ea.wrapping_add(regs[b.index()]);
+        }
+        if let Some((i, s)) = self.index {
+            ea = ea.wrapping_add(regs[i.index()].wrapping_mul(s.factor()));
+        }
+        ea
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}(", self.disp)?;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+        }
+        if let Some((i, s)) = self.index {
+            write!(f, ",{i},{}", s.factor())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition; sets ZF/SF/CF/OF.
+    Add,
+    /// Subtraction; sets ZF/SF/CF/OF.
+    Sub,
+    /// Bitwise AND; clears CF/OF.
+    And,
+    /// Bitwise OR; clears CF/OF.
+    Or,
+    /// Bitwise XOR; clears CF/OF.
+    Xor,
+    /// Compare: subtraction without writeback.
+    Cmp,
+    /// Test: AND without writeback.
+    Test,
+}
+
+impl AluOp {
+    /// All ALU operations.
+    pub const ALL: [AluOp; 7] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Cmp,
+        AluOp::Test,
+    ];
+
+    /// Whether the operation writes its destination (false for `cmp`/`test`).
+    #[inline]
+    pub fn writes_back(self) -> bool {
+        !matches!(self, AluOp::Cmp | AluOp::Test)
+    }
+
+    /// Mnemonic, e.g. `"add"`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+            AluOp::Test => "test",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Shift operations (immediate count only in the subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift.
+    Sar,
+}
+
+impl ShiftOp {
+    /// ModRM `/digit` used by the `C1` opcode group.
+    #[inline]
+    pub fn digit(self) -> u8 {
+        match self {
+            ShiftOp::Shl => 4,
+            ShiftOp::Shr => 5,
+            ShiftOp::Sar => 7,
+        }
+    }
+
+    /// Mnemonic, e.g. `"shl"`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+impl fmt::Display for ShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One decoded instruction of the x86 subset.
+///
+/// Branch targets are stored as **absolute** guest addresses; the decoder
+/// resolves relative displacements against the instruction's address, and
+/// the encoder converts back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// `mov r32, imm32`
+    MovRI {
+        /// Destination register.
+        dst: Reg32,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `mov r32, r32`
+    MovRR {
+        /// Destination register.
+        dst: Reg32,
+        /// Source register.
+        src: Reg32,
+    },
+    /// Memory load into a 32-bit register: `mov`/`movzx`/`movsx`.
+    ///
+    /// `ext` selects zero- or sign-extension for 1- and 2-byte widths and is
+    /// ignored for [`Width::W4`]. [`Width::W8`] is expressed via
+    /// [`Insn::MovqLoad`] instead.
+    Load {
+        /// Access width (1, 2 or 4 bytes).
+        width: Width,
+        /// Zero- or sign-extension for narrow widths.
+        ext: Ext,
+        /// Destination register.
+        dst: Reg32,
+        /// Source memory operand.
+        src: MemRef,
+    },
+    /// Memory store from a 32-bit register (low `width` bytes).
+    ///
+    /// For [`Width::W1`] the source must have an addressable low byte
+    /// (`%eax`/`%ecx`/`%edx`/`%ebx`).
+    Store {
+        /// Access width (1, 2 or 4 bytes).
+        width: Width,
+        /// Source register.
+        src: Reg32,
+        /// Destination memory operand.
+        dst: MemRef,
+    },
+    /// 8-byte MMX load: `movq mm, m64`.
+    MovqLoad {
+        /// Destination MMX register.
+        dst: RegMm,
+        /// Source memory operand.
+        src: MemRef,
+    },
+    /// 8-byte MMX store: `movq m64, mm`.
+    MovqStore {
+        /// Source MMX register.
+        src: RegMm,
+        /// Destination memory operand.
+        dst: MemRef,
+    },
+    /// `lea r32, m` — address computation, no memory access.
+    Lea {
+        /// Destination register.
+        dst: Reg32,
+        /// Address expression.
+        src: MemRef,
+    },
+    /// ALU with register destination and register source.
+    AluRR {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg32,
+        /// Source (right operand).
+        src: Reg32,
+    },
+    /// ALU with register destination and immediate source.
+    AluRI {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg32,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// ALU with register destination and 4-byte memory source:
+    /// `op r32, m32` (one load).
+    AluRM {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg32,
+        /// Memory right operand.
+        src: MemRef,
+    },
+    /// ALU with 4-byte memory destination and register source:
+    /// `op m32, r32` (a load and, unless `cmp`/`test`, a store).
+    AluMR {
+        /// Operation.
+        op: AluOp,
+        /// Memory destination (and left operand).
+        dst: MemRef,
+        /// Register right operand.
+        src: Reg32,
+    },
+    /// Shift by an immediate count.
+    Shift {
+        /// Operation.
+        op: ShiftOp,
+        /// Destination register.
+        dst: Reg32,
+        /// Shift count; only the low 5 bits are used, as on hardware.
+        amount: u8,
+    },
+    /// `imul r32, r32` — 32x32→32 signed multiply (flags left cleared; see
+    /// crate semantics notes).
+    ImulRR {
+        /// Destination (and left operand).
+        dst: Reg32,
+        /// Source (right operand).
+        src: Reg32,
+    },
+    /// `imul r32, m32` — multiply with 4-byte memory source.
+    ImulRM {
+        /// Destination (and left operand).
+        dst: Reg32,
+        /// Memory right operand.
+        src: MemRef,
+    },
+    /// `push r32` — 4-byte store at `%esp - 4`.
+    Push {
+        /// Source register.
+        src: Reg32,
+    },
+    /// `pop r32` — 4-byte load at `%esp`.
+    Pop {
+        /// Destination register.
+        dst: Reg32,
+    },
+    /// `neg r32` — two's-complement negation; flags as `sub 0, r32`
+    /// (CF set iff the operand was nonzero).
+    Neg {
+        /// Register negated in place.
+        dst: Reg32,
+    },
+    /// `not r32` — bitwise complement; no flags affected.
+    Not {
+        /// Register complemented in place.
+        dst: Reg32,
+    },
+    /// `xchg r32, r32` — register swap; no flags affected.
+    Xchg {
+        /// First register.
+        a: Reg32,
+        /// Second register.
+        b: Reg32,
+    },
+    /// `setcc r8` — writes 1 or 0 to the low byte of `dst` according to a
+    /// condition; upper bytes preserved, flags unchanged. The destination
+    /// must have an addressable low byte (`%eax..%ebx`).
+    Setcc {
+        /// Condition evaluated.
+        cond: Cond,
+        /// Destination register (low byte written).
+        dst: Reg32,
+    },
+    /// `cmovcc r32, r32` — conditional register move; flags unchanged.
+    Cmovcc {
+        /// Condition evaluated.
+        cond: Cond,
+        /// Destination register.
+        dst: Reg32,
+        /// Source register.
+        src: Reg32,
+    },
+    /// `rep movsd` — copy `%ecx` doublewords from `[%esi]` to `[%edi]`
+    /// (forward direction; the subset has no direction flag). Architecturally
+    /// an iteration at a time: each execution copies one doubleword,
+    /// advances `%esi`/`%edi` by 4, decrements `%ecx`, and repeats at the
+    /// same address until `%ecx` is zero — the glibc `memcpy` inner loop
+    /// that the paper identifies as a major shared-library MDA source.
+    RepMovsd,
+    /// Conditional branch to an absolute guest address.
+    Jcc {
+        /// Branch condition.
+        cond: Cond,
+        /// Absolute target address.
+        target: u32,
+    },
+    /// Unconditional branch to an absolute guest address.
+    Jmp {
+        /// Absolute target address.
+        target: u32,
+    },
+    /// Call: pushes the return address then branches.
+    Call {
+        /// Absolute target address.
+        target: u32,
+    },
+    /// Return: pops the return address and branches to it.
+    Ret,
+    /// No operation.
+    Nop,
+    /// Halt: terminates the guest program (used as the exit convention).
+    Hlt,
+}
+
+impl Insn {
+    /// Whether this instruction ends a basic block (control transfer or
+    /// halt).
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            Insn::Jcc { .. } | Insn::Jmp { .. } | Insn::Call { .. } | Insn::Ret | Insn::Hlt
+        )
+    }
+
+    /// Memory accesses this instruction performs, as `(width, is_store)`
+    /// pairs in execution order, without computing addresses.
+    ///
+    /// Read-modify-write forms report a load then a store. `push`, `pop`,
+    /// `call` and `ret` report their implicit stack accesses.
+    pub fn access_shape(&self) -> AccessShape {
+        match self {
+            Insn::Load { width, .. } => AccessShape::one(*width, false),
+            Insn::Store { width, .. } => AccessShape::one(*width, true),
+            Insn::MovqLoad { .. } => AccessShape::one(Width::W8, false),
+            Insn::MovqStore { .. } => AccessShape::one(Width::W8, true),
+            Insn::AluRM { .. } | Insn::ImulRM { .. } => AccessShape::one(Width::W4, false),
+            Insn::AluMR { op, .. } => {
+                if op.writes_back() {
+                    AccessShape::two(Width::W4, false, Width::W4, true)
+                } else {
+                    AccessShape::one(Width::W4, false)
+                }
+            }
+            Insn::RepMovsd => AccessShape::two(Width::W4, false, Width::W4, true),
+            Insn::Push { .. } | Insn::Call { .. } => AccessShape::one(Width::W4, true),
+            Insn::Pop { .. } | Insn::Ret => AccessShape::one(Width::W4, false),
+            _ => AccessShape::none(),
+        }
+    }
+
+    /// Whether this instruction references memory at all.
+    pub fn touches_memory(&self) -> bool {
+        self.access_shape().len > 0
+    }
+}
+
+/// Static shape of an instruction's memory traffic: up to two accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessShape {
+    /// `(width, is_store)` for each access, valid up to `len`.
+    pub acc: [(Width, bool); 2],
+    /// Number of valid entries (0, 1 or 2).
+    pub len: u8,
+}
+
+impl AccessShape {
+    fn none() -> AccessShape {
+        AccessShape {
+            acc: [(Width::W1, false); 2],
+            len: 0,
+        }
+    }
+
+    fn one(w: Width, st: bool) -> AccessShape {
+        AccessShape {
+            acc: [(w, st), (Width::W1, false)],
+            len: 1,
+        }
+    }
+
+    fn two(w0: Width, s0: bool, w1: Width, s1: bool) -> AccessShape {
+        AccessShape {
+            acc: [(w0, s0), (w1, s1)],
+            len: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_misalignment() {
+        assert!(!Width::W1.misaligned(0x1001));
+        assert!(Width::W2.misaligned(0x1001));
+        assert!(!Width::W2.misaligned(0x1002));
+        assert!(Width::W4.misaligned(0x1002));
+        assert!(!Width::W4.misaligned(0x1004));
+        assert!(Width::W8.misaligned(0x1004));
+        assert!(!Width::W8.misaligned(0x1008));
+    }
+
+    #[test]
+    fn memref_effective_address() {
+        let mut regs = [0u32; 8];
+        regs[Reg32::Ebx.index()] = 0x1000;
+        regs[Reg32::Esi.index()] = 3;
+        let m = MemRef::base_index(Reg32::Ebx, Reg32::Esi, Scale::S4, 2);
+        assert_eq!(m.effective(&regs), 0x1000 + 12 + 2);
+        let a = MemRef::abs(0xdead_0000);
+        assert_eq!(a.effective(&regs), 0xdead_0000);
+    }
+
+    #[test]
+    fn esp_index_invalid() {
+        assert!(!MemRef::index_disp(Reg32::Esp, Scale::S1, 0).is_valid());
+        assert!(MemRef::base_disp(Reg32::Esp, 0).is_valid());
+    }
+
+    #[test]
+    fn access_shapes() {
+        let rmw = Insn::AluMR {
+            op: AluOp::Add,
+            dst: MemRef::abs(0x100),
+            src: Reg32::Eax,
+        };
+        let shape = rmw.access_shape();
+        assert_eq!(shape.len, 2);
+        assert_eq!(shape.acc[0], (Width::W4, false));
+        assert_eq!(shape.acc[1], (Width::W4, true));
+
+        let cmp = Insn::AluMR {
+            op: AluOp::Cmp,
+            dst: MemRef::abs(0x100),
+            src: Reg32::Eax,
+        };
+        assert_eq!(cmp.access_shape().len, 1);
+
+        assert!(!Insn::Nop.touches_memory());
+        assert!(Insn::Ret.touches_memory());
+        assert!(Insn::Push { src: Reg32::Eax }.touches_memory());
+    }
+
+    #[test]
+    fn block_enders() {
+        assert!(Insn::Hlt.ends_block());
+        assert!(Insn::Ret.ends_block());
+        assert!(Insn::Jmp { target: 0 }.ends_block());
+        assert!(!Insn::Nop.ends_block());
+        assert!(!Insn::Push { src: Reg32::Eax }.ends_block());
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::S1.factor(), 1);
+        assert_eq!(Scale::S8.factor(), 8);
+        for bits in 0..4u8 {
+            assert_eq!(Scale::from_bits(bits).bits(), bits);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Guest ISA for DigitalBridge-RS: a 32-bit x86 subset.
+//!
+//! This crate models the *source* architecture of the binary-translation
+//! system evaluated in "An Evaluation of Misaligned Data Access Handling
+//! Mechanisms in Dynamic Binary Translation Systems" (CGO 2009). x86 is the
+//! canonical architecture **without** alignment restrictions: any load or
+//! store may reference a misaligned address and the hardware completes it
+//! (possibly slower), so binaries compiled for x86 freely contain misaligned
+//! data accesses (MDAs).
+//!
+//! The crate provides four layers:
+//!
+//! * an instruction model ([`Insn`], [`MemRef`], [`Reg32`], …),
+//! * real machine-code [`encode`](encode::encode) / [`decode`](decode::decode)
+//!   for that subset (ModRM/SIB/prefix handling, the same byte patterns a
+//!   real x86 assembler would emit),
+//! * a label-based [`asm::Assembler`] used by the synthetic
+//!   workload generators, and
+//! * reference execution semantics ([`exec::execute`]) over a [`GuestMem`],
+//!   used both by the DBT's phase-1 interpreter and as the golden model that
+//!   translated Alpha code is checked against.
+//!
+//! The subset covers the operations that produce essentially all data
+//! traffic in the paper's workloads: 1/2/4-byte loads and stores with full
+//! base+index*scale+disp addressing, 8-byte MMX `movq` transfers (the
+//! double-precision-style accesses that dominate MDAs in 410.bwaves or
+//! 433.milc), ALU register/memory forms including read-modify-write,
+//! push/pop/call/ret (stack traffic is misaligned whenever `%esp` is), and
+//! conditional control flow over a ZF/SF/CF/OF flags subset.
+//!
+//! # Example
+//!
+//! ```
+//! use bridge_x86::asm::Assembler;
+//! use bridge_x86::insn::{MemRef, Width, Ext};
+//! use bridge_x86::reg::Reg32::*;
+//!
+//! let mut a = Assembler::new(0x40_0000);
+//! a.mov_ri(Eax, 0x1234);
+//! a.load(Width::W4, Ext::Zero, Ecx, MemRef::base_disp(Eax, 2)); // misaligned!
+//! a.hlt();
+//! let image = a.finish().expect("assembly succeeds");
+//! assert!(!image.is_empty());
+//! ```
+
+pub mod asm;
+pub mod cond;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod exec;
+pub mod insn;
+pub mod reg;
+pub mod state;
+
+pub use asm::Assembler;
+pub use cond::Cond;
+pub use decode::{decode, DecodeError, Decoded};
+pub use encode::{encode, EncodeError};
+pub use exec::{execute, AccessList, GuestMem, MemAccess, Next, StepResult};
+pub use insn::{AluOp, Ext, Insn, MemRef, Scale, ShiftOp, Width};
+pub use reg::{Reg32, RegMm};
+pub use state::{CpuState, Flags};

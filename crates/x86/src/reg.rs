@@ -1,0 +1,181 @@
+//! General-purpose and MMX register names for the x86 subset.
+
+use std::fmt;
+
+/// The eight 32-bit general-purpose registers, in hardware encoding order.
+///
+/// The discriminant of each variant is its x86 register number as used in
+/// ModRM/SIB bytes and in `B8+r`-style opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg32 {
+    /// Accumulator (`%eax`).
+    Eax = 0,
+    /// Counter (`%ecx`).
+    Ecx = 1,
+    /// Data (`%edx`).
+    Edx = 2,
+    /// Base (`%ebx`).
+    Ebx = 3,
+    /// Stack pointer (`%esp`).
+    Esp = 4,
+    /// Frame pointer (`%ebp`).
+    Ebp = 5,
+    /// Source index (`%esi`).
+    Esi = 6,
+    /// Destination index (`%edi`).
+    Edi = 7,
+}
+
+impl Reg32 {
+    /// All registers in hardware encoding order.
+    pub const ALL: [Reg32; 8] = [
+        Reg32::Eax,
+        Reg32::Ecx,
+        Reg32::Edx,
+        Reg32::Ebx,
+        Reg32::Esp,
+        Reg32::Ebp,
+        Reg32::Esi,
+        Reg32::Edi,
+    ];
+
+    /// Hardware register number (0..8) as used in instruction encodings.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register for a hardware number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Reg32 {
+        Self::ALL[idx]
+    }
+
+    /// Whether this register has a directly addressable low byte
+    /// (`%al`/`%cl`/`%dl`/`%bl`); required for 1-byte stores in the subset.
+    #[inline]
+    pub fn has_low_byte(self) -> bool {
+        (self as u8) < 4
+    }
+
+    /// AT&T-style register name, e.g. `"%eax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg32::Eax => "%eax",
+            Reg32::Ecx => "%ecx",
+            Reg32::Edx => "%edx",
+            Reg32::Ebx => "%ebx",
+            Reg32::Esp => "%esp",
+            Reg32::Ebp => "%ebp",
+            Reg32::Esi => "%esi",
+            Reg32::Edi => "%edi",
+        }
+    }
+}
+
+impl fmt::Display for Reg32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The eight 64-bit MMX registers, used by the subset's `movq` load/store.
+///
+/// These model the 8-byte data path through which double-precision-style
+/// misaligned accesses flow in the floating-point-heavy SPEC programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum RegMm {
+    /// MMX register 0.
+    Mm0 = 0,
+    /// MMX register 1.
+    Mm1 = 1,
+    /// MMX register 2.
+    Mm2 = 2,
+    /// MMX register 3.
+    Mm3 = 3,
+    /// MMX register 4.
+    Mm4 = 4,
+    /// MMX register 5.
+    Mm5 = 5,
+    /// MMX register 6.
+    Mm6 = 6,
+    /// MMX register 7.
+    Mm7 = 7,
+}
+
+impl RegMm {
+    /// All MMX registers in hardware encoding order.
+    pub const ALL: [RegMm; 8] = [
+        RegMm::Mm0,
+        RegMm::Mm1,
+        RegMm::Mm2,
+        RegMm::Mm3,
+        RegMm::Mm4,
+        RegMm::Mm5,
+        RegMm::Mm6,
+        RegMm::Mm7,
+    ];
+
+    /// Hardware register number (0..8).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register for a hardware number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    #[inline]
+    pub fn from_index(idx: usize) -> RegMm {
+        Self::ALL[idx]
+    }
+}
+
+impl fmt::Display for RegMm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%mm{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg32_index_roundtrip() {
+        for (i, r) in Reg32::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg32::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn regmm_index_roundtrip() {
+        for (i, r) in RegMm::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(RegMm::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn low_byte_registers() {
+        assert!(Reg32::Eax.has_low_byte());
+        assert!(Reg32::Ebx.has_low_byte());
+        assert!(!Reg32::Esp.has_low_byte());
+        assert!(!Reg32::Edi.has_low_byte());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg32::Eax.to_string(), "%eax");
+        assert_eq!(RegMm::Mm3.to_string(), "%mm3");
+    }
+}

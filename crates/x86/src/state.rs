@@ -1,0 +1,132 @@
+//! Architectural guest state: registers, flags and instruction pointer.
+
+use crate::reg::{Reg32, RegMm};
+use std::fmt;
+
+/// The flags subset tracked by the interpreter and reproduced by translated
+/// code: zero, sign, carry and overflow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}]",
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.cf { 'C' } else { '-' },
+            if self.of { 'O' } else { '-' },
+        )
+    }
+}
+
+/// Complete guest-visible CPU state for the x86 subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuState {
+    /// The eight GPRs, indexed by [`Reg32::index`].
+    pub regs: [u32; 8],
+    /// The eight MMX registers, indexed by [`RegMm::index`].
+    pub mm: [u64; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl CpuState {
+    /// Fresh state with all registers zero and execution starting at
+    /// `entry`.
+    pub fn new(entry: u32) -> CpuState {
+        CpuState {
+            regs: [0; 8],
+            mm: [0; 8],
+            eip: entry,
+            flags: Flags::default(),
+        }
+    }
+
+    /// Reads a GPR.
+    #[inline]
+    pub fn reg(&self, r: Reg32) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a GPR.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg32, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads an MMX register.
+    #[inline]
+    pub fn mm(&self, r: RegMm) -> u64 {
+        self.mm[r.index()]
+    }
+
+    /// Writes an MMX register.
+    #[inline]
+    pub fn set_mm(&mut self, r: RegMm, v: u64) {
+        self.mm[r.index()] = v;
+    }
+}
+
+impl Default for CpuState {
+    fn default() -> CpuState {
+        CpuState::new(0)
+    }
+}
+
+impl fmt::Display for CpuState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "eip={:#010x} flags={}", self.eip, self.flags)?;
+        for r in Reg32::ALL {
+            write!(f, "{}={:#010x} ", r, self.reg(r))?;
+        }
+        writeln!(f)?;
+        for r in RegMm::ALL {
+            if self.mm(r) != 0 {
+                write!(f, "{}={:#018x} ", r, self.mm(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state() {
+        let s = CpuState::new(0x40_0000);
+        assert_eq!(s.eip, 0x40_0000);
+        assert!(s.regs.iter().all(|&r| r == 0));
+        assert_eq!(s.flags, Flags::default());
+    }
+
+    #[test]
+    fn reg_accessors() {
+        let mut s = CpuState::default();
+        s.set_reg(Reg32::Esi, 77);
+        assert_eq!(s.reg(Reg32::Esi), 77);
+        s.set_mm(RegMm::Mm5, 0xdead_beef_0bad_f00d);
+        assert_eq!(s.mm(RegMm::Mm5), 0xdead_beef_0bad_f00d);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = CpuState::default();
+        assert!(!s.to_string().is_empty());
+        assert_eq!(Flags::default().to_string(), "[----]");
+    }
+}

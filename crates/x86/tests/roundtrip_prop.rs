@@ -1,0 +1,162 @@
+//! Property tests: every encodable instruction decodes back to itself, at
+//! any address, and the decoder never panics on arbitrary bytes.
+
+use bridge_x86::cond::Cond;
+use bridge_x86::decode::decode;
+use bridge_x86::encode::encode_to_vec;
+use bridge_x86::insn::{AluOp, Ext, Insn, MemRef, Scale, ShiftOp, Width};
+use bridge_x86::reg::{Reg32, RegMm};
+use proptest::prelude::*;
+
+fn reg32() -> impl Strategy<Value = Reg32> {
+    prop::sample::select(Reg32::ALL.to_vec())
+}
+
+fn low_byte_reg() -> impl Strategy<Value = Reg32> {
+    prop::sample::select(vec![Reg32::Eax, Reg32::Ecx, Reg32::Edx, Reg32::Ebx])
+}
+
+fn non_esp_reg() -> impl Strategy<Value = Reg32> {
+    prop::sample::select(
+        Reg32::ALL
+            .iter()
+            .copied()
+            .filter(|r| *r != Reg32::Esp)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn regmm() -> impl Strategy<Value = RegMm> {
+    prop::sample::select(RegMm::ALL.to_vec())
+}
+
+fn scale() -> impl Strategy<Value = Scale> {
+    prop::sample::select(vec![Scale::S1, Scale::S2, Scale::S4, Scale::S8])
+}
+
+fn mem_ref() -> impl Strategy<Value = MemRef> {
+    (
+        prop::option::of(reg32()),
+        prop::option::of((non_esp_reg(), scale())),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| MemRef { base, index, disp })
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn rm_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Cmp,
+    ])
+}
+
+fn load_width() -> impl Strategy<Value = (Width, Ext)> {
+    prop::sample::select(vec![
+        (Width::W1, Ext::Zero),
+        (Width::W1, Ext::Sign),
+        (Width::W2, Ext::Zero),
+        (Width::W2, Ext::Sign),
+        (Width::W4, Ext::Zero),
+    ])
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (reg32(), any::<i32>()).prop_map(|(dst, imm)| Insn::MovRI { dst, imm }),
+        (reg32(), reg32()).prop_map(|(dst, src)| Insn::MovRR { dst, src }),
+        (load_width(), reg32(), mem_ref()).prop_map(|((width, ext), dst, src)| Insn::Load {
+            width,
+            ext,
+            dst,
+            src
+        }),
+        (reg32(), mem_ref()).prop_map(|(src, dst)| Insn::Store {
+            width: Width::W4,
+            src,
+            dst
+        }),
+        (reg32(), mem_ref()).prop_map(|(src, dst)| Insn::Store {
+            width: Width::W2,
+            src,
+            dst
+        }),
+        (low_byte_reg(), mem_ref()).prop_map(|(src, dst)| Insn::Store {
+            width: Width::W1,
+            src,
+            dst
+        }),
+        (regmm(), mem_ref()).prop_map(|(dst, src)| Insn::MovqLoad { dst, src }),
+        (regmm(), mem_ref()).prop_map(|(src, dst)| Insn::MovqStore { src, dst }),
+        (reg32(), mem_ref()).prop_map(|(dst, src)| Insn::Lea { dst, src }),
+        (alu_op(), reg32(), reg32()).prop_map(|(op, dst, src)| Insn::AluRR { op, dst, src }),
+        (alu_op(), reg32(), any::<i32>()).prop_map(|(op, dst, imm)| Insn::AluRI { op, dst, imm }),
+        (rm_alu_op(), reg32(), mem_ref()).prop_map(|(op, dst, src)| Insn::AluRM { op, dst, src }),
+        (alu_op(), mem_ref(), reg32()).prop_map(|(op, dst, src)| Insn::AluMR { op, dst, src }),
+        (
+            prop::sample::select(vec![ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
+            reg32(),
+            any::<u8>()
+        )
+            .prop_map(|(op, dst, amount)| Insn::Shift { op, dst, amount }),
+        (reg32(), reg32()).prop_map(|(dst, src)| Insn::ImulRR { dst, src }),
+        (reg32(), mem_ref()).prop_map(|(dst, src)| Insn::ImulRM { dst, src }),
+        reg32().prop_map(|dst| Insn::Neg { dst }),
+        reg32().prop_map(|dst| Insn::Not { dst }),
+        (reg32(), reg32()).prop_map(|(a, b)| Insn::Xchg { a, b }),
+        reg32().prop_map(|src| Insn::Push { src }),
+        reg32().prop_map(|dst| Insn::Pop { dst }),
+        (cond(), any::<u32>()).prop_map(|(cond, target)| Insn::Jcc { cond, target }),
+        any::<u32>().prop_map(|target| Insn::Jmp { target }),
+        any::<u32>().prop_map(|target| Insn::Call { target }),
+        (cond(), low_byte_reg()).prop_map(|(cond, dst)| Insn::Setcc { cond, dst }),
+        (cond(), reg32(), reg32()).prop_map(|(cond, dst, src)| Insn::Cmovcc { cond, dst, src }),
+        Just(Insn::RepMovsd),
+        Just(Insn::Ret),
+        Just(Insn::Nop),
+        Just(Insn::Hlt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2048, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_roundtrip(insn in insn(), addr in any::<u32>()) {
+        let bytes = encode_to_vec(&insn, addr).expect("generated instructions are encodable");
+        prop_assert!(bytes.len() <= 15, "x86 instructions are at most 15 bytes");
+        let d = decode(&bytes, addr).expect("own encodings decode");
+        prop_assert_eq!(d.insn, insn, "bytes: {:02x?}", bytes);
+        prop_assert_eq!(d.len as usize, bytes.len());
+    }
+
+    #[test]
+    fn decoder_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..16),
+                                           addr in any::<u32>()) {
+        // Must never panic; errors are fine.
+        let _ = decode(&bytes, addr);
+    }
+
+    #[test]
+    fn decoding_is_prefix_stable(insn in insn(), addr in any::<u32>(), junk in any::<u8>()) {
+        // Appending bytes after a valid instruction does not change its
+        // decoding (instruction boundaries are self-delimiting).
+        let mut bytes = encode_to_vec(&insn, addr).expect("encodable");
+        let len = bytes.len();
+        bytes.push(junk);
+        let d = decode(&bytes, addr).expect("still decodes");
+        prop_assert_eq!(d.insn, insn);
+        prop_assert_eq!(d.len as usize, len);
+    }
+}

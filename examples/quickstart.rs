@@ -1,0 +1,78 @@
+//! Quickstart: translate and run a small x86 guest program on the simulated
+//! Alpha host under the paper's proposed DPEH mechanism, and watch how the
+//! misaligned accesses are handled.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use digitalbridge::dbt::engine::{profile_program, GuestProgram};
+use digitalbridge::sim::CostModel;
+use digitalbridge::x86::asm::Assembler;
+use digitalbridge::x86::cond::Cond;
+use digitalbridge::x86::insn::{AluOp, MemRef};
+use digitalbridge::x86::reg::Reg32::*;
+use digitalbridge::{Dbt, DbtConfig, MdaStrategy};
+
+fn main() {
+    // A hot loop summing a 4-byte field through a *misaligned* pointer —
+    // the bread-and-butter MDA pattern.
+    let mut a = Assembler::new(0x40_0000);
+    a.mov_ri(Ebx, 0x10_0002); // base ≡ 2 (mod 4): every access misaligns
+    a.mov_ri(Ecx, 10_000);
+    a.mov_ri(Eax, 0);
+    let top = a.here_label();
+    a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    let program = GuestProgram::new(0x40_0000, a.finish().expect("assembles"));
+    let field = 5u32.to_le_bytes();
+
+    // Golden reference: pure interpretation.
+    let (ref_state, profile) = profile_program(
+        &program,
+        &[(0x10_0002, field.to_vec())],
+        None,
+        &CostModel::es40(),
+        10_000_000,
+    )
+    .expect("reference run halts");
+    println!("reference  : eax = {}", ref_state.reg(Eax));
+    println!(
+        "profile    : {} memory accesses, {} MDAs ({:.2}%), NMI = {}",
+        profile.mem_accesses,
+        profile.mdas,
+        100.0 * profile.mda_ratio(),
+        profile.nmi()
+    );
+
+    // The same program through the DBT with each mechanism.
+    println!(
+        "\n{:<20} {:>12} {:>8} {:>8} {:>8}",
+        "mechanism", "cycles", "traps", "fixups", "patches"
+    );
+    for strategy in MdaStrategy::ALL {
+        let mut cfg = DbtConfig::new(strategy);
+        if strategy == MdaStrategy::StaticProfiling {
+            // Give static profiling a (representative) training profile.
+            cfg = cfg.with_static_profile(profile.to_static_profile());
+        }
+        let mut dbt = Dbt::new(cfg);
+        dbt.load(&program);
+        dbt.write_guest_memory(0x10_0002, &field);
+        let report = dbt.run(500_000_000).expect("halts");
+        assert_eq!(
+            report.final_state.reg(Eax),
+            ref_state.reg(Eax),
+            "{strategy}"
+        );
+        println!(
+            "{:<20} {:>12} {:>8} {:>8} {:>8}",
+            strategy.name(),
+            report.cycles(),
+            report.traps(),
+            report.os_fixups,
+            report.patched_sites,
+        );
+    }
+    println!("\nAll mechanisms produced the reference result.");
+}

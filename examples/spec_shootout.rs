@@ -1,0 +1,78 @@
+//! A miniature of the paper's Figure 16: run one SPEC stand-in under all
+//! five MDA handling mechanisms and print runtimes normalized to Exception
+//! Handling.
+//!
+//! Run with: `cargo run --release --example spec_shootout [-- <benchmark>]`
+//! e.g. `cargo run --release --example spec_shootout -- 410.bwaves`
+
+use digitalbridge::dbt::engine::profile_program;
+use digitalbridge::sim::CostModel;
+use digitalbridge::workloads::spec::{benchmark, InputSet, Scale};
+use digitalbridge::workloads::{build, Workload};
+use digitalbridge::{Dbt, DbtConfig, MdaStrategy};
+
+fn run(cfg: DbtConfig, w: &Workload) -> digitalbridge::dbt::RunReport {
+    let mut dbt = Dbt::new(cfg);
+    w.load_into(&mut dbt);
+    dbt.run(20_000_000_000).expect("workload halts")
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "410.bwaves".to_string());
+    let bench = benchmark(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}; see bridge_workloads::spec::CATALOG");
+        std::process::exit(1);
+    });
+    println!(
+        "{name}: paper NMI={} MDAs={:.2e} ratio={:.2}%",
+        bench.nmi, bench.paper_mdas, bench.ratio_percent
+    );
+
+    let spec = bench.workload(Scale::quick());
+    let train = build(&spec, InputSet::Train);
+    let reff = build(&spec, InputSet::Ref);
+
+    // Training run (train input) for static profiling.
+    let (_, train_profile) = profile_program(
+        &train.program,
+        &train.data,
+        Some(train.stack_top),
+        &CostModel::es40(),
+        1_000_000_000,
+    )
+    .expect("training run halts");
+
+    let mut results = Vec::new();
+    for strategy in MdaStrategy::ALL {
+        let mut cfg = DbtConfig::new(strategy);
+        if strategy == MdaStrategy::StaticProfiling {
+            cfg = cfg.with_static_profile(train_profile.to_static_profile());
+        }
+        let report = run(cfg, &reff);
+        results.push((strategy, report));
+    }
+
+    let eh_cycles = results
+        .iter()
+        .find(|(s, _)| *s == MdaStrategy::ExceptionHandling)
+        .map(|(_, r)| r.cycles())
+        .expect("EH ran");
+
+    println!(
+        "\n{:<20} {:>14} {:>10} {:>10} {:>10} {:>12}",
+        "mechanism", "cycles", "norm(EH)", "traps", "fixups", "patches"
+    );
+    for (s, r) in &results {
+        println!(
+            "{:<20} {:>14} {:>10.3} {:>10} {:>10} {:>12}",
+            s.name(),
+            r.cycles(),
+            r.cycles() as f64 / eh_cycles as f64,
+            r.traps(),
+            r.os_fixups,
+            r.patched_sites,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! DigitalBridge-RS — a from-scratch reproduction of *"An Evaluation of
+//! Misaligned Data Access Handling Mechanisms in Dynamic Binary Translation
+//! Systems"* (Li, Wu, Hsu — CGO 2009).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`x86`] — the guest ISA (decoder, encoder, assembler, semantics);
+//! * [`alpha`] — the host ISA (encodings, MDA code sequences);
+//! * [`sim`] — the Alpha-ES40-style host machine simulator with
+//!   misalignment traps and cache/cycle cost models;
+//! * [`dbt`] — the two-phase dynamic binary translator with all five MDA
+//!   handling mechanisms (the paper's contribution);
+//! * [`workloads`] — SPEC CPU2000/2006 stand-in workloads calibrated to the
+//!   paper's Table I/III/IV.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! substitutions, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use digitalbridge::dbt::{Dbt, DbtConfig};
+//! use digitalbridge::dbt::config::MdaStrategy;
+//! use digitalbridge::workloads::kernels::memcpy_unaligned;
+//!
+//! // An unaligned memcpy under the paper's proposed DPEH mechanism.
+//! let kernel = memcpy_unaligned(0x10_0001, 0x20_0000, 256);
+//! let mut dbt = Dbt::new(DbtConfig::new(MdaStrategy::Dpeh).with_threshold(10));
+//! kernel.load_into(&mut dbt);
+//! let report = dbt.run(50_000_000).expect("kernel halts");
+//! println!("{report}");
+//! assert_eq!(report.final_state.reg(digitalbridge::x86::reg::Reg32::Eax), 64);
+//! ```
+
+pub use bridge_alpha as alpha;
+pub use bridge_dbt as dbt;
+pub use bridge_sim as sim;
+pub use bridge_workloads as workloads;
+pub use bridge_x86 as x86;
+
+/// The paper's five MDA handling mechanisms, re-exported for convenience.
+pub use bridge_dbt::config::MdaStrategy;
+/// The engine itself, re-exported for convenience.
+pub use bridge_dbt::Dbt;
+/// The engine configuration, re-exported for convenience.
+pub use bridge_dbt::DbtConfig;

@@ -1,0 +1,134 @@
+//! Dispatch-layer edge cases: overlapping blocks (control entering the
+//! middle of an already-translated region), dynamic `ret` targets, deep
+//! call chains, and pretranslation parity with lazy translation.
+
+use digitalbridge::dbt::engine::{profile_program, states_equivalent, GuestProgram};
+use digitalbridge::dbt::{Dbt, DbtConfig, MdaStrategy, StaticProfile};
+use digitalbridge::sim::{CostModel, Machine};
+use digitalbridge::x86::asm::Assembler;
+use digitalbridge::x86::cond::Cond;
+use digitalbridge::x86::insn::{AluOp, MemRef};
+use digitalbridge::x86::reg::Reg32::*;
+
+const ENTRY: u32 = 0x0040_0000;
+
+fn run_dbt(prog: &GuestProgram, cfg: DbtConfig) -> digitalbridge::dbt::RunReport {
+    let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+    dbt.load(prog);
+    dbt.set_stack(0x00F0_0000);
+    dbt.run(500_000_000).expect("halts")
+}
+
+fn reference(prog: &GuestProgram) -> digitalbridge::x86::state::CpuState {
+    profile_program(prog, &[], Some(0x00F0_0000), &CostModel::flat(), 50_000_000)
+        .expect("halts")
+        .0
+}
+
+/// A loop whose backedge targets the *middle* of the entry block's range,
+/// forcing an overlapping translation at a second entry point.
+#[test]
+fn mid_block_entry_creates_overlapping_translation() {
+    let mut a = Assembler::new(ENTRY);
+    a.mov_ri(Ecx, 200);
+    a.alu_ri(AluOp::Add, Eax, 3); // executed once, covered by the entry block
+    let mid = a.here_label();
+    a.alu_ri(AluOp::Add, Edx, 5);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, mid); // backedge into the middle of the entry block
+    a.hlt();
+    let prog = GuestProgram::new(ENTRY, a.finish().expect("assembles"));
+
+    let ref_state = reference(&prog);
+    let r = run_dbt(&prog, DbtConfig::new(MdaStrategy::Dpeh).with_threshold(3));
+    assert!(states_equivalent(&r.final_state, &ref_state));
+    assert_eq!(r.final_state.reg(Edx), 1000);
+    assert!(r.blocks_translated >= 1, "{r}");
+}
+
+/// `ret` to many different callers: the dynamic-target exit must dispatch
+/// correctly every time (no chaining for it).
+#[test]
+fn ret_dispatches_to_many_callers() {
+    let mut a = Assembler::new(ENTRY);
+    let f = a.new_label();
+    // Eight call sites in a row.
+    for _ in 0..8 {
+        a.call(f);
+    }
+    let done = a.new_label();
+    a.jmp(done);
+    a.bind(f);
+    a.alu_ri(AluOp::Add, Eax, 1);
+    a.ret();
+    a.bind(done);
+    a.hlt();
+    let prog = GuestProgram::new(ENTRY, a.finish().expect("assembles"));
+
+    let ref_state = reference(&prog);
+    let r = run_dbt(
+        &prog,
+        DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(1),
+    );
+    assert!(states_equivalent(&r.final_state, &ref_state));
+    assert_eq!(r.final_state.reg(Eax), 8);
+}
+
+/// Recursive-style nested calls on a misaligned stack, run both lazily and
+/// pretranslated: identical results, and the pretranslated run interprets
+/// nothing.
+#[test]
+fn deep_calls_with_pretranslation_parity() {
+    let mut a = Assembler::new(ENTRY);
+    let (f1, f2, f3) = (a.new_label(), a.new_label(), a.new_label());
+    a.mov_ri(Esp, 0x00F0_0000 - 2); // misaligned stack: every call traps once
+    a.mov_ri(Ecx, 60);
+    let top = a.here_label();
+    a.call(f1);
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    a.bind(f1);
+    a.call(f2);
+    a.alu_ri(AluOp::Add, Eax, 1);
+    a.ret();
+    a.bind(f2);
+    a.call(f3);
+    a.alu_ri(AluOp::Add, Eax, 2);
+    a.ret();
+    a.bind(f3);
+    a.alu_rm(AluOp::Add, Eax, MemRef::abs(0x10_0000));
+    a.ret();
+    let prog = GuestProgram::new(ENTRY, a.finish().expect("assembles"));
+
+    let ref_state = reference(&prog);
+    let lazy = run_dbt(&prog, DbtConfig::new(MdaStrategy::Dpeh).with_threshold(4));
+    assert!(states_equivalent(&lazy.final_state, &ref_state));
+
+    let mut pre_cfg = DbtConfig::new(MdaStrategy::StaticProfiling)
+        .with_pretranslate(true)
+        .with_static_profile(StaticProfile::new());
+    pre_cfg.hot_threshold = u64::MAX;
+    let pre = run_dbt(&prog, pre_cfg);
+    assert!(states_equivalent(&pre.final_state, &ref_state));
+    assert_eq!(pre.guest_insns_interpreted, 0, "{pre}");
+    // Misaligned call/ret stack traffic was handled (fixups under static
+    // profiling with an empty profile).
+    assert!(pre.os_fixups > 0);
+}
+
+/// C-SEND-SYNC: the engine and its data types move across threads, so
+/// experiment harnesses can parallelize benchmark sweeps.
+#[test]
+fn public_types_are_send() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Dbt>();
+    assert_send::<digitalbridge::dbt::RunReport>();
+    assert_sync::<digitalbridge::dbt::RunReport>();
+    assert_send::<digitalbridge::sim::Machine>();
+    assert_sync::<digitalbridge::sim::Memory>();
+    assert_send::<digitalbridge::dbt::Profile>();
+    assert_sync::<digitalbridge::workloads::spec::SpecBenchmark>();
+    assert_send::<GuestProgram>();
+}

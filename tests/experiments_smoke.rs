@@ -1,0 +1,74 @@
+//! Harness-level smoke tests: the experiment generators must produce
+//! well-formed tables (right row counts, parsable cells) at test scale.
+//! The heavyweight full sweep is `#[ignore]`d; run it with
+//! `cargo test --release -- --ignored`.
+
+#![allow(clippy::type_complexity)] // fn-pointer table is clearest as-is
+
+use bridge_bench::experiments as exp;
+use bridge_workloads::spec::Scale;
+
+#[test]
+fn fig15_table_shape() {
+    let t = exp::fig15::run(Scale::test());
+    assert_eq!(t.rows.len(), 21, "one row per selected benchmark");
+    for (name, cells) in &t.rows {
+        assert_eq!(cells.len(), 4, "{name}: four ratio classes");
+        for c in cells {
+            assert!(c.ends_with('%'), "{name}: {c}");
+        }
+    }
+    assert!(!t.notes.is_empty());
+}
+
+#[test]
+fn table3_shape_and_fraction_sanity() {
+    let t = exp::table3::run(Scale::test());
+    assert_eq!(t.rows.len(), 21);
+    for (name, cells) in &t.rows {
+        let measured_frac: f64 = cells[3].parse().expect("fraction parses");
+        assert!(
+            (0.0..=1.0).contains(&measured_frac),
+            "{name}: fraction {measured_frac} out of range"
+        );
+    }
+}
+
+#[test]
+fn chaining_ablation_only_gains() {
+    let t = exp::ablation_chaining::run(Scale::test());
+    assert_eq!(t.rows.len(), 21);
+    for (name, cells) in &t.rows {
+        let gain: f64 = cells[2].parse().expect("gain parses");
+        assert!(
+            gain >= -0.5,
+            "{name}: chaining must not meaningfully hurt ({gain}%)"
+        );
+    }
+}
+
+/// The full quick-scale regeneration, as `repro_all` runs it. Slow
+/// (minutes); excluded from the default test run.
+#[test]
+#[ignore = "minutes of runtime; run with --ignored for the full sweep"]
+fn full_quick_scale_regeneration() {
+    let scale = Scale::quick();
+    let artifacts: Vec<(&str, fn(Scale) -> exp::Table)> = vec![
+        ("table1", exp::table1::run),
+        ("fig1", exp::fig1::run),
+        ("fig10", exp::fig10::run),
+        ("fig11", exp::fig11::run),
+        ("fig12", exp::fig12::run),
+        ("fig13", exp::fig13::run),
+        ("fig14", exp::fig14::run),
+        ("fig8_adaptive", exp::fig8_adaptive::run),
+        ("fig15", exp::fig15::run),
+        ("fig16", exp::fig16::run),
+        ("table3", exp::table3::run),
+        ("table4", exp::table4::run),
+    ];
+    for (name, f) in artifacts {
+        let t = f(scale);
+        assert!(!t.rows.is_empty(), "{name} produced no rows");
+    }
+}

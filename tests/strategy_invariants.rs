@@ -1,0 +1,158 @@
+//! Cross-crate invariants of the MDA handling mechanisms, checked on
+//! calibrated SPEC stand-ins:
+//!
+//! * the Direct Method never traps;
+//! * Exception Handling traps at most once per static site (without
+//!   retranslation);
+//! * DPEH never traps more than EH;
+//! * profiling-based mechanisms trap once per *occurrence* at undetected
+//!   sites (fixups == traps);
+//! * chaining changes performance, never results.
+
+use digitalbridge::dbt::RunReport;
+use digitalbridge::dbt::{DbtConfig, MdaStrategy};
+use digitalbridge::workloads::spec::{benchmark, selected_benchmarks, InputSet, Scale};
+use digitalbridge::workloads::{build, Workload};
+use digitalbridge::Dbt;
+
+fn run(w: &Workload, cfg: DbtConfig) -> RunReport {
+    let mut dbt = Dbt::new(cfg);
+    w.load_into(&mut dbt);
+    dbt.run(100_000_000_000).expect("workload halts")
+}
+
+fn workload(name: &str) -> Workload {
+    build(
+        &benchmark(name).expect("in catalog").workload(Scale::test()),
+        InputSet::Ref,
+    )
+}
+
+#[test]
+fn direct_method_never_traps_anywhere() {
+    for bench in selected_benchmarks() {
+        let w = build(&bench.workload(Scale::test()), InputSet::Ref);
+        let r = run(&w, DbtConfig::new(MdaStrategy::Direct));
+        assert_eq!(r.traps(), 0, "{}", bench.name);
+        assert_eq!(r.os_fixups, 0, "{}", bench.name);
+        assert_eq!(r.patched_sites, 0, "{}", bench.name);
+    }
+}
+
+#[test]
+fn exception_handling_traps_at_most_once_per_site() {
+    for name in ["188.ammp", "410.bwaves", "433.milc", "164.gzip", "252.eon"] {
+        let w = workload(name);
+        let r = run(&w, DbtConfig::new(MdaStrategy::ExceptionHandling));
+        // Each trap patches one site permanently; sites can be counted
+        // twice only if the block was flushed/retranslated, which this
+        // config never does.
+        assert_eq!(r.traps(), r.patched_sites, "{name}");
+        assert_eq!(r.os_fixups, 0, "{name}");
+        // Bounded by the (scaled) NMI: at most all sites in two block
+        // copies (entry block + loop block can duplicate a site).
+        let profile_sites = r.profile.nmi() as u64;
+        assert!(
+            r.traps() <= 3 * profile_sites,
+            "{name}: {} traps for {} MDA instructions",
+            r.traps(),
+            profile_sites
+        );
+    }
+}
+
+#[test]
+fn dpeh_never_traps_more_than_eh() {
+    for bench in selected_benchmarks() {
+        let w = build(&bench.workload(Scale::test()), InputSet::Ref);
+        let eh = run(&w, DbtConfig::new(MdaStrategy::ExceptionHandling));
+        let dpeh = run(&w, DbtConfig::new(MdaStrategy::Dpeh));
+        assert!(
+            dpeh.traps() <= eh.traps(),
+            "{}: dpeh {} vs eh {}",
+            bench.name,
+            dpeh.traps(),
+            eh.traps()
+        );
+    }
+}
+
+#[test]
+fn profiling_mechanisms_pay_per_occurrence() {
+    // bwaves: the phase change happens after translation, so dynamic
+    // profiling takes a trap + fixup on *every* post-switch MDA.
+    let w = workload("410.bwaves");
+    let r = run(&w, DbtConfig::new(MdaStrategy::DynamicProfiling));
+    assert_eq!(r.traps(), r.os_fixups);
+    assert!(r.os_fixups > 50, "per-occurrence cost: {}", r.os_fixups);
+    assert_eq!(r.patched_sites, 0, "dynamic profiling never patches");
+
+    // The same workload under EH converges to a handful of patches.
+    let eh = run(&w, DbtConfig::new(MdaStrategy::ExceptionHandling));
+    assert!(eh.traps() < r.traps() / 4);
+    assert!(eh.cycles() < r.cycles(), "EH must win on bwaves");
+}
+
+#[test]
+fn chaining_is_purely_a_performance_feature() {
+    let w = workload("433.milc");
+    let with = run(&w, DbtConfig::new(MdaStrategy::Dpeh));
+    let without = run(&w, DbtConfig::new(MdaStrategy::Dpeh).with_chaining(false));
+    assert_eq!(with.final_state.regs, without.final_state.regs);
+    assert!(with.chains > 0);
+    assert_eq!(without.chains, 0);
+    assert!(
+        with.cycles() < without.cycles(),
+        "chaining saves dispatch: {} vs {}",
+        with.cycles(),
+        without.cycles()
+    );
+}
+
+#[test]
+fn multiversion_eliminates_traps_on_mixed_sites() {
+    // soplex carries a mixed-alignment site in our calibration.
+    let w = workload("450.soplex");
+    let base = run(&w, DbtConfig::new(MdaStrategy::Dpeh));
+    let mv = run(
+        &w,
+        DbtConfig::new(MdaStrategy::Dpeh).with_multiversion(true),
+    );
+    assert_eq!(base.final_state.regs, mv.final_state.regs);
+    assert!(mv.traps() <= base.traps());
+}
+
+#[test]
+fn retranslation_is_bounded() {
+    let w = workload("410.bwaves");
+    let r = run(&w, DbtConfig::new(MdaStrategy::Dpeh).with_retranslate(true));
+    // The retranslation cap prevents thrash.
+    assert!(r.retranslations <= 8 * r.blocks_translated, "{r}");
+}
+
+#[test]
+fn rearrangement_and_stub_patching_agree() {
+    for name in ["164.gzip", "453.povray"] {
+        let w = workload(name);
+        let stub = run(&w, DbtConfig::new(MdaStrategy::ExceptionHandling));
+        let rearr = run(
+            &w,
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_rearrange(true),
+        );
+        assert_eq!(stub.final_state.regs, rearr.final_state.regs, "{name}");
+        assert_eq!(rearr.patched_sites, 0, "{name}");
+        assert!(rearr.rearrangements > 0, "{name}");
+    }
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let w = workload("482.sphinx3");
+    let r = run(&w, DbtConfig::new(MdaStrategy::Dpeh));
+    assert_eq!(r.cycles(), r.stats.cycles);
+    assert!(r.stats.insns > 0);
+    assert!(r.guest_insns_interpreted > 0);
+    assert!(r.blocks_translated > 0);
+    assert_eq!(r.cache_flushes, 0, "tiny workloads never flush");
+    assert!(r.profile.mem_accesses > 0);
+}
