@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate. Everything here runs offline; the proptest/criterion suite
+# in extras/ is deliberately outside this gate (needs registry access).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test --workspace --release -q
+
+echo "== repro smoke (scale test, parallel == serial bytes) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/serial" "$tmp/par"
+(cd "$tmp/serial" && "$OLDPWD/target/release/repro_all" --scale test --jobs 1 >stdout.txt)
+(cd "$tmp/par" && "$OLDPWD/target/release/repro_all" --scale test --jobs 4 >stdout.txt)
+diff -r "$tmp/serial/results" "$tmp/par/results"
+
+echo "CI OK"

@@ -1,0 +1,556 @@
+//! Frozen snapshot of the **pre-superblock** simulator, vendored for the
+//! perf harness only.
+//!
+//! `perf` must report speedup "versus the pre-change engine", but the
+//! per-instruction fallback inside `bridge_sim` now shares the improved
+//! memory (page-pointer cache, Fx-hashed page map) and flat-array cache
+//! model with the superblock engine, so timing it would *understate* the
+//! change. This module preserves the original engine exactly as it shipped
+//! in the seed commit — `std::collections::HashMap` page map probed on
+//! every access, `Vec<Vec<u64>>` LRU sets, a SipHash decoded-instruction
+//! probe per step — so the harness can replay identical workloads on both
+//! implementations and assert their cycle accounting agrees.
+//!
+//! Nothing outside `src/bin/perf.rs` may use this module; it is a
+//! measurement artifact, not a supported engine. Do not "fix" or optimise
+//! it — its whole value is staying byte-for-byte the seed behaviour.
+
+use bridge_alpha::insn::{Insn, MemOp, Rb};
+use bridge_alpha::reg::Reg;
+use bridge_alpha::{decode, op, PAL_EXIT_MONITOR, PAL_HALT, PAL_REQUEST_MONITOR};
+use bridge_sim::cost::CostModel;
+use bridge_sim::native::{NativeCost, NativeExit, NativeStats};
+use bridge_sim::stats::Stats;
+use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
+use bridge_x86::decode::{decode as decode_x86, Decoded};
+use bridge_x86::exec::{execute, GuestMem, Next};
+use bridge_x86::insn::Width;
+use bridge_x86::state::CpuState;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// The seed's sparse paged memory: a `HashMap` (SipHash) page probe on
+/// every access, no pointer cache, no aligned specialisations.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// New empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, mapping the page if needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `size` bytes little-endian, zero-extended.
+    pub fn read_int(&self, addr: u64, size: u32) -> u64 {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            if let Some(p) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                let mut buf = [0u8; 8];
+                buf[..size as usize].copy_from_slice(&p[off..off + size as usize]);
+                return u64::from_le_bytes(buf);
+            }
+            return 0;
+        }
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= u64::from(self.read_u8(addr.wrapping_add(u64::from(i)))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian.
+    pub fn write_int(&mut self, addr: u64, size: u32, value: u64) {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            page[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+            return;
+        }
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(u64::from(i)), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 32-bit word (instruction fetch).
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_int(addr, 4) as u32
+    }
+
+    /// Copies bytes out of memory.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+    }
+
+    /// Copies bytes into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+}
+
+impl GuestMem for Memory {
+    fn load(&mut self, addr: u32, width: Width) -> u64 {
+        self.read_int(u64::from(addr), width.bytes())
+    }
+
+    fn store(&mut self, addr: u32, width: Width, value: u64) {
+        self.write_int(u64::from(addr), width.bytes(), value);
+    }
+}
+
+/// The seed's set-associative LRU tag cache: one heap-allocated `Vec` per
+/// set, `remove(0)`/`push` LRU maintenance.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_shift: u32,
+    set_mask: u64,
+    ways: usize,
+    sets: Vec<Vec<u64>>,
+}
+
+impl Cache {
+    fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Cache {
+        let lines = size_bytes / line_bytes;
+        let set_count = lines / ways as u64;
+        Cache {
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: set_count - 1,
+            ways,
+            sets: vec![Vec::with_capacity(ways); set_count as usize],
+        }
+    }
+
+    /// 64 KB, 2-way, 64-byte lines (ES40 L1).
+    pub fn es40_l1() -> Cache {
+        Cache::new(64 * 1024, 2, 64)
+    }
+
+    /// 2 MB direct-mapped, 64-byte lines (ES40 L2).
+    pub fn es40_l2() -> Cache {
+        Cache::new(2 * 1024 * 1024, 1, 64)
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
+    }
+
+    /// Touches `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            false
+        }
+    }
+
+    /// Invalidates the line containing `addr` if resident.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (set_idx, tag) = self.locate(addr);
+        self.sets[set_idx].retain(|&t| t != tag);
+    }
+}
+
+/// The seed's Alpha machine: per-instruction fetch/decode with a SipHash
+/// decoded-instruction map, on the seed memory and cache models above.
+#[derive(Debug)]
+pub struct Machine {
+    mem: Memory,
+    regs: [u64; 32],
+    pc: u64,
+    cost: CostModel,
+    icache: Option<Cache>,
+    dcache: Option<Cache>,
+    l2: Option<Cache>,
+    stats: Stats,
+    decoded: HashMap<u64, Insn>,
+}
+
+impl Machine {
+    /// Machine with the ES40 cost model and cache geometry.
+    pub fn new() -> Machine {
+        Machine {
+            mem: Memory::new(),
+            regs: [0; 32],
+            pc: 0,
+            cost: CostModel::es40(),
+            icache: Some(Cache::es40_l1()),
+            dcache: Some(Cache::es40_l1()),
+            l2: Some(Cache::es40_l2()),
+            stats: Stats::new(),
+            decoded: HashMap::new(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Sets the program counter (must be 4-aligned).
+    pub fn set_pc(&mut self, pc: u64) {
+        assert_eq!(pc & 3, 0, "pc must be 4-aligned");
+        self.pc = pc;
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Writes instruction words at `addr` and invalidates I-cache lines.
+    pub fn write_code(&mut self, addr: u64, words: &[u32]) {
+        assert_eq!(addr & 3, 0, "code must be 4-aligned");
+        for (i, &w) in words.iter().enumerate() {
+            let a = addr + 4 * i as u64;
+            self.mem.write_int(a, 4, u64::from(w));
+            self.decoded.remove(&a);
+            if let Some(ic) = &mut self.icache {
+                ic.invalidate(a);
+            }
+        }
+    }
+
+    fn fetch_cost(&mut self, pc: u64) {
+        self.stats.cycles += self.cost.insn_base;
+        if let Some(ic) = &mut self.icache {
+            self.stats.icache_accesses += 1;
+            if !ic.access(pc) {
+                self.stats.icache_misses += 1;
+                self.stats.cycles += self.cost.l1_miss;
+                if let Some(l2) = &mut self.l2 {
+                    self.stats.l2_accesses += 1;
+                    if !l2.access(pc) {
+                        self.stats.l2_misses += 1;
+                        self.stats.cycles += self.cost.l2_miss;
+                    }
+                }
+            }
+        }
+    }
+
+    fn data_cost(&mut self, addr: u64, is_store: bool) {
+        self.stats.cycles += if is_store {
+            self.cost.store_extra
+        } else {
+            self.cost.load_extra
+        };
+        if let Some(dc) = &mut self.dcache {
+            self.stats.dcache_accesses += 1;
+            if !dc.access(addr) {
+                self.stats.dcache_misses += 1;
+                self.stats.cycles += self.cost.l1_miss;
+                if let Some(l2) = &mut self.l2 {
+                    self.stats.l2_accesses += 1;
+                    if !l2.access(addr) {
+                        self.stats.l2_misses += 1;
+                        self.stats.cycles += self.cost.l2_miss;
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self) -> Option<Exit> {
+        let pc = self.pc;
+        self.fetch_cost(pc);
+        self.stats.insns += 1;
+        let insn = match self.decoded.get(&pc) {
+            Some(i) => *i,
+            None => {
+                let word = self.mem.read_u32(pc);
+                match decode(word) {
+                    Ok(i) => {
+                        self.decoded.insert(pc, i);
+                        i
+                    }
+                    Err(_) => {
+                        return Some(Exit::Fault(MachineFault::IllegalInstruction { pc, word }));
+                    }
+                }
+            }
+        };
+
+        match insn {
+            Insn::Mem { op, ra, rb, disp } => {
+                let ea = self.reg(rb).wrapping_add(disp as i64 as u64);
+                match op {
+                    MemOp::Lda => self.set_reg(ra, ea),
+                    MemOp::Ldah => {
+                        let v = self.reg(rb).wrapping_add(((disp as i64) << 16) as u64);
+                        self.set_reg(ra, v);
+                    }
+                    _ => {
+                        let align = op.required_alignment();
+                        if align > 1 && ea & u64::from(align - 1) != 0 {
+                            self.stats.unaligned_traps += 1;
+                            self.stats.cycles += self.cost.unaligned_trap;
+                            return Some(Exit::Unaligned(UnalignedInfo {
+                                pc,
+                                addr: ea,
+                                size: op.size(),
+                                is_store: op.is_store(),
+                                insn_word: self.mem.read_u32(pc),
+                            }));
+                        }
+                        let access_addr = match op {
+                            MemOp::LdqU | MemOp::StqU => ea & !7,
+                            _ => ea,
+                        };
+                        self.data_cost(access_addr, op.is_store());
+                        if op.is_store() {
+                            self.stats.stores += 1;
+                            let v = self.reg(ra);
+                            self.mem.write_int(access_addr, op.size(), v);
+                        } else {
+                            self.stats.loads += 1;
+                            let raw = self.mem.read_int(access_addr, op.size());
+                            let v = match op {
+                                MemOp::Ldl => raw as u32 as i32 as i64 as u64,
+                                _ => raw,
+                            };
+                            self.set_reg(ra, v);
+                        }
+                    }
+                }
+                self.pc = pc.wrapping_add(4);
+            }
+            Insn::Br { op, ra, disp } => {
+                let link = pc.wrapping_add(4);
+                let taken = op.taken(self.reg(ra));
+                if op.is_unconditional() {
+                    self.set_reg(ra, link);
+                }
+                if taken {
+                    self.stats.taken_branches += 1;
+                    self.stats.cycles += self.cost.branch_taken_extra;
+                    self.pc = bridge_alpha::builder::branch_target(pc, disp);
+                } else {
+                    self.pc = link;
+                }
+            }
+            Insn::Jmp { ra, rb, .. } => {
+                let link = pc.wrapping_add(4);
+                let target = self.reg(rb) & !3;
+                self.set_reg(ra, link);
+                self.stats.taken_branches += 1;
+                self.stats.cycles += self.cost.branch_taken_extra;
+                self.pc = target;
+            }
+            Insn::Op { op, ra, rb, rc } => {
+                let av = self.reg(ra);
+                let bv = match rb {
+                    Rb::Reg(r) => self.reg(r),
+                    Rb::Lit(l) => u64::from(l),
+                };
+                if op.is_cmov() {
+                    if op.cmov_taken(av) {
+                        self.set_reg(rc, bv);
+                    }
+                } else {
+                    self.set_reg(rc, op::eval(op, av, bv));
+                }
+                self.pc = pc.wrapping_add(4);
+            }
+            Insn::CallPal { func } => {
+                self.pc = pc.wrapping_add(4);
+                return match func {
+                    PAL_HALT => Some(Exit::Halted),
+                    PAL_EXIT_MONITOR => Some(Exit::Monitor),
+                    PAL_REQUEST_MONITOR => Some(Exit::Request),
+                    _ => Some(Exit::Fault(MachineFault::UnknownPal { pc, func })),
+                };
+            }
+        }
+        None
+    }
+
+    /// Runs until an exit, a trap, or `fuel` instructions have executed.
+    pub fn run(&mut self, mut fuel: u64) -> Exit {
+        loop {
+            if fuel == 0 {
+                return Exit::Fault(MachineFault::OutOfFuel);
+            }
+            fuel -= 1;
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+const LINE_BYTES: u64 = 64;
+
+/// The seed's native x86 machine: per-instruction decode-cache probe on the
+/// seed memory and cache models.
+#[derive(Debug)]
+pub struct NativeMachine {
+    mem: Memory,
+    state: CpuState,
+    cost: NativeCost,
+    dcache: Cache,
+    l2: Cache,
+    stats: NativeStats,
+    decode_cache: HashMap<u32, Decoded>,
+}
+
+impl NativeMachine {
+    /// New machine with default costs, executing from `entry`.
+    pub fn new(entry: u32) -> NativeMachine {
+        NativeMachine {
+            mem: Memory::new(),
+            state: CpuState::new(entry),
+            cost: NativeCost::default(),
+            dcache: Cache::es40_l1(),
+            l2: Cache::es40_l2(),
+            stats: NativeStats::default(),
+            decode_cache: HashMap::new(),
+        }
+    }
+
+    /// Memory access for loading the image.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &NativeStats {
+        &self.stats
+    }
+
+    fn data_access(&mut self, line_addr: u64) {
+        if !self.dcache.access(line_addr) {
+            self.stats.dcache_misses += 1;
+            self.stats.cycles += self.cost.l1_miss;
+            if !self.l2.access(line_addr) {
+                self.stats.l2_misses += 1;
+                self.stats.cycles += self.cost.l2_miss;
+            }
+        }
+    }
+
+    fn step(&mut self) -> Option<NativeExit> {
+        let eip = self.state.eip;
+        let decoded = match self.decode_cache.get(&eip) {
+            Some(d) => *d,
+            None => {
+                let mut buf = [0u8; 16];
+                self.mem.read_bytes(u64::from(eip), &mut buf);
+                match decode_x86(&buf, eip) {
+                    Ok(d) => {
+                        self.decode_cache.insert(eip, d);
+                        d
+                    }
+                    Err(_) => return Some(NativeExit::DecodeError { eip }),
+                }
+            }
+        };
+
+        self.stats.insns += 1;
+        self.stats.cycles += self.cost.insn_base;
+        let result = execute(&decoded.insn, decoded.len, &mut self.state, &mut self.mem);
+
+        for acc in result.accesses.iter() {
+            self.stats.mem_accesses += 1;
+            self.stats.cycles += if acc.store {
+                self.cost.store_extra
+            } else {
+                self.cost.load_extra
+            };
+            let first = u64::from(acc.addr);
+            let last = first + u64::from(acc.width.bytes()) - 1;
+            self.data_access(first & !(LINE_BYTES - 1));
+            if acc.misaligned() {
+                self.stats.mdas += 1;
+                self.stats.cycles += self.cost.misaligned_extra;
+                if last & !(LINE_BYTES - 1) != first & !(LINE_BYTES - 1) {
+                    self.data_access(last & !(LINE_BYTES - 1));
+                }
+            }
+        }
+
+        match result.next {
+            Next::Halt => Some(NativeExit::Halted),
+            Next::Jump(_) => {
+                self.stats.cycles += self.cost.branch_taken_extra;
+                None
+            }
+            Next::Fall => None,
+        }
+    }
+
+    /// Runs until halt, decode error or `fuel` instructions.
+    pub fn run(&mut self, mut fuel: u64) -> NativeExit {
+        loop {
+            if fuel == 0 {
+                return NativeExit::OutOfFuel;
+            }
+            fuel -= 1;
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+}

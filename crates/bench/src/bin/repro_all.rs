@@ -1,16 +1,19 @@
 //! Regenerates every table and figure of the paper's evaluation in order.
-//! Usage: `cargo run --release --bin repro_all [-- --scale test|quick|paper]`
+//! Usage: `cargo run --release --bin repro_all [-- --scale test|quick|paper]
+//! [--jobs N]`
+//!
+//! Experiments run across `--jobs` worker threads (default: all cores), but
+//! the printed tables and the `results/*.txt` artifacts are byte-identical
+//! to a serial (`--jobs 1`) run: each experiment is self-contained and the
+//! output is emitted in canonical order after all of them finish.
 
 use bridge_bench::experiments as exp;
-use bridge_workloads::spec::Scale;
 use std::io::Write as _;
 use std::time::Instant;
 
-fn section(name: &str, scale: Scale, f: impl FnOnce(Scale) -> exp::Table) {
-    let start = Instant::now();
-    let table = f(scale);
+fn emit(name: &str, table: &exp::Table, took: std::time::Duration) {
     println!("{table}");
-    println!("  [{name} regenerated in {:.1?}]\n", start.elapsed());
+    println!("  [{name} regenerated in {took:.1?}]\n");
     // Also drop each artifact into results/ for EXPERIMENTS.md diffing.
     if std::fs::create_dir_all("results").is_ok() {
         let file = format!(
@@ -27,25 +30,19 @@ fn section(name: &str, scale: Scale, f: impl FnOnce(Scale) -> exp::Table) {
 
 fn main() {
     let scale = bridge_bench::scale_from_args();
+    let jobs = bridge_bench::jobs_from_args();
     println!(
-        "DigitalBridge-RS — full reproduction run (scale: {} outer iterations)\n",
+        "DigitalBridge-RS — full reproduction run (scale: {} outer iterations, {jobs} jobs)\n",
         scale.outer_iters
     );
-    section("Table I", scale, exp::table1::run);
-    section("Figure 1", scale, exp::fig1::run);
-    section("Figure 10", scale, exp::fig10::run);
-    section("Figure 11", scale, exp::fig11::run);
-    section("Figure 12", scale, exp::fig12::run);
-    section("Figure 13", scale, exp::fig13::run);
-    section("Figure 14", scale, exp::fig14::run);
-    section(
-        "Figure 8 ablation (§IV-D adaptive reversion)",
-        scale,
-        exp::fig8_adaptive::run,
+    let start = Instant::now();
+    let results = bridge_bench::run_experiments_parallel(scale, jobs);
+    for (name, table, took) in &results {
+        emit(name, table, *took);
+    }
+    println!(
+        "  [all {} experiments in {:.1?}]",
+        results.len(),
+        start.elapsed()
     );
-    section("Figure 15", scale, exp::fig15::run);
-    section("Figure 16", scale, exp::fig16::run);
-    section("Table III", scale, exp::table3::run);
-    section("Table IV", scale, exp::table4::run);
-    section("Chaining ablation", scale, exp::ablation_chaining::run);
 }

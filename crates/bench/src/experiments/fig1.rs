@@ -31,7 +31,11 @@ use bridge_x86::cond::Cond;
 use bridge_x86::insn::{AluOp, MemRef};
 use bridge_x86::reg::Reg32::*;
 
-const ENTRY: u32 = 0x0040_0000;
+/// Kernel entry point (shared with the perf harness, which replays the
+/// same images on the frozen pre-change baseline engine).
+pub const ENTRY: u32 = 0x0040_0000;
+/// Fuel budget per variant run (generous; kernels halt by construction).
+pub const VARIANT_FUEL: u64 = 20_000_000_000;
 const PACKED_A: u32 = 0x0010_0000; // hot packed array
 const PACKED_B: u32 = 0x0018_0000; // cold packed array (icc-only padding)
 const ALIGNED_ARR: u32 = 0x0030_0000;
@@ -53,7 +57,7 @@ fn fnv(name: &str) -> u64 {
     })
 }
 
-/// Builds and runs one variant; returns cycles.
+/// Assembles one variant's kernel image (loaded at [`ENTRY`]).
 ///
 /// The program sweeps `records` field accesses per pass. A
 /// ratio-proportional slice of them lives in *packed* (stride-6) records —
@@ -62,7 +66,10 @@ fn fnv(name: &str) -> u64 {
 /// convert compiler-visible packed records to stride 8 (pathscale 25%, icc
 /// 40%), each conversion trading the misalignment penalty for a
 /// one-third-larger footprint on that slice.
-fn run_variant(bench: &SpecBenchmark, layout: Layout, passes: u32) -> u64 {
+///
+/// Public so the perf harness can run the exact experiment workload on
+/// both the current engine and the vendored pre-change baseline.
+pub fn variant_image(bench: &SpecBenchmark, layout: Layout, passes: u32) -> Vec<u8> {
     // Footprints straddle the 64 KB L1 in both directions so padding can
     // win (MDA penalty removed) or lose (working set spills a level).
     let records = 6_000 + (fnv(bench.name) % 12) as u32 * 1_000; // 6k..17k
@@ -101,18 +108,28 @@ fn run_variant(bench: &SpecBenchmark, layout: Layout, passes: u32) -> u64 {
     a.alu_ri(AluOp::Sub, Edi, 1);
     a.jcc(Cond::Ne, pass_top);
     a.hlt();
-    let image = a.finish().expect("fig1 kernel assembles");
+    a.finish().expect("fig1 kernel assembles")
+}
 
+/// Builds and runs one variant; returns cycles.
+fn run_variant(bench: &SpecBenchmark, layout: Layout, passes: u32) -> u64 {
+    let image = variant_image(bench, layout, passes);
     let mut m = NativeMachine::new(ENTRY);
     m.mem_mut().write_bytes(u64::from(ENTRY), &image);
-    let exit = m.run(20_000_000_000);
+    let exit = m.run(VARIANT_FUEL);
     assert_eq!(exit, NativeExit::Halted, "fig1 kernel halts");
     m.stats().cycles
 }
 
+/// Number of sweep passes per variant at `scale` (shared with the perf
+/// harness so it times exactly the workload the experiment runs).
+pub fn passes_for(scale: Scale) -> u32 {
+    (scale.outer_iters / 120).clamp(2, 40)
+}
+
 /// Regenerates Figure 1. `scale` controls the number of passes.
 pub fn run(scale: Scale) -> Table {
-    let passes = (scale.outer_iters / 120).clamp(2, 40);
+    let passes = passes_for(scale);
     let mut t = Table::new(
         "Figure 1: native speedup from alignment-enforcing compiler flags",
         vec!["benchmark", "pathscale %", "icc %"],

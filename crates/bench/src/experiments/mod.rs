@@ -19,6 +19,32 @@ use bridge_dbt::DbtConfig;
 use bridge_workloads::spec::{selected_benchmarks, Scale};
 use std::fmt;
 
+/// An experiment runner: takes the scale, returns the finished table.
+pub type Runner = fn(Scale) -> Table;
+
+/// Every experiment in the canonical `repro_all` order: `(section name,
+/// runner)`. The names are load-bearing — `repro_all` derives the
+/// `results/*.txt` artifact file names from them, so they must stay stable
+/// across serial and parallel runs.
+pub const ALL: &[(&str, Runner)] = &[
+    ("Table I", table1::run),
+    ("Figure 1", fig1::run),
+    ("Figure 10", fig10::run),
+    ("Figure 11", fig11::run),
+    ("Figure 12", fig12::run),
+    ("Figure 13", fig13::run),
+    ("Figure 14", fig14::run),
+    (
+        "Figure 8 ablation (§IV-D adaptive reversion)",
+        fig8_adaptive::run,
+    ),
+    ("Figure 15", fig15::run),
+    ("Figure 16", fig16::run),
+    ("Table III", table3::run),
+    ("Table IV", table4::run),
+    ("Chaining ablation", ablation_chaining::run),
+];
+
 /// A formatted experiment result: a titled table plus footnotes.
 #[derive(Debug, Clone)]
 pub struct Table {

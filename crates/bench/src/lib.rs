@@ -23,6 +23,7 @@
 //! by roughly what factor, where the pathologies sit — is the reproduction
 //! target. EXPERIMENTS.md records paper-vs-measured for each artifact.
 
+pub mod baseline;
 pub mod experiments;
 
 use bridge_dbt::engine::profile_program;
@@ -30,6 +31,9 @@ use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, Profile, RunReport, StaticProfile}
 use bridge_sim::cost::CostModel;
 use bridge_workloads::spec::{InputSet, Scale, SpecBenchmark};
 use bridge_workloads::{build, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Fuel budget handed to every DBT run (large; programs halt by
 /// construction).
@@ -49,6 +53,65 @@ pub fn scale_from_args() -> Scale {
         }
     }
     Scale::quick()
+}
+
+/// Parses the worker count from process args (`--jobs N`). Defaults to the
+/// machine's available parallelism; always at least 1.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--jobs" {
+            if let Ok(n) = w[1].parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every experiment in [`experiments::ALL`] across `jobs` worker
+/// threads and returns the results **in canonical order**, each with its
+/// wall-clock duration.
+///
+/// Each experiment is self-contained (it builds its own workloads and
+/// machines), so the only shared state is the work queue. Results are
+/// identical to a serial run — `jobs` affects wall-clock only, never table
+/// contents.
+///
+/// # Panics
+///
+/// Propagates a panic from any experiment after all workers finish.
+pub fn run_experiments_parallel(
+    scale: Scale,
+    jobs: usize,
+) -> Vec<(&'static str, experiments::Table, Duration)> {
+    let jobs = jobs.clamp(1, experiments::ALL.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(experiments::Table, Duration)>>> =
+        Mutex::new((0..experiments::ALL.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(_, run)) = experiments::ALL.get(i) else {
+                    break;
+                };
+                let start = Instant::now();
+                let table = run(scale);
+                slots.lock().expect("no poisoned slot lock")[i] = Some((table, start.elapsed()));
+            });
+        }
+    });
+    experiments::ALL
+        .iter()
+        .zip(slots.into_inner().expect("no poisoned slot lock"))
+        .map(|(&(name, _), slot)| {
+            let (table, took) = slot.expect("every experiment ran");
+            (name, table, took)
+        })
+        .collect()
 }
 
 /// Runs one benchmark's `ref` workload through the DBT under `cfg`.

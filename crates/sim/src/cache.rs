@@ -6,15 +6,27 @@
 //! code-locality effects (stubs far from their blocks) show up as extra
 //! I-cache misses, and code rearrangement wins them back.
 
+/// Sentinel for an empty way. Unreachable as a real tag: tags are
+/// `addr >> line_shift >> set_bits`, far below `2^64 - 1` for any address
+/// the simulator produces.
+const EMPTY: u64 = u64::MAX;
+
 /// A set-associative tag cache with LRU replacement.
+///
+/// Tags live in one flat array of `set_count * ways` slots — no per-set
+/// `Vec`, no heap indirection on the access path. Within a set's slice the
+/// resident tags are kept **contiguous at the end**, most recently used
+/// last, with [`EMPTY`] slots at the front; this preserves the exact LRU
+/// order (and therefore the exact hit/miss and eviction sequence) of a
+/// naive push/remove representation.
 #[derive(Debug, Clone)]
 pub struct Cache {
     /// log2(line size)
     line_shift: u32,
     set_mask: u64,
     ways: usize,
-    /// `sets[set]` holds up to `ways` tags, most recently used last.
-    sets: Vec<Vec<u64>>,
+    /// Flat `set_count * ways` tag slots; see struct docs for layout.
+    tags: Vec<u64>,
 }
 
 impl Cache {
@@ -42,7 +54,7 @@ impl Cache {
             line_shift: line_bytes.trailing_zeros(),
             set_mask: set_count - 1,
             ways,
-            sets: vec![Vec::with_capacity(ways); set_count as usize],
+            tags: vec![EMPTY; (set_count as usize) * ways],
         }
     }
 
@@ -57,6 +69,13 @@ impl Cache {
         Cache::new(2 * 1024 * 1024, 1, 64)
     }
 
+    /// log2 of the line size (so embedders can reason about line
+    /// granularity, e.g. the machine's same-line fetch fast path).
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
     #[inline]
     fn locate(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
@@ -68,19 +87,29 @@ impl Cache {
 
     /// Touches `addr`; returns `true` on hit. On miss the line is filled
     /// (evicting LRU).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // Move to MRU position.
-            let t = set.remove(pos);
-            set.push(t);
+        let base = set_idx * self.ways;
+        let set = &mut self.tags[base..base + self.ways];
+        // Direct-mapped fast path: one slot, no ordering to maintain.
+        if set.len() == 1 {
+            let hit = set[0] == tag;
+            set[0] = tag;
+            return hit;
+        }
+        // MRU-last scan from the back: the MRU slot hits most often.
+        if let Some(pos) = set.iter().rposition(|&t| t == tag) {
+            // Move to MRU (end), shifting intervening tags down one slot.
+            set.copy_within(pos + 1.., pos);
+            *set.last_mut().expect("ways >= 1") = tag;
             true
         } else {
-            if set.len() == self.ways {
-                set.remove(0);
-            }
-            set.push(tag);
+            // Miss: shift the whole set down, dropping slot 0 — the LRU
+            // resident tag when the set is full, an EMPTY slot otherwise —
+            // and fill the MRU slot.
+            set.copy_within(1.., 0);
+            *set.last_mut().expect("ways >= 1") = tag;
             false
         }
     }
@@ -89,19 +118,25 @@ impl Cache {
     /// DBT patches code).
     pub fn invalidate(&mut self, addr: u64) {
         let (set_idx, tag) = self.locate(addr);
-        self.sets[set_idx].retain(|&t| t != tag);
+        let base = set_idx * self.ways;
+        let set = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Shift older tags up into the gap, keeping residents
+            // contiguous at the end in LRU order, and open an EMPTY slot
+            // at the front.
+            set.copy_within(..pos, 1);
+            set[0] = EMPTY;
+        }
     }
 
     /// Empties the cache.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(EMPTY);
     }
 
     /// Number of resident lines (diagnostics).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
     }
 }
 

@@ -1,8 +1,30 @@
 //! The host CPU: fetches, decodes and executes encoded Alpha words from
 //! simulated memory, with alignment enforcement and cycle accounting.
+//!
+//! # Execution engines
+//!
+//! The machine has two functionally identical engines:
+//!
+//! * the **superblock engine** (default) decodes straight-line runs of
+//!   instruction words into dense [`Superblock`]s keyed by entry PC and
+//!   executes them with zero per-instruction map probes, and
+//! * the **per-instruction engine** ([`Machine::run_legacy`], or
+//!   [`Machine::step`]) decodes one word at a time through a
+//!   decoded-instruction map — kept for single-stepping embedders and as
+//!   the baseline the perf harness compares against.
+//!
+//! Both engines charge *exactly* the same cycles, cache accesses and
+//! counters per architectural instruction: the superblock cache is a
+//! decode-amortisation, not a timing change. Code patching through
+//! [`Machine::write_code`] / [`Machine::patch_code_word`] invalidates every
+//! superblock overlapping the patched word, so — exactly as with the
+//! per-instruction engine — a patch takes effect on the very next fetch of
+//! the patched address. This is the property the exception-handling MDA
+//! mechanisms rely on (DESIGN.md §"Execution engine").
 
 use crate::cache::Cache;
 use crate::cost::CostModel;
+use crate::hashing::FxHashMap;
 use crate::mem::Memory;
 use crate::stats::Stats;
 use crate::trap::{Exit, MachineFault, UnalignedInfo};
@@ -10,6 +32,72 @@ use bridge_alpha::insn::{Insn, MemOp, Rb};
 use bridge_alpha::reg::Reg;
 use bridge_alpha::{decode, op, PAL_EXIT_MONITOR, PAL_HALT, PAL_REQUEST_MONITOR};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Maximum instructions per superblock. Bounds re-decode waste after a
+/// patch and keeps a block within at most two 4 KB pages.
+const SB_MAX_INSNS: usize = 64;
+
+/// Page granularity of the superblock invalidation index. Independent of
+/// [`Memory`]'s internal page size — it is just a partition of the address
+/// space for finding blocks that overlap a patched word.
+const SB_PAGE_SHIFT: u32 = 12;
+
+/// Process-wide default for whether new [`Machine`]s use the superblock
+/// engine. Exists so the perf harness can build *identical* experiment code
+/// on both engines without threading a flag through every constructor.
+static BLOCK_ENGINE_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the engine newly constructed [`Machine`]s (and
+/// [`NativeMachine`](crate::native::NativeMachine)s) default to:
+/// `true` = superblock/trace engine, `false` = per-instruction engine.
+/// Existing machines are unaffected; see [`Machine::set_superblocks`].
+pub fn set_block_engine_default(on: bool) {
+    BLOCK_ENGINE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// Current process-wide engine default (see [`set_block_engine_default`]).
+pub fn block_engine_default() -> bool {
+    BLOCK_ENGINE_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// A decoded straight-line run of instructions starting at [`Superblock::entry`].
+///
+/// Ends at (and includes) the first control-flow instruction, or earlier at
+/// [`SB_MAX_INSNS`] or just before an undecodable word. Immutable once
+/// built; shared by `Arc` so execution never borrows the block cache.
+#[derive(Debug)]
+struct Superblock {
+    entry: u64,
+    insns: Vec<Insn>,
+}
+
+impl Superblock {
+    /// One past the address of the last instruction word.
+    #[inline]
+    fn end(&self) -> u64 {
+        self.entry + 4 * self.insns.len() as u64
+    }
+}
+
+/// Superblock cache plus the page-granular index used to invalidate
+/// precisely on code patches.
+#[derive(Debug, Clone, Default)]
+struct SbCache {
+    blocks: FxHashMap<u64, Arc<Superblock>>,
+    /// Page index → entry PCs of blocks overlapping that page. Entries may
+    /// be stale (block already removed); they are dropped lazily on the
+    /// next scan of the page.
+    by_page: FxHashMap<u64, Vec<u64>>,
+}
+
+impl SbCache {
+    fn clear(&mut self) {
+        self.blocks.clear();
+        self.by_page.clear();
+    }
+}
 
 /// The simulated Alpha machine.
 ///
@@ -26,11 +114,24 @@ pub struct Machine {
     dcache: Option<Cache>,
     l2: Option<Cache>,
     stats: Stats,
-    /// Decoded-instruction cache. Sound because *all* code writes go
-    /// through [`Machine::write_code`], which invalidates it; guest stores
-    /// cannot reach the code-cache region (it lies above the 32-bit guest
-    /// address space). Purely a simulator speedup — no cycle effect.
+    /// Decoded-instruction cache for the per-instruction engine. Sound
+    /// because *all* code writes go through [`Machine::write_code`], which
+    /// invalidates it; guest stores cannot reach the code-cache region (it
+    /// lies above the 32-bit guest address space). Purely a simulator
+    /// speedup — no cycle effect. Deliberately a default-hasher `HashMap`:
+    /// this is the pre-superblock engine preserved byte-for-byte as the
+    /// perf harness's baseline.
     decoded: HashMap<u64, Insn>,
+    /// Superblock cache for the block engine; same soundness argument,
+    /// with precise overlap invalidation in [`Machine::write_code`].
+    sb: SbCache,
+    use_superblocks: bool,
+    /// D-cache line of the most recent data access, or `u64::MAX`. Data
+    /// accesses through [`Machine::data_cost`] are the only D-cache
+    /// traffic, so an access to this line is a guaranteed MRU hit: no LRU
+    /// state change and no L2 traffic, letting `data_cost` charge the hit
+    /// without walking the cache model. Reset when the D-cache is flushed.
+    last_data_line: u64,
 }
 
 impl Machine {
@@ -51,6 +152,9 @@ impl Machine {
             l2: Some(Cache::es40_l2()),
             stats: Stats::new(),
             decoded: HashMap::new(),
+            sb: SbCache::default(),
+            use_superblocks: block_engine_default(),
+            last_data_line: u64::MAX,
         }
     }
 
@@ -118,6 +222,21 @@ impl Machine {
         &self.stats
     }
 
+    /// Selects the execution engine for subsequent [`Machine::run`] calls:
+    /// `true` = superblock engine, `false` = per-instruction engine. Both
+    /// produce identical architectural state and cycle counts.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.use_superblocks = on;
+        if !on {
+            self.sb.clear();
+        }
+    }
+
+    /// Number of superblocks currently cached (diagnostics).
+    pub fn superblock_count(&self) -> usize {
+        self.sb.blocks.len()
+    }
+
     /// Charges extra cycles (used by the DBT engine for its runtime
     /// services: interpretation, translation, handler work).
     pub fn charge(&mut self, cycles: u64) {
@@ -141,11 +260,39 @@ impl Machine {
         assert_eq!(addr & 3, 0, "code must be 4-aligned");
         for (i, &w) in words.iter().enumerate() {
             let a = addr + 4 * i as u64;
-            self.mem.write_u32(a, w);
+            // Invalidate *before* the write lands: once this returns, no
+            // engine may serve a pre-patch decode of `a`.
+            self.invalidate_superblocks_at(a);
             self.decoded.remove(&a);
+            self.mem.write_u32_aligned(a, w);
             if let Some(ic) = &mut self.icache {
                 ic.invalidate(a);
             }
+        }
+    }
+
+    /// Drops every cached superblock whose instruction range covers `addr`.
+    ///
+    /// This is the block engine's correctness contract with code patching:
+    /// the EH mechanisms overwrite live translated code and the next fetch
+    /// of the patched address must see the new word.
+    fn invalidate_superblocks_at(&mut self, addr: u64) {
+        let SbCache { blocks, by_page } = &mut self.sb;
+        if let Some(entries) = by_page.get_mut(&(addr >> SB_PAGE_SHIFT)) {
+            entries.retain(|&entry| match blocks.get(&entry) {
+                Some(b) => {
+                    if addr >= b.entry && addr < b.end() {
+                        blocks.remove(&entry);
+                        // The entry may linger in the *other* page's list
+                        // when the block straddled a boundary; that copy is
+                        // dropped lazily on that page's next scan.
+                        false
+                    } else {
+                        true
+                    }
+                }
+                None => false, // stale: block removed via another page
+            });
         }
     }
 
@@ -167,12 +314,23 @@ impl Machine {
         {
             c.flush();
         }
+        self.last_data_line = u64::MAX;
     }
 
     fn fetch_cost(&mut self, pc: u64) {
         self.stats.cycles += self.cost.insn_base;
-        if let Some(ic) = &mut self.icache {
+        if self.icache.is_some() {
             self.stats.icache_accesses += 1;
+        }
+        self.fetch_walk(pc);
+    }
+
+    /// The I-cache walk of [`Machine::fetch_cost`] *without* the
+    /// per-instruction `insn_base`/`icache_accesses` charges — those are
+    /// batched by the superblock runner and flushed on exit.
+    #[inline]
+    fn fetch_walk(&mut self, pc: u64) {
+        if let Some(ic) = &mut self.icache {
             if !ic.access(pc) {
                 self.stats.icache_misses += 1;
                 self.stats.cycles += self.cost.l1_miss;
@@ -195,6 +353,12 @@ impl Machine {
         };
         if let Some(dc) = &mut self.dcache {
             self.stats.dcache_accesses += 1;
+            // Same-line fast path; see the `last_data_line` field docs.
+            let line = addr >> dc.line_shift();
+            if line == self.last_data_line {
+                return;
+            }
+            self.last_data_line = line;
             if !dc.access(addr) {
                 self.stats.dcache_misses += 1;
                 self.stats.cycles += self.cost.l1_miss;
@@ -209,9 +373,10 @@ impl Machine {
         }
     }
 
-    /// Executes one instruction. Returns `None` to continue, or the exit /
-    /// trap that stopped the machine. On an [`Exit::Unaligned`] the PC still
-    /// addresses the faulting instruction.
+    /// Executes one instruction through the per-instruction engine.
+    /// Returns `None` to continue, or the exit / trap that stopped the
+    /// machine. On an [`Exit::Unaligned`] the PC still addresses the
+    /// faulting instruction.
     pub fn step(&mut self) -> Option<Exit> {
         let pc = self.pc;
         self.fetch_cost(pc);
@@ -219,7 +384,7 @@ impl Machine {
         let insn = match self.decoded.get(&pc) {
             Some(i) => *i,
             None => {
-                let word = self.mem.read_u32(pc);
+                let word = self.mem.read_u32_aligned(pc);
                 match decode(word) {
                     Ok(i) => {
                         self.decoded.insert(pc, i);
@@ -231,7 +396,14 @@ impl Machine {
                 }
             }
         };
+        self.exec_insn(pc, insn)
+    }
 
+    /// Executes one already-decoded instruction at `pc`. Shared by both
+    /// engines; charges data-side costs and updates the PC exactly as the
+    /// original per-instruction interpreter did.
+    #[inline]
+    fn exec_insn(&mut self, pc: u64, insn: Insn) -> Option<Exit> {
         match insn {
             Insn::Mem { op, ra, rb, disp } => {
                 let ea = self.reg(rb).wrapping_add(disp as i64 as u64);
@@ -261,13 +433,25 @@ impl Machine {
                             _ => ea,
                         };
                         self.data_cost(access_addr, op.is_store());
+                        // Width-specialised accesses: after the alignment
+                        // check (or the ldq_u/stq_u mask) 4- and 8-byte
+                        // accesses are naturally aligned, so the aligned
+                        // page-cached fast paths apply.
                         if op.is_store() {
                             self.stats.stores += 1;
                             let v = self.reg(ra);
-                            self.mem.write_int(access_addr, op.size(), v);
+                            match op.size() {
+                                8 => self.mem.write_u64_aligned(access_addr, v),
+                                4 => self.mem.write_u32_aligned(access_addr, v as u32),
+                                size => self.mem.write_int(access_addr, size, v),
+                            }
                         } else {
                             self.stats.loads += 1;
-                            let raw = self.mem.read_int(access_addr, op.size());
+                            let raw = match op.size() {
+                                8 => self.mem.load_u64_aligned(access_addr),
+                                4 => u64::from(self.mem.load_u32_aligned(access_addr)),
+                                size => self.mem.load_int(access_addr, size),
+                            };
                             let v = match op {
                                 MemOp::Ldl => raw as u32 as i32 as i64 as u64,
                                 _ => raw,
@@ -328,8 +512,20 @@ impl Machine {
         None
     }
 
-    /// Runs until an exit, a trap, or `fuel` instructions have executed.
-    pub fn run(&mut self, mut fuel: u64) -> Exit {
+    /// Runs until an exit, a trap, or `fuel` instructions have executed,
+    /// using the engine selected by [`Machine::set_superblocks`].
+    pub fn run(&mut self, fuel: u64) -> Exit {
+        if self.use_superblocks {
+            self.run_superblocks(fuel)
+        } else {
+            self.run_legacy(fuel)
+        }
+    }
+
+    /// Runs on the per-instruction engine regardless of the engine
+    /// selection (the pre-superblock baseline; also what the perf harness
+    /// measures against).
+    pub fn run_legacy(&mut self, mut fuel: u64) -> Exit {
         loop {
             if fuel == 0 {
                 return Exit::Fault(MachineFault::OutOfFuel);
@@ -339,6 +535,124 @@ impl Machine {
                 return exit;
             }
         }
+    }
+
+    fn run_superblocks(&mut self, mut fuel: u64) -> Exit {
+        // Same-line fetch fast path. Within this call nothing but our own
+        // fetches touches the I-cache (data costs go to the D-cache, and
+        // code patches cannot happen mid-run), so a fetch from the line of
+        // the previous *charged* fetch is a guaranteed MRU hit: charging it
+        // moves MRU→MRU (no LRU state change) and a hit never touches the
+        // shared L2. We can therefore skip the cache-model walk entirely —
+        // byte-identical accounting to [`Machine::fetch_cost`], at a
+        // fraction of the cost.
+        let line_shift = self.icache.as_ref().map(Cache::line_shift);
+        let mut last_line = u64::MAX; // conservatively cold at entry
+
+        // Per-instruction `insns`/`insn_base`/`icache_accesses` accounting
+        // is accumulated here and flushed at every exit path — identical
+        // totals, three fewer memory read-modify-writes per instruction.
+        let mut executed: u64 = 0;
+        macro_rules! exit_with {
+            ($e:expr) => {{
+                self.stats.insns += executed;
+                self.stats.cycles += executed * self.cost.insn_base;
+                if self.icache.is_some() {
+                    self.stats.icache_accesses += executed;
+                }
+                return $e;
+            }};
+        }
+        loop {
+            let entry = self.pc;
+            let block = match self.sb.blocks.get(&entry) {
+                Some(b) => Arc::clone(b),
+                None => match self.decode_superblock(entry) {
+                    Some(b) => b,
+                    None => {
+                        // Undecodable word at the entry itself. Charge the
+                        // fetch exactly as the per-instruction engine does
+                        // before reporting the fault.
+                        if fuel == 0 {
+                            exit_with!(Exit::Fault(MachineFault::OutOfFuel));
+                        }
+                        executed += 1;
+                        self.fetch_walk(entry);
+                        let word = self.mem.read_u32_aligned(entry);
+                        exit_with!(Exit::Fault(MachineFault::IllegalInstruction {
+                            pc: entry,
+                            word
+                        }));
+                    }
+                },
+            };
+            // Re-enter the same block without a map probe while control
+            // keeps returning to its entry — the common case for tight
+            // loops, which dominate the experiment kernels. Code patches
+            // cannot happen mid-run, so the cached `Arc` cannot go stale.
+            loop {
+                // Only the final instruction of a block can transfer
+                // control, so `self.pc` walks `entry, entry+4, …` while the
+                // block runs and the loop needs no per-instruction dispatch.
+                for &insn in &block.insns {
+                    if fuel == 0 {
+                        exit_with!(Exit::Fault(MachineFault::OutOfFuel));
+                    }
+                    fuel -= 1;
+                    executed += 1;
+                    let pc = self.pc;
+                    match line_shift {
+                        Some(shift) if pc >> shift == last_line => {}
+                        Some(shift) => {
+                            last_line = pc >> shift;
+                            self.fetch_walk(pc);
+                        }
+                        None => {}
+                    }
+                    if let Some(exit) = self.exec_insn(pc, insn) {
+                        exit_with!(exit);
+                    }
+                }
+                if self.pc != entry {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Decodes the straight-line run starting at `entry` into a cached
+    /// superblock. Returns `None` (and caches nothing) if the entry word
+    /// itself does not decode.
+    fn decode_superblock(&mut self, entry: u64) -> Option<Arc<Superblock>> {
+        let mut insns = Vec::new();
+        let mut pc = entry;
+        loop {
+            let word = self.mem.read_u32_aligned(pc);
+            let insn = match decode(word) {
+                Ok(i) => i,
+                // Stop *before* an undecodable word; executing the prefix
+                // falls through to it and faults with exact accounting.
+                Err(_) => break,
+            };
+            insns.push(insn);
+            let ends_block = matches!(
+                insn,
+                Insn::Br { .. } | Insn::Jmp { .. } | Insn::CallPal { .. }
+            );
+            if ends_block || insns.len() == SB_MAX_INSNS {
+                break;
+            }
+            pc += 4;
+        }
+        if insns.is_empty() {
+            return None;
+        }
+        let block = Arc::new(Superblock { entry, insns });
+        for page in (block.entry >> SB_PAGE_SHIFT)..=((block.end() - 1) >> SB_PAGE_SHIFT) {
+            self.sb.by_page.entry(page).or_default().push(entry);
+        }
+        self.sb.blocks.insert(entry, Arc::clone(&block));
+        Some(block)
     }
 }
 
@@ -599,6 +913,131 @@ mod tests {
         m.patch_code_word(BASE + 4, patched);
         assert_eq!(m.run(100), Exit::Halted);
         assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    /// The ISSUE's correctness-critical regression: with the superblock
+    /// engine, patch a word of a *cached, previously executed* block via
+    /// `write_code` and the next execution must fetch the patched word.
+    #[test]
+    fn superblock_cache_serves_patched_word() {
+        // r1 = 2; top: nop; bne r1, top — spins forever until the nop is
+        // patched to "subq r1, 1, r1".
+        let mut b = CodeBuilder::new(BASE);
+        b.load_imm32(Reg::R1, 2);
+        let top = b.new_label();
+        b.bind(top);
+        b.emit(bridge_alpha::Insn::NOP);
+        b.br_label(BrOp::Bne, Reg::R1, top);
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.set_superblocks(true);
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        // The loop spins: blocks get decoded and cached.
+        assert_eq!(m.run(50), Exit::Fault(MachineFault::OutOfFuel));
+        assert!(m.superblock_count() > 0, "blocks should be cached");
+        let before = m.superblock_count();
+        // Patch the nop (at BASE + 4) inside the cached loop body.
+        let patched = bridge_alpha::encode::encode(&bridge_alpha::Insn::Op {
+            op: OpFn::Subq,
+            ra: Reg::R1,
+            rb: bridge_alpha::Rb::Lit(1),
+            rc: Reg::R1,
+        });
+        m.patch_code_word(BASE + 4, patched);
+        assert!(
+            m.superblock_count() < before,
+            "patch must invalidate the overlapping superblock"
+        );
+        // If the stale block were served, this would still spin (OutOfFuel).
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    /// Both engines must produce identical architectural state *and*
+    /// identical counters/cycles on the same program.
+    #[test]
+    fn engines_agree_on_state_and_cycles() {
+        let mut b = CodeBuilder::new(BASE);
+        b.load_imm32(Reg::R1, 200);
+        b.load_imm32(Reg::R2, 0x1000);
+        b.load_imm32(Reg::R3, 0);
+        let top = b.new_label();
+        b.bind(top);
+        b.mem(MemOp::Stq, Reg::R1, 0, Reg::R2);
+        b.mem(MemOp::Ldq, Reg::R4, 0, Reg::R2);
+        b.op(OpFn::Addq, Reg::R3, Reg::R4, Reg::R3);
+        b.op_lit(OpFn::Addq, Reg::R2, 8, Reg::R2);
+        b.op_lit(OpFn::Subq, Reg::R1, 1, Reg::R1);
+        b.br_label(BrOp::Bne, Reg::R1, top);
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+
+        let run_engine = |superblocks: bool| {
+            let mut m = Machine::new(); // full ES40 caches + cost model
+            m.set_superblocks(superblocks);
+            m.write_code(BASE, &words);
+            m.set_pc(BASE);
+            let exit = m.run(100_000);
+            assert_eq!(exit, Exit::Halted);
+            (*m.stats(), m.reg(Reg::R3), m.pc())
+        };
+        let (fast, fast_r3, fast_pc) = run_engine(true);
+        let (slow, slow_r3, slow_pc) = run_engine(false);
+        assert_eq!(fast_r3, slow_r3);
+        assert_eq!(fast_pc, slow_pc);
+        assert_eq!(fast.insns, slow.insns);
+        assert_eq!(fast.cycles, slow.cycles);
+        assert_eq!(fast.icache_misses, slow.icache_misses);
+        assert_eq!(fast.dcache_misses, slow.dcache_misses);
+        assert_eq!(fast.l2_misses, slow.l2_misses);
+    }
+
+    /// Unaligned traps must report the same context (and leave the PC on
+    /// the faulting instruction) under the superblock engine, since the EH
+    /// mechanisms resume from exactly that state.
+    #[test]
+    fn superblock_engine_trap_context() {
+        let mut b = CodeBuilder::new(BASE);
+        b.load_imm32(Reg::R1, 0x1002);
+        b.emit(bridge_alpha::Insn::NOP); // mid-block padding
+        b.mem(MemOp::Ldl, Reg::R2, 0, Reg::R1);
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.set_superblocks(true);
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        let exit = m.run(1000);
+        let info = exit.unaligned().expect("should trap");
+        assert_eq!(info.addr, 0x1002);
+        assert_eq!(m.pc(), info.pc, "PC stays on the faulting instruction");
+        assert_eq!(info.insn_word, m.mem().read_u32(info.pc));
+        // Resuming without a fix re-traps at the same spot.
+        assert!(m.run(1000).unaligned().is_some());
+    }
+
+    /// Fuel exhaustion mid-superblock must stop with exact instruction
+    /// accounting, not round up to the block boundary.
+    #[test]
+    fn superblock_fuel_is_exact() {
+        let mut b = CodeBuilder::new(BASE);
+        for _ in 0..10 {
+            b.emit(bridge_alpha::Insn::NOP);
+        }
+        b.call_pal(PAL_HALT);
+        let words = b.finish().unwrap();
+        let mut m = Machine::without_caches(CostModel::flat());
+        m.set_superblocks(true);
+        m.write_code(BASE, &words);
+        m.set_pc(BASE);
+        assert_eq!(m.run(7), Exit::Fault(MachineFault::OutOfFuel));
+        assert_eq!(m.stats().insns, 7);
+        assert_eq!(m.pc(), BASE + 7 * 4);
+        // Resume with enough fuel: finishes the remaining 4 instructions.
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.stats().insns, 11);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod cache;
 pub mod cost;
 pub mod cpu;
+pub mod hashing;
 pub mod mem;
 pub mod native;
 pub mod stats;

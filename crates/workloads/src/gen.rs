@@ -190,10 +190,10 @@ impl Workload {
     }
 }
 
+/// Deterministic data-region contents: a SplitMix64 stream seeded per
+/// region, so every rebuild of the same workload produces identical bytes.
 fn pattern_bytes(len: usize, seed: u8) -> Vec<u8> {
-    (0..len)
-        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
-        .collect()
+    crate::rng::SplitMix64::new(0xD1B5_4A32_D192_ED03 ^ u64::from(seed)).bytes(len)
 }
 
 /// Emits one MDA site accessing `base_reg + site_index*64`, rotating

@@ -36,6 +36,7 @@
 
 pub mod gen;
 pub mod kernels;
+pub mod rng;
 pub mod spec;
 
 pub use gen::{build, Workload, WorkloadSpec};

@@ -49,15 +49,43 @@ impl MemAccess {
 }
 
 /// The memory accesses of one executed instruction (at most two: RMW forms).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Stored as a plain array plus a length — no `Option` tags — because this
+/// sits on the interpreter's per-instruction hot path: slots beyond `len`
+/// are simply dead values.
+#[derive(Debug, Clone, Copy)]
 pub struct AccessList {
-    items: [Option<MemAccess>; 2],
+    items: [MemAccess; 2],
     len: u8,
 }
 
+impl PartialEq for AccessList {
+    fn eq(&self, other: &AccessList) -> bool {
+        // Only live slots count — slots beyond `len` are dead values.
+        self.items[..self.len as usize] == other.items[..other.len as usize]
+    }
+}
+
+impl Eq for AccessList {}
+
+impl Default for AccessList {
+    fn default() -> AccessList {
+        const EMPTY: MemAccess = MemAccess {
+            addr: 0,
+            width: Width::W1,
+            store: false,
+        };
+        AccessList {
+            items: [EMPTY; 2],
+            len: 0,
+        }
+    }
+}
+
 impl AccessList {
+    #[inline]
     fn push(&mut self, a: MemAccess) {
-        self.items[self.len as usize] = Some(a);
+        self.items[self.len as usize] = a;
         self.len += 1;
     }
 
@@ -74,11 +102,9 @@ impl AccessList {
     }
 
     /// Iterates over the accesses in execution order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = MemAccess> + '_ {
-        self.items
-            .iter()
-            .take(self.len as usize)
-            .map(|a| a.expect("within len"))
+        self.items[..self.len as usize].iter().copied()
     }
 }
 

@@ -1,0 +1,3 @@
+//! Empty library target: this crate exists only to host the proptest
+//! integration tests under `tests/` and the criterion benches under
+//! `benches/`, outside the offline default workspace.
