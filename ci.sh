@@ -24,4 +24,8 @@ mkdir -p "$tmp/serial" "$tmp/par"
 (cd "$tmp/par" && "$OLDPWD/target/release/repro_all" --scale test --jobs 4 >stdout.txt)
 diff -r "$tmp/serial/results" "$tmp/par/results"
 
+echo "== perf bench (scale test) + BENCH json schema =="
+(cd "$tmp" && "$OLDPWD/target/release/perf" --scale test >perf_stdout.txt)
+./target/release/check_bench_json "$tmp/BENCH_simulator.json"
+
 echo "CI OK"

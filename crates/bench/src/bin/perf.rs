@@ -29,8 +29,10 @@ use bridge_alpha::reg::Reg;
 use bridge_alpha::PAL_HALT;
 use bridge_bench::baseline;
 use bridge_bench::experiments as exp;
+use bridge_dbt::RunReport;
 use bridge_sim::native::{NativeExit, NativeMachine};
 use bridge_sim::{Exit, Machine};
+use bridge_workloads::kernels::{self, Kernel};
 use bridge_workloads::spec::selected_benchmarks;
 use exp::fig1::Layout;
 use std::fmt::Write as _;
@@ -184,6 +186,73 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One kernel's numbers for the in-cache-dispatch section: dispatch off,
+/// IBTC probe only, and IBTC + shadow return stack.
+struct DispatchRow {
+    name: &'static str,
+    off: RunReport,
+    ibtc: RunReport,
+    on: RunReport,
+    secs_off: f64,
+    secs_on: f64,
+}
+
+/// The call/ret- and loop-heavy in-tree kernels the dispatch benchmark
+/// replays (the same micro-patterns the Figure 1 kernels are built from).
+fn dispatch_kernels(iters: u32) -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("misaligned_stack", kernels::misaligned_stack(iters)),
+        (
+            "packed_struct_sum",
+            kernels::packed_struct_sum(0x10_0002, 16, 6, iters),
+        ),
+        (
+            "linked_list_chase",
+            kernels::linked_list_chase(0x20_0000, iters),
+        ),
+        (
+            "memcpy_unaligned",
+            kernels::memcpy_unaligned(0x30_0001, 0x38_0000, iters * 4),
+        ),
+    ]
+}
+
+/// Replays each kernel with in-cache-code dispatch off and on (DPEH,
+/// paper-default thresholds) and collects the monitor-exit reduction the
+/// inline IBTC + shadow return stack buy.
+fn measure_dispatch(iters: u32) -> Vec<DispatchRow> {
+    let mut rows = Vec::new();
+    for (name, kernel) in dispatch_kernels(iters) {
+        let cfg_off = bridge_bench::dpeh_config();
+        let cfg_ibtc = bridge_bench::dpeh_config()
+            .with_in_cache_dispatch(true)
+            .with_shadow_ras(false);
+        let cfg_on = bridge_bench::dpeh_config().with_in_cache_dispatch(true);
+        let ((took_off, off), (took_on, on)) = best_of_pair(
+            || bridge_bench::run_kernel(&kernel, cfg_off.clone()),
+            || bridge_bench::run_kernel(&kernel, cfg_on.clone()),
+        );
+        let ibtc = bridge_bench::run_kernel(&kernel, cfg_ibtc);
+        assert_eq!(
+            off.final_state.regs, on.final_state.regs,
+            "{name}: dispatch changed guest results"
+        );
+        assert_eq!(
+            off.final_state.regs, ibtc.final_state.regs,
+            "{name}: ibtc-only dispatch changed guest results"
+        );
+        rows.push(DispatchRow {
+            name,
+            off,
+            ibtc,
+            on,
+            secs_off: took_off.as_secs_f64(),
+            secs_on: took_on.as_secs_f64(),
+        });
+    }
+    rows
+}
+
 fn main() {
     let scale = bridge_bench::scale_from_args();
     println!(
@@ -231,7 +300,41 @@ fn main() {
     println!("  pre-change baseline:      {fig1_base:8.2?}");
     println!("  speedup vs baseline:      {fig1_speedup:8.2}x\n");
 
-    // 3. Per-experiment wall-clock, superblock engine, one worker.
+    // 3. In-cache-code dispatch: monitor-exit counts with the inline IBTC
+    //    + shadow return stack off vs on, per call/ret-heavy kernel.
+    let dispatch_iters = (scale.outer_iters as u32).clamp(200, 5_000);
+    let dispatch_rows = measure_dispatch(dispatch_iters);
+    let exits_off: u64 = dispatch_rows.iter().map(|r| r.off.monitor_exits).sum();
+    let exits_on: u64 = dispatch_rows.iter().map(|r| r.on.monitor_exits).sum();
+    let exit_reduction = exits_off as f64 / exits_on.max(1) as f64;
+    println!("In-cache-code dispatch ({dispatch_iters} kernel iterations, DPEH):");
+    println!(
+        "  {:<20} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "kernel", "exits off", "ibtc", "ibtc+ras", "cyc ibtc", "cyc +ras", "ibtc hits", "ras hits"
+    );
+    for r in &dispatch_rows {
+        let cyc_ibtc = r.off.cycles() as f64 / r.ibtc.cycles() as f64;
+        let cyc_on = r.off.cycles() as f64 / r.on.cycles() as f64;
+        println!(
+            "  {:<20} {:>10} {:>9} {:>9} {:>8.2}x {:>8.2}x {:>10} {:>10}",
+            r.name,
+            r.off.monitor_exits,
+            r.ibtc.monitor_exits,
+            r.on.monitor_exits,
+            cyc_ibtc,
+            cyc_on,
+            r.on.ibtc_hits,
+            r.on.ras_hits,
+        );
+    }
+    println!("  monitor-exit reduction:   {exit_reduction:8.2}x");
+    assert!(
+        exit_reduction >= 2.0,
+        "in-cache dispatch must at least halve monitor exits (got {exit_reduction:.2}x)"
+    );
+    println!();
+
+    // 4. Per-experiment wall-clock, superblock engine, one worker.
     let results = bridge_bench::run_experiments_parallel(scale, 1);
     println!("Per-experiment wall-clock (1 worker):");
     for (name, _, took) in &results {
@@ -242,7 +345,7 @@ fn main() {
 
     // Emit BENCH_simulator.json (hand-rolled: no serde in-tree).
     let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/1\",");
+    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/2\",");
     let _ = writeln!(j, "  \"scale_outer_iters\": {},", scale.outer_iters);
     let _ = writeln!(j, "  \"mips\": {{");
     let _ = writeln!(j, "    \"kernel_insns\": {insns},");
@@ -255,6 +358,38 @@ fn main() {
     let _ = writeln!(j, "    \"trace_secs\": {:.4},", fig1_cur.as_secs_f64());
     let _ = writeln!(j, "    \"baseline_secs\": {:.4},", fig1_base.as_secs_f64());
     let _ = writeln!(j, "    \"speedup\": {fig1_speedup:.3}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"dispatch\": {{");
+    let _ = writeln!(j, "    \"strategy\": \"DPEH\",");
+    let _ = writeln!(j, "    \"kernel_iters\": {dispatch_iters},");
+    let _ = writeln!(j, "    \"monitor_exits_off\": {exits_off},");
+    let _ = writeln!(j, "    \"monitor_exits_on\": {exits_on},");
+    let _ = writeln!(j, "    \"monitor_exit_reduction\": {exit_reduction:.3},");
+    let _ = writeln!(j, "    \"kernels\": [");
+    for (i, r) in dispatch_rows.iter().enumerate() {
+        let comma = if i + 1 < dispatch_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "      {{\"name\": \"{}\", \"monitor_exits_off\": {}, \"monitor_exits_ibtc\": {}, \
+             \"monitor_exits_on\": {}, \
+             \"ibtc_hits\": {}, \"ras_hits\": {}, \"chains\": {}, \
+             \"cycles_off\": {}, \"cycles_ibtc\": {}, \"cycles_on\": {}, \
+             \"secs_off\": {:.4}, \"secs_on\": {:.4}}}{comma}",
+            json_escape(r.name),
+            r.off.monitor_exits,
+            r.ibtc.monitor_exits,
+            r.on.monitor_exits,
+            r.on.ibtc_hits,
+            r.on.ras_hits,
+            r.on.chains,
+            r.off.cycles(),
+            r.ibtc.cycles(),
+            r.on.cycles(),
+            r.secs_off,
+            r.secs_on
+        );
+    }
+    let _ = writeln!(j, "    ]");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"experiments\": [");
     for (i, (name, _, took)) in results.iter().enumerate() {

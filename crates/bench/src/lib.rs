@@ -135,6 +135,18 @@ pub fn run_dbt_on(w: &Workload, cfg: DbtConfig) -> RunReport {
     dbt.run(FUEL).expect("workload halts within fuel")
 }
 
+/// Runs an in-tree micro-kernel through the DBT under `cfg` (the dispatch
+/// benchmark's workloads).
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within [`FUEL`].
+pub fn run_kernel(k: &bridge_workloads::kernels::Kernel, cfg: DbtConfig) -> RunReport {
+    let mut dbt = Dbt::new(cfg);
+    k.load_into(&mut dbt);
+    dbt.run(FUEL).expect("kernel halts within fuel")
+}
+
 /// Produces the `train`-input profile for static profiling (the paper's
 /// pre-execution phase, Figure 3).
 ///

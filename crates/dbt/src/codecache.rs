@@ -51,6 +51,9 @@ pub struct Block {
     pub site_at_host: HashMap<u64, SiteId>,
     /// Chainable exits.
     pub exit_slots: Vec<ExitSlot>,
+    /// Host addresses of IBTC-miss `call_pal exit_monitor` words (empty
+    /// unless translated with in-code-cache dispatch).
+    pub indirect_exits: Vec<u64>,
     /// Misalignment traps taken inside this block since (re)translation.
     pub trap_count: u32,
     /// How many times the block has been retranslated.
@@ -204,6 +207,7 @@ impl CodeCache {
             insn_starts: tb.insn_starts.clone(),
             site_at_host: tb.trap_sites.iter().copied().collect(),
             exit_slots,
+            indirect_exits: tb.indirect_exits.clone(),
             trap_count: 0,
             retrans_count: 0,
         };
@@ -276,6 +280,7 @@ mod tests {
             words: vec![0; words],
             trap_sites: vec![(0x1_0000_0010, SiteId::new(guest_pc + 2, 0))],
             exits,
+            indirect_exits: vec![],
             guest_pcs: vec![guest_pc, guest_pc + 2, guest_pc + 7],
             insn_starts: vec![(guest_pc, 0), (guest_pc + 2, 2), (guest_pc + 7, 5)],
         }

@@ -100,6 +100,24 @@ pub struct DbtConfig {
     /// Link translated blocks directly (branch chaining). On by default,
     /// as in DigitalBridge.
     pub chaining: bool,
+    /// In-code-cache dispatch: emit an inline IBTC probe at every
+    /// `ret`/computed-target exit so translated→translated transfers stay
+    /// inside the code cache, and backpatch exit stubs lazily the first
+    /// time the monitor sees the target translated. Off by default so the
+    /// paper's experiments reproduce byte-identically (see DESIGN.md
+    /// "Dispatch").
+    pub in_cache_dispatch: bool,
+    /// With [`DbtConfig::in_cache_dispatch`]: also push a shadow return
+    /// stack entry on translated `call` and pop it on `ret`, falling back
+    /// to the IBTC probe on tag mismatch. No effect unless
+    /// `in_cache_dispatch` is on.
+    pub shadow_ras: bool,
+    /// Emit a retired-guest-instruction counter increment at every block
+    /// entry, so [`RunReport::guest_insns_retired`] is exact. Off by
+    /// default (one extra host instruction per block).
+    ///
+    /// [`RunReport::guest_insns_retired`]: crate::report::RunReport::guest_insns_retired
+    pub count_retired: bool,
     /// Translate every statically reachable block before execution starts,
     /// as FX!32's offline translator did (Figure 3's pre-execution phase).
     /// Most useful with [`MdaStrategy::StaticProfiling`].
@@ -129,6 +147,9 @@ impl DbtConfig {
             adaptive_reversion: false,
             reversion_threshold: 200,
             chaining: true,
+            in_cache_dispatch: false,
+            shadow_ras: true,
+            count_retired: false,
             pretranslate: false,
             code_bytes: 2 * 1024 * 1024,
             stub_bytes: 1024 * 1024,
@@ -184,6 +205,24 @@ impl DbtConfig {
         self.pretranslate = on;
         self
     }
+
+    /// Builder-style: enable in-code-cache dispatch (IBTC + lazy chaining).
+    pub fn with_in_cache_dispatch(mut self, on: bool) -> DbtConfig {
+        self.in_cache_dispatch = on;
+        self
+    }
+
+    /// Builder-style: enable or disable the shadow return stack.
+    pub fn with_shadow_ras(mut self, on: bool) -> DbtConfig {
+        self.shadow_ras = on;
+        self
+    }
+
+    /// Builder-style: enable the exact retired-instruction counter.
+    pub fn with_count_retired(mut self, on: bool) -> DbtConfig {
+        self.count_retired = on;
+        self
+    }
 }
 
 impl Default for DbtConfig {
@@ -203,6 +242,21 @@ mod tests {
         assert_eq!(c.retranslate_threshold, 4);
         assert!(c.chaining);
         assert!(!c.rearrange && !c.retranslate && !c.multiversion);
+        // In-cache dispatch is an opt-in: the paper's tables must
+        // reproduce byte-identically with the defaults.
+        assert!(!c.in_cache_dispatch);
+        assert!(!c.count_retired);
+    }
+
+    #[test]
+    fn dispatch_builders_chain() {
+        let c = DbtConfig::new(MdaStrategy::Dpeh)
+            .with_in_cache_dispatch(true)
+            .with_shadow_ras(false)
+            .with_count_retired(true);
+        assert!(c.in_cache_dispatch);
+        assert!(!c.shadow_ras);
+        assert!(c.count_retired);
     }
 
     #[test]

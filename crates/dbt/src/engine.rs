@@ -2,18 +2,19 @@
 //! dispatch on misalignment traps, block chaining, retranslation and code
 //! rearrangement.
 
-use crate::codecache::CodeCache;
+use crate::codecache::{Block, CodeCache};
 use crate::config::{DbtConfig, MdaStrategy};
 use crate::exception::{self, HandlerError};
 use crate::interp::{self, InterpError};
 use crate::profile::{Profile, SiteId, StaticProfile};
 use crate::regmap::{
-    host_gpr, CODE_CACHE_ADDR, EXIT_PC_REG, FLAG_A, FLAG_B, FLAG_KIND_ADD, FLAG_KIND_DIRECT,
-    FLAG_KIND_LOGIC, FLAG_KIND_REG, FLAG_KIND_SHIFT, FLAG_KIND_SUB, MMX_IN_REGS, MMX_REGS,
-    STATE_BASE_REG, STATE_BLOCK_ADDR,
+    host_gpr, ibtc_slot_addr, ibtc_tag, CODE_CACHE_ADDR, DISPATCH_BASE_ADDR, DISPATCH_BASE_REG,
+    EXIT_PC_REG, FLAG_A, FLAG_B, FLAG_KIND_ADD, FLAG_KIND_DIRECT, FLAG_KIND_LOGIC, FLAG_KIND_REG,
+    FLAG_KIND_SHIFT, FLAG_KIND_SUB, IBTC_BYTES, IBTC_HIT_CTR, MMX_IN_REGS, MMX_REGS, RAS_BYTES,
+    RAS_ENTRIES, RAS_ENTRY_BYTES, RAS_HIT_CTR, RETIRE_CTR, STATE_BASE_REG, STATE_BLOCK_ADDR,
 };
 use crate::report::RunReport;
-use crate::translator::{self, SiteAccess, SitePlan, TranslatedBlock};
+use crate::translator::{self, DispatchOpts, SiteAccess, SitePlan, TranslatedBlock};
 use bridge_alpha::builder::branch_disp;
 use bridge_alpha::encode::encode as encode_alpha;
 use bridge_alpha::insn::{BrOp, Insn as AInsn};
@@ -148,6 +149,12 @@ pub struct Dbt {
     reversions: u64,
     os_fixups: u64,
     chains: u64,
+    monitor_exits: u64,
+    ibtc_misses: u64,
+    /// Last observed values of the in-machine hit counter registers, so
+    /// each `run_machine` round can charge exactly the new hits.
+    seen_ibtc_hits: u64,
+    seen_ras_hits: u64,
 }
 
 impl Dbt {
@@ -179,6 +186,10 @@ impl Dbt {
             reversions: 0,
             os_fixups: 0,
             chains: 0,
+            monitor_exits: 0,
+            ibtc_misses: 0,
+            seen_ibtc_hits: 0,
+            seen_ras_hits: 0,
         }
     }
 
@@ -189,6 +200,7 @@ impl Dbt {
             .write_bytes(u64::from(prog.base), prog.image());
         self.state = CpuState::new(prog.entry());
         self.machine.set_reg(STATE_BASE_REG, STATE_BLOCK_ADDR);
+        self.machine.set_reg(DISPATCH_BASE_REG, DISPATCH_BASE_ADDR);
         self.loaded = true;
     }
 
@@ -200,6 +212,41 @@ impl Dbt {
     /// Writes guest data memory (arrays the program will access).
     pub fn write_guest_memory(&mut self, addr: u32, bytes: &[u8]) {
         self.machine.mem_mut().write_bytes(u64::from(addr), bytes);
+    }
+
+    /// Rewrites guest *code* bytes, keeping every translation structure
+    /// coherent: translated blocks overlapping `[addr, addr+len)` are
+    /// invalidated (which also unchains incoming links and purges their
+    /// IBTC/shadow-return-stack entries), and the interpreter's decode
+    /// cache drops the range. The next execution of the region re-decodes
+    /// the new bytes.
+    pub fn write_guest_code(&mut self, addr: u32, bytes: &[u8]) {
+        let start = addr;
+        let end = addr.wrapping_add(bytes.len() as u32);
+        // An x86 instruction decodes at most 16 bytes, so an instruction
+        // starting within 16 bytes before the range may overlap it.
+        let overlapping: Vec<u32> = self
+            .cache
+            .iter_blocks()
+            .filter(|b| {
+                b.guest_pcs
+                    .iter()
+                    .any(|&p| p < end && p.wrapping_add(16) > start)
+            })
+            .map(|b| b.guest_pc)
+            .collect();
+        for pc in overlapping {
+            self.invalidate_block(pc, false);
+        }
+        self.machine.mem_mut().write_bytes(u64::from(addr), bytes);
+        self.decode_cache.invalidate_range(start, end);
+    }
+
+    /// Resets the guest program counter so a halted program can be re-run
+    /// (e.g. after [`Dbt::write_guest_code`]); all translations, profiles
+    /// and statistics carry over.
+    pub fn restart_at(&mut self, entry: u32) {
+        self.state.eip = entry;
     }
 
     /// The host machine (statistics, memory inspection).
@@ -237,6 +284,7 @@ impl Dbt {
                 .write_u64(STATE_BLOCK_ADDR + 8 * i as u64, self.state.mm[i]);
         }
         self.machine.set_reg(STATE_BASE_REG, STATE_BLOCK_ADDR);
+        self.machine.set_reg(DISPATCH_BASE_REG, DISPATCH_BASE_ADDR);
         // Pack the interpreter's flags into the lazy-flag registers so they
         // survive translated blocks that set no flags of their own.
         let f = self.state.flags;
@@ -315,6 +363,11 @@ impl Dbt {
 
         loop {
             if let Some(host_entry) = self.cache.block(pc).map(|b| b.host_addr) {
+                if self.cfg.in_cache_dispatch {
+                    // Every monitor dispatch seeds the IBTC, so the next
+                    // dynamic transfer to this guest PC stays in-cache.
+                    self.ibtc_fill(pc, host_entry);
+                }
                 if !in_machine {
                     self.state_to_machine();
                     in_machine = true;
@@ -417,11 +470,18 @@ impl Dbt {
             let exit = self.machine.run(*remaining);
             let executed = self.machine.stats().insns - before;
             *remaining = remaining.saturating_sub(executed);
+            if self.cfg.in_cache_dispatch {
+                self.charge_in_cache_hits();
+            }
             match exit {
                 Exit::Monitor => {
+                    self.monitor_exits += 1;
                     let d = self.machine.cost().dispatch;
                     self.machine.charge(d);
                     let next = self.machine.reg(EXIT_PC_REG) as u32;
+                    if self.cfg.in_cache_dispatch {
+                        self.classify_monitor_exit(next);
+                    }
                     return Ok(MachineOutcome::Dispatch(next));
                 }
                 Exit::Halted => {
@@ -623,6 +683,117 @@ impl Dbt {
         Ok(Resume::Machine(Some(resume)))
     }
 
+    /// The dispatch features the translator should emit for this config.
+    fn dispatch_opts(&self) -> DispatchOpts {
+        DispatchOpts {
+            ibtc: self.cfg.in_cache_dispatch,
+            shadow_ras: self.cfg.in_cache_dispatch && self.cfg.shadow_ras,
+            count_retired: self.cfg.count_retired,
+        }
+    }
+
+    /// Writes `pc → host` into the direct-mapped IBTC slot (skipping the
+    /// write when the slot already holds exactly this entry).
+    fn ibtc_fill(&mut self, pc: u32, host: u64) {
+        let slot = ibtc_slot_addr(pc);
+        let tag = ibtc_tag(pc);
+        let mem = self.machine.mem_mut();
+        if mem.read_u64(slot) == tag && mem.read_u64(slot + 8) == host {
+            return;
+        }
+        mem.write_u64(slot, tag);
+        mem.write_u64(slot + 8, host);
+    }
+
+    /// Charges the cheap in-cache cost for every IBTC/RAS-resolved transfer
+    /// the machine performed since the last call (the emitted probe bumps a
+    /// counter register per hit).
+    fn charge_in_cache_hits(&mut self) {
+        let ibtc_now = self.machine.reg(IBTC_HIT_CTR);
+        let ras_now = self.machine.reg(RAS_HIT_CTR);
+        let delta =
+            ibtc_now.wrapping_sub(self.seen_ibtc_hits) + ras_now.wrapping_sub(self.seen_ras_hits);
+        if delta > 0 {
+            let c = self.machine.cost().in_cache_dispatch * delta;
+            self.machine.charge(c);
+        }
+        self.seen_ibtc_hits = ibtc_now;
+        self.seen_ras_hits = ras_now;
+    }
+
+    /// Attributes a monitor exit to the pal word that raised it: an IBTC
+    /// probe miss (counted), or a constant-target exit stub — which is
+    /// lazily chained on this first use if its target is already
+    /// translated (with in-cache dispatch the engine does not keep a
+    /// pending-chain registry; exits chain when actually taken).
+    fn classify_monitor_exit(&mut self, next: u32) {
+        // CallPal advances the machine pc past the pal word before exiting.
+        let pal_addr = self.machine.pc().wrapping_sub(4);
+        let Some(block_pc) = self
+            .host_blocks
+            .range(..=pal_addr)
+            .next_back()
+            .map(|(_, g)| *g)
+        else {
+            return;
+        };
+        let Some(block) = self.cache.block(block_pc) else {
+            return;
+        };
+        if pal_addr >= block.host_addr + 4 * u64::from(block.words_len) {
+            return; // exit from a stub, not a block body
+        }
+        if block.indirect_exits.contains(&pal_addr) {
+            self.ibtc_misses += 1;
+            return;
+        }
+        // A constant-target exit stub is load_imm32 (1–2 words) + call_pal.
+        let slot_idx = block.exit_slots.iter().position(|s| {
+            !s.chained && s.target == next && s.host_addr < pal_addr && pal_addr <= s.host_addr + 8
+        });
+        if let (Some(i), true) = (slot_idx, self.cfg.chaining) {
+            let target_host = if next == block_pc {
+                Some(block.host_addr)
+            } else {
+                self.cache.block(next).map(|b| b.host_addr)
+            };
+            if let Some(t) = target_host {
+                self.chain_slot(block_pc, i, t);
+            }
+        }
+    }
+
+    /// Purges dispatch structures that may reference a removed block: its
+    /// own IBTC slot (tag-checked — the direct-mapped slot may by now
+    /// belong to another guest PC) and any shadow-return-stack host
+    /// snapshot pointing into its host range.
+    fn dispatch_purge(&mut self, block: &Block) {
+        let slot = ibtc_slot_addr(block.guest_pc);
+        let mem = self.machine.mem_mut();
+        if mem.read_u64(slot) == ibtc_tag(block.guest_pc) {
+            mem.write_u64(slot, 0);
+            mem.write_u64(slot + 8, 0);
+        }
+        let lo = block.host_addr;
+        let hi = block.host_addr + 4 * u64::from(block.words_len);
+        let ras_base = DISPATCH_BASE_ADDR + IBTC_BYTES;
+        for i in 0..RAS_ENTRIES {
+            let host_at = ras_base + i * RAS_ENTRY_BYTES + 8;
+            let h = mem.read_u64(host_at);
+            if h >= lo && h < hi {
+                mem.write_u64(host_at, 0);
+            }
+        }
+    }
+
+    /// Zeroes the whole IBTC and shadow return stack (cache flush).
+    fn dispatch_flush(&mut self) {
+        let mem = self.machine.mem_mut();
+        for off in (0..IBTC_BYTES + RAS_BYTES).step_by(8) {
+            mem.write_u64(DISPATCH_BASE_ADDR + off, 0);
+        }
+    }
+
     /// Removes a block: unchains incoming links and (optionally, for
     /// retranslation) resets its profile so the next profiling window sees
     /// only current behaviour.
@@ -632,6 +803,9 @@ impl Dbt {
             return;
         };
         self.host_blocks.remove(&block.host_addr);
+        if self.cfg.in_cache_dispatch {
+            self.dispatch_purge(&block);
+        }
         for (src, slot_idx) in incoming {
             if src == block_pc {
                 continue; // the removed block's own slot is dead code
@@ -641,7 +815,10 @@ impl Dbt {
                 let (addr, orig) = (slot.host_addr, slot.original_word);
                 slot.chained = false;
                 self.machine.patch_code_word(addr, orig);
-                self.cache.add_pending_chain(src, slot_idx, block_pc);
+                if !self.cfg.in_cache_dispatch {
+                    // Lazy mode re-chains on first use instead.
+                    self.cache.add_pending_chain(src, slot_idx, block_pc);
+                }
             }
         }
         if reset_profile {
@@ -661,6 +838,9 @@ impl Dbt {
         let blocks = self.cache.block_count() as u64;
         self.cache.flush();
         self.host_blocks.clear();
+        if self.cfg.in_cache_dispatch {
+            self.dispatch_flush();
+        }
         let c = self.machine.cost().invalidate_block * blocks;
         self.machine.charge(c);
         self.machine.flush_caches();
@@ -708,6 +888,7 @@ impl Dbt {
                     base,
                     self.cfg.max_block_insns,
                     &mut plan,
+                    self.dispatch_opts(),
                 )
             };
             let tb = match tb {
@@ -760,7 +941,12 @@ impl Dbt {
                 };
                 match target_host {
                     Some(t) => self.chain_slot(tb.guest_pc, i, t),
-                    None => self.cache.add_pending_chain(tb.guest_pc, i, exit.target),
+                    None if !self.cfg.in_cache_dispatch => {
+                        self.cache.add_pending_chain(tb.guest_pc, i, exit.target);
+                    }
+                    // Lazy mode: the exit chains the first time it is
+                    // actually taken (classify_monitor_exit).
+                    None => {}
                 }
             }
             // Incoming exits waiting for this block.
@@ -808,6 +994,11 @@ impl Dbt {
             reversions: self.reversions,
             os_fixups: self.os_fixups,
             chains: self.chains,
+            monitor_exits: self.monitor_exits,
+            ibtc_hits: self.machine.reg(IBTC_HIT_CTR),
+            ibtc_misses: self.ibtc_misses,
+            ras_hits: self.machine.reg(RAS_HIT_CTR),
+            guest_insns_retired: self.machine.reg(RETIRE_CTR),
             cache_flushes: self.cache.flush_count,
             interp_only_blocks: self.interp_only.len() as u64,
             profile: self.profile.clone(),
@@ -1338,6 +1529,171 @@ mod tests {
             let report = run_with(cfg, &prog);
             assert_eq!(report.final_state.reg(Eax), 111, "{strategy:?}");
         }
+    }
+
+    /// A call/ret-heavy loop: `iters` calls through a tiny callee, the
+    /// worst case for monitor-exit dispatch (every `ret` is dynamic).
+    fn call_ret_loop_program(iters: i32) -> GuestProgram {
+        program(|a| {
+            let func = a.new_label();
+            a.mov_ri(Ecx, iters);
+            a.mov_ri(Eax, 0);
+            let top = a.here_label();
+            a.call(func);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+            a.bind(func);
+            a.alu_ri(AluOp::Add, Eax, 1);
+            a.ret();
+        })
+    }
+
+    #[test]
+    fn in_cache_dispatch_cuts_monitor_exits() {
+        let prog = call_ret_loop_program(2000);
+        let off = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(5),
+            &prog,
+        );
+        let on = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling)
+                .with_threshold(5)
+                .with_in_cache_dispatch(true),
+            &prog,
+        );
+        assert_eq!(on.final_state.reg(Eax), 2000);
+        assert_eq!(on.final_state.regs, off.final_state.regs);
+        assert!(
+            on.monitor_exits * 2 <= off.monitor_exits,
+            "monitor exits: {} on vs {} off",
+            on.monitor_exits,
+            off.monitor_exits
+        );
+        assert!(on.ras_hits + on.ibtc_hits > 1000, "{on}");
+        assert!(on.cycles() < off.cycles(), "in-cache dispatch must pay off");
+        assert_eq!(off.ras_hits + off.ibtc_hits, 0, "off means off");
+    }
+
+    #[test]
+    fn shadow_ras_resolves_returns_before_ibtc() {
+        let prog = call_ret_loop_program(1500);
+        let with_ras = run_with(
+            DbtConfig::new(MdaStrategy::Dpeh)
+                .with_threshold(5)
+                .with_in_cache_dispatch(true),
+            &prog,
+        );
+        let without_ras = run_with(
+            DbtConfig::new(MdaStrategy::Dpeh)
+                .with_threshold(5)
+                .with_in_cache_dispatch(true)
+                .with_shadow_ras(false),
+            &prog,
+        );
+        assert_eq!(with_ras.final_state.regs, without_ras.final_state.regs);
+        assert!(with_ras.ras_hits > 1000, "{with_ras}");
+        assert_eq!(without_ras.ras_hits, 0);
+        assert!(without_ras.ibtc_hits > 1000, "{without_ras}");
+    }
+
+    #[test]
+    fn count_retired_matches_across_dispatch_modes() {
+        let prog = call_ret_loop_program(800);
+        let mk = |dispatch: bool| {
+            DbtConfig::new(MdaStrategy::ExceptionHandling)
+                .with_threshold(5)
+                .with_in_cache_dispatch(dispatch)
+                .with_count_retired(true)
+        };
+        let off = run_with(mk(false), &prog);
+        let on = run_with(mk(true), &prog);
+        assert!(on.guest_insns_retired > 0);
+        assert_eq!(
+            on.guest_insns_retired + on.guest_insns_interpreted,
+            off.guest_insns_retired + off.guest_insns_interpreted,
+            "total guest instructions must not depend on the dispatch path"
+        );
+    }
+
+    #[test]
+    fn write_guest_code_invalidates_chained_blocks() {
+        // Entry block falls into a hot loop whose body we rewrite in
+        // place; the write must drop the stale translations (and any
+        // chains into them) so the new semantics take effect.
+        let prog = program(|a| {
+            a.mov_ri(Eax, 0);
+            a.mov_ri(Ecx, 50);
+            let top = a.here_label();
+            a.alu_ri(AluOp::Add, Eax, 10);
+            a.alu_ri(AluOp::Sub, Ecx, 1);
+            a.jcc(Cond::Ne, top);
+            a.hlt();
+        });
+        let add_pc = 0x40_000A; // after the two 5-byte movs
+        for strategy in MdaStrategy::ALL {
+            for dispatch in [false, true] {
+                let mut cfg = DbtConfig::new(strategy)
+                    .with_threshold(1)
+                    .with_in_cache_dispatch(dispatch);
+                if strategy == MdaStrategy::StaticProfiling {
+                    cfg = cfg.with_static_profile(StaticProfile::new());
+                }
+                let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+                dbt.load(&prog);
+                dbt.set_stack(0x00F0_0000);
+                let r = dbt.run(200_000_000).expect("halts");
+                assert_eq!(r.final_state.reg(Eax), 500, "{strategy:?}");
+                assert!(
+                    dbt.code_cache_blocks().any(|b| b.guest_pc == add_pc),
+                    "{strategy:?}: loop block must be translated"
+                );
+                // Re-assemble the add with a different immediate (same
+                // 6-byte 0x81-form encoding, so the rest is intact).
+                let mut asm = Assembler::new(add_pc);
+                asm.alu_ri(AluOp::Add, Eax, 32);
+                let bytes = asm.finish().unwrap();
+                dbt.write_guest_code(add_pc, &bytes);
+                assert!(
+                    dbt.code_cache_blocks().all(|b| b.guest_pc != add_pc),
+                    "{strategy:?}: stale block must be gone"
+                );
+                // No surviving chain may bypass the monitor into stale code.
+                for b in dbt.code_cache_blocks() {
+                    for s in &b.exit_slots {
+                        assert!(
+                            !(s.chained && s.target == add_pc),
+                            "{strategy:?}: stale chain into rewritten code"
+                        );
+                    }
+                }
+                dbt.restart_at(0x40_0000);
+                let r = dbt.run(200_000_000).expect("halts");
+                assert_eq!(
+                    r.final_state.reg(Eax),
+                    50 * 32,
+                    "{strategy:?} dispatch={dispatch}: rewritten code must run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flush_clears_ibtc_and_ras() {
+        // Tiny code region: translation pressure forces whole-cache
+        // flushes; afterwards no IBTC/RAS entry may survive (the run would
+        // jump into freed code). Correct final state is the witness.
+        let prog = call_ret_loop_program(1200);
+        let mut cfg = DbtConfig::new(MdaStrategy::ExceptionHandling)
+            .with_threshold(3)
+            .with_in_cache_dispatch(true);
+        cfg.code_bytes = 160; // too small for the whole working set
+        let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+        dbt.load(&prog);
+        dbt.set_stack(0x00F0_0000);
+        let r = dbt.run(400_000_000).expect("halts");
+        assert!(r.cache_flushes >= 1, "flushes: {}", r.cache_flushes);
+        assert_eq!(r.final_state.reg(Eax), 1200);
     }
 
     #[test]

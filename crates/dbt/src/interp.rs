@@ -10,11 +10,13 @@ use bridge_x86::state::CpuState;
 use std::collections::HashMap;
 use std::fmt;
 
-/// A decode cache for the interpreter. Guest code is static for the life
-/// of a run (self-modifying code is out of scope — DESIGN.md §7), so
-/// decoded instructions are cached by guest PC. Purely a simulator-side
-/// speedup: the cycle model already charges the full per-instruction
-/// interpretation cost.
+/// A decode cache for the interpreter. Guest code only changes through
+/// [`Dbt::write_guest_code`], which invalidates the affected range here
+/// (and the translated blocks over it), so decoded instructions are cached
+/// by guest PC. Purely a simulator-side speedup: the cycle model already
+/// charges the full per-instruction interpretation cost.
+///
+/// [`Dbt::write_guest_code`]: crate::engine::Dbt::write_guest_code
 #[derive(Debug, Default)]
 pub struct DecodeCache {
     map: HashMap<u32, Decoded>,
@@ -24,6 +26,13 @@ impl DecodeCache {
     /// Empty cache.
     pub fn new() -> DecodeCache {
         DecodeCache::default()
+    }
+
+    /// Drops every cached decode that may have read a byte in
+    /// `[start, end)` (the decoder reads up to 16 bytes from its PC).
+    pub fn invalidate_range(&mut self, start: u32, end: u32) {
+        self.map
+            .retain(|&pc, _| pc >= end || pc.wrapping_add(16) <= start);
     }
 
     fn get_or_decode(&mut self, mem: &Memory, pc: u32) -> Result<Decoded, InterpError> {

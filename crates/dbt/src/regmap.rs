@@ -93,6 +93,93 @@ pub fn mmx_host_reg(r: RegMm) -> Option<Reg> {
 /// 32-bit address space, so guest data can never collide with host code).
 pub const CODE_CACHE_ADDR: u64 = 0x1_0000_0000;
 
+// ---------------------------------------------------------------------------
+// In-code-cache dispatch (IBTC + shadow return stack).
+//
+// The registers below are *persistent* across translated blocks and monitor
+// round-trips: they must not collide with the guest GPRs (R1–R8), the state
+// registers (R0, R9–R11), the transient translation temporaries (R12–R16),
+// the cached MMX registers (R17–R20), or the MDA-sequence/exception-stub
+// scratch registers (`SeqTemps::default()` uses R21–R25). That leaves
+// R26–R30.
+// ---------------------------------------------------------------------------
+
+/// Base register of the dispatch data region (IBTC + shadow return stack),
+/// set by the engine on every translated-code entry.
+pub const DISPATCH_BASE_REG: Reg = Reg::R26;
+
+/// Shadow-return-stack top-of-stack byte offset (always a multiple of
+/// [`RAS_ENTRY_BYTES`] in `[0, RAS_BYTES)`), relative to
+/// `DISPATCH_BASE + RAS_OFFSET`.
+pub const RAS_PTR_REG: Reg = Reg::R27;
+
+/// Counter of IBTC-resolved in-cache transfers, bumped by the emitted probe
+/// on its hit path and read back by the engine.
+pub const IBTC_HIT_CTR: Reg = Reg::R28;
+
+/// Counter of shadow-return-stack-resolved transfers.
+pub const RAS_HIT_CTR: Reg = Reg::R29;
+
+/// Counter of guest instructions retired in translated code (bumped once
+/// per block entry by `guest_insn_count`; only emitted under
+/// `DbtConfig::count_retired`).
+pub const RETIRE_CTR: Reg = Reg::R30;
+
+/// Host address of the dispatch data region. The IBTC occupies
+/// `[DISPATCH_BASE_ADDR, DISPATCH_BASE_ADDR + IBTC_BYTES)`; the shadow
+/// return stack follows at [`RAS_OFFSET`]. Both are plain data to the host
+/// machine — never executed, never invalidated by `write_code`.
+pub const DISPATCH_BASE_ADDR: u64 = 0x3_0000_0000;
+
+/// Number of direct-mapped IBTC entries (a power of two; the emitted probe
+/// masks the guest PC with `IBTC_ENTRIES - 1`).
+pub const IBTC_ENTRIES: u64 = 1024;
+
+/// Bytes per IBTC entry: `{ tag: u64, host_entry: u64 }`. The tag is the
+/// guest PC in the canonical sign-extended-i32 form translated code
+/// produces (`ldl`/`load_imm32`), so the probe's `cmpeq` never needs to
+/// re-canonicalize.
+pub const IBTC_ENTRY_BYTES: u64 = 16;
+
+/// Total IBTC bytes.
+pub const IBTC_BYTES: u64 = IBTC_ENTRIES * IBTC_ENTRY_BYTES;
+
+/// Byte offset of the shadow return stack within the dispatch region
+/// (small enough to fold into a 16-bit memory displacement).
+pub const RAS_OFFSET: i16 = IBTC_BYTES as i16;
+
+/// Number of shadow-return-stack entries (a power of two; pushes wrap).
+/// Sixteen matches hardware return-address-stack depths, and keeps the
+/// whole stack within one byte of offset so the emitted wrap is a single
+/// `zapnot ptr, 0x01`.
+pub const RAS_ENTRIES: u64 = 16;
+
+/// Bytes per shadow-return-stack entry: `{ tag: u64, host_entry: u64 }`,
+/// same layout as an IBTC entry.
+pub const RAS_ENTRY_BYTES: u64 = 16;
+
+/// Total shadow-return-stack bytes.
+pub const RAS_BYTES: u64 = RAS_ENTRIES * RAS_ENTRY_BYTES;
+
+/// The IBTC tag for a guest PC: the canonical sign-extended-i32 form that
+/// `ldl` and `load_imm32` leave in registers.
+pub fn ibtc_tag(pc: u32) -> u64 {
+    pc as i32 as i64 as u64
+}
+
+/// Host address of the direct-mapped IBTC slot for a guest PC. Matches the
+/// emitted probe's index extraction: `(pc & (IBTC_ENTRIES-1)) *
+/// IBTC_ENTRY_BYTES` (x86 PCs are byte-aligned, so no bits are discarded).
+pub fn ibtc_slot_addr(pc: u32) -> u64 {
+    DISPATCH_BASE_ADDR + (u64::from(pc) & (IBTC_ENTRIES - 1)) * IBTC_ENTRY_BYTES
+}
+
+/// Byte offset of a guest PC's IBTC slot from [`DISPATCH_BASE_REG`]
+/// (always fits a 16-bit memory displacement: max `1023 * 16 + 8`).
+pub fn ibtc_slot_offset(pc: u32) -> i16 {
+    ((u64::from(pc) & (IBTC_ENTRIES - 1)) * IBTC_ENTRY_BYTES) as i16
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +207,11 @@ mod tests {
             COND_TMP,
             IMM_TMP,
             EXIT_PC_REG,
+            DISPATCH_BASE_REG,
+            RAS_PTR_REG,
+            IBTC_HIT_CTR,
+            RAS_HIT_CTR,
+            RETIRE_CTR,
         ];
         for r in Reg32::ALL {
             assert!(!reserved.contains(&host_gpr(r)));
@@ -145,5 +237,44 @@ mod tests {
         assert!(CODE_CACHE_ADDR > u64::from(u32::MAX));
         assert!(STATE_BLOCK_ADDR > u64::from(u32::MAX));
         assert_eq!(STATE_BLOCK_ADDR & 7, 0);
+        assert!(DISPATCH_BASE_ADDR > u64::from(u32::MAX));
+        assert_eq!(DISPATCH_BASE_ADDR & 7, 0);
+    }
+
+    #[test]
+    fn dispatch_registers_survive_mda_sequences() {
+        // The MDA sequences and exception stubs clobber SeqTemps; the
+        // persistent dispatch registers must be outside that set.
+        let temps = bridge_alpha::mda_seq::SeqTemps::default();
+        let clobbered = [temps.t1, temps.t2, temps.t3, temps.t4, temps.t5];
+        for r in [
+            DISPATCH_BASE_REG,
+            RAS_PTR_REG,
+            IBTC_HIT_CTR,
+            RAS_HIT_CTR,
+            RETIRE_CTR,
+        ] {
+            assert!(!clobbered.contains(&r), "{r:?} is MDA-sequence scratch");
+        }
+    }
+
+    #[test]
+    fn ibtc_layout_round_trips() {
+        // Slot offsets fit a 16-bit displacement and match the slot address.
+        for pc in [0u32, 1, 0x40_0000, 0x40_03FF, u32::MAX] {
+            let off = ibtc_slot_offset(pc);
+            assert!(off >= 0);
+            assert_eq!(DISPATCH_BASE_ADDR + off as u64, ibtc_slot_addr(pc));
+            assert!(i64::from(off) + 8 < i64::from(i16::MAX));
+        }
+        // Adjacent byte addresses map to distinct slots (x86 PCs are
+        // byte-aligned).
+        assert_ne!(ibtc_slot_addr(0x40_0001), ibtc_slot_addr(0x40_0002));
+        // The RAS sits immediately after the IBTC, within lda range.
+        assert_eq!(i64::from(RAS_OFFSET), IBTC_BYTES as i64);
+        assert!(IBTC_BYTES + RAS_BYTES < i64::from(i16::MAX) as u64 * 2);
+        // Tags are the canonical sign-extended form.
+        assert_eq!(ibtc_tag(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(ibtc_tag(0x40_0000), 0x40_0000);
     }
 }

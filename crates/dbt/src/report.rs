@@ -34,6 +34,22 @@ pub struct RunReport {
     pub os_fixups: u64,
     /// Exit slots chained into direct branches.
     pub chains: u64,
+    /// Monitor round-trips out of translated code (`Exit::Monitor`). This
+    /// is the count in-code-cache dispatch exists to shrink.
+    pub monitor_exits: u64,
+    /// Dynamic transfers resolved by the inline IBTC probe without leaving
+    /// the code cache.
+    pub ibtc_hits: u64,
+    /// Dynamic-target exits that missed the IBTC and paid the monitor.
+    pub ibtc_misses: u64,
+    /// Returns resolved by the shadow return stack (an IBTC probe was not
+    /// even needed).
+    pub ras_hits: u64,
+    /// Guest instructions retired by translated code — exact when the run
+    /// used [`DbtConfig::count_retired`], zero otherwise.
+    ///
+    /// [`DbtConfig::count_retired`]: crate::config::DbtConfig::count_retired
+    pub guest_insns_retired: u64,
     /// Whole-cache flushes forced by exhaustion.
     pub cache_flushes: u64,
     /// Blocks permanently left to the interpreter (translator fallback).
@@ -66,8 +82,13 @@ impl fmt::Display for RunReport {
         writeln!(f, "retranslations    {:>16}", self.retranslations)?;
         writeln!(f, "blocks translated {:>16}", self.blocks_translated)?;
         writeln!(f, "chains            {:>16}", self.chains)?;
+        writeln!(f, "monitor exits     {:>16}", self.monitor_exits)?;
+        writeln!(f, "ibtc hits         {:>16}", self.ibtc_hits)?;
+        writeln!(f, "ibtc misses       {:>16}", self.ibtc_misses)?;
+        writeln!(f, "ras hits          {:>16}", self.ras_hits)?;
         writeln!(f, "interp-only       {:>16}", self.interp_only_blocks)?;
         writeln!(f, "interp insns      {:>16}", self.guest_insns_interpreted)?;
+        writeln!(f, "retired insns     {:>16}", self.guest_insns_retired)?;
         writeln!(f, "guest mdas seen   {:>16}", self.profile.mdas)?;
         write!(f, "host: {}", self.stats)
     }
@@ -94,6 +115,11 @@ mod tests {
             reversions: 0,
             os_fixups: 7,
             chains: 5,
+            monitor_exits: 42,
+            ibtc_hits: 9,
+            ibtc_misses: 2,
+            ras_hits: 6,
+            guest_insns_retired: 0,
             cache_flushes: 0,
             interp_only_blocks: 0,
             profile: Profile::new(),
@@ -101,6 +127,8 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("123"));
         assert!(s.contains("traps"));
+        assert!(s.contains("monitor exits"));
+        assert!(s.contains("ibtc hits"));
         assert_eq!(r.cycles(), 123);
         assert_eq!(r.traps(), 4);
     }

@@ -24,12 +24,13 @@
 
 use crate::profile::SiteId;
 use crate::regmap::{
-    host_gpr, mmx_host_reg, mmx_spill_offset, streak_counter_offset, ADDR_TMP, COND_TMP,
-    EXIT_PC_REG, FLAG_A, FLAG_B, FLAG_KIND_ADD, FLAG_KIND_CLEARED, FLAG_KIND_LOGIC, FLAG_KIND_REG,
-    FLAG_KIND_SHIFT, FLAG_KIND_SUB, IMM_TMP, STATE_BASE_REG, VALUE_TMP,
+    host_gpr, ibtc_slot_offset, mmx_host_reg, mmx_spill_offset, streak_counter_offset, ADDR_TMP,
+    COND_TMP, DISPATCH_BASE_REG, EXIT_PC_REG, FLAG_A, FLAG_B, FLAG_KIND_ADD, FLAG_KIND_CLEARED,
+    FLAG_KIND_LOGIC, FLAG_KIND_REG, FLAG_KIND_SHIFT, FLAG_KIND_SUB, IBTC_HIT_CTR, IMM_TMP,
+    RAS_HIT_CTR, RAS_OFFSET, RAS_PTR_REG, RETIRE_CTR, STATE_BASE_REG, VALUE_TMP,
 };
 use bridge_alpha::builder::{BuildError, CodeBuilder};
-use bridge_alpha::insn::{BrOp, MemOp, OpFn};
+use bridge_alpha::insn::{BrOp, JumpKind, MemOp, OpFn};
 use bridge_alpha::mda_seq::{emit_unaligned_load, emit_unaligned_store, AccessWidth, SeqTemps};
 use bridge_alpha::reg::Reg;
 use bridge_alpha::{PAL_EXIT_MONITOR, PAL_HALT, PAL_REQUEST_MONITOR};
@@ -74,6 +75,20 @@ pub struct SiteAccess {
 
 /// Callback deciding the plan for each site.
 pub type PlanFn<'a> = dyn FnMut(SiteId, SiteAccess) -> SitePlan + 'a;
+
+/// In-code-cache dispatch features the translator should emit (mirrors the
+/// corresponding [`DbtConfig`](crate::config::DbtConfig) toggles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchOpts {
+    /// Emit the inline IBTC probe at every dynamic-target exit (`ret`),
+    /// falling into the monitor only on a probe miss.
+    pub ibtc: bool,
+    /// With `ibtc`: push a shadow return stack entry on `call`, pop it on
+    /// `ret` before the IBTC probe.
+    pub shadow_ras: bool,
+    /// Bump the retired-guest-instruction counter register at block entry.
+    pub count_retired: bool,
+}
 
 /// Why a block could not be translated (the engine keeps interpreting it).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +155,11 @@ pub struct TranslatedBlock {
     pub trap_sites: Vec<(u64, SiteId)>,
     /// Constant-target exits, in emission order.
     pub exits: Vec<ExitStub>,
+    /// Host addresses of the `call_pal exit_monitor` words reached only on
+    /// an IBTC probe miss (dynamic-target exits). The engine classifies a
+    /// monitor exit through one of these as an IBTC miss rather than a
+    /// chainable constant-target exit.
+    pub indirect_exits: Vec<u64>,
     /// Guest PCs of all instructions in the block (for profile reset on
     /// retranslation).
     pub guest_pcs: Vec<u32>,
@@ -163,6 +183,7 @@ pub fn translate_block(
     base: u64,
     max_insns: usize,
     plan: &mut PlanFn<'_>,
+    opts: DispatchOpts,
 ) -> Result<TranslatedBlock, TranslateError> {
     // ---- Decode the guest block. ----
     let mut insns: Vec<(u32, Insn, u32)> = Vec::new();
@@ -199,7 +220,16 @@ pub fn translate_block(
         flag_kind: FlagKind::Cleared,
         trap_sites: Vec::new(),
         exits: Vec::new(),
+        indirect_exits: Vec::new(),
+        opts,
     };
+
+    if opts.count_retired {
+        // One word at block entry: chained entries and IBTC transfers land
+        // here, while mid-block trap resumes (which already counted) skip
+        // it. max_block_insns ≤ 64 always fits the 16-bit displacement.
+        t.b.lda(RETIRE_CTR, insns.len() as i16, RETIRE_CTR);
+    }
 
     let mut insn_starts = Vec::with_capacity(insns.len());
     for (i, (ipc, insn, len)) in insns.iter().enumerate() {
@@ -225,6 +255,7 @@ pub fn translate_block(
         words,
         trap_sites: t.trap_sites,
         exits: t.exits,
+        indirect_exits: t.indirect_exits,
         guest_pcs,
         insn_starts,
     })
@@ -305,6 +336,8 @@ struct Emitter {
     flag_kind: FlagKind,
     trap_sites: Vec<(u64, SiteId)>,
     exits: Vec<ExitStub>,
+    indirect_exits: Vec<u64>,
+    opts: DispatchOpts,
 }
 
 impl Emitter {
@@ -328,6 +361,87 @@ impl Emitter {
         self.b.load_imm32(EXIT_PC_REG, target as i32);
         self.b.call_pal(PAL_EXIT_MONITOR);
         self.exits.push(ExitStub { host_addr, target });
+    }
+
+    /// Pushes a shadow-return-stack entry for return address `VALUE_TMP`
+    /// (canonical sign-extended form, still live from the `call`'s stack
+    /// store). The host field is snapshotted from the return address's IBTC
+    /// slot — zero when the slot holds a different guest PC — so a stale or
+    /// never-filled snapshot makes the `ret` fall back to the IBTC probe
+    /// rather than jump anywhere wrong.
+    fn emit_ras_push(&mut self, fall: u32) {
+        let b = &mut self.b;
+        // Advance and wrap the byte offset within the 256-byte RAS region.
+        b.lda(RAS_PTR_REG, 16, RAS_PTR_REG);
+        b.op_lit(OpFn::Zapnot, RAS_PTR_REG, 0x01, RAS_PTR_REG);
+        b.op(OpFn::Addq, RAS_PTR_REG, DISPATCH_BASE_REG, IMM_TMP);
+        b.mem(MemOp::Stq, VALUE_TMP, RAS_OFFSET, IMM_TMP);
+        // Snapshot the return address's current IBTC entry; zero the host
+        // if the direct-mapped slot belongs to some other guest PC.
+        b.mem(
+            MemOp::Ldq,
+            COND_TMP,
+            ibtc_slot_offset(fall),
+            DISPATCH_BASE_REG,
+        );
+        b.op(OpFn::Cmpeq, COND_TMP, VALUE_TMP, COND_TMP);
+        b.mem(
+            MemOp::Ldq,
+            ADDR_TMP,
+            ibtc_slot_offset(fall) + 8,
+            DISPATCH_BASE_REG,
+        );
+        b.op(OpFn::Cmoveq, COND_TMP, Reg::ZERO, ADDR_TMP);
+        b.mem(MemOp::Stq, ADDR_TMP, RAS_OFFSET + 8, IMM_TMP);
+    }
+
+    /// Emits the dynamic-target block exit used by `ret`: optional shadow
+    /// return stack pop, then the inline IBTC probe, then — only on a probe
+    /// miss — the monitor exit. The guest target is in `EXIT_PC_REG`
+    /// (canonical sign-extended form, matching the stored tags).
+    fn emit_dynamic_exit(&mut self) {
+        if !self.opts.ibtc {
+            self.b.call_pal(PAL_EXIT_MONITOR);
+            return;
+        }
+        let probe_l = self.b.new_label();
+        let miss_l = self.b.new_label();
+        if self.opts.shadow_ras {
+            let b = &mut self.b;
+            b.op(OpFn::Addq, RAS_PTR_REG, DISPATCH_BASE_REG, IMM_TMP);
+            b.mem(MemOp::Ldq, COND_TMP, RAS_OFFSET, IMM_TMP);
+            b.mem(MemOp::Ldq, ADDR_TMP, RAS_OFFSET + 8, IMM_TMP);
+            // Pop unconditionally: on mismatch the stack is out of sync
+            // anyway, and popping resynchronizes the common case.
+            b.lda(RAS_PTR_REG, -16, RAS_PTR_REG);
+            b.op_lit(OpFn::Zapnot, RAS_PTR_REG, 0x01, RAS_PTR_REG);
+            b.op(OpFn::Cmpeq, COND_TMP, EXIT_PC_REG, COND_TMP);
+            b.br_label(BrOp::Beq, COND_TMP, probe_l);
+            b.br_label(BrOp::Beq, ADDR_TMP, probe_l);
+            b.lda(RAS_HIT_CTR, 1, RAS_HIT_CTR);
+            b.jump(JumpKind::Jmp, Reg::ZERO, ADDR_TMP);
+        }
+        self.b.bind(probe_l);
+        {
+            let b = &mut self.b;
+            // index = (guest_pc & (IBTC_ENTRIES-1)) * IBTC_ENTRY_BYTES:
+            // keep the low 10 bits, scaled by 16, via a shift pair (x86
+            // PCs are byte-aligned, so no bits are discarded first).
+            b.op_lit(OpFn::Sll, EXIT_PC_REG, 54, ADDR_TMP);
+            b.op_lit(OpFn::Srl, ADDR_TMP, 50, ADDR_TMP);
+            b.op(OpFn::Addq, ADDR_TMP, DISPATCH_BASE_REG, ADDR_TMP);
+            b.mem(MemOp::Ldq, COND_TMP, 0, ADDR_TMP);
+            b.op(OpFn::Cmpeq, COND_TMP, EXIT_PC_REG, COND_TMP);
+            b.br_label(BrOp::Beq, COND_TMP, miss_l);
+            b.mem(MemOp::Ldq, ADDR_TMP, 8, ADDR_TMP);
+            b.br_label(BrOp::Beq, ADDR_TMP, miss_l);
+            b.lda(IBTC_HIT_CTR, 1, IBTC_HIT_CTR);
+            b.jump(JumpKind::Jmp, Reg::ZERO, ADDR_TMP);
+        }
+        self.b.bind(miss_l);
+        let pal_addr = self.b.here();
+        self.b.call_pal(PAL_EXIT_MONITOR);
+        self.indirect_exits.push(pal_addr);
     }
 
     /// Computes the effective address of `m` (guest u32 semantics,
@@ -1179,6 +1293,11 @@ impl Emitter {
                 self.b.op_lit(OpFn::Zapnot, ADDR_TMP, 0x0F, ADDR_TMP);
                 self.emit_store(SiteId::new(pc, 0), Width::W4, VALUE_TMP, 0, plan);
                 self.b.op_lit(OpFn::Subl, esp, 4, esp);
+                if self.opts.ibtc && self.opts.shadow_ras {
+                    // VALUE_TMP still holds the sign-extended return
+                    // address from the stack store above.
+                    self.emit_ras_push(fall);
+                }
                 self.emit_exit(target);
             }
             Insn::Ret => {
@@ -1193,8 +1312,8 @@ impl Emitter {
                     plan,
                 );
                 self.b.op_lit(OpFn::Addl, esp, 4, esp);
-                // Dynamic target: not chainable.
-                self.b.call_pal(PAL_EXIT_MONITOR);
+                // Dynamic target: not chainable, but IBTC-probeable.
+                self.emit_dynamic_exit();
             }
             Insn::Nop => {}
             Insn::Hlt => {
@@ -1234,7 +1353,15 @@ mod tests {
             a.mov_rr(Reg32::Ebx, Reg32::Eax);
             a.hlt();
         });
-        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).expect("translates");
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .expect("translates");
         assert_eq!(tb.guest_insn_count, 3);
         assert!(tb.trap_sites.is_empty());
         assert!(tb.exits.is_empty()); // hlt is not a chainable exit
@@ -1253,7 +1380,15 @@ mod tests {
             seen.push((site, acc.is_store));
             SitePlan::Normal
         };
-        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan).unwrap();
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut plan,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0.slot, 0);
         assert!(!seen[0].1);
@@ -1271,11 +1406,27 @@ mod tests {
             a.hlt();
         });
         let mut plan = |_: SiteId, _: SiteAccess| SitePlan::Sequence;
-        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan).unwrap();
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut plan,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         assert!(tb.trap_sites.is_empty());
         // Sequence is longer than a plain load.
         let mut plan2 = |_: SiteId, _: SiteAccess| SitePlan::Normal;
-        let tb2 = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan2).unwrap();
+        let tb2 = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut plan2,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         assert!(tb.words.len() > tb2.words.len());
     }
 
@@ -1291,9 +1442,25 @@ mod tests {
             a.hlt();
         });
         let mut plan = |_: SiteId, _: SiteAccess| SitePlan::MultiVersion;
-        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan).unwrap();
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut plan,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         let mut plan2 = |_: SiteId, _: SiteAccess| SitePlan::Sequence;
-        let tb_seq = translate_block(&mem, 0x40_0000, BASE, 64, &mut plan2).unwrap();
+        let tb_seq = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut plan2,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         // Multi-version contains the sequence *and* the check + plain path.
         assert!(tb.words.len() > tb_seq.words.len());
         assert!(tb.trap_sites.is_empty(), "guarded plain path cannot trap");
@@ -1313,7 +1480,15 @@ mod tests {
         .unwrap();
         let mut mem = Memory::new();
         mem.write_bytes(u64::from(entry), &jcc);
-        let err = translate_block(&mem, entry, BASE, 64, &mut all_normal).unwrap_err();
+        let err = translate_block(
+            &mem,
+            entry,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, TranslateError::FlagsCrossBlock { pc: entry });
     }
 
@@ -1321,7 +1496,15 @@ mod tests {
     fn decode_error_is_reported() {
         let mut mem = Memory::new();
         mem.write_bytes(0x40_0000, &[0xCC]);
-        let err = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).unwrap_err();
+        let err = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, TranslateError::Decode { pc: 0x40_0000, .. }));
     }
 
@@ -1333,7 +1516,15 @@ mod tests {
             a.bind(top); // degenerate: jcc to next insn
             a.jcc(Cond::Ne, top);
         });
-        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).unwrap();
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         assert_eq!(tb.exits.len(), 2);
         // Exit targets: fallthrough and the branch target.
         let targets: Vec<u32> = tb.exits.iter().map(|e| e.target).collect();
@@ -1348,7 +1539,15 @@ mod tests {
             }
             a.hlt();
         });
-        let tb = translate_block(&mem, 0x40_0000, BASE, 4, &mut all_normal).unwrap();
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            4,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         assert_eq!(tb.guest_insn_count, 4);
         assert_eq!(tb.exits.len(), 1);
         assert_eq!(tb.exits[0].target, 0x40_0004);
@@ -1366,11 +1565,151 @@ mod tests {
             let l = a.here_label();
             a.jcc(Cond::Ne, l); // consumes flags (degenerate self-target)
         });
-        let dead = translate_block(&mem_dead, 0x40_0000, BASE, 1, &mut all_normal).unwrap();
-        let live = translate_block(&mem_live, 0x40_0000, BASE, 64, &mut all_normal).unwrap();
+        let dead = translate_block(
+            &mem_dead,
+            0x40_0000,
+            BASE,
+            1,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
+        let live = translate_block(
+            &mem_live,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         // Dead add with a small immediate is a single addl-literal… plus the
         // fallthrough exit stub.
         assert!(dead.words.len() < live.words.len());
+    }
+
+    #[test]
+    fn ret_emits_ibtc_probe_and_records_indirect_exit() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.ret();
+        });
+        let plain = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
+        assert!(plain.indirect_exits.is_empty());
+        let ibtc_only = DispatchOpts {
+            ibtc: true,
+            ..DispatchOpts::default()
+        };
+        let probed =
+            translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal, ibtc_only).unwrap();
+        assert_eq!(probed.indirect_exits.len(), 1);
+        assert!(probed.words.len() > plain.words.len(), "probe adds code");
+        // The recorded pal word sits inside the block's host range.
+        let pal = probed.indirect_exits[0];
+        assert!(pal >= BASE && pal < BASE + 4 * probed.words.len() as u64);
+        // Adding the shadow return stack lengthens the exit further.
+        let full = DispatchOpts {
+            ibtc: true,
+            shadow_ras: true,
+            ..DispatchOpts::default()
+        };
+        let ras = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal, full).unwrap();
+        assert!(ras.words.len() > probed.words.len());
+    }
+
+    #[test]
+    fn call_pushes_ras_only_with_shadow_ras() {
+        let mem = assemble_at(0x40_0000, |a| {
+            let callee = a.new_label();
+            a.call(callee);
+            a.hlt();
+            a.bind(callee);
+            a.ret();
+        });
+        let full = DispatchOpts {
+            ibtc: true,
+            shadow_ras: true,
+            ..DispatchOpts::default()
+        };
+        let ibtc_only = DispatchOpts {
+            ibtc: true,
+            ..DispatchOpts::default()
+        };
+        let with_ras = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal, full).unwrap();
+        let without =
+            translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal, ibtc_only).unwrap();
+        assert!(with_ras.words.len() > without.words.len());
+        // The constant-target exit stays chainable either way.
+        assert_eq!(with_ras.exits.len(), 1);
+        assert_eq!(with_ras.exits[0].target, with_ras.guest_end + 1); // past hlt
+        assert!(with_ras.indirect_exits.is_empty());
+    }
+
+    #[test]
+    fn count_retired_prepends_one_word() {
+        let mem = assemble_at(0x40_0000, |a| {
+            a.nop();
+            a.hlt();
+        });
+        let base_tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
+        let counted = DispatchOpts {
+            count_retired: true,
+            ..DispatchOpts::default()
+        };
+        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal, counted).unwrap();
+        assert_eq!(tb.words.len(), base_tb.words.len() + 1);
+        // insn_starts shift past the counter word.
+        assert_eq!(tb.insn_starts[0], (0x40_0000, 1));
+    }
+
+    #[test]
+    fn dispatch_off_is_byte_identical() {
+        // The default opts must not perturb emission at all — the paper's
+        // experiment tables rely on it.
+        let mem = assemble_at(0x40_0000, |a| {
+            a.mov_ri(Reg32::Eax, 7);
+            a.push(Reg32::Eax);
+            a.pop(Reg32::Ebx);
+            a.hlt();
+        });
+        let a1 = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
+        let a2 = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts {
+                ibtc: false,
+                shadow_ras: true,
+                count_retired: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(a1.words, a2.words, "shadow_ras alone is inert");
     }
 
     #[test]
@@ -1380,7 +1719,15 @@ mod tests {
             a.nop(); // 1 byte
             a.hlt();
         });
-        let tb = translate_block(&mem, 0x40_0000, BASE, 64, &mut all_normal).unwrap();
+        let tb = translate_block(
+            &mem,
+            0x40_0000,
+            BASE,
+            64,
+            &mut all_normal,
+            DispatchOpts::default(),
+        )
+        .unwrap();
         assert_eq!(tb.guest_pcs, vec![0x40_0000, 0x40_0005, 0x40_0006]);
         assert_eq!(tb.guest_end, 0x40_0007);
     }

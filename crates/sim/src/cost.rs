@@ -52,6 +52,12 @@ pub struct CostModel {
     /// Dispatcher cost per monitor exit from translated code (block lookup
     /// + indirect transfer); chained blocks avoid it.
     pub dispatch: u64,
+    /// Cost per IBTC/shadow-return-stack-resolved transfer that stays
+    /// inside the code cache — the cheap alternative to [`dispatch`]
+    /// (an indirect jump predicted by the probe, no monitor round-trip).
+    ///
+    /// [`dispatch`]: CostModel::dispatch
+    pub in_cache_dispatch: u64,
 }
 
 impl CostModel {
@@ -74,6 +80,7 @@ impl CostModel {
             patch_per_word: 14,
             invalidate_block: 220,
             dispatch: 24,
+            in_cache_dispatch: 3,
         }
     }
 
@@ -97,6 +104,7 @@ impl CostModel {
             patch_per_word: 14,
             invalidate_block: 220,
             dispatch: 24,
+            in_cache_dispatch: 3,
         }
     }
 }
@@ -121,6 +129,8 @@ mod tests {
         let mda_sequence = 7 * c.insn_base + 2 * (c.insn_base + c.load_extra);
         assert!(mda_sequence > plain_load);
         assert!(c.unaligned_trap > 20 * mda_sequence);
+        // In-cache dispatch only pays off if it undercuts the monitor path.
+        assert!(c.in_cache_dispatch < c.dispatch);
     }
 
     #[test]
