@@ -28,4 +28,9 @@ echo "== perf bench (scale test) + BENCH json schema =="
 (cd "$tmp" && "$OLDPWD/target/release/perf" --scale test >perf_stdout.txt)
 ./target/release/check_bench_json "$tmp/BENCH_simulator.json"
 
+echo "== trace_report smoke (JSONL written, EH converges) =="
+./target/release/trace_report --strategy eh --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"
+grep -q "trap rate CONVERGED" "$tmp/trace_stdout.txt"
+grep -q '"type":"meta"' "$tmp/trace.jsonl"
+
 echo "CI OK"

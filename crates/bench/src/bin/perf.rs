@@ -14,7 +14,13 @@
 //!    baseline engine — the end-to-end speedup this PR's engine work buys.
 //!    The harness asserts both engines report *identical cycle counts*, so
 //!    the speedup is measured on provably equivalent accounting;
-//! 3. **per-experiment wall-clock** for the full `repro_all` suite (one
+//! 3. **in-cache-code dispatch** monitor-exit reduction on call/ret-heavy
+//!    kernels (inline IBTC + shadow return stack off vs on);
+//! 4. **structured tracing overhead**: the same kernels traced vs
+//!    untraced. Cycle totals must be identical (tracing never charges
+//!    simulated time) and the enabled-mode wall-clock overhead must stay
+//!    under 10% — the observability layer's performance contract;
+//! 5. **per-experiment wall-clock** for the full `repro_all` suite (one
 //!    worker, superblock engine), so regressions in any one experiment are
 //!    visible.
 //!
@@ -253,6 +259,71 @@ fn measure_dispatch(iters: u32) -> Vec<DispatchRow> {
     rows
 }
 
+/// Traced-vs-untraced wall-clock and accounting on the dispatch kernels:
+/// the overhead guard for the structured tracing layer. Asserts that
+/// tracing never changes simulated cycles and that enabled-mode wall-clock
+/// overhead stays under 10%.
+struct TraceOverhead {
+    secs_off: f64,
+    secs_on: f64,
+    overhead_pct: f64,
+    events: usize,
+    sites: usize,
+    dropped: u64,
+}
+
+fn measure_trace_overhead(iters: u32) -> TraceOverhead {
+    use bridge_trace::TraceConfig;
+    let kernels = dispatch_kernels(iters);
+    // Amortize per-run timing noise over several whole-suite passes.
+    const INNER: usize = 4;
+    let run_plain = || {
+        let mut cycles = 0u64;
+        for _ in 0..INNER {
+            for (_, k) in &kernels {
+                cycles += bridge_bench::run_kernel(k, bridge_bench::dpeh_config()).cycles();
+            }
+        }
+        cycles
+    };
+    let run_traced = || {
+        let (mut cycles, mut events, mut sites, mut dropped) = (0u64, 0usize, 0usize, 0u64);
+        for _ in 0..INNER {
+            for (_, k) in &kernels {
+                let (r, t) = bridge_bench::run_kernel_traced(
+                    k,
+                    bridge_bench::dpeh_config(),
+                    TraceConfig::default(),
+                );
+                cycles += r.cycles();
+                events += t.event_count();
+                sites += t.sites().count();
+                dropped += t.dropped();
+            }
+        }
+        (cycles, events, sites, dropped)
+    };
+    let ((took_off, cyc_off), (took_on, (cyc_on, events, sites, dropped))) =
+        best_of_pair(run_plain, run_traced);
+    assert_eq!(
+        cyc_off, cyc_on,
+        "tracing changed simulated cycle accounting"
+    );
+    let overhead_pct = (took_on.as_secs_f64() / took_off.as_secs_f64() - 1.0) * 100.0;
+    assert!(
+        overhead_pct < 10.0,
+        "enabled tracing costs {overhead_pct:.1}% wall-clock (budget: 10%)"
+    );
+    TraceOverhead {
+        secs_off: took_off.as_secs_f64(),
+        secs_on: took_on.as_secs_f64(),
+        overhead_pct,
+        events,
+        sites,
+        dropped,
+    }
+}
+
 fn main() {
     let scale = bridge_bench::scale_from_args();
     println!(
@@ -334,7 +405,25 @@ fn main() {
     );
     println!();
 
-    // 4. Per-experiment wall-clock, superblock engine, one worker.
+    // 4. Structured tracing overhead: the same kernels traced vs untraced.
+    //    Identical cycle totals and a <10% wall-clock budget are asserted.
+    let trace_oh = measure_trace_overhead(dispatch_iters);
+    println!("Structured tracing ({dispatch_iters} kernel iterations, DPEH):");
+    println!(
+        "  untraced:                 {:8.2?}",
+        Duration::from_secs_f64(trace_oh.secs_off)
+    );
+    println!(
+        "  traced:                   {:8.2?}",
+        Duration::from_secs_f64(trace_oh.secs_on)
+    );
+    println!("  enabled overhead:         {:8.2}%", trace_oh.overhead_pct);
+    println!(
+        "  events {} / sites {} / dropped {} (cycles identical)\n",
+        trace_oh.events, trace_oh.sites, trace_oh.dropped
+    );
+
+    // 5. Per-experiment wall-clock, superblock engine, one worker.
     let results = bridge_bench::run_experiments_parallel(scale, 1);
     println!("Per-experiment wall-clock (1 worker):");
     for (name, _, took) in &results {
@@ -345,7 +434,7 @@ fn main() {
 
     // Emit BENCH_simulator.json (hand-rolled: no serde in-tree).
     let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/2\",");
+    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/3\",");
     let _ = writeln!(j, "  \"scale_outer_iters\": {},", scale.outer_iters);
     let _ = writeln!(j, "  \"mips\": {{");
     let _ = writeln!(j, "    \"kernel_insns\": {insns},");
@@ -390,6 +479,20 @@ fn main() {
         );
     }
     let _ = writeln!(j, "    ]");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"trace\": {{");
+    let _ = writeln!(j, "    \"kernel_iters\": {dispatch_iters},");
+    let _ = writeln!(j, "    \"secs_off\": {:.4},", trace_oh.secs_off);
+    let _ = writeln!(j, "    \"secs_on\": {:.4},", trace_oh.secs_on);
+    let _ = writeln!(
+        j,
+        "    \"enabled_overhead_pct\": {:.3},",
+        trace_oh.overhead_pct
+    );
+    let _ = writeln!(j, "    \"cycles_equal\": true,");
+    let _ = writeln!(j, "    \"events\": {},", trace_oh.events);
+    let _ = writeln!(j, "    \"sites\": {},", trace_oh.sites);
+    let _ = writeln!(j, "    \"dropped\": {}", trace_oh.dropped);
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"experiments\": [");
     for (i, (name, _, took)) in results.iter().enumerate() {

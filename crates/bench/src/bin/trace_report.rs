@@ -1,0 +1,215 @@
+//! Human-readable structured-trace report for an in-tree kernel.
+//!
+//! Runs one micro-kernel through the DBT with tracing attached and prints
+//! the per-site MDA telemetry table and the phase timelines — the
+//! temporal story behind the paper's end-of-run aggregates. Compare
+//! `--strategy eh` (trap rate decays to zero after the last patch) with
+//! `--strategy dynamic` on the `phase_change` kernel (flat per-occurrence
+//! trap rate forever).
+//!
+//! Usage:
+//!   trace_report [--kernel phase_change|memcpy|packed_struct|linked_list|stack]
+//!                [--strategy direct|static|dynamic|eh|dpeh]
+//!                [--iters N] [--bucket-cycles N] [--jsonl PATH]
+
+use bridge_dbt::{DbtConfig, MdaStrategy, StaticProfile};
+use bridge_trace::TraceConfig;
+use bridge_workloads::kernels::{self, Kernel};
+use std::process::ExitCode;
+
+struct Opts {
+    kernel: String,
+    strategy: String,
+    iters: u32,
+    bucket_cycles: u64,
+    jsonl: Option<String>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts {
+        kernel: "phase_change".into(),
+        strategy: "eh".into(),
+        iters: 600,
+        bucket_cycles: 1 << 12,
+        jsonl: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--kernel" => o.kernel = val.clone(),
+            "--strategy" => o.strategy = val.clone(),
+            "--iters" => o.iters = val.parse().map_err(|_| format!("bad --iters {val}"))?,
+            "--bucket-cycles" => {
+                o.bucket_cycles = val
+                    .parse()
+                    .map_err(|_| format!("bad --bucket-cycles {val}"))?;
+            }
+            "--jsonl" => o.jsonl = Some(val.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(o)
+}
+
+fn kernel_by_name(name: &str, iters: u32) -> Result<Kernel, String> {
+    Ok(match name {
+        // The phase-change kernel is the trace layer's showcase: an
+        // aligned profiling window followed by a misaligned steady state.
+        "phase_change" => kernels::phase_change_sum(iters / 3, iters - iters / 3),
+        "memcpy" => kernels::memcpy_unaligned(0x30_0001, 0x38_0000, (iters.max(1)) * 4),
+        "packed_struct" => kernels::packed_struct_sum(0x10_0002, 16, 6, iters),
+        "linked_list" => kernels::linked_list_chase(0x20_0000, iters),
+        "stack" => kernels::misaligned_stack(iters),
+        other => return Err(format!("unknown kernel {other}")),
+    })
+}
+
+fn config_by_name(name: &str) -> Result<DbtConfig, String> {
+    Ok(match name {
+        "direct" => DbtConfig::new(MdaStrategy::Direct),
+        // An empty training profile: the classic stale-profile setup where
+        // every site is undetected and pays per-occurrence fixups.
+        "static" => {
+            DbtConfig::new(MdaStrategy::StaticProfiling).with_static_profile(StaticProfile::new())
+        }
+        "dynamic" => DbtConfig::new(MdaStrategy::DynamicProfiling),
+        "eh" => DbtConfig::new(MdaStrategy::ExceptionHandling),
+        "dpeh" => DbtConfig::new(MdaStrategy::Dpeh),
+        other => return Err(format!("unknown strategy {other}")),
+    })
+}
+
+fn opt_cycle(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".into(), |c| c.to_string())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernel = match kernel_by_name(&opts.kernel, opts.iters) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match config_by_name(&opts.strategy) {
+        Ok(c) => c.with_threshold(50),
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tc = TraceConfig::default().with_bucket_cycles(opts.bucket_cycles);
+    let (report, trace) = bridge_bench::run_kernel_traced(&kernel, cfg, tc);
+
+    println!(
+        "kernel {} / strategy {} / {} iterations / bucket {} cycles",
+        opts.kernel, opts.strategy, opts.iters, opts.bucket_cycles
+    );
+    println!(
+        "cycles {} / traps {} / patches {} / fixups {} / events {} (dropped {})\n",
+        report.cycles(),
+        report.traps(),
+        report.patched_sites,
+        report.os_fixups,
+        trace.event_count(),
+        trace.dropped()
+    );
+
+    println!("Per-site MDA telemetry (guest PC order):");
+    println!(
+        "  {:>10} {:>6} {:>7} {:>7} {:>10} {:>10} {:>9} {:>11} {:>8} {:>8}",
+        "pc",
+        "traps",
+        "fixups",
+        "patches",
+        "1st trap",
+        "patched",
+        "disc→fix",
+        "cycles",
+        "execs",
+        "mdas"
+    );
+    for (pc, s) in trace.sites() {
+        println!(
+            "  {:#10x} {:>6} {:>7} {:>7} {:>10} {:>10} {:>9} {:>11} {:>8} {:>8}",
+            pc,
+            s.traps,
+            s.os_fixups,
+            s.patches + s.rearrangements,
+            opt_cycle(s.first_trap_cycle),
+            opt_cycle(s.patch_cycle),
+            opt_cycle(s.discovery_to_fix_cycles()),
+            s.cycles_attributed,
+            s.execs,
+            s.mdas,
+        );
+    }
+
+    let tl = trace.timeline();
+    println!("\nPhase timeline ({} cycles/bucket):", tl.bucket_cycles());
+    println!(
+        "  {:>6} {:>7} {:>9} {:>8} {:>12}",
+        "bucket", "traps", "mon.exits", "patches", "guest insns"
+    );
+    let get = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+    for i in 0..tl.active_buckets() {
+        println!(
+            "  {:>6} {:>7} {:>9} {:>8} {:>12}",
+            i,
+            get(tl.traps(), i),
+            get(tl.monitor_exits(), i),
+            get(tl.patches(), i),
+            get(tl.guest_insns(), i),
+        );
+    }
+    if tl.truncated() {
+        println!("  (activity past the last bucket folded into it)");
+    }
+    match tl.last_patch_bucket() {
+        Some(b) if tl.trap_rate_converged() => {
+            println!("\ntrap rate CONVERGED: no traps after the last patch (bucket {b})");
+        }
+        Some(b) => {
+            println!(
+                "\ntrap rate NOT converged: {} traps after the last patch (bucket {b})",
+                tl.traps_after(b)
+            );
+        }
+        None if report.traps() > 0 => {
+            println!(
+                "\nno patches: {} traps paid per-occurrence (profiling-based handling)",
+                report.traps()
+            );
+        }
+        None => println!("\nno traps, no patches: every site handled at translation time"),
+    }
+
+    if let Some(path) = &opts.jsonl {
+        let mut f = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("trace_report: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = bridge_trace::jsonl::write(&trace, &mut f) {
+            eprintln!("trace_report: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

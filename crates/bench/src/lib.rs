@@ -147,6 +147,25 @@ pub fn run_kernel(k: &bridge_workloads::kernels::Kernel, cfg: DbtConfig) -> RunR
     dbt.run(FUEL).expect("kernel halts within fuel")
 }
 
+/// Runs an in-tree micro-kernel with structured tracing attached and
+/// returns the report plus the trace snapshot (site table, timelines and
+/// event ring with the execution profile folded in).
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within [`FUEL`].
+pub fn run_kernel_traced(
+    k: &bridge_workloads::kernels::Kernel,
+    cfg: DbtConfig,
+    trace: bridge_trace::TraceConfig,
+) -> (RunReport, bridge_trace::Tracer) {
+    let mut dbt = Dbt::new(cfg.with_trace(trace));
+    k.load_into(&mut dbt);
+    let report = dbt.run(FUEL).expect("kernel halts within fuel");
+    let tracer = dbt.trace_snapshot().expect("tracing was configured");
+    (report, tracer)
+}
+
 /// Produces the `train`-input profile for static profiling (the paper's
 /// pre-execution phase, Figure 3).
 ///

@@ -2,6 +2,7 @@
 //! Table II).
 
 use crate::profile::StaticProfile;
+pub use bridge_trace::TraceConfig;
 
 /// The MDA handling mechanism under evaluation (the paper's §III–IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +119,13 @@ pub struct DbtConfig {
     ///
     /// [`RunReport::guest_insns_retired`]: crate::report::RunReport::guest_insns_retired
     pub count_retired: bool,
+    /// Structured tracing ([`bridge_trace`]): `Some` attaches an enabled
+    /// [`Tracer`](bridge_trace::Tracer) recording per-site telemetry, phase
+    /// timelines and a bounded event ring, read back afterwards via
+    /// [`Dbt::trace_snapshot`](crate::Dbt::trace_snapshot). `None` (the
+    /// default) installs the no-op tracer; tracing never charges simulated
+    /// cycles, so results are identical either way.
+    pub trace: Option<TraceConfig>,
     /// Translate every statically reachable block before execution starts,
     /// as FX!32's offline translator did (Figure 3's pre-execution phase).
     /// Most useful with [`MdaStrategy::StaticProfiling`].
@@ -150,6 +158,7 @@ impl DbtConfig {
             in_cache_dispatch: false,
             shadow_ras: true,
             count_retired: false,
+            trace: None,
             pretranslate: false,
             code_bytes: 2 * 1024 * 1024,
             stub_bytes: 1024 * 1024,
@@ -223,6 +232,12 @@ impl DbtConfig {
         self.count_retired = on;
         self
     }
+
+    /// Builder-style: attach structured tracing with the given bounds.
+    pub fn with_trace(mut self, trace: TraceConfig) -> DbtConfig {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 impl Default for DbtConfig {
@@ -246,6 +261,14 @@ mod tests {
         // reproduce byte-identically with the defaults.
         assert!(!c.in_cache_dispatch);
         assert!(!c.count_retired);
+        assert!(c.trace.is_none(), "tracing is opt-in");
+    }
+
+    #[test]
+    fn trace_builder_attaches_config() {
+        let c = DbtConfig::new(MdaStrategy::ExceptionHandling)
+            .with_trace(TraceConfig::default().with_bucket_cycles(1 << 12));
+        assert_eq!(c.trace.as_ref().unwrap().bucket_cycles, 1 << 12);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use bridge_alpha::reg::Reg;
 use bridge_sim::cost::CostModel;
 use bridge_sim::cpu::Machine;
 use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
+use bridge_trace::{TraceEvent, Tracer};
 use bridge_x86::insn::Width;
 use bridge_x86::reg::Reg32;
 use bridge_x86::state::CpuState;
@@ -155,6 +156,13 @@ pub struct Dbt {
     /// each `run_machine` round can charge exactly the new hits.
     seen_ibtc_hits: u64,
     seen_ras_hits: u64,
+    /// Last observed retired-instruction counter, for the tracer's guest
+    /// progress series (only advances with `count_retired`).
+    seen_retired: u64,
+    /// Structured event recorder; the no-op tracer unless
+    /// [`DbtConfig::trace`] is set. Recording never charges simulated
+    /// cycles, so traced and untraced runs are identical.
+    tracer: Tracer,
 }
 
 impl Dbt {
@@ -166,6 +174,10 @@ impl Dbt {
     /// Engine over a custom host machine (cost model, cache configuration).
     pub fn with_machine(cfg: DbtConfig, machine: Machine) -> Dbt {
         let cache = CodeCache::new(CODE_CACHE_ADDR, cfg.code_bytes, cfg.stub_bytes);
+        let tracer = match &cfg.trace {
+            Some(tc) => Tracer::new(tc),
+            None => Tracer::disabled(),
+        };
         Dbt {
             cfg,
             machine,
@@ -190,6 +202,8 @@ impl Dbt {
             ibtc_misses: 0,
             seen_ibtc_hits: 0,
             seen_ras_hits: 0,
+            seen_retired: 0,
+            tracer,
         }
     }
 
@@ -262,6 +276,28 @@ impl Dbt {
     /// The engine configuration.
     pub fn config(&self) -> &DbtConfig {
         &self.cfg
+    }
+
+    /// A snapshot of the structured trace, with the run's per-site
+    /// execution profile (dynamic executions, misaligned executions)
+    /// folded into the telemetry table. `None` unless the engine was
+    /// configured with [`DbtConfig::trace`].
+    pub fn trace_snapshot(&self) -> Option<Tracer> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let mut t = self.tracer.clone();
+        for (site, stats) in self.profile.iter_sites() {
+            t.merge_profile_site(site.pc, stats.execs, stats.mdas);
+        }
+        Some(t)
+    }
+
+    /// Records one trace event at the current simulated cycle count. A
+    /// single predictable branch when tracing is off.
+    #[inline(always)]
+    fn trace(&mut self, event: TraceEvent) {
+        self.tracer.record(self.machine.stats().cycles, event);
     }
 
     /// Iterates over the currently installed translated blocks (for the
@@ -415,6 +451,8 @@ impl Dbt {
                 };
                 self.machine.charge(out.cycles);
                 self.guest_insns_interpreted += out.guest_insns;
+                self.tracer
+                    .progress(self.machine.stats().cycles, out.guest_insns);
                 let spent = out.guest_insns.saturating_mul(INTERP_FUEL_PER_INSN);
                 if spent >= remaining {
                     return Err(DbtError::FuelExhausted);
@@ -473,12 +511,21 @@ impl Dbt {
             if self.cfg.in_cache_dispatch {
                 self.charge_in_cache_hits();
             }
+            if self.tracer.is_enabled() && self.cfg.count_retired {
+                let now = self.machine.reg(RETIRE_CTR);
+                self.tracer.progress(
+                    self.machine.stats().cycles,
+                    now.wrapping_sub(self.seen_retired),
+                );
+                self.seen_retired = now;
+            }
             match exit {
                 Exit::Monitor => {
                     self.monitor_exits += 1;
                     let d = self.machine.cost().dispatch;
                     self.machine.charge(d);
                     let next = self.machine.reg(EXIT_PC_REG) as u32;
+                    self.trace(TraceEvent::MonitorExit { next_pc: next });
                     if self.cfg.in_cache_dispatch {
                         self.classify_monitor_exit(next);
                     }
@@ -525,11 +572,22 @@ impl Dbt {
                 .ok_or(DbtError::Internal("trap at an unrecorded site"))?
         };
         self.profile.record_trap_mda(site);
+        let trap_cost = self.machine.cost().unaligned_trap;
+        self.trace(TraceEvent::Trap {
+            site_pc: site.pc,
+            slot: site.slot,
+            cycles: trap_cost,
+        });
 
         match self.cfg.strategy {
             MdaStrategy::Direct => Err(DbtError::Internal("direct method cannot trap")),
             MdaStrategy::StaticProfiling | MdaStrategy::DynamicProfiling => {
                 self.os_fixup(&info)?;
+                let fixup_cost = self.machine.cost().unaligned_fixup;
+                self.trace(TraceEvent::OsFixup {
+                    site_pc: site.pc,
+                    cycles: fixup_cost,
+                });
                 Ok(Resume::Machine(None))
             }
             MdaStrategy::ExceptionHandling => {
@@ -581,6 +639,7 @@ impl Dbt {
         let c = self.machine.cost().patch_base;
         self.machine.charge(c);
         self.reversions += 1;
+        self.trace(TraceEvent::Reversion { site_pc });
         Ok(site_pc)
     }
 
@@ -640,6 +699,11 @@ impl Dbt {
         self.forced_sequence.insert(site);
         self.forced_normal.remove(&site);
         self.patched_sites += 1;
+        self.trace(TraceEvent::EhPatch {
+            site_pc: site.pc,
+            slot: site.slot,
+            cycles: charge,
+        });
         Ok(Resume::Machine(None))
     }
 
@@ -680,6 +744,11 @@ impl Dbt {
         let charge = cost.patch_base + cost.patch_per_word * u64::from(words_len);
         self.machine.charge(charge);
         self.rearrangements += 1;
+        self.trace(TraceEvent::Rearrangement {
+            block_pc,
+            site_pc: site.pc,
+            cycles: charge,
+        });
         Ok(Resume::Machine(Some(resume)))
     }
 
@@ -711,11 +780,13 @@ impl Dbt {
     fn charge_in_cache_hits(&mut self) {
         let ibtc_now = self.machine.reg(IBTC_HIT_CTR);
         let ras_now = self.machine.reg(RAS_HIT_CTR);
-        let delta =
-            ibtc_now.wrapping_sub(self.seen_ibtc_hits) + ras_now.wrapping_sub(self.seen_ras_hits);
+        let ibtc = ibtc_now.wrapping_sub(self.seen_ibtc_hits);
+        let ras = ras_now.wrapping_sub(self.seen_ras_hits);
+        let delta = ibtc + ras;
         if delta > 0 {
             let c = self.machine.cost().in_cache_dispatch * delta;
             self.machine.charge(c);
+            self.trace(TraceEvent::InCacheHits { ibtc, ras });
         }
         self.seen_ibtc_hits = ibtc_now;
         self.seen_ras_hits = ras_now;
@@ -745,6 +816,7 @@ impl Dbt {
         }
         if block.indirect_exits.contains(&pal_addr) {
             self.ibtc_misses += 1;
+            self.trace(TraceEvent::IbtcMiss { next_pc: next });
             return;
         }
         // A constant-target exit stub is load_imm32 (1–2 words) + call_pal.
@@ -831,6 +903,10 @@ impl Dbt {
         }
         let c = self.machine.cost().invalidate_block;
         self.machine.charge(c);
+        self.trace(TraceEvent::CacheInvalidate { block_pc });
+        if reset_profile {
+            self.trace(TraceEvent::Retranslation { block_pc });
+        }
     }
 
     /// Empties the code cache entirely (allocation pressure).
@@ -844,6 +920,7 @@ impl Dbt {
         let c = self.machine.cost().invalidate_block * blocks;
         self.machine.charge(c);
         self.machine.flush_caches();
+        self.trace(TraceEvent::CacheFlush { blocks });
     }
 
     /// Translates `block_pc` with the active strategy's site plans and
@@ -929,7 +1006,17 @@ impl Dbt {
         let charge = cost.translate_per_block
             + cost.translate_per_guest_insn * u64::from(tb.guest_insn_count);
         self.machine.charge(charge);
+        if self.blocks_translated == 0 {
+            // First translation: the run leaves the interpret-and-profile
+            // phase (profiling decisions freeze under DPEH).
+            self.trace(TraceEvent::PhaseTransition {
+                guest_pc: tb.guest_pc,
+            });
+        }
         self.blocks_translated += 1;
+        self.trace(TraceEvent::BlockTranslated {
+            guest_pc: tb.guest_pc,
+        });
 
         if self.cfg.chaining {
             // Outgoing exits whose targets already exist.
@@ -975,11 +1062,16 @@ impl Dbt {
             disp,
         });
         let addr = slot.host_addr;
+        let target_pc = slot.target;
         slot.chained = true;
         self.machine.patch_code_word(addr, word);
         let c = self.machine.cost().patch_per_word;
         self.machine.charge(c);
         self.chains += 1;
+        self.trace(TraceEvent::ChainBackpatch {
+            block_pc,
+            target_pc,
+        });
     }
 
     fn build_report(&self) -> RunReport {
@@ -1362,6 +1454,60 @@ mod tests {
         assert_eq!(report.patched_sites, 0, "no stub patches when rearranging");
         // Still only one trap.
         assert_eq!(report.traps(), 1);
+    }
+
+    #[test]
+    fn tracer_attributes_trap_and_patch_to_the_site() {
+        let prog = sum_loop_program(0x10_0001, 500);
+        let cfg = DbtConfig::new(MdaStrategy::ExceptionHandling)
+            .with_threshold(5)
+            .with_trace(bridge_trace::TraceConfig::default().with_bucket_cycles(64));
+        let mut dbt = Dbt::with_machine(cfg, Machine::without_caches(CostModel::flat()));
+        dbt.load(&prog);
+        dbt.set_stack(0x00F0_0000);
+        let report = dbt.run(200_000_000).expect("halts");
+        let trace = dbt.trace_snapshot().expect("tracing is on");
+
+        // The one trappable site: one trap, one patch, discovery before fix.
+        let (_, site) = trace
+            .sites()
+            .find(|(_, s)| s.traps > 0)
+            .expect("the misaligned add shows up in the site table");
+        assert_eq!(site.traps, 1);
+        assert_eq!(site.patches, 1);
+        assert!(site.discovery_to_fix_cycles().is_some());
+        assert!(site.mdas > 0 && site.execs >= site.mdas);
+        assert!(site.cycles_attributed > 0);
+        // The trap-rate timeline converges: no traps after the patch.
+        assert!(trace.timeline().trap_rate_converged());
+        // Event stream saw the phase transition and the patch.
+        let kinds: Vec<&str> = trace.events().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"phase"));
+        assert!(kinds.contains(&"patch"));
+        assert_eq!(trace.dropped(), 0);
+
+        // An identical untraced run produces the same cycles and counters:
+        // recording never charges simulated time.
+        let plain = run_with(
+            DbtConfig::new(MdaStrategy::ExceptionHandling).with_threshold(5),
+            &prog,
+        );
+        assert_eq!(plain.cycles(), report.cycles());
+        assert_eq!(plain.stats, report.stats);
+        assert!(states_equivalent(&plain.final_state, &report.final_state));
+    }
+
+    #[test]
+    fn trace_snapshot_is_none_by_default() {
+        let prog = sum_loop_program(0x10_0001, 100);
+        let mut dbt = Dbt::with_machine(
+            DbtConfig::new(MdaStrategy::Dpeh).with_threshold(5),
+            Machine::without_caches(CostModel::flat()),
+        );
+        dbt.load(&prog);
+        dbt.set_stack(0x00F0_0000);
+        dbt.run(200_000_000).expect("halts");
+        assert!(dbt.trace_snapshot().is_none());
     }
 
     #[test]

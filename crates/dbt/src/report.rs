@@ -86,6 +86,7 @@ impl fmt::Display for RunReport {
         writeln!(f, "ibtc hits         {:>16}", self.ibtc_hits)?;
         writeln!(f, "ibtc misses       {:>16}", self.ibtc_misses)?;
         writeln!(f, "ras hits          {:>16}", self.ras_hits)?;
+        writeln!(f, "cache flushes     {:>16}", self.cache_flushes)?;
         writeln!(f, "interp-only       {:>16}", self.interp_only_blocks)?;
         writeln!(f, "interp insns      {:>16}", self.guest_insns_interpreted)?;
         writeln!(f, "retired insns     {:>16}", self.guest_insns_retired)?;
@@ -119,16 +120,27 @@ mod tests {
             ibtc_hits: 9,
             ibtc_misses: 2,
             ras_hits: 6,
-            guest_insns_retired: 0,
-            cache_flushes: 0,
+            guest_insns_retired: 11,
+            cache_flushes: 8,
             interp_only_blocks: 0,
             profile: Profile::new(),
         };
         let s = r.to_string();
         assert!(s.contains("123"));
         assert!(s.contains("traps"));
+        // Every dispatch counter the BENCH dispatch section reads must be
+        // visible in the human-readable report too.
         assert!(s.contains("monitor exits"));
         assert!(s.contains("ibtc hits"));
+        assert!(s.contains("ibtc misses"));
+        assert!(s.contains("ras hits"));
+        assert!(s.contains("chains"));
+        assert!(s.contains("retired insns"));
+        assert!(s.contains("cache flushes"));
+        // And their values actually flow through to the text.
+        for val in ["42", "9", "2", "6", "5", "11", "8"] {
+            assert!(s.contains(val), "missing counter value {val} in:\n{s}");
+        }
         assert_eq!(r.cycles(), 123);
         assert_eq!(r.traps(), 4);
     }

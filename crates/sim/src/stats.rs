@@ -107,4 +107,51 @@ mod tests {
     fn display_nonempty() {
         assert!(!Stats::new().to_string().is_empty());
     }
+
+    /// Canary: if a counter is added to `Stats` but not to `merge`, the
+    /// size assertion forces this test to be revisited, and the distinct
+    /// per-field values prove every existing field is actually summed
+    /// (a copy-paste of the wrong field would double one value and drop
+    /// another).
+    #[test]
+    fn merge_sums_every_field() {
+        const FIELDS: usize = 12;
+        assert_eq!(
+            std::mem::size_of::<Stats>(),
+            FIELDS * std::mem::size_of::<u64>(),
+            "Stats gained or lost a field; update merge() and this test"
+        );
+        let distinct = |offset: u64| Stats {
+            cycles: offset + 1,
+            insns: offset + 2,
+            loads: offset + 3,
+            stores: offset + 4,
+            taken_branches: offset + 5,
+            unaligned_traps: offset + 6,
+            icache_accesses: offset + 7,
+            icache_misses: offset + 8,
+            dcache_accesses: offset + 9,
+            dcache_misses: offset + 10,
+            l2_accesses: offset + 11,
+            l2_misses: offset + 12,
+        };
+        let mut a = distinct(0);
+        a.merge(&distinct(100));
+        // Field i holds i + (100 + i): every field summed, none swapped.
+        let expected = Stats {
+            cycles: 102,
+            insns: 104,
+            loads: 106,
+            stores: 108,
+            taken_branches: 110,
+            unaligned_traps: 112,
+            icache_accesses: 114,
+            icache_misses: 116,
+            dcache_accesses: 118,
+            dcache_misses: 120,
+            l2_accesses: 122,
+            l2_misses: 124,
+        };
+        assert_eq!(a, expected);
+    }
 }

@@ -1,0 +1,235 @@
+//! JSONL sink and line-scanning reader for traces.
+//!
+//! One self-describing JSON object per line, in a fixed order: a `meta`
+//! header, the per-site table (ordered by guest PC), the timeline buckets
+//! (ordered by index), then the retained events (oldest first). The format
+//! is hand-rolled — no serde in-tree — and flat enough that the scanning
+//! helpers below ([`u64_field`], [`str_field`]) read it back without a
+//! JSON parser, which is what the integration tests and `trace_report` do.
+
+use crate::{TraceEvent, Tracer};
+use std::fmt::Write as _;
+use std::io;
+
+/// Schema tag written in the `meta` line.
+pub const SCHEMA: &str = "bridge-trace/1";
+
+/// Serializes the tracer to JSONL.
+pub fn to_string(t: &Tracer) -> String {
+    let mut out = String::new();
+    let tl = t.timeline();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"schema\":\"{SCHEMA}\",\"bucket_cycles\":{},\"buckets\":{},\
+         \"truncated\":{},\"sites\":{},\"ring_events\":{},\"dropped\":{}}}",
+        tl.bucket_cycles(),
+        tl.active_buckets(),
+        tl.truncated(),
+        t.sites().count(),
+        t.event_count(),
+        t.dropped(),
+    );
+    for (pc, s) in t.sites() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"site\",\"pc\":{pc},\"traps\":{},\"os_fixups\":{},\"patches\":{},\
+             \"rearrangements\":{},\"reversions\":{},\"first_trap_cycle\":{},\
+             \"patch_cycle\":{},\"cycles_attributed\":{},\"execs\":{},\"mdas\":{}}}",
+            s.traps,
+            s.os_fixups,
+            s.patches,
+            s.rearrangements,
+            s.reversions,
+            opt(s.first_trap_cycle),
+            opt(s.patch_cycle),
+            s.cycles_attributed,
+            s.execs,
+            s.mdas,
+        );
+    }
+    let buckets = tl.active_buckets();
+    for i in 0..buckets {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"bucket\",\"index\":{i},\"traps\":{},\"monitor_exits\":{},\
+             \"patches\":{},\"guest_insns\":{}}}",
+            at(tl.traps(), i),
+            at(tl.monitor_exits(), i),
+            at(tl.patches(), i),
+            at(tl.guest_insns(), i),
+        );
+    }
+    for rec in t.events() {
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"cycle\":{},\"kind\":\"{}\",\"pc\":{}",
+            rec.cycle,
+            rec.event.kind(),
+            opt(rec.event.guest_pc().map(u64::from)),
+        );
+        match rec.event {
+            TraceEvent::Trap { cycles, slot, .. } => {
+                let _ = write!(out, ",\"slot\":{slot},\"cost\":{cycles}");
+            }
+            TraceEvent::EhPatch { cycles, slot, .. } => {
+                let _ = write!(out, ",\"slot\":{slot},\"cost\":{cycles}");
+            }
+            TraceEvent::OsFixup { cycles, .. } => {
+                let _ = write!(out, ",\"cost\":{cycles}");
+            }
+            TraceEvent::Rearrangement {
+                block_pc, cycles, ..
+            } => {
+                let _ = write!(out, ",\"block\":{block_pc},\"cost\":{cycles}");
+            }
+            TraceEvent::InCacheHits { ibtc, ras } => {
+                let _ = write!(out, ",\"ibtc\":{ibtc},\"ras\":{ras}");
+            }
+            TraceEvent::ChainBackpatch { target_pc, .. } => {
+                let _ = write!(out, ",\"target\":{target_pc}");
+            }
+            TraceEvent::CacheFlush { blocks } => {
+                let _ = write!(out, ",\"blocks\":{blocks}");
+            }
+            _ => {}
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Writes the tracer as JSONL to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write<W: io::Write>(t: &Tracer, w: &mut W) -> io::Result<()> {
+    w.write_all(to_string(t).as_bytes())
+}
+
+fn opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn at(v: &[u64], i: usize) -> u64 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+/// Scans a JSONL line for `"key":<number>`; `null` and absent both yield
+/// `None`.
+pub fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let raw = raw_field(line, key)?;
+    raw.parse::<u64>().ok()
+}
+
+/// Scans a JSONL line for `"key":"value"`, returning the unquoted value.
+pub fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let raw = raw_field(line, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// The `type` tag of a JSONL line.
+pub fn line_type(line: &str) -> Option<&str> {
+    str_field(line, "type")
+}
+
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.find('"').map(|i| i + 2)?
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(rest[..end].trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceConfig;
+
+    fn sample() -> Tracer {
+        let mut t = Tracer::new(
+            &TraceConfig::default()
+                .with_bucket_cycles(100)
+                .with_ring_capacity(8),
+        );
+        t.record(
+            10,
+            TraceEvent::Trap {
+                site_pc: 0x40,
+                slot: 0,
+                cycles: 1000,
+            },
+        );
+        t.record(
+            20,
+            TraceEvent::EhPatch {
+                site_pc: 0x40,
+                slot: 0,
+                cycles: 334,
+            },
+        );
+        t.record(150, TraceEvent::MonitorExit { next_pc: 0x44 });
+        t.record(160, TraceEvent::InCacheHits { ibtc: 5, ras: 2 });
+        t.progress(180, 400);
+        t.merge_profile_site(0x40, 12, 7);
+        t
+    }
+
+    #[test]
+    fn roundtrip_via_scanners() {
+        let s = to_string(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(line_type(lines[0]), Some("meta"));
+        assert_eq!(str_field(lines[0], "schema"), Some(SCHEMA));
+        assert_eq!(u64_field(lines[0], "bucket_cycles"), Some(100));
+        assert_eq!(u64_field(lines[0], "sites"), Some(1));
+
+        let site = lines.iter().find(|l| line_type(l) == Some("site")).unwrap();
+        assert_eq!(u64_field(site, "pc"), Some(0x40));
+        assert_eq!(u64_field(site, "traps"), Some(1));
+        assert_eq!(u64_field(site, "patch_cycle"), Some(20));
+        assert_eq!(u64_field(site, "execs"), Some(12));
+        assert_eq!(u64_field(site, "mdas"), Some(7));
+
+        let buckets: Vec<&&str> = lines
+            .iter()
+            .filter(|l| line_type(l) == Some("bucket"))
+            .collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(u64_field(buckets[0], "traps"), Some(1));
+        assert_eq!(u64_field(buckets[0], "patches"), Some(1));
+        assert_eq!(u64_field(buckets[1], "monitor_exits"), Some(1));
+        assert_eq!(u64_field(buckets[1], "guest_insns"), Some(400));
+
+        let events: Vec<&&str> = lines
+            .iter()
+            .filter(|l| line_type(l) == Some("event"))
+            .collect();
+        assert_eq!(events.len(), 4);
+        assert_eq!(str_field(events[0], "kind"), Some("trap"));
+        assert_eq!(u64_field(events[0], "cost"), Some(1000));
+        assert_eq!(str_field(events[3], "kind"), Some("in_cache_hits"));
+        assert_eq!(u64_field(events[3], "ibtc"), Some(5));
+        assert_eq!(u64_field(events[3], "pc"), None, "no attribution is null");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(to_string(&sample()), to_string(&sample()));
+    }
+
+    #[test]
+    fn write_matches_to_string() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_string(&t));
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-site telemetry: everything the tracer attributes to one guest PC.
+
+/// Telemetry accumulated for one guest instruction address. The event
+/// counters come from the engine's trap/patch path; `execs`/`mdas` are
+/// folded in from the run's execution profile at snapshot time (see
+/// [`Tracer::merge_profile_site`](crate::Tracer::merge_profile_site)), so
+/// the table tells the site's whole story: how often it ran misaligned,
+/// when it was discovered, when it was patched, and what the handling
+/// cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteTelemetry {
+    /// Misalignment traps delivered for this PC.
+    pub traps: u64,
+    /// Per-occurrence OS software fixups (profiling-based strategies).
+    pub os_fixups: u64,
+    /// Exception-handler stub patches applied here.
+    pub patches: u64,
+    /// Inline rearrangements triggered by this site.
+    pub rearrangements: u64,
+    /// Figure 8 adaptive reversions back to a plain access.
+    pub reversions: u64,
+    /// Simulated cycle of the first trap at this PC (discovery time).
+    pub first_trap_cycle: Option<u64>,
+    /// Simulated cycle of the first patch/rearrangement (fix time). The
+    /// gap to [`first_trap_cycle`](SiteTelemetry::first_trap_cycle) is the
+    /// site's discovery-to-fix latency.
+    pub patch_cycle: Option<u64>,
+    /// Cycles attributed to handling this site: trap deliveries, fixup
+    /// emulation, stub builds and relocations.
+    pub cycles_attributed: u64,
+    /// Dynamic executions of this site's accesses observed by profiling
+    /// (interpretation plus trap discoveries).
+    pub execs: u64,
+    /// How many of those executions were misaligned — the MDA sequences
+    /// executed (or emulated) at this site.
+    pub mdas: u64,
+}
+
+impl SiteTelemetry {
+    /// Cycles between discovery (first trap) and fix (first patch), if
+    /// both happened.
+    pub fn discovery_to_fix_cycles(&self) -> Option<u64> {
+        match (self.first_trap_cycle, self.patch_cycle) {
+            (Some(t), Some(p)) => Some(p.saturating_sub(t)),
+            _ => None,
+        }
+    }
+
+    /// Whether anything at all was attributed to this site.
+    pub fn is_empty(&self) -> bool {
+        *self == SiteTelemetry::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_to_fix_latency() {
+        let s = SiteTelemetry {
+            first_trap_cycle: Some(1_000),
+            patch_cycle: Some(1_400),
+            ..SiteTelemetry::default()
+        };
+        assert_eq!(s.discovery_to_fix_cycles(), Some(400));
+        assert!(!s.is_empty());
+        assert_eq!(SiteTelemetry::default().discovery_to_fix_cycles(), None);
+        assert!(SiteTelemetry::default().is_empty());
+    }
+}

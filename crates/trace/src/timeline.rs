@@ -1,0 +1,213 @@
+//! Phase timelines: fixed-width cycle-bucket histograms.
+//!
+//! Four series share one bucketing: misalignment traps, monitor exits,
+//! patches (stub patches + rearrangements), and guest instructions
+//! retired. Together they show the temporal behavior the paper argues
+//! from — the adaptive mechanisms' trap rate decays to zero after the
+//! last patch, while dynamic profiling's per-occurrence trap rate tracks
+//! the workload forever.
+
+/// Cycle-bucket histograms over one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    bucket_cycles: u64,
+    max_buckets: usize,
+    traps: Vec<u64>,
+    monitor_exits: Vec<u64>,
+    patches: Vec<u64>,
+    guest_insns: Vec<u64>,
+    truncated: bool,
+}
+
+impl Timeline {
+    /// Empty timeline with `bucket_cycles`-wide buckets, at most
+    /// `max_buckets` of them.
+    pub fn new(bucket_cycles: u64, max_buckets: usize) -> Timeline {
+        Timeline {
+            bucket_cycles: bucket_cycles.max(1),
+            max_buckets,
+            traps: Vec::new(),
+            monitor_exits: Vec::new(),
+            patches: Vec::new(),
+            guest_insns: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// The bucket width in cycles.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// Whether activity ran past the last bucket (and was folded into it).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The bucket index for `cycle`, clamped to the final bucket.
+    fn bucket_index(&mut self, cycle: u64) -> Option<usize> {
+        if self.max_buckets == 0 {
+            return None;
+        }
+        let idx = (cycle / self.bucket_cycles) as usize;
+        if idx >= self.max_buckets {
+            self.truncated = true;
+            Some(self.max_buckets - 1)
+        } else {
+            Some(idx)
+        }
+    }
+
+    fn bump(&mut self, series: Series, cycle: u64, n: u64) {
+        let Some(idx) = self.bucket_index(cycle) else {
+            return;
+        };
+        let v = match series {
+            Series::Traps => &mut self.traps,
+            Series::MonitorExits => &mut self.monitor_exits,
+            Series::Patches => &mut self.patches,
+            Series::GuestInsns => &mut self.guest_insns,
+        };
+        if v.len() <= idx {
+            v.resize(idx + 1, 0);
+        }
+        v[idx] += n;
+    }
+
+    /// Counts one misalignment trap at `cycle`.
+    pub fn bump_trap(&mut self, cycle: u64) {
+        self.bump(Series::Traps, cycle, 1);
+    }
+
+    /// Counts one monitor exit at `cycle`.
+    pub fn bump_monitor_exit(&mut self, cycle: u64) {
+        self.bump(Series::MonitorExits, cycle, 1);
+    }
+
+    /// Counts one patch (stub patch or rearrangement) at `cycle`.
+    pub fn bump_patch(&mut self, cycle: u64) {
+        self.bump(Series::Patches, cycle, 1);
+    }
+
+    /// Adds guest progress ending at `cycle`.
+    pub fn add_insns(&mut self, cycle: u64, n: u64) {
+        self.bump(Series::GuestInsns, cycle, n);
+    }
+
+    /// Trap counts per bucket (trailing empty buckets omitted).
+    pub fn traps(&self) -> &[u64] {
+        &self.traps
+    }
+
+    /// Monitor-exit counts per bucket.
+    pub fn monitor_exits(&self) -> &[u64] {
+        &self.monitor_exits
+    }
+
+    /// Patch counts per bucket.
+    pub fn patches(&self) -> &[u64] {
+        &self.patches
+    }
+
+    /// Guest instructions retired per bucket (the MIPS-proxy series).
+    pub fn guest_insns(&self) -> &[u64] {
+        &self.guest_insns
+    }
+
+    /// Number of buckets any series reaches (the run's active span).
+    pub fn active_buckets(&self) -> usize {
+        self.traps
+            .len()
+            .max(self.monitor_exits.len())
+            .max(self.patches.len())
+            .max(self.guest_insns.len())
+    }
+
+    /// Index of the last bucket containing a patch, if any patch happened.
+    pub fn last_patch_bucket(&self) -> Option<usize> {
+        self.patches.iter().rposition(|&p| p > 0)
+    }
+
+    /// Total traps in buckets strictly after `bucket`.
+    pub fn traps_after(&self, bucket: usize) -> u64 {
+        self.traps.iter().skip(bucket + 1).sum()
+    }
+
+    /// The adaptive-convergence predicate: at least one patch happened,
+    /// and no bucket after the last patch bucket contains a trap — the
+    /// trap-rate series decays to zero once discovery completes.
+    pub fn trap_rate_converged(&self) -> bool {
+        match self.last_patch_bucket() {
+            Some(b) => self.traps_after(b) == 0,
+            None => false,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Series {
+    Traps,
+    MonitorExits,
+    Patches,
+    GuestInsns,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_cycle() {
+        let mut t = Timeline::new(100, 16);
+        t.bump_trap(0);
+        t.bump_trap(99);
+        t.bump_trap(100);
+        t.add_insns(250, 40);
+        assert_eq!(t.traps(), &[2, 1]);
+        assert_eq!(t.guest_insns(), &[0, 0, 40]);
+        assert_eq!(t.active_buckets(), 3);
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn overflow_folds_into_last_bucket() {
+        let mut t = Timeline::new(10, 3);
+        t.bump_trap(5);
+        t.bump_trap(1_000);
+        t.bump_trap(2_000);
+        assert_eq!(t.traps(), &[1, 0, 2]);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn convergence_predicate() {
+        let mut t = Timeline::new(10, 64);
+        t.bump_trap(5);
+        t.bump_patch(6);
+        t.bump_trap(15);
+        t.bump_patch(16);
+        t.add_insns(95, 10); // run continues trap-free
+        assert_eq!(t.last_patch_bucket(), Some(1));
+        assert_eq!(t.traps_after(1), 0);
+        assert!(t.trap_rate_converged());
+
+        // A flat trap series (no patch ever) does not converge.
+        let mut flat = Timeline::new(10, 64);
+        for c in (0..100).step_by(10) {
+            flat.bump_trap(c);
+        }
+        assert!(!flat.trap_rate_converged());
+        assert_eq!(flat.last_patch_bucket(), None);
+
+        // Traps after the last patch break convergence.
+        t.bump_trap(95);
+        assert!(!t.trap_rate_converged());
+    }
+
+    #[test]
+    fn zero_max_buckets_records_nothing() {
+        let mut t = Timeline::new(10, 0);
+        t.bump_trap(5);
+        assert_eq!(t.active_buckets(), 0);
+    }
+}

@@ -270,6 +270,48 @@ pub fn rep_movsd_memcpy(src: u32, dst: u32, len: u32) -> Kernel {
     }
 }
 
+/// A phase-change workload: a sum loop whose base pointer is aligned for
+/// the first `aligned_iters` iterations and misaligned for the remaining
+/// `misaligned_iters` — the access pattern that defeats profiling-window
+/// mechanisms (the site looks aligned while it is hot, then misaligns
+/// forever after; Table III's undetected-MDA effect). Under exception
+/// handling the late site traps once and is patched; under dynamic
+/// profiling every late access pays a software fixup. Returns with `%eax`
+/// holding the running sum.
+pub fn phase_change_sum(aligned_iters: u32, misaligned_iters: u32) -> Kernel {
+    let aligned_base: u32 = 0x0010_0000;
+    let misaligned_base: u32 = 0x0010_0101;
+    let total = aligned_iters
+        .checked_add(misaligned_iters)
+        .expect("iteration count fits u32");
+    assert!(total > 0, "at least one iteration");
+    let mut a = Assembler::new(KERNEL_BASE);
+    a.mov_ri(Ebx, aligned_base as i32);
+    a.mov_ri(Ecx, total as i32);
+    a.mov_ri(Eax, 0);
+    let top = a.here_label();
+    // With exactly `misaligned_iters` iterations left, switch to the odd
+    // base before loading, so the aligned/misaligned split is exact.
+    a.alu_ri(AluOp::Cmp, Ecx, misaligned_iters as i32);
+    let skip = a.new_label();
+    a.jcc(Cond::Ne, skip);
+    a.mov_ri(Ebx, misaligned_base as i32);
+    a.bind(skip);
+    a.alu_rm(AluOp::Add, Eax, MemRef::base_disp(Ebx, 0));
+    a.alu_ri(AluOp::Sub, Ecx, 1);
+    a.jcc(Cond::Ne, top);
+    a.hlt();
+    let image = a.finish().expect("kernel assembles");
+    Kernel {
+        program: GuestProgram::new(KERNEL_BASE, image),
+        data: vec![
+            (aligned_base, 3u32.to_le_bytes().to_vec()),
+            (misaligned_base, 7u32.to_le_bytes().to_vec()),
+        ],
+        stack_top: STACK_TOP,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +327,15 @@ mod tests {
             10_000_000,
         )
         .expect("kernel halts")
+    }
+
+    #[test]
+    fn phase_change_splits_exactly() {
+        let k = phase_change_sum(100, 50);
+        let (state, profile) = run_reference(&k);
+        assert_eq!(state.reg(Eax), 100 * 3 + 50 * 7);
+        assert_eq!(profile.mem_accesses, 150);
+        assert_eq!(profile.mdas, 50, "exactly the late-phase loads misalign");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`dbt`] — the two-phase dynamic binary translator with all five MDA
 //!   handling mechanisms (the paper's contribution);
 //! * [`workloads`] — SPEC CPU2000/2006 stand-in workloads calibrated to the
-//!   paper's Table I/III/IV.
+//!   paper's Table I/III/IV;
+//! * [`trace`] — structured tracing and per-site MDA telemetry (event ring,
+//!   guest-PC site table, cycle-bucket phase timelines, JSONL sink).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! substitutions, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -35,6 +37,7 @@
 pub use bridge_alpha as alpha;
 pub use bridge_dbt as dbt;
 pub use bridge_sim as sim;
+pub use bridge_trace as trace;
 pub use bridge_workloads as workloads;
 pub use bridge_x86 as x86;
 
