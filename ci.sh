@@ -28,9 +28,14 @@ echo "== perf bench (scale test) + BENCH json schema =="
 (cd "$tmp" && "$OLDPWD/target/release/perf" --scale test >perf_stdout.txt)
 ./target/release/check_bench_json "$tmp/BENCH_simulator.json"
 
-echo "== trace_report smoke (JSONL written, EH converges) =="
-./target/release/trace_report --strategy eh --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"
+echo "== serve_bench smoke (scale test, byte-identical merge, >=2x at 4 shards) =="
+./target/release/serve_bench --scale test >"$tmp/serve_stdout.txt"
+grep -q "serve_bench OK" "$tmp/serve_stdout.txt"
+
+echo "== trace_report smoke (JSONL written, EH converges, top-N) =="
+./target/release/trace_report --strategy eh --top 3 --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"
 grep -q "trap rate CONVERGED" "$tmp/trace_stdout.txt"
+grep -q "Hot sites (top 3" "$tmp/trace_stdout.txt"
 grep -q '"type":"meta"' "$tmp/trace.jsonl"
 
 echo "CI OK"

@@ -10,7 +10,10 @@
 //! Usage:
 //!   trace_report [--kernel phase_change|memcpy|packed_struct|linked_list|stack]
 //!                [--strategy direct|static|dynamic|eh|dpeh]
-//!                [--iters N] [--bucket-cycles N] [--jsonl PATH]
+//!                [--iters N] [--bucket-cycles N] [--top N] [--jsonl PATH]
+//!
+//! `--top N` appends the hottest N sites ranked by attributed cycles — the
+//! "where did the time go" view over the full PC-ordered table.
 
 use bridge_dbt::{DbtConfig, MdaStrategy, StaticProfile};
 use bridge_trace::TraceConfig;
@@ -22,6 +25,7 @@ struct Opts {
     strategy: String,
     iters: u32,
     bucket_cycles: u64,
+    top: Option<usize>,
     jsonl: Option<String>,
 }
 
@@ -31,6 +35,7 @@ fn parse_args() -> Result<Opts, String> {
         strategy: "eh".into(),
         iters: 600,
         bucket_cycles: 1 << 12,
+        top: None,
         jsonl: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +53,13 @@ fn parse_args() -> Result<Opts, String> {
                 o.bucket_cycles = val
                     .parse()
                     .map_err(|_| format!("bad --bucket-cycles {val}"))?;
+            }
+            "--top" => {
+                let n: usize = val.parse().map_err(|_| format!("bad --top {val}"))?;
+                if n == 0 {
+                    return Err("--top needs at least 1".into());
+                }
+                o.top = Some(n);
             }
             "--jsonl" => o.jsonl = Some(val.clone()),
             other => return Err(format!("unknown flag {other}")),
@@ -158,6 +170,26 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(n) = opts.top {
+        println!("\nHot sites (top {n} by attributed cycles):");
+        println!(
+            "  {:>4} {:>10} {:>11} {:>6} {:>7} {:>8} {:>8}",
+            "rank", "pc", "cycles", "traps", "patches", "execs", "mdas"
+        );
+        for (rank, (pc, s)) in trace.hot_sites(n).iter().enumerate() {
+            println!(
+                "  {:>4} {:#10x} {:>11} {:>6} {:>7} {:>8} {:>8}",
+                rank + 1,
+                pc,
+                s.cycles_attributed,
+                s.traps,
+                s.patches + s.rearrangements,
+                s.execs,
+                s.mdas,
+            );
+        }
+    }
+
     let tl = trace.timeline();
     println!("\nPhase timeline ({} cycles/bucket):", tl.bucket_cycles());
     println!(
@@ -182,10 +214,19 @@ fn main() -> ExitCode {
         Some(b) if tl.trap_rate_converged() => {
             println!("\ntrap rate CONVERGED: no traps after the last patch (bucket {b})");
         }
-        Some(b) => {
+        Some(b) if tl.traps_after(b) > 0 => {
             println!(
                 "\ntrap rate NOT converged: {} traps after the last patch (bucket {b})",
                 tl.traps_after(b)
+            );
+        }
+        Some(b) => {
+            // traps_after(b) == 0 yet not converged: the timeline was
+            // truncated with the last patch in the final bucket, so the
+            // folded traps' order relative to the patch is unknown.
+            println!(
+                "\ntrap rate INDETERMINATE: timeline truncated at bucket {b} with {} folded traps",
+                tl.folded_traps()
             );
         }
         None if report.traps() > 0 => {

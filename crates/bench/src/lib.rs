@@ -25,6 +25,7 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod serve;
 
 use bridge_dbt::engine::profile_program;
 use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, Profile, RunReport, StaticProfile};

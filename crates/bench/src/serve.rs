@@ -1,0 +1,159 @@
+//! Multi-guest service throughput measurement, shared by the
+//! `serve_bench` binary and the `perf` harness's serve section.
+//!
+//! The comparison is service-vs-naive on the **same batch**: the
+//! sequential baseline re-derives every per-kernel artifact (the built
+//! image and, for static-profiling guests, the full training
+//! interpretation) once per request — the per-request cost a one-guest-at-
+//! a-time harness pays today — while the service builds each artifact once
+//! and shares it across shards behind an `Arc`. The speedup is therefore
+//! *amortization*, not thread-level parallelism, and holds on a
+//! single-core host (CI runs on one). Results must be byte-identical
+//! either way; [`measure_serve`] asserts that before reporting any timing.
+
+use bridge_dbt::MdaStrategy;
+use bridge_serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
+use bridge_workloads::spec::Scale;
+use std::time::{Duration, Instant};
+
+/// One serve-vs-sequential measurement, plus the equality witnesses.
+#[derive(Debug, Clone)]
+pub struct ServeMeasurement {
+    /// Worker threads the service ran with.
+    pub shards: usize,
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Distinct kernel specs across the batch (the sharing factor).
+    pub specs: usize,
+    /// Naive per-request baseline wall-clock (best of `reps`).
+    pub secs_sequential: f64,
+    /// Service wall-clock (best of `reps`).
+    pub secs_service: f64,
+    /// `secs_sequential / secs_service`.
+    pub speedup: f64,
+    /// Merged cycles across the batch (identical on both paths).
+    pub merged_cycles: u64,
+    /// Merged misalignment traps across the batch.
+    pub merged_traps: u64,
+}
+
+/// The standard throughput batch at `scale`: a mixed-strategy request
+/// stream dominated by static-profiling guests sharing two kernel specs —
+/// the FX!32 shape, where many guests consult one training database.
+pub fn throughput_batch(scale: Scale) -> Vec<RunRequest> {
+    let n = scale.outer_iters * 5;
+    let phase = KernelSpec::PhaseChangeSum {
+        aligned: n,
+        misaligned: n,
+    };
+    let packed = KernelSpec::PackedStructSum { count: n };
+    let mut batch = Vec::new();
+    for _ in 0..6 {
+        batch.push(RunRequest::new(phase, MdaStrategy::StaticProfiling));
+        batch.push(RunRequest::new(packed, MdaStrategy::StaticProfiling));
+    }
+    batch.push(RunRequest::new(phase, MdaStrategy::ExceptionHandling));
+    batch.push(RunRequest::new(packed, MdaStrategy::Dpeh));
+    batch
+}
+
+/// Distinct kernel specs in a batch.
+pub fn distinct_specs(batch: &[RunRequest]) -> usize {
+    let mut specs: Vec<KernelSpec> = batch.iter().map(|r| r.kernel).collect();
+    specs.sort_by_key(|s| format!("{s:?}"));
+    specs.dedup();
+    specs.len()
+}
+
+/// Times the batch on the naive sequential path and on the service at
+/// `shards` workers (interleaved best-of-`reps`, fresh service per rep so
+/// nothing is pre-warmed), asserting the two paths' merged [`Stats`],
+/// per-guest reports and memory read-backs are byte-identical before any
+/// timing is reported.
+///
+/// [`Stats`]: bridge_sim::stats::Stats
+///
+/// # Panics
+///
+/// Panics if the service and sequential results diverge (a determinism
+/// bug — timing would be meaningless).
+pub fn measure_serve(shards: usize, batch: &[RunRequest], reps: u32) -> ServeMeasurement {
+    let cfg = || ServeConfig::default().with_shards(shards);
+
+    // Correctness first: one untimed round-trip on each path.
+    let service = ExecService::new(cfg());
+    let pooled = service.run_batch(batch);
+    let serial = service.run_sequential(batch);
+    assert_eq!(
+        pooled.merged_stats, serial.merged_stats,
+        "service and sequential merged stats diverge"
+    );
+    assert_eq!(
+        pooled.reports_text(),
+        serial.reports_text(),
+        "service and sequential per-guest reports diverge"
+    );
+    for (slot, (p, s)) in pooled.guests.iter().zip(&serial.guests).enumerate() {
+        assert_eq!(
+            p.memory, s.memory,
+            "guest {slot}: final memory diverges between service and sequential"
+        );
+    }
+
+    // Then timing: fresh service per rep, so the pooled side pays its
+    // artifact builds inside the measured window every time.
+    let mut best_seq = Duration::MAX;
+    let mut best_svc = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let svc = ExecService::new(cfg());
+        let start = Instant::now();
+        let r = svc.run_sequential(batch);
+        best_seq = best_seq.min(start.elapsed());
+        assert_eq!(r.merged_stats, pooled.merged_stats);
+
+        let svc = ExecService::new(cfg());
+        let start = Instant::now();
+        let r = svc.run_batch(batch);
+        best_svc = best_svc.min(start.elapsed());
+        assert_eq!(r.merged_stats, pooled.merged_stats);
+    }
+
+    ServeMeasurement {
+        shards,
+        requests: batch.len(),
+        specs: distinct_specs(batch),
+        secs_sequential: best_seq.as_secs_f64(),
+        secs_service: best_svc.as_secs_f64(),
+        speedup: best_seq.as_secs_f64() / best_svc.as_secs_f64(),
+        merged_cycles: pooled.merged_stats.cycles,
+        merged_traps: pooled.merged_stats.unaligned_traps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_shape() {
+        let batch = throughput_batch(Scale::test());
+        assert_eq!(batch.len(), 14);
+        assert_eq!(distinct_specs(&batch), 2);
+        let sp = batch
+            .iter()
+            .filter(|r| r.strategy == MdaStrategy::StaticProfiling)
+            .count();
+        assert!(sp >= batch.len() - 2, "static profiling dominates");
+    }
+
+    #[test]
+    fn measure_smoke() {
+        // Tiny batch, one rep: exercises the equality assertions end to
+        // end without caring about the speedup number.
+        let batch = &throughput_batch(Scale::test())[..4];
+        let m = measure_serve(2, batch, 1);
+        assert_eq!(m.requests, 4);
+        assert!(m.secs_sequential > 0.0 && m.secs_service > 0.0);
+        assert!(m.merged_cycles > 0);
+    }
+}

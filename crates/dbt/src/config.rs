@@ -3,6 +3,7 @@
 
 use crate::profile::StaticProfile;
 pub use bridge_trace::TraceConfig;
+use std::sync::Arc;
 
 /// The MDA handling mechanism under evaluation (the paper's §III–IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,8 +68,12 @@ pub struct DbtConfig {
     /// interpretations (the paper sweeps 10–5000 in Figure 10; 50 is the
     /// balance point).
     pub hot_threshold: u64,
-    /// Training-run profile for [`MdaStrategy::StaticProfiling`].
-    pub static_profile: Option<StaticProfile>,
+    /// Training-run profile for [`MdaStrategy::StaticProfiling`]. Held
+    /// behind an [`Arc`] so a multi-guest service can build the profile
+    /// once and hand every guest the same immutable artifact by reference
+    /// (FX!32's database model); single-guest callers pass an owned
+    /// profile and never notice.
+    pub static_profile: Option<Arc<StaticProfile>>,
     /// Exception handling: reposition MDA code inline (retranslating the
     /// block) instead of branching to a distant stub (§IV-A, Figure 6/11).
     pub rearrange: bool,
@@ -174,8 +179,11 @@ impl DbtConfig {
 
     /// Builder-style: supply a training profile (implies nothing about the
     /// strategy; only [`MdaStrategy::StaticProfiling`] consults it).
-    pub fn with_static_profile(mut self, profile: StaticProfile) -> DbtConfig {
-        self.static_profile = Some(profile);
+    /// Accepts an owned [`StaticProfile`] or a shared `Arc<StaticProfile>`,
+    /// so single-guest callers and the sharded service use the same entry
+    /// point.
+    pub fn with_static_profile(mut self, profile: impl Into<Arc<StaticProfile>>) -> DbtConfig {
+        self.static_profile = Some(profile.into());
         self
     }
 

@@ -942,7 +942,7 @@ impl Dbt {
                     .adaptive_reversion
                     .then_some(self.cfg.reversion_threshold);
                 let profile = &self.profile;
-                let static_profile = self.cfg.static_profile.as_ref();
+                let static_profile = self.cfg.static_profile.as_deref();
                 let forced_seq = &self.forced_sequence;
                 let forced_normal = &self.forced_normal;
                 let mut plan = move |site: SiteId, acc: SiteAccess| -> SitePlan {

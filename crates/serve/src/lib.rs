@@ -1,0 +1,422 @@
+//! Multi-guest sharded execution service for DigitalBridge-RS.
+//!
+//! The paper evaluates its five MDA mechanisms one guest at a time; the
+//! ROADMAP north-star is a production-scale service handling many guests
+//! at once. This crate is that throughput backbone: a bounded work queue
+//! of [`RunRequest`]s drained by a pool of worker shards, each running an
+//! independent [`Dbt`] instance, with results aggregated deterministically.
+//!
+//! # Shared read-only artifacts
+//!
+//! FX!32 kept its static profile in an on-disk database produced by a
+//! background optimizer from complete representative runs, consulted by
+//! every later execution (PAPER.md §2.2). The service reproduces that
+//! model in memory: per [`KernelSpec`] it builds the kernel image and —
+//! for [`MdaStrategy::StaticProfiling`] guests — the [`StaticProfile`]
+//! from the spec's full training input ([`KernelSpec::training_spec`])
+//! **once**, then hands every shard the same immutable artifact behind an
+//! [`Arc`]. The naive per-request path ([`ExecService::run_sequential`])
+//! re-derives both for every request, which is exactly the redundancy the
+//! service amortizes away; on a training-dominated batch the pooled path
+//! wins ≥2x wall-clock without needing a second CPU (the `serve_bench`
+//! harness asserts this).
+//!
+//! # Determinism contract
+//!
+//! Every guest is an isolated engine: own [`Dbt`], own simulated machine,
+//! own memory. Worker assignment therefore cannot influence any result —
+//! only wall-clock. Aggregation is keyed by **request slot index** (the
+//! position in the submitted batch), never by worker or completion order:
+//! merged [`Stats`] fold in slot order, [`BatchReport::guests`] is indexed
+//! by slot, and the merged site table keys rows by `(slot, guest PC)`.
+//! Consequently a batch's [`BatchReport`] — stats, per-guest reports,
+//! memory read-back and merged JSONL trace tables — is byte-identical
+//! across shard counts, including `shards = 1` and the sequential
+//! baseline. The `serve_determinism` integration tests pin this.
+
+pub mod queue;
+pub mod request;
+
+pub use queue::BoundedQueue;
+pub use request::{KernelSpec, RunRequest};
+
+use bridge_dbt::engine::profile_program;
+use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, RunReport, StaticProfile};
+use bridge_sim::cost::CostModel;
+use bridge_sim::stats::Stats;
+use bridge_trace::{MergedSiteTable, TraceConfig, Tracer};
+use bridge_workloads::kernels::Kernel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Fuel budget per guest (large; kernels halt by construction).
+pub const FUEL: u64 = 200_000_000_000;
+
+/// Service tuning: pool width and queue depth.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub shards: usize,
+    /// Bounded queue capacity (backpressure on the submitter).
+    pub queue_depth: usize,
+    /// Trace bounds applied to guests whose request asks for tracing.
+    pub trace: TraceConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 8,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder-style: set the worker count (at least 1).
+    pub fn with_shards(mut self, shards: usize) -> ServeConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style: set the queue capacity (at least 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> ServeConfig {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style: set the trace bounds for tracing guests.
+    pub fn with_trace(mut self, trace: TraceConfig) -> ServeConfig {
+        self.trace = trace;
+        self
+    }
+}
+
+/// What one guest produced: the engine report plus the read-back of the
+/// kernel's observed memory ranges and the optional trace snapshot.
+#[derive(Debug, Clone)]
+pub struct GuestResult {
+    /// The request this guest executed.
+    pub request: RunRequest,
+    /// The engine's run report.
+    pub report: RunReport,
+    /// Final guest memory over [`KernelSpec::observed_ranges`], in range
+    /// order — the determinism tests' memory witness.
+    pub memory: Vec<(u32, Vec<u8>)>,
+    /// Trace snapshot, when the request asked for tracing.
+    pub tracer: Option<Tracer>,
+}
+
+/// Aggregated batch outcome, deterministic in the submitted order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// All guests' [`Stats`] folded in slot order via [`Stats::merge`].
+    pub merged_stats: Stats,
+    /// Per-guest results indexed by request slot.
+    pub guests: Vec<GuestResult>,
+}
+
+impl BatchReport {
+    fn from_guests(guests: Vec<GuestResult>) -> BatchReport {
+        let mut merged_stats = Stats::new();
+        for g in &guests {
+            merged_stats.merge(&g.report.stats);
+        }
+        BatchReport {
+            merged_stats,
+            guests,
+        }
+    }
+
+    /// The merged per-site trace table over every traced guest, keyed by
+    /// `(slot, guest PC)`.
+    pub fn merged_sites(&self) -> MergedSiteTable {
+        let mut table = MergedSiteTable::new();
+        for (slot, g) in self.guests.iter().enumerate() {
+            if let Some(t) = &g.tracer {
+                table.add_guest(slot as u32, t);
+            }
+        }
+        table
+    }
+
+    /// Every guest's [`RunReport`] rendered to text, slot-prefixed — the
+    /// byte-comparable form (reports hold hash maps and have no `Eq`).
+    pub fn reports_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (slot, g) in self.guests.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "== guest {slot}: {} / {} ==\n{}",
+                g.request.kernel.name(),
+                g.request.strategy,
+                g.report,
+            );
+        }
+        out
+    }
+}
+
+/// Per-spec shared artifacts, each built at most once.
+#[derive(Default)]
+struct SpecArtifacts {
+    kernel: OnceLock<Arc<Kernel>>,
+    profile: OnceLock<Arc<StaticProfile>>,
+}
+
+/// The execution service: a [`ServeConfig`] plus the memoized shared
+/// artifacts. One instance serves many batches; artifacts persist across
+/// them.
+pub struct ExecService {
+    cfg: ServeConfig,
+    artifacts: Mutex<HashMap<KernelSpec, Arc<SpecArtifacts>>>,
+}
+
+impl ExecService {
+    /// A service with the given tuning and an empty artifact store.
+    pub fn new(cfg: ServeConfig) -> ExecService {
+        ExecService {
+            cfg,
+            artifacts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The service tuning.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn entry(&self, spec: KernelSpec) -> Arc<SpecArtifacts> {
+        Arc::clone(
+            self.artifacts
+                .lock()
+                .expect("artifact lock never poisoned")
+                .entry(spec)
+                .or_default(),
+        )
+    }
+
+    /// The shared, memoized kernel image for `spec`. Built on first use;
+    /// every later caller gets the same `Arc`.
+    pub fn shared_kernel(&self, spec: KernelSpec) -> Arc<Kernel> {
+        let entry = self.entry(spec);
+        let k = entry.kernel.get_or_init(|| Arc::new(spec.build()));
+        Arc::clone(k)
+    }
+
+    /// The shared, memoized training profile for `spec` (the FX!32
+    /// database row). Built by interpreting the spec's training input
+    /// ([`KernelSpec::training_spec`]) once; every guest thereafter reads
+    /// the same immutable profile by reference.
+    pub fn shared_profile(&self, spec: KernelSpec) -> Arc<StaticProfile> {
+        let entry = self.entry(spec);
+        let p = entry.profile.get_or_init(|| Arc::new(train(spec)));
+        Arc::clone(p)
+    }
+
+    fn config_for(&self, req: &RunRequest, profile: Option<Arc<StaticProfile>>) -> DbtConfig {
+        let mut cfg = DbtConfig::new(req.strategy).with_threshold(req.hot_threshold);
+        if let Some(p) = profile {
+            cfg = cfg.with_static_profile(p);
+        }
+        if req.trace {
+            cfg = cfg.with_trace(self.cfg.trace.clone());
+        }
+        cfg
+    }
+
+    /// Executes one request on the calling thread, using (and populating)
+    /// the shared artifact store.
+    pub fn run_one(&self, req: RunRequest) -> GuestResult {
+        let kernel = self.shared_kernel(req.kernel);
+        let profile =
+            (req.strategy == MdaStrategy::StaticProfiling).then(|| self.shared_profile(req.kernel));
+        execute(&kernel, self.config_for(&req, profile), req)
+    }
+
+    /// Executes a batch across the worker pool: requests enter the bounded
+    /// queue in slot order, `shards` workers drain it, and results land in
+    /// their slots. Output is independent of the worker count (see the
+    /// crate docs' determinism contract).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker (a guest failing to halt is a
+    /// harness bug, as in the bench crate).
+    pub fn run_batch(&self, requests: &[RunRequest]) -> BatchReport {
+        let queue: BoundedQueue<(usize, RunRequest)> = BoundedQueue::new(self.cfg.queue_depth);
+        let slots: Mutex<Vec<Option<GuestResult>>> =
+            Mutex::new(requests.iter().map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..self.cfg.shards.max(1) {
+                s.spawn(|| {
+                    while let Some((slot, req)) = queue.pop() {
+                        let result = self.run_one(req);
+                        slots.lock().expect("slot lock never poisoned")[slot] = Some(result);
+                    }
+                });
+            }
+            for (slot, &req) in requests.iter().enumerate() {
+                queue
+                    .push((slot, req))
+                    .unwrap_or_else(|_| unreachable!("queue closes only after all pushes"));
+            }
+            queue.close();
+        });
+        let guests = slots
+            .into_inner()
+            .expect("slot lock never poisoned")
+            .into_iter()
+            .map(|g| g.expect("every slot filled by the pool"))
+            .collect();
+        BatchReport::from_guests(guests)
+    }
+
+    /// The naive per-request baseline the service exists to beat: executes
+    /// the batch on the calling thread, re-building the kernel and —
+    /// for static-profiling guests — re-running the full training-input
+    /// interpretation for **every** request, sharing nothing. Results are
+    /// byte-identical to [`ExecService::run_batch`] (every derivation is
+    /// deterministic); only the redundant work differs.
+    pub fn run_sequential(&self, requests: &[RunRequest]) -> BatchReport {
+        let guests = requests
+            .iter()
+            .map(|&req| {
+                let kernel = req.kernel.build();
+                let profile = (req.strategy == MdaStrategy::StaticProfiling)
+                    .then(|| Arc::new(train(req.kernel)));
+                execute(&kernel, self.config_for(&req, profile), req)
+            })
+            .collect();
+        BatchReport::from_guests(guests)
+    }
+}
+
+/// Interprets the spec's training input once and distills its static
+/// profile (the pre-execution training phase, Figure 3). The training
+/// kernel shares the request kernel's code layout, so its sites apply
+/// directly.
+fn train(spec: KernelSpec) -> StaticProfile {
+    let kernel = spec.training_spec().build();
+    let (_, profile) = profile_program(
+        &kernel.program,
+        &kernel.data,
+        Some(kernel.stack_top),
+        &CostModel::es40(),
+        FUEL,
+    )
+    .expect("training run halts");
+    profile.to_static_profile()
+}
+
+/// Runs one guest to completion and captures its witnesses.
+fn execute(kernel: &Kernel, cfg: DbtConfig, req: RunRequest) -> GuestResult {
+    let mut dbt = Dbt::new(cfg);
+    kernel.load_into(&mut dbt);
+    let report = dbt.run(FUEL).expect("kernel halts within fuel");
+    let tracer = dbt.trace_snapshot();
+    let memory = req
+        .kernel
+        .observed_ranges()
+        .into_iter()
+        .map(|(addr, len)| {
+            let mut buf = vec![0u8; len];
+            dbt.machine().mem().read_bytes(u64::from(addr), &mut buf);
+            (addr, buf)
+        })
+        .collect();
+    GuestResult {
+        request: req,
+        report,
+        memory,
+        tracer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_batch() -> Vec<RunRequest> {
+        let spec = KernelSpec::PhaseChangeSum {
+            aligned: 60,
+            misaligned: 60,
+        };
+        vec![
+            RunRequest::new(spec, MdaStrategy::StaticProfiling).with_threshold(10),
+            RunRequest::new(spec, MdaStrategy::Dpeh).with_threshold(10),
+            RunRequest::new(
+                KernelSpec::MemcpyUnaligned { len: 64 },
+                MdaStrategy::ExceptionHandling,
+            )
+            .with_threshold(10),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(2));
+        let reqs = small_batch();
+        let pooled = svc.run_batch(&reqs);
+        let serial = svc.run_sequential(&reqs);
+        assert_eq!(pooled.merged_stats, serial.merged_stats);
+        assert_eq!(pooled.reports_text(), serial.reports_text());
+        for (p, s) in pooled.guests.iter().zip(&serial.guests) {
+            assert_eq!(p.memory, s.memory);
+        }
+    }
+
+    #[test]
+    fn shared_artifacts_are_memoized() {
+        let svc = ExecService::new(ServeConfig::default());
+        let spec = KernelSpec::MemcpyUnaligned { len: 64 };
+        let k1 = svc.shared_kernel(spec);
+        let k2 = svc.shared_kernel(spec);
+        assert!(Arc::ptr_eq(&k1, &k2), "one kernel image per spec");
+        let p1 = svc.shared_profile(spec);
+        let p2 = svc.shared_profile(spec);
+        assert!(Arc::ptr_eq(&p1, &p2), "one training profile per spec");
+    }
+
+    #[test]
+    fn merged_stats_fold_in_slot_order() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(3));
+        let reqs = small_batch();
+        let batch = svc.run_batch(&reqs);
+        let mut expect = Stats::new();
+        for g in &batch.guests {
+            expect.merge(&g.report.stats);
+        }
+        assert_eq!(batch.merged_stats, expect);
+        assert_eq!(batch.guests.len(), reqs.len());
+        for (g, r) in batch.guests.iter().zip(&reqs) {
+            assert_eq!(g.request, *r, "slot order preserved");
+        }
+    }
+
+    #[test]
+    fn traced_guests_feed_the_merged_table() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(2));
+        let spec = KernelSpec::PhaseChangeSum {
+            aligned: 60,
+            misaligned: 60,
+        };
+        let reqs = vec![
+            RunRequest::new(spec, MdaStrategy::ExceptionHandling)
+                .with_threshold(10)
+                .with_trace(true),
+            RunRequest::new(spec, MdaStrategy::Dpeh).with_threshold(10),
+        ];
+        let batch = svc.run_batch(&reqs);
+        assert!(batch.guests[0].tracer.is_some());
+        assert!(batch.guests[1].tracer.is_none());
+        let table = batch.merged_sites();
+        assert!(!table.is_empty(), "the traced guest contributed sites");
+        assert!(
+            table.rows().all(|((guest, _), _)| guest == 0),
+            "rows keyed by the traced guest's slot"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! A bounded MPMC work queue on `std` primitives only.
+//!
+//! `push` blocks while the queue is full (backpressure: a producer cannot
+//! race ahead of the pool), `pop` blocks while it is empty, and `close`
+//! wakes everyone up so the pool can drain the remainder and exit. No
+//! external channel crate — a `Mutex<VecDeque>` plus two condvars is all
+//! the service needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded blocking FIFO shared by reference across threads.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the item
+    /// back if the queue was closed before space appeared.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock never poisoned");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < inner.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .not_full
+                .wait(inner)
+                .expect("queue lock never poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock never poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("queue lock never poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, pops drain what remains and
+    /// then return `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock never poisoned");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("queue lock never poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(7), "remainder drains");
+        assert_eq!(q.pop(), None, "then the end is signalled");
+    }
+
+    #[test]
+    fn push_blocks_until_pop_frees_a_slot() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| q.push(2).unwrap());
+            // The consumer frees the slot; the blocked producer proceeds.
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+        });
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q = BoundedQueue::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            q.push(42).unwrap();
+            assert_eq!(h.join().unwrap(), Some(42));
+            let h = s.spawn(|| q.pop());
+            q.close();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+}

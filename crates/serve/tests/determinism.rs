@@ -1,0 +1,122 @@
+//! Cross-shard determinism: the service's aggregated results are a pure
+//! function of the submitted batch, never of the shard count or of which
+//! worker thread ran which guest.
+
+use bridge_dbt::MdaStrategy;
+use bridge_serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
+use std::sync::Arc;
+
+/// A small mixed batch touching every kernel spec and several strategies,
+/// all traced so the merged site table is part of the witness.
+fn mixed_batch() -> Vec<RunRequest> {
+    let specs = [
+        KernelSpec::MemcpyUnaligned { len: 64 },
+        KernelSpec::PackedStructSum { count: 40 },
+        KernelSpec::MisalignedStack { iterations: 30 },
+        KernelSpec::LinkedListChase { count: 25 },
+        KernelSpec::PhaseChangeSum {
+            aligned: 30,
+            misaligned: 30,
+        },
+    ];
+    let strategies = [
+        MdaStrategy::StaticProfiling,
+        MdaStrategy::ExceptionHandling,
+        MdaStrategy::Dpeh,
+    ];
+    let mut batch = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        for (j, strategy) in strategies.iter().enumerate() {
+            // Skew thresholds so slots differ even within a (spec,
+            // strategy) pair — a slot-indexing bug can't hide behind
+            // identical guests.
+            let threshold = 50 + 10 * ((i + j) as u64 % 2);
+            batch.push(
+                RunRequest::new(*spec, *strategy)
+                    .with_threshold(threshold)
+                    .with_trace(true),
+            );
+        }
+    }
+    batch
+}
+
+/// One shard vs four shards: merged stats, per-guest reports, final guest
+/// memory and the merged site-table JSONL must all be byte-identical.
+#[test]
+fn shard_count_never_changes_results() {
+    let batch = mixed_batch();
+    let one = ExecService::new(ServeConfig::default().with_shards(1)).run_batch(&batch);
+    let four = ExecService::new(ServeConfig::default().with_shards(4)).run_batch(&batch);
+
+    assert_eq!(one.merged_stats, four.merged_stats, "merged stats diverge");
+    assert_eq!(
+        one.reports_text(),
+        four.reports_text(),
+        "per-guest reports diverge"
+    );
+    for (slot, (a, b)) in one.guests.iter().zip(&four.guests).enumerate() {
+        assert_eq!(a.request, b.request, "guest {slot}: slot order broke");
+        assert_eq!(a.memory, b.memory, "guest {slot}: final memory diverges");
+    }
+    assert_eq!(
+        one.merged_sites().to_jsonl(),
+        four.merged_sites().to_jsonl(),
+        "merged site-table JSONL diverges"
+    );
+}
+
+/// The pooled path must match the naive per-request sequential path: the
+/// service's sharing is an implementation detail, never visible in
+/// results.
+#[test]
+fn service_matches_naive_sequential() {
+    let batch = mixed_batch();
+    let svc = ExecService::new(ServeConfig::default().with_shards(4));
+    let pooled = svc.run_batch(&batch);
+    let naive = svc.run_sequential(&batch);
+
+    assert_eq!(pooled.merged_stats, naive.merged_stats);
+    assert_eq!(pooled.reports_text(), naive.reports_text());
+    for (slot, (p, n)) in pooled.guests.iter().zip(&naive.guests).enumerate() {
+        assert_eq!(p.memory, n.memory, "guest {slot}: memory diverges");
+    }
+    assert_eq!(
+        pooled.merged_sites().to_jsonl(),
+        naive.merged_sites().to_jsonl()
+    );
+}
+
+/// Shards sharing one `StaticProfile` must all see the same immutable
+/// artifact: the same allocation before and after a concurrent batch, with
+/// contents identical to an independently trained profile.
+#[test]
+fn shared_profile_is_never_torn() {
+    let spec = KernelSpec::PhaseChangeSum {
+        aligned: 40,
+        misaligned: 40,
+    };
+    let svc = ExecService::new(ServeConfig::default().with_shards(4));
+    let before = svc.shared_profile(spec);
+    let fresh = ExecService::new(ServeConfig::default()).shared_profile(spec);
+    assert_eq!(*before, *fresh, "training is deterministic");
+
+    // Hammer the shared artifact from four worker threads at once.
+    let batch: Vec<RunRequest> = (0..12)
+        .map(|_| RunRequest::new(spec, MdaStrategy::StaticProfiling))
+        .collect();
+    let report = svc.run_batch(&batch);
+
+    let after = svc.shared_profile(spec);
+    assert!(
+        Arc::ptr_eq(&before, &after),
+        "batch rebuilt the memoized profile"
+    );
+    assert_eq!(*before, *fresh, "concurrent readers tore the profile");
+
+    // Every guest consulted the same profile, so every report is the same.
+    let first = &report.guests[0].report;
+    for (slot, g) in report.guests.iter().enumerate() {
+        assert_eq!(g.report.stats, first.stats, "guest {slot} diverged");
+    }
+}

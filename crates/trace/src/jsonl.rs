@@ -21,31 +21,17 @@ pub fn to_string(t: &Tracer) -> String {
     let _ = writeln!(
         out,
         "{{\"type\":\"meta\",\"schema\":\"{SCHEMA}\",\"bucket_cycles\":{},\"buckets\":{},\
-         \"truncated\":{},\"sites\":{},\"ring_events\":{},\"dropped\":{}}}",
+         \"truncated\":{},\"folded_traps\":{},\"sites\":{},\"ring_events\":{},\"dropped\":{}}}",
         tl.bucket_cycles(),
         tl.active_buckets(),
         tl.truncated(),
+        tl.folded_traps(),
         t.sites().count(),
         t.event_count(),
         t.dropped(),
     );
     for (pc, s) in t.sites() {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"site\",\"pc\":{pc},\"traps\":{},\"os_fixups\":{},\"patches\":{},\
-             \"rearrangements\":{},\"reversions\":{},\"first_trap_cycle\":{},\
-             \"patch_cycle\":{},\"cycles_attributed\":{},\"execs\":{},\"mdas\":{}}}",
-            s.traps,
-            s.os_fixups,
-            s.patches,
-            s.rearrangements,
-            s.reversions,
-            opt(s.first_trap_cycle),
-            opt(s.patch_cycle),
-            s.cycles_attributed,
-            s.execs,
-            s.mdas,
-        );
+        let _ = writeln!(out, "{{\"type\":\"site\",\"pc\":{pc},{}}}", site_body(s));
     }
     let buckets = tl.active_buckets();
     for i in 0..buckets {
@@ -105,6 +91,28 @@ pub fn to_string(t: &Tracer) -> String {
 /// Propagates I/O errors from `w`.
 pub fn write<W: io::Write>(t: &Tracer, w: &mut W) -> io::Result<()> {
     w.write_all(to_string(t).as_bytes())
+}
+
+/// The shared field tail of a site line (everything after the key
+/// fields), used by both the per-run sink above and the merged
+/// multi-guest table ([`crate::merge::MergedSiteTable::to_jsonl`]) so
+/// readers scan one layout.
+pub(crate) fn site_body(s: &crate::SiteTelemetry) -> String {
+    format!(
+        "\"traps\":{},\"os_fixups\":{},\"patches\":{},\
+         \"rearrangements\":{},\"reversions\":{},\"first_trap_cycle\":{},\
+         \"patch_cycle\":{},\"cycles_attributed\":{},\"execs\":{},\"mdas\":{}",
+        s.traps,
+        s.os_fixups,
+        s.patches,
+        s.rearrangements,
+        s.reversions,
+        opt(s.first_trap_cycle),
+        opt(s.patch_cycle),
+        s.cycles_attributed,
+        s.execs,
+        s.mdas,
+    )
 }
 
 fn opt(v: Option<u64>) -> String {

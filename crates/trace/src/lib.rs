@@ -30,9 +30,11 @@
 //! `trace_timeline` integration tests).
 
 pub mod jsonl;
+pub mod merge;
 pub mod site;
 pub mod timeline;
 
+pub use merge::MergedSiteTable;
 pub use site::SiteTelemetry;
 pub use timeline::Timeline;
 
@@ -367,6 +369,12 @@ impl Tracer {
     /// Telemetry for one guest PC.
     pub fn site(&self, pc: u32) -> Option<&SiteTelemetry> {
         self.sites.get(&pc)
+    }
+
+    /// The `n` hottest sites, ordered by `cycles_attributed` descending
+    /// with guest PC as the deterministic tie-break.
+    pub fn hot_sites(&self, n: usize) -> Vec<(u32, SiteTelemetry)> {
+        merge::hot_n(self.sites().map(|(pc, s)| (pc, *s)), n)
     }
 
     /// The cycle-bucket timelines.

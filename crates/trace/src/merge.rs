@@ -1,0 +1,193 @@
+//! Merging per-guest site tables from a multi-guest run.
+//!
+//! The execution service runs N independent guests, each with its own
+//! [`Tracer`]; this module folds their site tables into one view keyed by
+//! `(guest, pc)`. The key is the guest's *request slot index*, never the
+//! worker thread that happened to execute it — worker assignment is a
+//! scheduling accident, the slot index is part of the batch's identity.
+//! That choice is what makes the merged table deterministic: the same
+//! batch produces byte-identical JSONL whether it ran on one shard or
+//! eight.
+
+use crate::{jsonl, SiteTelemetry, Tracer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written in the merged table's `meta` line.
+pub const MERGED_SCHEMA: &str = "bridge-trace-merged/1";
+
+/// A multi-guest site table: per-site telemetry keyed by
+/// `(guest index, guest PC)`, with deterministic iteration and export.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergedSiteTable {
+    rows: BTreeMap<(u32, u32), SiteTelemetry>,
+}
+
+impl MergedSiteTable {
+    /// An empty table.
+    pub fn new() -> MergedSiteTable {
+        MergedSiteTable::default()
+    }
+
+    /// Folds one guest's site table in under index `guest`. Adding the
+    /// same guest twice merges row-wise (counters accumulate).
+    pub fn add_guest(&mut self, guest: u32, tracer: &Tracer) {
+        for (pc, s) in tracer.sites() {
+            self.rows.entry((guest, pc)).or_default().merge(s);
+        }
+    }
+
+    /// Number of `(guest, pc)` rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no guest contributed any site.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows in `(guest, pc)` order.
+    pub fn rows(&self) -> impl Iterator<Item = ((u32, u32), &SiteTelemetry)> {
+        self.rows.iter().map(|(k, s)| (*k, s))
+    }
+
+    /// Collapses across guests: one row per guest PC, counters summed,
+    /// first-occurrence cycles taking the earliest across guests.
+    pub fn collapse_by_pc(&self) -> BTreeMap<u32, SiteTelemetry> {
+        let mut out: BTreeMap<u32, SiteTelemetry> = BTreeMap::new();
+        for (&(_, pc), s) in &self.rows {
+            out.entry(pc).or_default().merge(s);
+        }
+        out
+    }
+
+    /// The `n` hottest PCs across all guests, ordered by
+    /// `cycles_attributed` descending with PC as the deterministic
+    /// tie-break.
+    pub fn hot_sites(&self, n: usize) -> Vec<(u32, SiteTelemetry)> {
+        hot_n(self.collapse_by_pc().into_iter(), n)
+    }
+
+    /// Serializes the table as JSONL: a `meta` line, then one
+    /// `merged_site` line per `(guest, pc)` row in key order. Output is a
+    /// pure function of the table contents.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let guests = self
+            .rows
+            .keys()
+            .map(|&(g, _)| g)
+            .collect::<std::collections::BTreeSet<u32>>()
+            .len();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"schema\":\"{MERGED_SCHEMA}\",\"rows\":{},\"guests\":{guests}}}",
+            self.rows.len(),
+        );
+        for (&(guest, pc), s) in &self.rows {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"merged_site\",\"guest\":{guest},\"pc\":{pc},{}}}",
+                jsonl::site_body(s),
+            );
+        }
+        out
+    }
+}
+
+/// The `n` hottest entries of a `(pc, telemetry)` sequence, ordered by
+/// `cycles_attributed` descending, PC ascending on ties.
+pub fn hot_n(
+    sites: impl Iterator<Item = (u32, SiteTelemetry)>,
+    n: usize,
+) -> Vec<(u32, SiteTelemetry)> {
+    let mut v: Vec<(u32, SiteTelemetry)> = sites.collect();
+    v.sort_by(|a, b| {
+        b.1.cycles_attributed
+            .cmp(&a.1.cycles_attributed)
+            .then(a.0.cmp(&b.0))
+    });
+    v.truncate(n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, TraceEvent};
+
+    fn guest_tracer(pc: u32, traps: u64, cost: u64) -> Tracer {
+        let mut t = Tracer::new(&TraceConfig::default().with_bucket_cycles(100));
+        for i in 0..traps {
+            t.record(
+                10 + i,
+                TraceEvent::Trap {
+                    site_pc: pc,
+                    slot: 0,
+                    cycles: cost,
+                },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn rows_keyed_by_guest_then_pc() {
+        let mut m = MergedSiteTable::new();
+        m.add_guest(1, &guest_tracer(0x80, 1, 10));
+        m.add_guest(0, &guest_tracer(0x40, 2, 10));
+        let keys: Vec<(u32, u32)> = m.rows().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(0, 0x40), (1, 0x80)]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn collapse_sums_across_guests() {
+        let mut m = MergedSiteTable::new();
+        m.add_guest(0, &guest_tracer(0x40, 2, 10));
+        m.add_guest(1, &guest_tracer(0x40, 3, 10));
+        let collapsed = m.collapse_by_pc();
+        assert_eq!(collapsed.len(), 1);
+        let s = &collapsed[&0x40];
+        assert_eq!(s.traps, 5);
+        assert_eq!(s.cycles_attributed, 50);
+        assert_eq!(s.first_trap_cycle, Some(10));
+    }
+
+    #[test]
+    fn hot_sites_order_by_cost_then_pc() {
+        let mut m = MergedSiteTable::new();
+        m.add_guest(0, &guest_tracer(0x40, 1, 100));
+        m.add_guest(0, &guest_tracer(0x80, 4, 100));
+        m.add_guest(1, &guest_tracer(0x90, 1, 100));
+        let hot = m.hot_sites(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 0x80, "most cycles first");
+        assert_eq!(hot[1].0, 0x40, "tie broken by PC ascending");
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_scannable() {
+        let mut a = MergedSiteTable::new();
+        a.add_guest(1, &guest_tracer(0x80, 1, 10));
+        a.add_guest(0, &guest_tracer(0x40, 2, 10));
+        // Same contents, different insertion order.
+        let mut b = MergedSiteTable::new();
+        b.add_guest(0, &guest_tracer(0x40, 2, 10));
+        b.add_guest(1, &guest_tracer(0x80, 1, 10));
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+
+        let s = a.to_jsonl();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(jsonl::line_type(lines[0]), Some("meta"));
+        assert_eq!(jsonl::str_field(lines[0], "schema"), Some(MERGED_SCHEMA));
+        assert_eq!(jsonl::u64_field(lines[0], "rows"), Some(2));
+        assert_eq!(jsonl::u64_field(lines[0], "guests"), Some(2));
+        assert_eq!(jsonl::line_type(lines[1]), Some("merged_site"));
+        assert_eq!(jsonl::u64_field(lines[1], "guest"), Some(0));
+        assert_eq!(jsonl::u64_field(lines[1], "pc"), Some(0x40));
+        assert_eq!(jsonl::u64_field(lines[1], "traps"), Some(2));
+    }
+}

@@ -38,17 +38,43 @@ pub struct SiteTelemetry {
 
 impl SiteTelemetry {
     /// Cycles between discovery (first trap) and fix (first patch), if
-    /// both happened.
+    /// both happened in that order. A patch recorded *before* the first
+    /// trap (a statically pre-patched site) has no discovery-to-fix
+    /// latency, so out-of-order timestamps yield `None` rather than a
+    /// misleading `0`.
     pub fn discovery_to_fix_cycles(&self) -> Option<u64> {
         match (self.first_trap_cycle, self.patch_cycle) {
-            (Some(t), Some(p)) => Some(p.saturating_sub(t)),
+            (Some(t), Some(p)) if p >= t => Some(p - t),
             _ => None,
         }
+    }
+
+    /// Accumulates `other` into `self`: counters add, first-occurrence
+    /// cycles take the earliest of the two. Used when collapsing per-guest
+    /// site tables that share a PC.
+    pub fn merge(&mut self, other: &SiteTelemetry) {
+        self.traps += other.traps;
+        self.os_fixups += other.os_fixups;
+        self.patches += other.patches;
+        self.rearrangements += other.rearrangements;
+        self.reversions += other.reversions;
+        self.first_trap_cycle = min_opt(self.first_trap_cycle, other.first_trap_cycle);
+        self.patch_cycle = min_opt(self.patch_cycle, other.patch_cycle);
+        self.cycles_attributed += other.cycles_attributed;
+        self.execs += other.execs;
+        self.mdas += other.mdas;
     }
 
     /// Whether anything at all was attributed to this site.
     pub fn is_empty(&self) -> bool {
         *self == SiteTelemetry::default()
+    }
+}
+
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
     }
 }
 
@@ -67,5 +93,58 @@ mod tests {
         assert!(!s.is_empty());
         assert_eq!(SiteTelemetry::default().discovery_to_fix_cycles(), None);
         assert!(SiteTelemetry::default().is_empty());
+    }
+
+    /// Regression: a site patched before its first trap (statically
+    /// pre-patched) used to report a latency of `Some(0)` via
+    /// `saturating_sub`, indistinguishable from a genuinely instant fix.
+    #[test]
+    fn prepatched_site_has_no_discovery_latency() {
+        let s = SiteTelemetry {
+            first_trap_cycle: Some(1_400),
+            patch_cycle: Some(1_000),
+            ..SiteTelemetry::default()
+        };
+        assert_eq!(s.discovery_to_fix_cycles(), None);
+        // Same-cycle discovery and fix is genuinely zero latency.
+        let z = SiteTelemetry {
+            first_trap_cycle: Some(1_000),
+            patch_cycle: Some(1_000),
+            ..SiteTelemetry::default()
+        };
+        assert_eq!(z.discovery_to_fix_cycles(), Some(0));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_earliest_cycles() {
+        let mut a = SiteTelemetry {
+            traps: 2,
+            patches: 1,
+            first_trap_cycle: Some(500),
+            patch_cycle: None,
+            cycles_attributed: 100,
+            execs: 10,
+            mdas: 4,
+            ..SiteTelemetry::default()
+        };
+        let b = SiteTelemetry {
+            traps: 3,
+            os_fixups: 7,
+            first_trap_cycle: Some(300),
+            patch_cycle: Some(900),
+            cycles_attributed: 50,
+            execs: 5,
+            mdas: 5,
+            ..SiteTelemetry::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.traps, 5);
+        assert_eq!(a.os_fixups, 7);
+        assert_eq!(a.patches, 1);
+        assert_eq!(a.first_trap_cycle, Some(300));
+        assert_eq!(a.patch_cycle, Some(900));
+        assert_eq!(a.cycles_attributed, 150);
+        assert_eq!(a.execs, 15);
+        assert_eq!(a.mdas, 9);
     }
 }

@@ -17,6 +17,7 @@ pub struct Timeline {
     patches: Vec<u64>,
     guest_insns: Vec<u64>,
     truncated: bool,
+    folded_traps: u64,
 }
 
 impl Timeline {
@@ -31,6 +32,7 @@ impl Timeline {
             patches: Vec::new(),
             guest_insns: Vec::new(),
             truncated: false,
+            folded_traps: 0,
         }
     }
 
@@ -44,24 +46,36 @@ impl Timeline {
         self.truncated
     }
 
-    /// The bucket index for `cycle`, clamped to the final bucket.
-    fn bucket_index(&mut self, cycle: u64) -> Option<usize> {
+    /// Traps whose true cycle lies past the last bucket, folded into it.
+    /// Their real position relative to the final patches is unknowable, so
+    /// [`Timeline::trap_rate_converged`] refuses to count them as
+    /// pre-patch.
+    pub fn folded_traps(&self) -> u64 {
+        self.folded_traps
+    }
+
+    /// The bucket index for `cycle`, clamped to the final bucket; the flag
+    /// says whether the clamp fired (the count is folded).
+    fn bucket_index(&mut self, cycle: u64) -> Option<(usize, bool)> {
         if self.max_buckets == 0 {
             return None;
         }
         let idx = (cycle / self.bucket_cycles) as usize;
         if idx >= self.max_buckets {
             self.truncated = true;
-            Some(self.max_buckets - 1)
+            Some((self.max_buckets - 1, true))
         } else {
-            Some(idx)
+            Some((idx, false))
         }
     }
 
     fn bump(&mut self, series: Series, cycle: u64, n: u64) {
-        let Some(idx) = self.bucket_index(cycle) else {
+        let Some((idx, folded)) = self.bucket_index(cycle) else {
             return;
         };
+        if folded && matches!(series, Series::Traps) {
+            self.folded_traps += n;
+        }
         let v = match series {
             Series::Traps => &mut self.traps,
             Series::MonitorExits => &mut self.monitor_exits,
@@ -136,9 +150,17 @@ impl Timeline {
     /// The adaptive-convergence predicate: at least one patch happened,
     /// and no bucket after the last patch bucket contains a trap — the
     /// trap-rate series decays to zero once discovery completes.
+    ///
+    /// Folded traps (activity past the last bucket, clamped into it) have
+    /// no usable ordering against the final patches: when the last patch
+    /// sits in the final bucket too, they land *in* the last-patch bucket
+    /// and would be invisible to [`Timeline::traps_after`]. A timeline in
+    /// that state refuses to claim convergence rather than guess.
     pub fn trap_rate_converged(&self) -> bool {
         match self.last_patch_bucket() {
-            Some(b) => self.traps_after(b) == 0,
+            Some(b) => {
+                self.traps_after(b) == 0 && !(self.folded_traps > 0 && b + 1 == self.max_buckets)
+            }
             None => false,
         }
     }
@@ -177,6 +199,44 @@ mod tests {
         t.bump_trap(2_000);
         assert_eq!(t.traps(), &[1, 0, 2]);
         assert!(t.truncated());
+        assert_eq!(t.folded_traps(), 2);
+    }
+
+    /// Regression: a truncated timeline folds post-patch traps into the
+    /// final bucket; when that bucket is also the last-patch bucket,
+    /// `traps_after` cannot see them and the pre-fix predicate claimed
+    /// convergence despite the run still trapping.
+    #[test]
+    fn truncated_timeline_refuses_convergence() {
+        let mut t = Timeline::new(10, 3);
+        t.bump_trap(5);
+        t.bump_patch(25); // last patch lands in the final bucket (index 2)
+        t.bump_trap(1_000); // post-patch trap, folded into bucket 2
+        assert!(t.truncated());
+        assert_eq!(t.folded_traps(), 1);
+        assert_eq!(t.last_patch_bucket(), Some(2));
+        // The folded trap is invisible to traps_after — that was the bug.
+        assert_eq!(t.traps_after(2), 0);
+        assert!(!t.trap_rate_converged());
+
+        // When the last patch is NOT in the final bucket, folded traps are
+        // already counted by traps_after and convergence logic is unchanged.
+        let mut u = Timeline::new(10, 3);
+        u.bump_trap(5);
+        u.bump_patch(6); // last patch in bucket 0
+        u.bump_trap(1_000); // folded into bucket 2, visible to traps_after(0)
+        assert_eq!(u.traps_after(0), 1);
+        assert!(!u.trap_rate_converged());
+
+        // A truncated timeline with no folded traps may still converge:
+        // only guest progress ran past the end, every trap was on time.
+        let mut v = Timeline::new(10, 3);
+        v.bump_trap(5);
+        v.bump_patch(6);
+        v.add_insns(1_000, 50); // truncates the timeline, but not a trap
+        assert!(v.truncated());
+        assert_eq!(v.folded_traps(), 0);
+        assert!(v.trap_rate_converged());
     }
 
     #[test]

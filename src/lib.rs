@@ -13,7 +13,10 @@
 //! * [`workloads`] — SPEC CPU2000/2006 stand-in workloads calibrated to the
 //!   paper's Table I/III/IV;
 //! * [`trace`] — structured tracing and per-site MDA telemetry (event ring,
-//!   guest-PC site table, cycle-bucket phase timelines, JSONL sink).
+//!   guest-PC site table, cycle-bucket phase timelines, JSONL sink);
+//! * [`serve`] — the multi-guest sharded execution service (bounded work
+//!   queue, worker pool, shared read-only training profiles, deterministic
+//!   result aggregation).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! substitutions, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -36,6 +39,7 @@
 
 pub use bridge_alpha as alpha;
 pub use bridge_dbt as dbt;
+pub use bridge_serve as serve;
 pub use bridge_sim as sim;
 pub use bridge_trace as trace;
 pub use bridge_workloads as workloads;
