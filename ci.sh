@@ -28,14 +28,25 @@ echo "== perf bench (scale test) + BENCH json schema =="
 (cd "$tmp" && "$OLDPWD/target/release/perf" --scale test >perf_stdout.txt)
 ./target/release/check_bench_json "$tmp/BENCH_simulator.json"
 
-echo "== serve_bench smoke (scale test, byte-identical merge, >=2x at 4 shards) =="
+echo "== serve_bench smoke (scale test, byte-identical merge, >=2x at 4 shards, metrics exposition) =="
 ./target/release/serve_bench --scale test >"$tmp/serve_stdout.txt"
 grep -q "serve_bench OK" "$tmp/serve_stdout.txt"
+grep -q '"schema":"bridge-metrics/1"' "$tmp/serve_stdout.txt"
+grep -q '# TYPE serve_requests counter' "$tmp/serve_stdout.txt"
 
 echo "== trace_report smoke (JSONL written, EH converges, top-N) =="
 ./target/release/trace_report --strategy eh --top 3 --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"
 grep -q "trap rate CONVERGED" "$tmp/trace_stdout.txt"
 grep -q "Hot sites (top 3" "$tmp/trace_stdout.txt"
 grep -q '"type":"meta"' "$tmp/trace.jsonl"
+
+echo "== streaming + diff smoke (full-fidelity stream, EH-vs-dynamic delta) =="
+./target/release/trace_report --strategy eh --stream "$tmp/eh.jsonl" >"$tmp/eh_stdout.txt"
+grep -q "streamed " "$tmp/eh_stdout.txt"
+grep -q '"type":"summary"' "$tmp/eh.jsonl"
+./target/release/trace_report --strategy dynamic --stream "$tmp/dyn.jsonl" >/dev/null
+./target/release/trace_report --diff "$tmp/eh.jsonl" "$tmp/dyn.jsonl" >"$tmp/diff_stdout.txt"
+grep -q "convergence verdict CHANGED: A converged -> B no_patches" "$tmp/diff_stdout.txt"
+grep -q "B trapped .* more times than A" "$tmp/diff_stdout.txt"
 
 echo "CI OK"

@@ -16,10 +16,13 @@
 //!    the speedup is measured on provably equivalent accounting;
 //! 3. **in-cache-code dispatch** monitor-exit reduction on call/ret-heavy
 //!    kernels (inline IBTC + shadow return stack off vs on);
-//! 4. **structured tracing overhead**: the same kernels traced vs
-//!    untraced. Cycle totals must be identical (tracing never charges
-//!    simulated time) and the enabled-mode wall-clock overhead must stay
-//!    under 10% — the observability layer's performance contract;
+//! 4. **observability overhead**: the same kernels untraced, ring-traced,
+//!    and under the full pipeline (streaming JSONL sink + metrics
+//!    registry). Cycle totals must be identical across all three
+//!    (observability never charges simulated time) and both enabled modes
+//!    must stay under 10% wall-clock — the layer's performance contract.
+//!    The metrics registry the streamed runs feed is exported as a
+//!    `bridge-metrics/1` document summary in the JSON;
 //! 5. **multi-guest service throughput**: the standard mixed-strategy
 //!    batch on the naive per-request path vs the execution service at 4
 //!    shards. Results must be byte-identical and the service must win
@@ -265,9 +268,11 @@ fn measure_dispatch(iters: u32) -> Vec<DispatchRow> {
 }
 
 /// Traced-vs-untraced wall-clock and accounting on the dispatch kernels:
-/// the overhead guard for the structured tracing layer. Asserts that
-/// tracing never changes simulated cycles and that enabled-mode wall-clock
-/// overhead stays under 10%.
+/// the overhead guard for the observability layer. Three interleaved
+/// legs: untraced, ring-traced, and the full pipeline (streaming JSONL
+/// sink + metrics registry attached). Asserts that neither tracing nor
+/// streaming+metrics ever changes simulated cycles, and that both
+/// enabled modes stay under the 10% wall-clock budget.
 struct TraceOverhead {
     secs_off: f64,
     secs_on: f64,
@@ -275,10 +280,16 @@ struct TraceOverhead {
     events: usize,
     sites: usize,
     dropped: u64,
+    secs_stream: f64,
+    stream_overhead_pct: f64,
+    streamed_events: u64,
 }
 
-fn measure_trace_overhead(iters: u32) -> TraceOverhead {
-    use bridge_trace::TraceConfig;
+fn measure_trace_overhead(
+    iters: u32,
+    registry: &std::sync::Arc<bridge_metrics::Registry>,
+) -> TraceOverhead {
+    use bridge_trace::{StreamingJsonl, TraceConfig};
     let kernels = dispatch_kernels(iters);
     // Amortize per-run timing noise over several whole-suite passes.
     const INNER: usize = 4;
@@ -308,24 +319,76 @@ fn measure_trace_overhead(iters: u32) -> TraceOverhead {
         }
         (cycles, events, sites, dropped)
     };
-    let ((took_off, cyc_off), (took_on, (cyc_on, events, sites, dropped))) =
-        best_of_pair(run_plain, run_traced);
+    // The full observability pipeline: every record streamed to a sink
+    // (io::sink() — measures serialization, not disk) with the engine's
+    // metric counters attached.
+    let run_streamed = || {
+        let (mut cycles, mut streamed) = (0u64, 0u64);
+        for _ in 0..INNER {
+            for (_, k) in &kernels {
+                let cfg = bridge_bench::dpeh_config().with_metrics(std::sync::Arc::clone(registry));
+                let run = bridge_bench::run_kernel_streamed(
+                    k,
+                    cfg,
+                    TraceConfig::default(),
+                    Box::new(StreamingJsonl::new(std::io::sink())),
+                );
+                cycles += run.report.cycles();
+                streamed += run.summary.expect("io::sink never fails").events;
+            }
+        }
+        (cycles, streamed)
+    };
+
+    // Interleave all three legs each rep so transient load degrades every
+    // side of the ratios, then keep the fastest of each.
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut best_stream = Duration::MAX;
+    let mut cyc_off = 0u64;
+    let mut traced = (0u64, 0usize, 0usize, 0u64);
+    let mut streamed = (0u64, 0u64);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        cyc_off = run_plain();
+        best_off = best_off.min(start.elapsed());
+        let start = Instant::now();
+        traced = run_traced();
+        best_on = best_on.min(start.elapsed());
+        let start = Instant::now();
+        streamed = run_streamed();
+        best_stream = best_stream.min(start.elapsed());
+    }
+    let (cyc_on, events, sites, dropped) = traced;
+    let (cyc_stream, streamed_events) = streamed;
     assert_eq!(
         cyc_off, cyc_on,
         "tracing changed simulated cycle accounting"
     );
-    let overhead_pct = (took_on.as_secs_f64() / took_off.as_secs_f64() - 1.0) * 100.0;
+    assert_eq!(
+        cyc_off, cyc_stream,
+        "streaming sink + metrics changed simulated cycle accounting"
+    );
+    let overhead_pct = (best_on.as_secs_f64() / best_off.as_secs_f64() - 1.0) * 100.0;
     assert!(
         overhead_pct < 10.0,
         "enabled tracing costs {overhead_pct:.1}% wall-clock (budget: 10%)"
     );
+    let stream_overhead_pct = (best_stream.as_secs_f64() / best_off.as_secs_f64() - 1.0) * 100.0;
+    assert!(
+        stream_overhead_pct < 10.0,
+        "streaming + metrics cost {stream_overhead_pct:.1}% wall-clock (budget: 10%)"
+    );
     TraceOverhead {
-        secs_off: took_off.as_secs_f64(),
-        secs_on: took_on.as_secs_f64(),
+        secs_off: best_off.as_secs_f64(),
+        secs_on: best_on.as_secs_f64(),
         overhead_pct,
         events,
         sites,
         dropped,
+        secs_stream: best_stream.as_secs_f64(),
+        stream_overhead_pct,
+        streamed_events,
     }
 }
 
@@ -410,10 +473,16 @@ fn main() {
     );
     println!();
 
-    // 4. Structured tracing overhead: the same kernels traced vs untraced.
-    //    Identical cycle totals and a <10% wall-clock budget are asserted.
-    let trace_oh = measure_trace_overhead(dispatch_iters);
-    println!("Structured tracing ({dispatch_iters} kernel iterations, DPEH):");
+    // 4. Observability overhead: untraced vs ring-traced vs the full
+    //    streaming + metrics pipeline. Identical cycle totals and the
+    //    <10% wall-clock budget are asserted for both enabled modes. The
+    //    iteration count is floored so per-run fixed costs (engine setup,
+    //    sink finish) can't dominate the ratio at tiny scales — the
+    //    budget is a steady-state contract.
+    let trace_iters = dispatch_iters.max(2_000);
+    let registry = std::sync::Arc::new(bridge_metrics::Registry::new());
+    let trace_oh = measure_trace_overhead(trace_iters, &registry);
+    println!("Observability ({trace_iters} kernel iterations, DPEH):");
     println!(
         "  untraced:                 {:8.2?}",
         Duration::from_secs_f64(trace_oh.secs_off)
@@ -422,10 +491,43 @@ fn main() {
         "  traced:                   {:8.2?}",
         Duration::from_secs_f64(trace_oh.secs_on)
     );
-    println!("  enabled overhead:         {:8.2}%", trace_oh.overhead_pct);
     println!(
-        "  events {} / sites {} / dropped {} (cycles identical)\n",
-        trace_oh.events, trace_oh.sites, trace_oh.dropped
+        "  streamed + metered:       {:8.2?}",
+        Duration::from_secs_f64(trace_oh.secs_stream)
+    );
+    println!("  traced overhead:          {:8.2}%", trace_oh.overhead_pct);
+    println!(
+        "  streamed overhead:        {:8.2}%",
+        trace_oh.stream_overhead_pct
+    );
+    println!(
+        "  events {} / sites {} / dropped {} / streamed {} (cycles identical)",
+        trace_oh.events, trace_oh.sites, trace_oh.dropped, trace_oh.streamed_events
+    );
+    // The registry the streamed leg fed: well-formedness is part of the
+    // contract — a `bridge-metrics/1` JSON document and a Prometheus-style
+    // exposition with the engine counters present and consistent.
+    let metrics_doc = registry.to_json();
+    let metrics_prom = registry.to_prometheus();
+    assert!(
+        metrics_doc.starts_with("{\"schema\":\"bridge-metrics/1\""),
+        "metrics document must carry the bridge-metrics/1 schema"
+    );
+    assert!(
+        metrics_prom.contains("# TYPE dbt_traps counter"),
+        "exposition must carry the engine trap counter"
+    );
+    // Note: dbt.traps can legitimately be zero here — DPEH's profiling
+    // component handles these kernels' sites at translation time. The
+    // translation counter is the one every run must bump.
+    let dbt_traps = registry.counter("dbt.traps").get();
+    let dbt_blocks = registry.counter("dbt.blocks_translated").get();
+    assert!(dbt_blocks > 0, "the DBT must translate blocks");
+    println!(
+        "  metrics: {} instruments / dbt.traps {} / dbt.blocks_translated {}\n",
+        registry.len(),
+        dbt_traps,
+        dbt_blocks
     );
 
     // 5. Multi-guest service throughput: naive per-request sequential vs
@@ -467,7 +569,7 @@ fn main() {
 
     // Emit BENCH_simulator.json (hand-rolled: no serde in-tree).
     let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/4\",");
+    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/5\",");
     let _ = writeln!(j, "  \"scale_outer_iters\": {},", scale.outer_iters);
     let _ = writeln!(j, "  \"mips\": {{");
     let _ = writeln!(j, "    \"kernel_insns\": {insns},");
@@ -514,7 +616,7 @@ fn main() {
     let _ = writeln!(j, "    ]");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"trace\": {{");
-    let _ = writeln!(j, "    \"kernel_iters\": {dispatch_iters},");
+    let _ = writeln!(j, "    \"kernel_iters\": {trace_iters},");
     let _ = writeln!(j, "    \"secs_off\": {:.4},", trace_oh.secs_off);
     let _ = writeln!(j, "    \"secs_on\": {:.4},", trace_oh.secs_on);
     let _ = writeln!(
@@ -525,7 +627,22 @@ fn main() {
     let _ = writeln!(j, "    \"cycles_equal\": true,");
     let _ = writeln!(j, "    \"events\": {},", trace_oh.events);
     let _ = writeln!(j, "    \"sites\": {},", trace_oh.sites);
-    let _ = writeln!(j, "    \"dropped\": {}", trace_oh.dropped);
+    let _ = writeln!(j, "    \"dropped\": {},", trace_oh.dropped);
+    let _ = writeln!(j, "    \"secs_stream\": {:.4},", trace_oh.secs_stream);
+    let _ = writeln!(
+        j,
+        "    \"stream_overhead_pct\": {:.3},",
+        trace_oh.stream_overhead_pct
+    );
+    let _ = writeln!(j, "    \"stream_cycles_equal\": true,");
+    let _ = writeln!(j, "    \"streamed_events\": {}", trace_oh.streamed_events);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"metrics\": {{");
+    let _ = writeln!(j, "    \"document_schema\": \"bridge-metrics/1\",");
+    let _ = writeln!(j, "    \"well_formed\": true,");
+    let _ = writeln!(j, "    \"instruments\": {},", registry.len());
+    let _ = writeln!(j, "    \"dbt_traps\": {dbt_traps},");
+    let _ = writeln!(j, "    \"dbt_blocks_translated\": {dbt_blocks}");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"serve\": {{");
     let _ = writeln!(j, "    \"shards\": {},", serve.shards);

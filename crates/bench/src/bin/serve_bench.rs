@@ -13,6 +13,11 @@
 //! * 4 shards beat the sequential baseline by ≥2x wall-clock — the
 //!   amortization win of sharing each kernel's training profile instead
 //!   of re-deriving it per request, so it holds on a single-core host.
+//!
+//! After the traced merge pass, the service's metrics registry is dumped
+//! twice: as the single-line `bridge-metrics/1` JSON document and as a
+//! Prometheus-style text exposition — the scrape formats an external
+//! collector would consume.
 
 use bridge_bench::serve::{measure_serve, throughput_batch};
 use bridge_dbt::MdaStrategy;
@@ -84,5 +89,22 @@ fn main() {
             s.cycles_attributed, s.traps, s.patches, s.mdas
         );
     }
+
+    // The registry that batch fed, in both scrape formats. The simulated-
+    // domain instruments (request counts, exec-cycle histogram, engine
+    // counters) are deterministic; the wall-clock wait histogram and the
+    // per-shard split are scheduling-dependent by design.
+    let metrics = svc.metrics();
+    println!("\nservice metrics ({} instruments):", metrics.len());
+    println!("{}", metrics.to_json());
+    println!("\nPrometheus exposition:");
+    print!("{}", metrics.to_prometheus());
+    assert!(
+        metrics
+            .to_json()
+            .starts_with("{\"schema\":\"bridge-metrics/1\""),
+        "metrics document must carry the bridge-metrics/1 schema"
+    );
+
     println!("\nserve_bench OK");
 }

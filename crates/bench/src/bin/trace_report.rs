@@ -11,13 +11,28 @@
 //!   trace_report [--kernel phase_change|memcpy|packed_struct|linked_list|stack]
 //!                [--strategy direct|static|dynamic|eh|dpeh]
 //!                [--iters N] [--bucket-cycles N] [--top N] [--jsonl PATH]
+//!                [--stream PATH]
+//!   trace_report --diff A.jsonl B.jsonl
 //!
 //! `--top N` appends the hottest N sites ranked by attributed cycles — the
 //! "where did the time go" view over the full PC-ordered table.
+//!
+//! `--stream PATH` attaches an incremental JSONL sink to the run: every
+//! ring-evicted record is written in order, so the file holds the *full*
+//! event stream even when the run overflows the in-memory ring — the
+//! full-fidelity capture mode for long runs.
+//!
+//! `--diff A B` is a separate mode: scan two previously written traces of
+//! the same workload (aggregate `--jsonl` or streamed `--stream` files
+//! both work) and report per-site deltas, bucket-aligned trap deltas and
+//! the convergence-verdict pair. All deltas are `B - A`, so diffing an
+//! exception-handling run as A against a dynamic-profiling run as B shows
+//! positive trap deltas — the direction the paper predicts.
 
 use bridge_dbt::{DbtConfig, MdaStrategy, StaticProfile};
-use bridge_trace::TraceConfig;
+use bridge_trace::{ScannedTrace, StreamingJsonl, TraceConfig};
 use bridge_workloads::kernels::{self, Kernel};
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 struct Opts {
@@ -27,6 +42,8 @@ struct Opts {
     bucket_cycles: u64,
     top: Option<usize>,
     jsonl: Option<String>,
+    stream: Option<String>,
+    diff: Option<(String, String)>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -37,11 +54,24 @@ fn parse_args() -> Result<Opts, String> {
         bucket_cycles: 1 << 12,
         top: None,
         jsonl: None,
+        stream: None,
+        diff: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--diff" {
+            let a = args
+                .get(i + 1)
+                .ok_or("--diff needs two trace paths (A B)")?;
+            let b = args
+                .get(i + 2)
+                .ok_or("--diff needs two trace paths (A B)")?;
+            o.diff = Some((a.clone(), b.clone()));
+            i += 3;
+            continue;
+        }
         let val = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -62,6 +92,7 @@ fn parse_args() -> Result<Opts, String> {
                 o.top = Some(n);
             }
             "--jsonl" => o.jsonl = Some(val.clone()),
+            "--stream" => o.stream = Some(val.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -101,6 +132,119 @@ fn opt_cycle(v: Option<u64>) -> String {
     v.map_or_else(|| "-".into(), |c| c.to_string())
 }
 
+/// Reads and scans one trace file, printing counted scanner warnings (the
+/// scanner never fails outright — unknown schemas and malformed lines are
+/// tallied, not silently skipped).
+fn load_scan(path: &str) -> Result<ScannedTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scanned = ScannedTrace::scan(&text);
+    if scanned.warnings.any() {
+        println!(
+            "warning: {path}: {} suspect lines (unknown schema {}, unknown record types {}, malformed {})",
+            scanned.warnings.total(),
+            scanned.warnings.unknown_schema,
+            scanned.warnings.unknown_records,
+            scanned.warnings.malformed,
+        );
+    }
+    Ok(scanned)
+}
+
+/// The `--diff A B` mode: align two traces of the same workload by guest
+/// PC and timeline bucket, report `B - A` deltas and the verdict pair.
+fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
+    let a = load_scan(path_a)?;
+    let b = load_scan(path_b)?;
+    let d = bridge_trace::diff::diff(&a, &b);
+
+    println!("trace diff (all deltas are B - A):");
+    println!(
+        "  A: {path_a} ({} events, {} sites, verdict {})",
+        a.events,
+        a.sites.len(),
+        d.verdict_a.label()
+    );
+    println!(
+        "  B: {path_b} ({} events, {} sites, verdict {})",
+        b.events,
+        b.sites.len(),
+        d.verdict_b.label()
+    );
+    println!(
+        "\n  totals: traps {:+}, attributed cycles {:+}",
+        d.total_traps, d.total_cycles
+    );
+
+    if d.changed_sites().next().is_none() {
+        println!("\n  no per-site differences");
+    } else {
+        println!("\n  per-site deltas (changed sites only, guest PC order):");
+        println!(
+            "  {:>10} {:>7} {:>7} {:>8} {:>12} {:>5}",
+            "pc", "traps", "fixups", "patches", "cycles", "in"
+        );
+        for s in d.changed_sites() {
+            let presence = match (s.in_a, s.in_b) {
+                (true, true) => "A+B",
+                (true, false) => "A",
+                (false, true) => "B",
+                (false, false) => "-",
+            };
+            println!(
+                "  {:#10x} {:>+7} {:>+7} {:>+8} {:>+12} {:>5}",
+                s.pc, s.traps, s.os_fixups, s.patches, s.cycles_attributed, presence
+            );
+        }
+    }
+
+    match &d.bucket_traps {
+        Some(bt) => {
+            let width = d.bucket_cycles.expect("aligned diff carries the width");
+            let nonzero: Vec<(usize, i64)> = bt
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t != 0)
+                .map(|(i, &t)| (i, t))
+                .collect();
+            println!(
+                "\n  bucket trap deltas ({width} cycles/bucket, {} of {} buckets differ):",
+                nonzero.len(),
+                bt.len()
+            );
+            // Long flat tails (the per-occurrence signature) compress to
+            // an elision line; the shape is visible from the head alone.
+            const SHOWN: usize = 20;
+            for &(i, t) in nonzero.iter().take(SHOWN) {
+                println!("  {i:>6} {t:>+7}");
+            }
+            if nonzero.len() > SHOWN {
+                let rest: i64 = nonzero[SHOWN..].iter().map(|&(_, t)| t).sum();
+                println!(
+                    "  ({} more buckets, {rest:+} traps in total)",
+                    nonzero.len() - SHOWN
+                );
+            }
+        }
+        None => println!("\n  bucket widths differ: timeline deltas skipped"),
+    }
+
+    if d.verdict_changed() {
+        println!(
+            "\nconvergence verdict CHANGED: A {} -> B {}",
+            d.verdict_a.label(),
+            d.verdict_b.label()
+        );
+    } else {
+        println!("\nconvergence verdict unchanged: {}", d.verdict_a.label());
+    }
+    match d.total_traps {
+        t if t > 0 => println!("B trapped {t} more times than A"),
+        t if t < 0 => println!("B trapped {} fewer times than A", -t),
+        _ => println!("A and B trapped equally often"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -109,6 +253,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some((a, b)) = &opts.diff {
+        return match run_diff(a, b) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("trace_report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let kernel = match kernel_by_name(&opts.kernel, opts.iters) {
         Ok(k) => k,
         Err(e) => {
@@ -124,12 +277,39 @@ fn main() -> ExitCode {
         }
     };
     let tc = TraceConfig::default().with_bucket_cycles(opts.bucket_cycles);
-    let (report, trace) = bridge_bench::run_kernel_traced(&kernel, cfg, tc);
+    let mut streamed = None;
+    let (report, trace) = if let Some(path) = &opts.stream {
+        let f = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("trace_report: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sink = Box::new(StreamingJsonl::new(BufWriter::new(f)));
+        let run = bridge_bench::run_kernel_streamed(&kernel, cfg, tc, sink);
+        match run.summary {
+            Ok(s) => streamed = Some(s),
+            Err(e) => {
+                eprintln!("trace_report: streaming to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        (run.report, run.tracer)
+    } else {
+        bridge_bench::run_kernel_traced(&kernel, cfg, tc)
+    };
 
     println!(
         "kernel {} / strategy {} / {} iterations / bucket {} cycles",
         opts.kernel, opts.strategy, opts.iters, opts.bucket_cycles
     );
+    if let (Some(s), Some(path)) = (&streamed, &opts.stream) {
+        println!(
+            "streamed {} events / {} sites / {} buckets to {path}",
+            s.events, s.sites, s.buckets
+        );
+    }
     println!(
         "cycles {} / traps {} / patches {} / fixups {} / events {} (dropped {})\n",
         report.cycles(),

@@ -167,6 +167,54 @@ pub fn run_kernel_traced(
     (report, tracer)
 }
 
+/// Everything a streamed kernel run produces: the run report, the
+/// retained trace snapshot (ring tail + aggregates), the sink's final
+/// summary (or the I/O error that detached it), and — for in-memory
+/// sinks — the recovered byte buffer.
+pub struct StreamedRun {
+    /// The DBT run report (identical to an untraced run's).
+    pub report: RunReport,
+    /// The trace snapshot after the run (ring retained by `finish_sink`).
+    pub tracer: bridge_trace::Tracer,
+    /// The sink's closing summary, or the error that detached it mid-run.
+    pub summary: Result<bridge_trace::SinkSummary, String>,
+    /// The streamed bytes, when the sink was a `StreamingJsonl<Vec<u8>>`.
+    pub output: Option<Vec<u8>>,
+}
+
+/// Runs an in-tree micro-kernel with tracing *and* a streaming sink
+/// attached: every ring-evicted record flows to the sink in order, and
+/// the ring tail is drained at the end, so the sink sees the full event
+/// stream regardless of ring capacity.
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within [`FUEL`] or if tracing is
+/// disabled in `trace` (a sink needs a tracer to feed it).
+pub fn run_kernel_streamed(
+    k: &bridge_workloads::kernels::Kernel,
+    cfg: DbtConfig,
+    trace: bridge_trace::TraceConfig,
+    sink: Box<dyn bridge_trace::TraceSink>,
+) -> StreamedRun {
+    let mut dbt = Dbt::new(cfg.with_trace(trace));
+    assert!(
+        dbt.attach_trace_sink(sink),
+        "streaming needs tracing enabled"
+    );
+    k.load_into(&mut dbt);
+    let report = dbt.run(FUEL).expect("kernel halts within fuel");
+    let summary = dbt.finish_trace_sink().expect("a sink was attached");
+    let output = dbt.take_trace_sink_output();
+    let tracer = dbt.trace_snapshot().expect("tracing was configured");
+    StreamedRun {
+        report,
+        tracer,
+        summary,
+        output,
+    }
+}
+
 /// Produces the `train`-input profile for static profiling (the paper's
 /// pre-execution phase, Figure 3).
 ///

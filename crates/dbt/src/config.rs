@@ -2,6 +2,7 @@
 //! Table II).
 
 use crate::profile::StaticProfile;
+use bridge_metrics::Registry;
 pub use bridge_trace::TraceConfig;
 use std::sync::Arc;
 
@@ -131,6 +132,13 @@ pub struct DbtConfig {
     /// default) installs the no-op tracer; tracing never charges simulated
     /// cycles, so results are identical either way.
     pub trace: Option<TraceConfig>,
+    /// Shared metrics registry ([`bridge_metrics`]): `Some` makes the
+    /// engine bump host-side counters (traps, patches, fixups, flushes,
+    /// translations) on its cold paths. Like tracing, metrics never charge
+    /// simulated cycles — results are identical with or without them. The
+    /// `Arc` lets a multi-guest service aggregate every engine into one
+    /// registry.
+    pub metrics: Option<Arc<Registry>>,
     /// Translate every statically reachable block before execution starts,
     /// as FX!32's offline translator did (Figure 3's pre-execution phase).
     /// Most useful with [`MdaStrategy::StaticProfiling`].
@@ -164,6 +172,7 @@ impl DbtConfig {
             shadow_ras: true,
             count_retired: false,
             trace: None,
+            metrics: None,
             pretranslate: false,
             code_bytes: 2 * 1024 * 1024,
             stub_bytes: 1024 * 1024,
@@ -246,6 +255,13 @@ impl DbtConfig {
         self.trace = Some(trace);
         self
     }
+
+    /// Builder-style: attach a shared metrics registry the engine bumps
+    /// its event counters into.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> DbtConfig {
+        self.metrics = Some(registry);
+        self
+    }
 }
 
 impl Default for DbtConfig {
@@ -270,6 +286,15 @@ mod tests {
         assert!(!c.in_cache_dispatch);
         assert!(!c.count_retired);
         assert!(c.trace.is_none(), "tracing is opt-in");
+        assert!(c.metrics.is_none(), "metrics are opt-in");
+    }
+
+    #[test]
+    fn metrics_builder_attaches_registry() {
+        let registry = Arc::new(Registry::new());
+        let c = DbtConfig::new(MdaStrategy::Dpeh).with_metrics(Arc::clone(&registry));
+        c.metrics.as_ref().unwrap().counter("probe").inc();
+        assert_eq!(registry.counter("probe").get(), 1, "same shared registry");
     }
 
     #[test]

@@ -19,15 +19,17 @@ use bridge_alpha::builder::branch_disp;
 use bridge_alpha::encode::encode as encode_alpha;
 use bridge_alpha::insn::{BrOp, Insn as AInsn};
 use bridge_alpha::reg::Reg;
+use bridge_metrics::{Counter, Registry};
 use bridge_sim::cost::CostModel;
 use bridge_sim::cpu::Machine;
 use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
-use bridge_trace::{TraceEvent, Tracer};
+use bridge_trace::{TraceEvent, TraceSink, Tracer};
 use bridge_x86::insn::Width;
 use bridge_x86::reg::Reg32;
 use bridge_x86::state::CpuState;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Fuel units charged per interpreted guest instruction (an interpreted
 /// instruction is roughly this many host instructions of work).
@@ -125,6 +127,31 @@ enum Resume {
     Interp(u32),
 }
 
+/// Pre-resolved counter handles into a shared [`Registry`], so the
+/// engine's bump sites skip the registry's name map entirely. All bumps
+/// happen on cold paths (trap handling, patching, translation, flushes)
+/// and never charge simulated cycles — a metered run's report is
+/// byte-identical to an unmetered one.
+struct EngineMetrics {
+    traps: Arc<Counter>,
+    os_fixups: Arc<Counter>,
+    patches: Arc<Counter>,
+    flushes: Arc<Counter>,
+    translations: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(r: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            traps: r.counter("dbt.traps"),
+            os_fixups: r.counter("dbt.os_fixups"),
+            patches: r.counter("dbt.patches"),
+            flushes: r.counter("dbt.cache_flushes"),
+            translations: r.counter("dbt.blocks_translated"),
+        }
+    }
+}
+
 /// The dynamic binary translator.
 pub struct Dbt {
     cfg: DbtConfig,
@@ -163,6 +190,8 @@ pub struct Dbt {
     /// [`DbtConfig::trace`] is set. Recording never charges simulated
     /// cycles, so traced and untraced runs are identical.
     tracer: Tracer,
+    /// Counter handles into [`DbtConfig::metrics`], when attached.
+    metrics: Option<EngineMetrics>,
 }
 
 impl Dbt {
@@ -178,6 +207,7 @@ impl Dbt {
             Some(tc) => Tracer::new(tc),
             None => Tracer::disabled(),
         };
+        let metrics = cfg.metrics.as_deref().map(EngineMetrics::new);
         Dbt {
             cfg,
             machine,
@@ -204,6 +234,7 @@ impl Dbt {
             seen_ras_hits: 0,
             seen_retired: 0,
             tracer,
+            metrics,
         }
     }
 
@@ -298,6 +329,28 @@ impl Dbt {
     #[inline(always)]
     fn trace(&mut self, event: TraceEvent) {
         self.tracer.record(self.machine.stats().cycles, event);
+    }
+
+    /// Attaches a streaming trace sink: ring evictions flow to it in
+    /// order, so arbitrarily long runs keep a full-fidelity event stream
+    /// under the ring's bounded memory. Returns `false` when the engine
+    /// is not tracing ([`DbtConfig::trace`] unset). Sink I/O is host-side
+    /// only and never charges simulated cycles.
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
+        self.tracer.set_sink(sink)
+    }
+
+    /// Completes an attached streaming sink: drains the retained ring
+    /// tail into it and writes the aggregate footer. `None` when no sink
+    /// is attached; see [`Tracer::finish_sink`].
+    pub fn finish_trace_sink(&mut self) -> Option<Result<bridge_trace::SinkSummary, String>> {
+        self.tracer.finish_sink()
+    }
+
+    /// Recovers the bytes of a finished in-memory streaming sink (see
+    /// [`Tracer::take_sink_output`]).
+    pub fn take_trace_sink_output(&mut self) -> Option<Vec<u8>> {
+        self.tracer.take_sink_output()
     }
 
     /// Iterates over the currently installed translated blocks (for the
@@ -572,6 +625,9 @@ impl Dbt {
                 .ok_or(DbtError::Internal("trap at an unrecorded site"))?
         };
         self.profile.record_trap_mda(site);
+        if let Some(m) = &self.metrics {
+            m.traps.inc();
+        }
         let trap_cost = self.machine.cost().unaligned_trap;
         self.trace(TraceEvent::Trap {
             site_pc: site.pc,
@@ -664,6 +720,9 @@ impl Dbt {
         self.machine.charge(c);
         self.machine.set_pc(info.pc + 4);
         self.os_fixups += 1;
+        if let Some(m) = &self.metrics {
+            m.os_fixups.inc();
+        }
         Ok(())
     }
 
@@ -699,6 +758,9 @@ impl Dbt {
         self.forced_sequence.insert(site);
         self.forced_normal.remove(&site);
         self.patched_sites += 1;
+        if let Some(m) = &self.metrics {
+            m.patches.inc();
+        }
         self.trace(TraceEvent::EhPatch {
             site_pc: site.pc,
             slot: site.slot,
@@ -744,6 +806,9 @@ impl Dbt {
         let charge = cost.patch_base + cost.patch_per_word * u64::from(words_len);
         self.machine.charge(charge);
         self.rearrangements += 1;
+        if let Some(m) = &self.metrics {
+            m.patches.inc();
+        }
         self.trace(TraceEvent::Rearrangement {
             block_pc,
             site_pc: site.pc,
@@ -920,6 +985,9 @@ impl Dbt {
         let c = self.machine.cost().invalidate_block * blocks;
         self.machine.charge(c);
         self.machine.flush_caches();
+        if let Some(m) = &self.metrics {
+            m.flushes.inc();
+        }
         self.trace(TraceEvent::CacheFlush { blocks });
     }
 
@@ -1014,6 +1082,9 @@ impl Dbt {
             });
         }
         self.blocks_translated += 1;
+        if let Some(m) = &self.metrics {
+            m.translations.inc();
+        }
         self.trace(TraceEvent::BlockTranslated {
             guest_pc: tb.guest_pc,
         });

@@ -1,0 +1,487 @@
+//! Zero-dependency metrics for DigitalBridge-RS.
+//!
+//! Three instrument kinds, chosen for the simulator's needs:
+//!
+//! * [`Counter`] — monotonic `u64`, for event totals (traps delivered,
+//!   requests served, memoization hits);
+//! * [`Gauge`] — signed instantaneous level with a high watermark, for
+//!   queue depth and other "current value" observations;
+//! * [`Histogram`] — fixed 65-bucket log2 histogram over `u64` samples
+//!   with exact count/sum and conservative p50/p90/p99 readout, for
+//!   per-request cycle distributions.
+//!
+//! All instruments are lock-free atomics and `Sync`; a [`Registry`] hands
+//! out `Arc`-shared instruments by name and renders the whole set two
+//! ways: a `bridge-metrics/1` JSON document and a Prometheus-style text
+//! exposition. Both orderings come from a `BTreeMap`, so exposition is
+//! deterministic for deterministic inputs.
+//!
+//! Determinism contract: instruments measuring the *simulated-cycle*
+//! domain (exec cycles, trap counts) are exactly reproducible run-to-run
+//! because the simulator itself is. Nothing in this crate reads host
+//! time — any wall-clock metric must be fed by the caller and is
+//! nondeterministic by nature, which the caller should document.
+//!
+//! Histogram buckets are value-indexed: bucket 0 holds the sample `0`,
+//! bucket `i >= 1` holds samples in `[2^(i-1), 2^i)`, i.e. upper bound
+//! `2^i - 1`. Quantiles are *conservative*: [`Histogram::quantile`]
+//! returns the inclusive upper bound of the bucket containing the
+//! requested rank, so the true quantile is never under-reported.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Schema tag of the JSON document [`Registry::to_json`] renders.
+pub const SCHEMA: &str = "bridge-metrics/1";
+
+/// Number of histogram buckets: one for zero plus one per bit of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level with a high watermark. `set`/`add`/`sub`
+/// move the level; the watermark remembers the highest level ever
+/// observed (useful for "peak queue depth" without sampling).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level up by `n`.
+    pub fn add(&self, n: i64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Moves the level down by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever set or reached via `add`.
+    pub fn high_watermark(&self) -> i64 {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 histogram over `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index for sample `v`: 0 for zero, `ilog2(v) + 1` otherwise.
+fn bucket_of(v: u64) -> usize {
+    match v {
+        0 => 0,
+        n => n.ilog2() as usize + 1,
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`, saturating at
+/// `u64::MAX` for the top bucket).
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all samples (wrapping only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> u64 {
+        match self.count() {
+            0 => 0,
+            n => self.sum() / n,
+        }
+    }
+
+    /// The conservative `q`-quantile (`0.0..=1.0`): the inclusive upper
+    /// bound of the bucket holding the sample of that rank. Zero when
+    /// empty. Deterministic — a pure function of the recorded samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(inclusive upper bound, count)` for each non-empty bucket,
+    /// ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper(i), n))
+            })
+            .collect()
+    }
+}
+
+/// A named set of shared instruments. Cloning the `Arc`-wrapped registry
+/// is the intended sharing pattern; instrument lookups are get-or-create
+/// and hand back `Arc`s so hot paths can cache the handle and bypass the
+/// name map entirely.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Number of registered instruments across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.lock().expect("metrics lock").len()
+            + self.gauges.lock().expect("metrics lock").len()
+            + self.histograms.lock().expect("metrics lock").len()
+    }
+
+    /// Whether no instrument was ever requested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the registry as a single-object `bridge-metrics/1` JSON
+    /// document. Instruments appear in name order within their kind, so
+    /// the document is a pure function of the recorded values.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\"counters\":{");
+        let counters = self.counters.lock().expect("metrics lock");
+        for (i, (name, c)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", c.get()));
+        }
+        drop(counters);
+        out.push_str("},\"gauges\":{");
+        let gauges = self.gauges.lock().expect("metrics lock");
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"value\":{},\"high_watermark\":{}}}",
+                g.get(),
+                g.high_watermark()
+            ));
+        }
+        drop(gauges);
+        out.push_str("},\"histograms\":{");
+        let histograms = self.histograms.lock().expect("metrics lock");
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99()
+            ));
+        }
+        drop(histograms);
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the registry as a Prometheus-style text exposition:
+    /// `# TYPE` comment lines, counters and gauges as bare samples,
+    /// histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+    /// and `_count`. Metric names are sanitized (`.` and `-` become `_`)
+    /// to the conventional charset.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().expect("metrics lock").iter() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.lock().expect("metrics lock").iter() {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE {n} gauge\n{n} {}\n{n}_high_watermark {}\n",
+                g.get(),
+                g.high_watermark()
+            ));
+        }
+        for (name, h) in self.histograms.lock().expect("metrics lock").iter() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (upper, count) in h.nonzero_buckets() {
+                cumulative += count;
+                out.push_str(&format!("{n}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_sum {}\n{n}_count {}\n",
+                h.count(),
+                h.sum(),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_watermark() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(3);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_watermark(), 8);
+        g.set(1);
+        assert_eq!(g.high_watermark(), 8, "watermark never regresses");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_with_zero_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.mean(), 221);
+        // Rank 3 of 5 is the sample 3, bucket [2,3] → upper bound 3.
+        assert_eq!(h.p50(), 3);
+        // p90 → rank 5 → sample 1000, bucket [512,1023] → 1023.
+        assert_eq!(h.p90(), 1023);
+        assert_eq!(h.p99(), 1023);
+        assert!(h.p99() >= 1000, "true quantile never under-reported");
+        assert_eq!(Histogram::new().p50(), 0, "empty histogram reads zero");
+    }
+
+    #[test]
+    fn registry_shares_instruments_by_name() {
+        let r = Registry::new();
+        r.counter("a.b").inc();
+        r.counter("a.b").inc();
+        assert_eq!(r.counter("a.b").get(), 2);
+        assert_eq!(r.len(), 1);
+        r.gauge("q").set(3);
+        r.histogram("h").observe(7);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_document_is_deterministic_and_ordered() {
+        let build = || {
+            let r = Registry::new();
+            r.counter("z.traps").add(3);
+            r.counter("a.requests").add(9);
+            r.gauge("queue.depth").set(4);
+            r.histogram("exec.cycles").observe(100);
+            r.to_json()
+        };
+        let doc = build();
+        assert_eq!(doc, build(), "pure function of recorded values");
+        assert!(doc.starts_with("{\"schema\":\"bridge-metrics/1\""));
+        assert!(
+            doc.find("a.requests").unwrap() < doc.find("z.traps").unwrap(),
+            "name order, not insertion order"
+        );
+        assert!(doc.contains("\"queue.depth\":{\"value\":4,\"high_watermark\":4}"));
+        assert!(doc.contains("\"count\":1,\"sum\":100"));
+        assert!(doc.ends_with("}}"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("serve.requests").add(14);
+        r.gauge("serve.queue-depth").set(2);
+        let h = r.histogram("serve.exec_cycles");
+        h.observe(5);
+        h.observe(900);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 14\n"));
+        assert!(
+            text.contains("serve_queue_depth 2\n"),
+            "dots/dashes sanitized"
+        );
+        assert!(text.contains("# TYPE serve_exec_cycles histogram\n"));
+        assert!(text.contains("serve_exec_cycles_bucket{le=\"7\"} 1\n"));
+        assert!(
+            text.contains("serve_exec_cycles_bucket{le=\"1023\"} 2\n"),
+            "bucket counts are cumulative"
+        );
+        assert!(text.contains("serve_exec_cycles_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("serve_exec_cycles_sum 905\n"));
+        assert!(text.contains("serve_exec_cycles_count 2\n"));
+    }
+}

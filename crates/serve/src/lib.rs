@@ -42,12 +42,14 @@ pub use request::{KernelSpec, RunRequest};
 
 use bridge_dbt::engine::profile_program;
 use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, RunReport, StaticProfile};
+use bridge_metrics::Registry;
 use bridge_sim::cost::CostModel;
 use bridge_sim::stats::Stats;
 use bridge_trace::{MergedSiteTable, TraceConfig, Tracer};
 use bridge_workloads::kernels::Kernel;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Fuel budget per guest (large; kernels halt by construction).
 pub const FUEL: u64 = 200_000_000_000;
@@ -167,11 +169,28 @@ struct SpecArtifacts {
 }
 
 /// The execution service: a [`ServeConfig`] plus the memoized shared
-/// artifacts. One instance serves many batches; artifacts persist across
-/// them.
+/// artifacts and the service-wide metrics registry. One instance serves
+/// many batches; artifacts and metrics persist across them.
+///
+/// # Metrics
+///
+/// Every service owns a [`Registry`] (read it via
+/// [`ExecService::metrics`]) and feeds it from both layers: the service
+/// itself (requests served, per-request simulated exec cycles, queue
+/// depth with high watermark, per-shard request counts, artifact
+/// memoization hits/misses, host-side queue wait) and every guest engine
+/// (`dbt.*` counters, via [`DbtConfig::with_metrics`]). Instruments in
+/// the simulated-cycle domain — `serve.exec_cycles`, all `dbt.*`
+/// counters, `serve.requests` — are exactly reproducible run-to-run.
+/// `serve.queue.wait_us` measures *host* wall-clock waiting and
+/// `serve.shard.N.requests` depends on scheduling; both are
+/// nondeterministic by nature and exist for utilization diagnostics, not
+/// for byte-comparison. The batch results themselves stay byte-identical
+/// with or without anyone reading the registry.
 pub struct ExecService {
     cfg: ServeConfig,
     artifacts: Mutex<HashMap<KernelSpec, Arc<SpecArtifacts>>>,
+    metrics: Arc<Registry>,
 }
 
 impl ExecService {
@@ -180,12 +199,19 @@ impl ExecService {
         ExecService {
             cfg,
             artifacts: Mutex::new(HashMap::new()),
+            metrics: Arc::new(Registry::new()),
         }
     }
 
     /// The service tuning.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The service-wide metrics registry (see the type-level docs for the
+    /// instrument inventory and the determinism caveats).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     fn entry(&self, spec: KernelSpec) -> Arc<SpecArtifacts> {
@@ -202,7 +228,12 @@ impl ExecService {
     /// every later caller gets the same `Arc`.
     pub fn shared_kernel(&self, spec: KernelSpec) -> Arc<Kernel> {
         let entry = self.entry(spec);
-        let k = entry.kernel.get_or_init(|| Arc::new(spec.build()));
+        let mut built = false;
+        let k = entry.kernel.get_or_init(|| {
+            built = true;
+            Arc::new(spec.build())
+        });
+        self.count_memo(built);
         Arc::clone(k)
     }
 
@@ -212,8 +243,25 @@ impl ExecService {
     /// the same immutable profile by reference.
     pub fn shared_profile(&self, spec: KernelSpec) -> Arc<StaticProfile> {
         let entry = self.entry(spec);
-        let p = entry.profile.get_or_init(|| Arc::new(train(spec)));
+        let mut built = false;
+        let p = entry.profile.get_or_init(|| {
+            built = true;
+            Arc::new(train(spec))
+        });
+        self.count_memo(built);
         Arc::clone(p)
+    }
+
+    /// Exact memoization accounting: `get_or_init` ran its closure (a
+    /// miss that built the artifact) or returned an existing value (a
+    /// hit). The hit rate is the amortization story in two counters.
+    fn count_memo(&self, built: bool) {
+        let name = if built {
+            "serve.memo.misses"
+        } else {
+            "serve.memo.hits"
+        };
+        self.metrics.counter(name).inc();
     }
 
     fn config_for(&self, req: &RunRequest, profile: Option<Arc<StaticProfile>>) -> DbtConfig {
@@ -224,7 +272,7 @@ impl ExecService {
         if req.trace {
             cfg = cfg.with_trace(self.cfg.trace.clone());
         }
-        cfg
+        cfg.with_metrics(Arc::clone(&self.metrics))
     }
 
     /// Executes one request on the calling thread, using (and populating)
@@ -233,7 +281,12 @@ impl ExecService {
         let kernel = self.shared_kernel(req.kernel);
         let profile =
             (req.strategy == MdaStrategy::StaticProfiling).then(|| self.shared_profile(req.kernel));
-        execute(&kernel, self.config_for(&req, profile), req)
+        let result = execute(&kernel, self.config_for(&req, profile), req);
+        self.metrics.counter("serve.requests").inc();
+        self.metrics
+            .histogram("serve.exec_cycles")
+            .observe(result.report.stats.cycles);
+        result
     }
 
     /// Executes a batch across the worker pool: requests enter the bounded
@@ -246,22 +299,33 @@ impl ExecService {
     /// Propagates a panic from any worker (a guest failing to halt is a
     /// harness bug, as in the bench crate).
     pub fn run_batch(&self, requests: &[RunRequest]) -> BatchReport {
-        let queue: BoundedQueue<(usize, RunRequest)> = BoundedQueue::new(self.cfg.queue_depth);
+        let queue: BoundedQueue<(usize, RunRequest, Instant)> =
+            BoundedQueue::new(self.cfg.queue_depth);
         let slots: Mutex<Vec<Option<GuestResult>>> =
             Mutex::new(requests.iter().map(|_| None).collect());
+        let depth = self.metrics.gauge("serve.queue.depth");
+        let wait = self.metrics.histogram("serve.queue.wait_us");
         std::thread::scope(|s| {
-            for _ in 0..self.cfg.shards.max(1) {
-                s.spawn(|| {
-                    while let Some((slot, req)) = queue.pop() {
+            for shard in 0..self.cfg.shards.max(1) {
+                let shard_requests = self
+                    .metrics
+                    .counter(&format!("serve.shard.{shard}.requests"));
+                let (queue, slots, depth, wait) = (&queue, &slots, &depth, &wait);
+                s.spawn(move || {
+                    while let Some((slot, req, enqueued)) = queue.pop() {
+                        depth.sub(1);
+                        wait.observe(enqueued.elapsed().as_micros() as u64);
                         let result = self.run_one(req);
+                        shard_requests.inc();
                         slots.lock().expect("slot lock never poisoned")[slot] = Some(result);
                     }
                 });
             }
             for (slot, &req) in requests.iter().enumerate() {
                 queue
-                    .push((slot, req))
+                    .push((slot, req, Instant::now()))
                     .unwrap_or_else(|_| unreachable!("queue closes only after all pushes"));
+                depth.add(1);
             }
             queue.close();
         });
@@ -394,6 +458,52 @@ mod tests {
         for (g, r) in batch.guests.iter().zip(&reqs) {
             assert_eq!(g.request, *r, "slot order preserved");
         }
+    }
+
+    #[test]
+    fn metrics_observe_the_batch() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(2));
+        let reqs = small_batch();
+        svc.run_batch(&reqs);
+        let m = svc.metrics();
+        assert_eq!(m.counter("serve.requests").get(), reqs.len() as u64);
+        let h = m.histogram("serve.exec_cycles");
+        assert_eq!(h.count(), reqs.len() as u64);
+        assert!(h.sum() > 0, "simulated cycles observed per request");
+        // Engine-level counters flowed into the same registry: the batch
+        // includes EH/DPEH guests, which trap and patch by design.
+        assert!(m.counter("dbt.traps").get() > 0);
+        assert!(m.counter("dbt.patches").get() > 0);
+        assert!(m.counter("dbt.blocks_translated").get() > 0);
+        // Shard counters account for every request exactly once.
+        let per_shard: u64 = (0..2)
+            .map(|i| m.counter(&format!("serve.shard.{i}.requests")).get())
+            .sum();
+        assert_eq!(per_shard, reqs.len() as u64);
+        // Queue drained, watermark bounded by what was ever enqueued.
+        let depth = m.gauge("serve.queue.depth");
+        assert_eq!(depth.get(), 0);
+        assert!(depth.high_watermark() >= 0 && depth.high_watermark() <= reqs.len() as i64);
+        // The first batch built each artifact once; re-running the same
+        // batch is all hits.
+        let misses_before = m.counter("serve.memo.misses").get();
+        svc.run_batch(&reqs);
+        assert_eq!(m.counter("serve.memo.misses").get(), misses_before);
+        assert!(m.counter("serve.memo.hits").get() >= reqs.len() as u64);
+        // And the whole registry renders both ways.
+        assert!(m.to_json().starts_with("{\"schema\":\"bridge-metrics/1\""));
+        assert!(m.to_prometheus().contains("# TYPE serve_requests counter"));
+    }
+
+    /// Metrics must not perturb results: the same batch through a fresh
+    /// metered service and through plain per-request configs agrees.
+    #[test]
+    fn metrics_leave_results_unchanged() {
+        let reqs = small_batch();
+        let a = ExecService::new(ServeConfig::default().with_shards(2)).run_batch(&reqs);
+        let b = ExecService::new(ServeConfig::default().with_shards(1)).run_batch(&reqs);
+        assert_eq!(a.merged_stats, b.merged_stats);
+        assert_eq!(a.reports_text(), b.reports_text());
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Cross-run trace diffing: Table III as a data structure.
+//!
+//! Two traces of the *same workload* under different MDA strategies (or
+//! engine knobs) align naturally by guest PC — the kernel image is
+//! identical, so site 0x40 in run A is the same instruction as site 0x40
+//! in run B — and by timeline bucket when the two runs used the same
+//! bucket width. [`diff`] produces per-site trap/fixup/patch deltas, a
+//! bucket-by-bucket trap delta series, and the pair of
+//! [`ConvergenceVerdict`]s, which together answer the paper's central
+//! question in one comparison: did the adaptive mechanism trap less and
+//! converge where the profiling-based one kept trapping?
+//!
+//! Sign convention: every delta is `b - a` ("how much more run B did").
+//! Diffing an exception-handling run as `a` against a dynamic-profiling
+//! run as `b` therefore yields positive trap deltas at under-profiled
+//! sites — the direction the paper predicts.
+
+use crate::scan::ScannedTrace;
+use crate::timeline::ConvergenceVerdict;
+
+/// Per-site comparison row: one guest PC present in either run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteDelta {
+    /// The guest PC both runs are aligned on.
+    pub pc: u32,
+    /// Trap count delta (`b - a`).
+    pub traps: i64,
+    /// OS-fixup delta (`b - a`) — the per-occurrence cost signature.
+    pub os_fixups: i64,
+    /// Patch + rearrangement delta (`b - a`) — the one-time-fix signature.
+    pub patches: i64,
+    /// Attributed-cycles delta (`b - a`).
+    pub cycles_attributed: i64,
+    /// Whether the site exists in run A / run B (a site missing from one
+    /// run is itself signal: the other strategy discovered it).
+    pub in_a: bool,
+    /// See `in_a`.
+    pub in_b: bool,
+}
+
+impl SiteDelta {
+    /// Whether the two runs disagree on anything at this site.
+    pub fn is_changed(&self) -> bool {
+        self.traps != 0 || self.os_fixups != 0 || self.patches != 0 || self.cycles_attributed != 0
+    }
+}
+
+/// The comparison of two scanned traces.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// One row per guest PC in the union of both site tables, PC order.
+    pub sites: Vec<SiteDelta>,
+    /// Per-bucket trap delta (`b - a`), when both runs share a bucket
+    /// width; `None` when the widths differ (buckets don't align).
+    pub bucket_traps: Option<Vec<i64>>,
+    /// The shared bucket width, when bucket deltas are present.
+    pub bucket_cycles: Option<u64>,
+    /// Run A's trap-rate verdict.
+    pub verdict_a: ConvergenceVerdict,
+    /// Run B's trap-rate verdict.
+    pub verdict_b: ConvergenceVerdict,
+    /// Total trap delta across all sites (`b - a`).
+    pub total_traps: i64,
+    /// Total attributed-cycles delta (`b - a`).
+    pub total_cycles: i64,
+}
+
+impl TraceDiff {
+    /// Whether the two runs reach different convergence verdicts — e.g.
+    /// EH converged where dynamic profiling never patched.
+    pub fn verdict_changed(&self) -> bool {
+        self.verdict_a != self.verdict_b
+    }
+
+    /// Rows where the runs actually disagree, PC order.
+    pub fn changed_sites(&self) -> impl Iterator<Item = &SiteDelta> {
+        self.sites.iter().filter(|s| s.is_changed())
+    }
+}
+
+/// Diffs two scanned traces of the same workload. All deltas are
+/// `b - a`; alignment is by guest PC (site table) and by bucket index
+/// (timelines, only when the bucket widths match).
+pub fn diff(a: &ScannedTrace, b: &ScannedTrace) -> TraceDiff {
+    let d = |x: u64, y: u64| y as i64 - x as i64;
+    let mut pcs: Vec<u32> = a.sites.keys().chain(b.sites.keys()).copied().collect();
+    pcs.sort_unstable();
+    pcs.dedup();
+
+    let sites: Vec<SiteDelta> = pcs
+        .into_iter()
+        .map(|pc| {
+            let sa = a.sites.get(&pc).copied().unwrap_or_default();
+            let sb = b.sites.get(&pc).copied().unwrap_or_default();
+            SiteDelta {
+                pc,
+                traps: d(sa.traps, sb.traps),
+                os_fixups: d(sa.os_fixups, sb.os_fixups),
+                patches: d(
+                    sa.patches + sa.rearrangements,
+                    sb.patches + sb.rearrangements,
+                ),
+                cycles_attributed: d(sa.cycles_attributed, sb.cycles_attributed),
+                in_a: a.sites.contains_key(&pc),
+                in_b: b.sites.contains_key(&pc),
+            }
+        })
+        .collect();
+
+    let aligned = a.timeline.bucket_cycles() == b.timeline.bucket_cycles();
+    let bucket_traps = aligned.then(|| {
+        let (ta, tb) = (a.timeline.traps(), b.timeline.traps());
+        (0..ta.len().max(tb.len()))
+            .map(|i| {
+                d(
+                    ta.get(i).copied().unwrap_or(0),
+                    tb.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    });
+
+    TraceDiff {
+        total_traps: sites.iter().map(|s| s.traps).sum(),
+        total_cycles: sites.iter().map(|s| s.cycles_attributed).sum(),
+        bucket_cycles: aligned.then(|| a.timeline.bucket_cycles()),
+        bucket_traps,
+        verdict_a: a.timeline.verdict(),
+        verdict_b: b.timeline.verdict(),
+        sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jsonl, TraceConfig, TraceEvent, Tracer};
+
+    fn scan_of(t: &Tracer) -> ScannedTrace {
+        ScannedTrace::scan(&jsonl::to_string(t))
+    }
+
+    fn tracer() -> Tracer {
+        Tracer::new(&TraceConfig::default().with_bucket_cycles(100))
+    }
+
+    #[test]
+    fn aligns_by_pc_and_signs_deltas_b_minus_a() {
+        // Run A (EH-like): one trap at 0x40, then a patch — done.
+        let mut a = tracer();
+        a.record(
+            10,
+            TraceEvent::Trap {
+                site_pc: 0x40,
+                slot: 0,
+                cycles: 1000,
+            },
+        );
+        a.record(
+            20,
+            TraceEvent::EhPatch {
+                site_pc: 0x40,
+                slot: 0,
+                cycles: 334,
+            },
+        );
+        // Run B (dynamic-profiling-like): traps at 0x40 forever, plus a
+        // site 0x80 run A never touched.
+        let mut b = tracer();
+        for i in 0..5u64 {
+            b.record(
+                10 + i * 50,
+                TraceEvent::Trap {
+                    site_pc: 0x40,
+                    slot: 0,
+                    cycles: 1000,
+                },
+            );
+            b.record(
+                12 + i * 50,
+                TraceEvent::OsFixup {
+                    site_pc: 0x40,
+                    cycles: 500,
+                },
+            );
+        }
+        b.record(
+            400,
+            TraceEvent::Trap {
+                site_pc: 0x80,
+                slot: 0,
+                cycles: 1000,
+            },
+        );
+
+        let delta = diff(&scan_of(&a), &scan_of(&b));
+        assert_eq!(delta.sites.len(), 2, "union of PCs");
+        let s40 = &delta.sites[0];
+        assert_eq!(s40.pc, 0x40);
+        assert_eq!(s40.traps, 4, "B trapped 4 more times at the shared site");
+        assert_eq!(s40.os_fixups, 5);
+        assert_eq!(s40.patches, -1, "A patched, B never did");
+        assert!(s40.in_a && s40.in_b);
+        let s80 = &delta.sites[1];
+        assert!(!s80.in_a && s80.in_b, "B-only site is flagged");
+        assert_eq!(delta.total_traps, 5);
+        assert!(delta.total_cycles > 0);
+
+        // Verdicts: A converged, B never patched — the paper's contrast.
+        assert_eq!(delta.verdict_a, ConvergenceVerdict::Converged);
+        assert_eq!(delta.verdict_b, ConvergenceVerdict::NoPatches);
+        assert!(delta.verdict_changed());
+        assert_eq!(delta.changed_sites().count(), 2);
+
+        // Bucket alignment: same width, so the trap series diffs per
+        // bucket; A's lone trap is in bucket 0.
+        let buckets = delta.bucket_traps.as_ref().unwrap();
+        assert_eq!(delta.bucket_cycles, Some(100));
+        assert_eq!(buckets[0], 1, "B trapped twice in bucket 0, A once");
+        assert!(buckets[1..].iter().all(|&d| d >= 0));
+    }
+
+    #[test]
+    fn mismatched_bucket_widths_skip_bucket_deltas() {
+        let a = tracer();
+        let b = Tracer::new(&TraceConfig::default().with_bucket_cycles(200));
+        let delta = diff(&scan_of(&a), &scan_of(&b));
+        assert!(delta.bucket_traps.is_none());
+        assert_eq!(delta.bucket_cycles, None);
+        assert!(delta.sites.is_empty());
+    }
+
+    #[test]
+    fn identical_traces_diff_to_zero() {
+        let mut a = tracer();
+        a.record(
+            10,
+            TraceEvent::Trap {
+                site_pc: 0x40,
+                slot: 0,
+                cycles: 1000,
+            },
+        );
+        let delta = diff(&scan_of(&a), &scan_of(&a));
+        assert_eq!(delta.total_traps, 0);
+        assert_eq!(delta.changed_sites().count(), 0);
+        assert!(!delta.verdict_changed());
+        assert!(delta.bucket_traps.unwrap().iter().all(|&d| d == 0));
+    }
+}

@@ -7,7 +7,7 @@
 //! helpers below ([`u64_field`], [`str_field`]) read it back without a
 //! JSON parser, which is what the integration tests and `trace_report` do.
 
-use crate::{TraceEvent, Tracer};
+use crate::{TraceEvent, TraceRecord, Tracer};
 use std::fmt::Write as _;
 use std::io;
 
@@ -46,42 +46,86 @@ pub fn to_string(t: &Tracer) -> String {
         );
     }
     for rec in t.events() {
-        let _ = write!(
-            out,
-            "{{\"type\":\"event\",\"cycle\":{},\"kind\":\"{}\",\"pc\":{}",
-            rec.cycle,
-            rec.event.kind(),
-            opt(rec.event.guest_pc().map(u64::from)),
-        );
-        match rec.event {
-            TraceEvent::Trap { cycles, slot, .. } => {
-                let _ = write!(out, ",\"slot\":{slot},\"cost\":{cycles}");
-            }
-            TraceEvent::EhPatch { cycles, slot, .. } => {
-                let _ = write!(out, ",\"slot\":{slot},\"cost\":{cycles}");
-            }
-            TraceEvent::OsFixup { cycles, .. } => {
-                let _ = write!(out, ",\"cost\":{cycles}");
-            }
-            TraceEvent::Rearrangement {
-                block_pc, cycles, ..
-            } => {
-                let _ = write!(out, ",\"block\":{block_pc},\"cost\":{cycles}");
-            }
-            TraceEvent::InCacheHits { ibtc, ras } => {
-                let _ = write!(out, ",\"ibtc\":{ibtc},\"ras\":{ras}");
-            }
-            TraceEvent::ChainBackpatch { target_pc, .. } => {
-                let _ = write!(out, ",\"target\":{target_pc}");
-            }
-            TraceEvent::CacheFlush { blocks } => {
-                let _ = write!(out, ",\"blocks\":{blocks}");
-            }
-            _ => {}
-        }
-        out.push_str("}\n");
+        push_event_line(&mut out, rec);
     }
     out
+}
+
+/// One `event` JSONL line (newline-terminated) for a single record — the
+/// shared layout between the whole-tracer serializer above and the
+/// incremental streaming sink ([`crate::sink::StreamingJsonl`]).
+pub fn event_line(rec: &TraceRecord) -> String {
+    let mut out = String::with_capacity(96);
+    push_event_line(&mut out, rec);
+    out
+}
+
+/// Appends one `event` line to `out` without touching the formatting
+/// machinery or allocating. This is the hot path of full-fidelity
+/// streaming — the sink serializes every ring-evicted record through it,
+/// so it must cost nanoseconds, not a `format!` call.
+pub fn push_event_line(out: &mut String, rec: &TraceRecord) {
+    out.push_str("{\"type\":\"event\",\"cycle\":");
+    push_u64(out, rec.cycle);
+    out.push_str(",\"kind\":\"");
+    out.push_str(rec.event.kind());
+    out.push_str("\",\"pc\":");
+    match rec.event.guest_pc() {
+        Some(pc) => push_u64(out, u64::from(pc)),
+        None => out.push_str("null"),
+    }
+    match rec.event {
+        TraceEvent::Trap { cycles, slot, .. } | TraceEvent::EhPatch { cycles, slot, .. } => {
+            out.push_str(",\"slot\":");
+            push_u64(out, u64::from(slot));
+            out.push_str(",\"cost\":");
+            push_u64(out, cycles);
+        }
+        TraceEvent::OsFixup { cycles, .. } => {
+            out.push_str(",\"cost\":");
+            push_u64(out, cycles);
+        }
+        TraceEvent::Rearrangement {
+            block_pc, cycles, ..
+        } => {
+            out.push_str(",\"block\":");
+            push_u64(out, u64::from(block_pc));
+            out.push_str(",\"cost\":");
+            push_u64(out, cycles);
+        }
+        TraceEvent::InCacheHits { ibtc, ras } => {
+            out.push_str(",\"ibtc\":");
+            push_u64(out, ibtc);
+            out.push_str(",\"ras\":");
+            push_u64(out, ras);
+        }
+        TraceEvent::ChainBackpatch { target_pc, .. } => {
+            out.push_str(",\"target\":");
+            push_u64(out, u64::from(target_pc));
+        }
+        TraceEvent::CacheFlush { blocks } => {
+            out.push_str(",\"blocks\":");
+            push_u64(out, blocks);
+        }
+        _ => {}
+    }
+    out.push_str("}\n");
+}
+
+/// Appends `v` in decimal. u64::MAX is 20 digits, so the stack buffer
+/// always fits.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
 }
 
 /// Writes the tracer as JSONL to `w`.
@@ -144,7 +188,11 @@ pub fn line_type(line: &str) -> Option<&str> {
     str_field(line, "type")
 }
 
-fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// Scans a JSONL line for `"key":` and returns the raw value token —
+/// quoted strings keep their quotes, numbers and `null`/booleans come back
+/// verbatim. The building block under [`u64_field`] / [`str_field`],
+/// exposed for scanners that need to distinguish `null` from absent.
+pub fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let at = line.find(&needle)? + needle.len();
     let rest = &line[at..];

@@ -29,16 +29,23 @@
 //! experiment tables by construction (asserted by the perf harness and the
 //! `trace_timeline` integration tests).
 
+pub mod diff;
 pub mod jsonl;
 pub mod merge;
+pub mod scan;
+pub mod sink;
 pub mod site;
 pub mod timeline;
 
+pub use diff::TraceDiff;
 pub use merge::MergedSiteTable;
+pub use scan::ScannedTrace;
+pub use sink::{SinkSummary, StreamingJsonl, TraceSink};
 pub use site::SiteTelemetry;
-pub use timeline::Timeline;
+pub use timeline::{ConvergenceVerdict, Timeline};
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 /// Tuning knobs for a [`Tracer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -240,14 +247,57 @@ pub struct TraceRecord {
 /// The recorder: a bounded event ring plus cumulative aggregates (site
 /// table, timelines). Construct with [`Tracer::new`] to record or
 /// [`Tracer::disabled`] for the no-op used on default runs.
-#[derive(Debug, Clone)]
+///
+/// With a [`TraceSink`] attached ([`Tracer::set_sink`]), ring evictions
+/// stream to the sink instead of being dropped, and
+/// [`Tracer::finish_sink`] drains the retained tail — full-fidelity event
+/// streams under the same bounded memory.
 pub struct Tracer {
     enabled: bool,
     ring_capacity: usize,
     ring: VecDeque<TraceRecord>,
     dropped: u64,
+    streamed: u64,
     sites: BTreeMap<u32, SiteTelemetry>,
     timeline: Timeline,
+    sink: Option<Box<dyn TraceSink>>,
+    finished_sink: Option<Box<dyn TraceSink>>,
+    sink_error: Option<String>,
+}
+
+/// Clones the recorder state. Sinks are not cloneable (they own writers);
+/// a clone starts with no sink attached — which is exactly what snapshot
+/// clones (`Dbt::trace_snapshot`) want.
+impl Clone for Tracer {
+    fn clone(&self) -> Tracer {
+        Tracer {
+            enabled: self.enabled,
+            ring_capacity: self.ring_capacity,
+            ring: self.ring.clone(),
+            dropped: self.dropped,
+            streamed: self.streamed,
+            sites: self.sites.clone(),
+            timeline: self.timeline.clone(),
+            sink: None,
+            finished_sink: None,
+            sink_error: self.sink_error.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .field("ring_capacity", &self.ring_capacity)
+            .field("ring_len", &self.ring.len())
+            .field("dropped", &self.dropped)
+            .field("streamed", &self.streamed)
+            .field("sites", &self.sites.len())
+            .field("sink", &self.sink.is_some())
+            .field("sink_error", &self.sink_error)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Tracer {
@@ -258,8 +308,12 @@ impl Tracer {
             ring_capacity: cfg.ring_capacity.max(1),
             ring: VecDeque::new(),
             dropped: 0,
+            streamed: 0,
             sites: BTreeMap::new(),
             timeline: Timeline::new(cfg.bucket_cycles, cfg.max_buckets),
+            sink: None,
+            finished_sink: None,
+            sink_error: None,
         }
     }
 
@@ -271,8 +325,12 @@ impl Tracer {
             ring_capacity: 0,
             ring: VecDeque::new(),
             dropped: 0,
+            streamed: 0,
             sites: BTreeMap::new(),
             timeline: Timeline::new(1, 0),
+            sink: None,
+            finished_sink: None,
+            sink_error: None,
         }
     }
 
@@ -332,10 +390,28 @@ impl Tracer {
             _ => {}
         }
         if self.ring.len() == self.ring_capacity {
-            self.ring.pop_front();
-            self.dropped += 1;
+            let old = self.ring.pop_front().expect("ring at capacity >= 1");
+            self.flush_evicted(&old);
         }
         self.ring.push_back(TraceRecord { cycle, event });
+    }
+
+    /// Routes one evicted record: to the sink when one is attached (a
+    /// failing sink is detached and its error kept), to the dropped
+    /// counter otherwise.
+    fn flush_evicted(&mut self, old: &TraceRecord) {
+        match self.sink.as_mut() {
+            Some(sink) => {
+                if let Err(e) = sink.emit(old) {
+                    self.sink_error = Some(e.to_string());
+                    self.sink = None;
+                    self.dropped += 1;
+                } else {
+                    self.streamed += 1;
+                }
+            }
+            None => self.dropped += 1,
+        }
     }
 
     /// Adds `guest_insns` of guest progress ending at `cycle` to the
@@ -371,8 +447,9 @@ impl Tracer {
         self.sites.get(&pc)
     }
 
-    /// The `n` hottest sites, ordered by `cycles_attributed` descending
-    /// with guest PC as the deterministic tie-break.
+    /// The `n` hottest sites, ordered by `cycles_attributed` descending,
+    /// then trap count descending, then guest PC ascending — fully
+    /// deterministic even when sites tie on both cost and traps.
     pub fn hot_sites(&self, n: usize) -> Vec<(u32, SiteTelemetry)> {
         merge::hot_n(self.sites().map(|(pc, s)| (pc, *s)), n)
     }
@@ -395,6 +472,81 @@ impl Tracer {
     /// Records evicted from the ring (aggregates still include them).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Records streamed to the attached sink (evictions so far, plus the
+    /// final drain once [`Tracer::finish_sink`] runs).
+    pub fn streamed(&self) -> u64 {
+        self.streamed
+    }
+
+    /// The error that detached the sink, if its writer ever failed.
+    /// Evictions after a sink failure fall back to counted drops.
+    pub fn sink_error(&self) -> Option<&str> {
+        self.sink_error.as_deref()
+    }
+
+    /// Attaches a streaming sink; subsequent ring evictions are emitted to
+    /// it in order instead of being dropped. Returns `false` (and drops
+    /// the sink) on a disabled tracer — nothing will ever be recorded, so
+    /// an empty trace file would be a lie. Replaces any prior sink without
+    /// finishing it.
+    ///
+    /// Sink I/O is host-side only: attaching one never charges simulated
+    /// cycles, preserving the traced==untraced accounting contract.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.sink = Some(sink);
+        self.sink_error = None;
+        true
+    }
+
+    /// Completes the stream: drains the retained ring (oldest first) into
+    /// the sink — so the sink has seen *every* record of the run exactly
+    /// once — then hands the sink the aggregate state via
+    /// [`TraceSink::finish`]. The ring itself is left intact for
+    /// in-memory snapshots.
+    ///
+    /// Returns `None` when no sink is attached, otherwise the summary or
+    /// the I/O error message. The sink is detached either way; recover a
+    /// buffered sink's bytes with [`Tracer::take_sink_output`].
+    pub fn finish_sink(&mut self) -> Option<Result<SinkSummary, String>> {
+        let mut sink = self.sink.take()?;
+        for rec in &self.ring {
+            match sink.emit(rec) {
+                Ok(()) => self.streamed += 1,
+                Err(e) => {
+                    let msg = e.to_string();
+                    self.sink_error = Some(msg.clone());
+                    return Some(Err(msg));
+                }
+            }
+        }
+        if let Err(e) = sink.finish(self) {
+            let msg = e.to_string();
+            self.sink_error = Some(msg.clone());
+            return Some(Err(msg));
+        }
+        self.finished_sink = Some(sink);
+        Some(Ok(SinkSummary {
+            events: self.streamed,
+            sites: self.sites.len(),
+            buckets: self.timeline.active_buckets(),
+        }))
+    }
+
+    /// Recovers the bytes of a finished in-memory [`StreamingJsonl`]
+    /// sink (one constructed over a `Vec<u8>`). `None` when the sink was
+    /// never finished or writes elsewhere. Used by tests and tools that
+    /// stream to memory.
+    pub fn take_sink_output(&mut self) -> Option<Vec<u8>> {
+        let sink = self.finished_sink.take()?;
+        sink.into_any()
+            .downcast::<StreamingJsonl<Vec<u8>>>()
+            .ok()
+            .map(|s| s.into_inner())
     }
 }
 

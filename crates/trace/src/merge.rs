@@ -63,8 +63,8 @@ impl MergedSiteTable {
     }
 
     /// The `n` hottest PCs across all guests, ordered by
-    /// `cycles_attributed` descending with PC as the deterministic
-    /// tie-break.
+    /// `cycles_attributed` descending, then trap count descending, then
+    /// PC ascending (see [`hot_n`]).
     pub fn hot_sites(&self, n: usize) -> Vec<(u32, SiteTelemetry)> {
         hot_n(self.collapse_by_pc().into_iter(), n)
     }
@@ -97,7 +97,10 @@ impl MergedSiteTable {
 }
 
 /// The `n` hottest entries of a `(pc, telemetry)` sequence, ordered by
-/// `cycles_attributed` descending, PC ascending on ties.
+/// `cycles_attributed` descending, then trap count descending, then PC
+/// ascending. Every level is deterministic: two sites that cost the same
+/// and trapped the same always come out in PC order, so hot-site tables
+/// are reproducible across runs and platforms.
 pub fn hot_n(
     sites: impl Iterator<Item = (u32, SiteTelemetry)>,
     n: usize,
@@ -106,6 +109,7 @@ pub fn hot_n(
     v.sort_by(|a, b| {
         b.1.cycles_attributed
             .cmp(&a.1.cycles_attributed)
+            .then(b.1.traps.cmp(&a.1.traps))
             .then(a.0.cmp(&b.0))
     });
     v.truncate(n);
@@ -166,6 +170,41 @@ mod tests {
         assert_eq!(hot.len(), 2);
         assert_eq!(hot[0].0, 0x80, "most cycles first");
         assert_eq!(hot[1].0, 0x40, "tie broken by PC ascending");
+    }
+
+    /// Regression for the full tie-break chain: equal attributed cycles
+    /// order by trap count descending, and equal cycles *and* traps order
+    /// by PC ascending — on both the merged table and the per-run tracer.
+    #[test]
+    fn hot_sites_tie_break_is_fully_deterministic() {
+        // 0x90: 2 traps x 50 = 100 cycles; 0x40/0x80: 1 trap x 100 = 100.
+        let mut m = MergedSiteTable::new();
+        m.add_guest(0, &guest_tracer(0x80, 1, 100));
+        m.add_guest(0, &guest_tracer(0x90, 2, 50));
+        m.add_guest(0, &guest_tracer(0x40, 1, 100));
+        let hot: Vec<u32> = m.hot_sites(3).into_iter().map(|(pc, _)| pc).collect();
+        assert_eq!(
+            hot,
+            vec![0x90, 0x40, 0x80],
+            "equal cycles: more traps first, then PC ascending"
+        );
+
+        // Same ordering out of a single tracer's hot_sites.
+        let mut t = Tracer::new(&TraceConfig::default().with_bucket_cycles(100));
+        for (pc, traps, cost) in [(0x80u32, 1u64, 100u64), (0x90, 2, 50), (0x40, 1, 100)] {
+            for i in 0..traps {
+                t.record(
+                    10 + i,
+                    TraceEvent::Trap {
+                        site_pc: pc,
+                        slot: 0,
+                        cycles: cost,
+                    },
+                );
+            }
+        }
+        let hot: Vec<u32> = t.hot_sites(3).into_iter().map(|(pc, _)| pc).collect();
+        assert_eq!(hot, vec![0x90, 0x40, 0x80]);
     }
 
     #[test]

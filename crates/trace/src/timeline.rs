@@ -7,6 +7,37 @@
 //! last patch, while dynamic profiling's per-occurrence trap rate tracks
 //! the workload forever.
 
+/// The four-way classification of a run's trap-rate curve, shared by
+/// `trace_report` and the cross-run diff so both render (and compare) the
+/// same verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceVerdict {
+    /// At least one patch happened and no trap follows the last patch
+    /// bucket: the adaptive mechanisms' decay-to-zero signature.
+    Converged,
+    /// Patches happened but traps continued afterwards.
+    NotConverged,
+    /// Traps were folded past the end of a truncated timeline into the
+    /// last-patch bucket; their ordering against the final patches is
+    /// unknowable, so no claim is made.
+    Indeterminate,
+    /// No patch ever happened — nothing to converge *to* (Direct and the
+    /// profiling-based mechanisms on fully-covered workloads).
+    NoPatches,
+}
+
+impl ConvergenceVerdict {
+    /// Stable lower-case label for reports and JSONL.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConvergenceVerdict::Converged => "converged",
+            ConvergenceVerdict::NotConverged => "not_converged",
+            ConvergenceVerdict::Indeterminate => "indeterminate",
+            ConvergenceVerdict::NoPatches => "no_patches",
+        }
+    }
+}
+
 /// Cycle-bucket histograms over one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timeline {
@@ -157,11 +188,54 @@ impl Timeline {
     /// and would be invisible to [`Timeline::traps_after`]. A timeline in
     /// that state refuses to claim convergence rather than guess.
     pub fn trap_rate_converged(&self) -> bool {
+        matches!(self.verdict(), ConvergenceVerdict::Converged)
+    }
+
+    /// The full classification behind [`Timeline::trap_rate_converged`],
+    /// distinguishing *why* a run did not converge.
+    pub fn verdict(&self) -> ConvergenceVerdict {
         match self.last_patch_bucket() {
             Some(b) => {
-                self.traps_after(b) == 0 && !(self.folded_traps > 0 && b + 1 == self.max_buckets)
+                if self.folded_traps > 0 && b + 1 == self.max_buckets {
+                    ConvergenceVerdict::Indeterminate
+                } else if self.traps_after(b) == 0 {
+                    ConvergenceVerdict::Converged
+                } else {
+                    ConvergenceVerdict::NotConverged
+                }
             }
-            None => false,
+            None => ConvergenceVerdict::NoPatches,
+        }
+    }
+
+    /// Reconstructs a timeline from serialized bucket series (the JSONL
+    /// scanner's path back to [`Timeline::verdict`]). All series are
+    /// bucket-indexed from zero; `truncated` timelines set `max_buckets`
+    /// to the active length so the folded-trap ambiguity check still
+    /// fires, un-truncated ones leave headroom so nothing looks folded.
+    pub fn from_parts(
+        bucket_cycles: u64,
+        traps: Vec<u64>,
+        monitor_exits: Vec<u64>,
+        patches: Vec<u64>,
+        guest_insns: Vec<u64>,
+        truncated: bool,
+        folded_traps: u64,
+    ) -> Timeline {
+        let active = traps
+            .len()
+            .max(monitor_exits.len())
+            .max(patches.len())
+            .max(guest_insns.len());
+        Timeline {
+            bucket_cycles: bucket_cycles.max(1),
+            max_buckets: if truncated { active } else { active + 1 },
+            traps,
+            monitor_exits,
+            patches,
+            guest_insns,
+            truncated,
+            folded_traps,
         }
     }
 }
@@ -269,5 +343,88 @@ mod tests {
         let mut t = Timeline::new(10, 0);
         t.bump_trap(5);
         assert_eq!(t.active_buckets(), 0);
+    }
+
+    /// Property over a spread of widths: an event landing exactly on a
+    /// bucket edge (`cycle == k * width`) is counted once, in the *later*
+    /// bucket `k`, never in bucket `k - 1` — and `k * width - 1` lands in
+    /// bucket `k - 1`. Totals are conserved either way.
+    #[test]
+    fn bucket_edges_count_once_in_the_later_bucket() {
+        for width in [1u64, 2, 3, 7, 16, 100, 1 << 15] {
+            for k in [1usize, 2, 5, 9] {
+                let mut t = Timeline::new(width, 64);
+                t.bump_trap(k as u64 * width);
+                assert_eq!(
+                    t.traps().iter().sum::<u64>(),
+                    1,
+                    "width {width} k {k}: edge event counted exactly once"
+                );
+                assert_eq!(
+                    t.traps().iter().position(|&n| n > 0),
+                    Some(k),
+                    "width {width} k {k}: edge event belongs to the later bucket"
+                );
+
+                // One cycle before the edge stays in the earlier bucket
+                // (degenerate at width 1, where every cycle is an edge).
+                if width > 1 {
+                    let mut u = Timeline::new(width, 64);
+                    u.bump_trap(k as u64 * width - 1);
+                    assert_eq!(u.traps().iter().position(|&n| n > 0), Some(k - 1));
+                    assert_eq!(u.traps().iter().sum::<u64>(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_classifies_all_four_outcomes() {
+        let mut converged = Timeline::new(10, 64);
+        converged.bump_trap(5);
+        converged.bump_patch(6);
+        assert_eq!(converged.verdict(), ConvergenceVerdict::Converged);
+        assert_eq!(converged.verdict().label(), "converged");
+
+        let mut not = converged.clone();
+        not.bump_trap(500);
+        assert_eq!(not.verdict(), ConvergenceVerdict::NotConverged);
+
+        let mut indet = Timeline::new(10, 3);
+        indet.bump_patch(25);
+        indet.bump_trap(1_000); // folded into the last-patch bucket
+        assert_eq!(indet.verdict(), ConvergenceVerdict::Indeterminate);
+
+        let flat = Timeline::new(10, 64);
+        assert_eq!(flat.verdict(), ConvergenceVerdict::NoPatches);
+    }
+
+    /// `from_parts` must round-trip the verdict through serialized series.
+    #[test]
+    fn from_parts_preserves_verdicts() {
+        // Converged: trap in bucket 0, patch in bucket 1, progress after.
+        let t = Timeline::from_parts(
+            10,
+            vec![1, 0],
+            vec![],
+            vec![0, 1],
+            vec![0, 0, 0, 9],
+            false,
+            0,
+        );
+        assert_eq!(t.verdict(), ConvergenceVerdict::Converged);
+        assert_eq!(t.bucket_cycles(), 10);
+        assert_eq!(t.active_buckets(), 4);
+
+        // Truncated with folded traps and the last patch in the final
+        // bucket: the ambiguity check must survive reconstruction.
+        let u = Timeline::from_parts(10, vec![1, 0, 2], vec![], vec![0, 0, 1], vec![], true, 2);
+        assert!(u.truncated());
+        assert_eq!(u.verdict(), ConvergenceVerdict::Indeterminate);
+
+        // Un-truncated reconstruction leaves headroom: a patch in the last
+        // active bucket is not mistaken for the folded-trap case.
+        let v = Timeline::from_parts(10, vec![1], vec![], vec![0, 1], vec![], false, 0);
+        assert_eq!(v.verdict(), ConvergenceVerdict::Converged);
     }
 }

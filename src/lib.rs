@@ -13,7 +13,10 @@
 //! * [`workloads`] — SPEC CPU2000/2006 stand-in workloads calibrated to the
 //!   paper's Table I/III/IV;
 //! * [`trace`] — structured tracing and per-site MDA telemetry (event ring,
-//!   guest-PC site table, cycle-bucket phase timelines, JSONL sink);
+//!   guest-PC site table, cycle-bucket phase timelines, JSONL sink,
+//!   streaming full-fidelity sinks, trace scanning and cross-run diffing);
+//! * [`metrics`] — zero-dependency metrics registry (counters, gauges,
+//!   log2 histograms) with JSON and Prometheus-style exposition;
 //! * [`serve`] — the multi-guest sharded execution service (bounded work
 //!   queue, worker pool, shared read-only training profiles, deterministic
 //!   result aggregation).
@@ -39,6 +42,7 @@
 
 pub use bridge_alpha as alpha;
 pub use bridge_dbt as dbt;
+pub use bridge_metrics as metrics;
 pub use bridge_serve as serve;
 pub use bridge_sim as sim;
 pub use bridge_trace as trace;
