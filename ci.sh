@@ -28,11 +28,19 @@ echo "== perf bench (scale test) + BENCH json schema =="
 (cd "$tmp" && "$OLDPWD/target/release/perf" --scale test >perf_stdout.txt)
 ./target/release/check_bench_json "$tmp/BENCH_simulator.json"
 
-echo "== serve_bench smoke (scale test, byte-identical merge, >=2x at 4 shards, metrics exposition) =="
+echo "== shared-cache smoke (multi-thread vCPU fleet, chained dispatch hints firing) =="
+grep -q "Shared translation cache (4 vCPUs" "$tmp/perf_stdout.txt"
+grep -Eq 'hint hit rate: +[0-9.]+% +\([1-9][0-9]* hits' "$tmp/perf_stdout.txt"
+grep -Eq 'fleet translations: +[0-9]+ private -> [0-9]+ shared' "$tmp/perf_stdout.txt"
+
+echo "== serve_bench smoke (scale test, byte-identical merge, CPU-aware floor at 4 shards, metrics exposition) =="
 ./target/release/serve_bench --scale test >"$tmp/serve_stdout.txt"
 grep -q "serve_bench OK" "$tmp/serve_stdout.txt"
 grep -q '"schema":"bridge-metrics/1"' "$tmp/serve_stdout.txt"
 grep -q '# TYPE serve_requests counter' "$tmp/serve_stdout.txt"
+grep -q '# TYPE dbt_code_cache_hits counter' "$tmp/serve_stdout.txt"
+grep -q '# TYPE dispatch_hint_hits counter' "$tmp/serve_stdout.txt"
+grep -Eq '^dbt_code_cache_hits [1-9]' "$tmp/serve_stdout.txt"
 
 echo "== trace_report smoke (JSONL written, EH converges, top-N) =="
 ./target/release/trace_report --strategy eh --top 3 --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"

@@ -10,16 +10,21 @@
 //! * the service's merged `Stats`, per-guest reports and memory
 //!   read-backs are byte-identical to the sequential baseline at every
 //!   shard count (checked inside `measure_serve` before timing), and
-//! * 4 shards beat the sequential baseline by ≥2x wall-clock — the
+//! * 4 shards beat the sequential baseline by the CPU-aware floor
+//!   (`serve_speedup_floor`): ≥2x on a single-core host — the pure
 //!   amortization win of sharing each kernel's training profile instead
-//!   of re-deriving it per request, so it holds on a single-core host.
+//!   of re-deriving it per request — and a higher bar when the host can
+//!   actually run the shards in parallel over the shared translation
+//!   cache.
 //!
 //! After the traced merge pass, the service's metrics registry is dumped
 //! twice: as the single-line `bridge-metrics/1` JSON document and as a
 //! Prometheus-style text exposition — the scrape formats an external
 //! collector would consume.
 
-use bridge_bench::serve::{measure_serve, throughput_batch};
+use bridge_bench::serve::{
+    available_parallelism, measure_serve, serve_speedup_floor, throughput_batch,
+};
 use bridge_dbt::MdaStrategy;
 use bridge_serve::{ExecService, RunRequest, ServeConfig};
 
@@ -62,9 +67,13 @@ fn main() {
         "\n  merged: {} cycles, {} traps (identical on every path)",
         at4.merged_cycles, at4.merged_traps
     );
+    let par = available_parallelism();
+    let floor = serve_speedup_floor(par);
+    println!("  host parallelism: {par} (speedup floor {floor:.2}x)");
     assert!(
-        at4.speedup >= 2.0,
-        "service at 4 shards must be >= 2x over sequential (got {:.2}x)",
+        at4.speedup >= floor,
+        "service at 4 shards must be >= {floor:.2}x over sequential on a \
+         {par}-way host (got {:.2}x)",
         at4.speedup
     );
 

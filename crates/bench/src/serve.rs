@@ -35,6 +35,34 @@ pub struct ServeMeasurement {
     pub merged_cycles: u64,
     /// Merged misalignment traps across the batch.
     pub merged_traps: u64,
+    /// Host parallelism at measurement time ([`available_parallelism`]):
+    /// decides which speedup contract the numbers are held to.
+    pub parallelism: usize,
+}
+
+/// Worker threads the host can actually run concurrently (1 when the
+/// runtime cannot tell). Recorded next to every serve measurement so a
+/// checker reading the numbers later can hold them to the right contract.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The wall-clock floor the 4-shard service is held to against the
+/// sequential baseline, given the host's parallelism.
+///
+/// On a single-core host the only available win is *amortization*
+/// (training profiles and kernel images derived once instead of per
+/// request): ≥2x, the contract CI's one-core runners exercise. With ≥2
+/// cores the shards also genuinely overlap execution, so the same batch
+/// must clear a higher bar.
+pub fn serve_speedup_floor(parallelism: usize) -> f64 {
+    if parallelism >= 2 {
+        2.5
+    } else {
+        2.0
+    }
 }
 
 /// The standard throughput batch at `scale`: a mixed-strategy request
@@ -127,6 +155,7 @@ pub fn measure_serve(shards: usize, batch: &[RunRequest], reps: u32) -> ServeMea
         speedup: best_seq.as_secs_f64() / best_svc.as_secs_f64(),
         merged_cycles: pooled.merged_stats.cycles,
         merged_traps: pooled.merged_stats.unaligned_traps,
+        parallelism: available_parallelism(),
     }
 }
 
@@ -155,5 +184,14 @@ mod tests {
         assert_eq!(m.requests, 4);
         assert!(m.secs_sequential > 0.0 && m.secs_service > 0.0);
         assert!(m.merged_cycles > 0);
+        assert_eq!(m.parallelism, available_parallelism());
+    }
+
+    #[test]
+    fn speedup_floor_is_cpu_aware() {
+        assert_eq!(serve_speedup_floor(1), 2.0, "amortization-only contract");
+        assert!(serve_speedup_floor(2) > serve_speedup_floor(1));
+        assert_eq!(serve_speedup_floor(2), serve_speedup_floor(64));
+        assert!(available_parallelism() >= 1);
     }
 }

@@ -1,23 +1,28 @@
 //! The multi-guest service's throughput contract: on the standard batch,
 //! the service at 4 shards beats the naive per-request sequential path by
-//! at least 2x wall-clock while producing byte-identical results.
+//! the CPU-aware floor while producing byte-identical results.
 //!
-//! The win is amortization — each kernel's training profile is built once
-//! and shared instead of re-derived per request — so the bar holds on a
-//! single-core host. `measure_serve` asserts result equality before any
-//! timing is taken; this test re-checks only the ratio.
+//! On a single-core host the win is amortization — each kernel's training
+//! profile is built once and shared instead of re-derived per request —
+//! so a 2x bar holds even there. On a multi-core host the shards also
+//! execute in parallel over the shared translation cache, and the same
+//! batch is held to the higher floor. `measure_serve` asserts result
+//! equality before any timing is taken; this test re-checks only the
+//! ratio.
 
-use bridge_bench::serve::{measure_serve, throughput_batch};
+use bridge_bench::serve::{measure_serve, serve_speedup_floor, throughput_batch};
 use bridge_workloads::spec::Scale;
 
 #[test]
-fn service_at_four_shards_beats_sequential_twofold() {
+fn service_at_four_shards_beats_sequential() {
     let batch = throughput_batch(Scale::test());
     let m = measure_serve(4, &batch, 2);
+    let floor = serve_speedup_floor(m.parallelism);
     assert!(
-        m.speedup >= 2.0,
-        "service at 4 shards must be >= 2x over sequential (got {:.2}x: \
-         sequential {:.4}s, service {:.4}s)",
+        m.speedup >= floor,
+        "service at 4 shards must be >= {floor:.2}x over sequential on a \
+         {}-way host (got {:.2}x: sequential {:.4}s, service {:.4}s)",
+        m.parallelism,
         m.speedup,
         m.secs_sequential,
         m.secs_service

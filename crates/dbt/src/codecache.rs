@@ -60,6 +60,41 @@ pub struct Block {
     pub retrans_count: u32,
 }
 
+impl Block {
+    /// Builds the installed-block record for a translation product whose
+    /// words were written at `host_addr`. `exit_original_words` are the
+    /// original first words of each exit stub (restored when unchaining).
+    /// Shared between the private install path and shared-cache installs,
+    /// which reuse another engine's product at the same address.
+    pub fn from_tb(tb: &TranslatedBlock, host_addr: u64, exit_original_words: Vec<u32>) -> Block {
+        assert_eq!(tb.exits.len(), exit_original_words.len());
+        let exit_slots = tb
+            .exits
+            .iter()
+            .zip(exit_original_words)
+            .map(|(e, w)| ExitSlot {
+                host_addr: e.host_addr,
+                target: e.target,
+                original_word: w,
+                chained: false,
+            })
+            .collect();
+        Block {
+            guest_pc: tb.guest_pc,
+            host_addr,
+            words_len: tb.words.len() as u32,
+            guest_insn_count: tb.guest_insn_count,
+            guest_pcs: tb.guest_pcs.clone(),
+            insn_starts: tb.insn_starts.clone(),
+            site_at_host: tb.trap_sites.iter().copied().collect(),
+            exit_slots,
+            indirect_exits: tb.indirect_exits.clone(),
+            trap_count: 0,
+            retrans_count: 0,
+        }
+    }
+}
+
 /// Why an allocation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheFull {
@@ -186,32 +221,10 @@ impl CodeCache {
     /// (previously obtained from [`CodeCache::alloc_block`]). `exit_words`
     /// are the original first words of each exit stub (for unchaining).
     pub fn install(&mut self, tb: &TranslatedBlock, host_addr: u64, exit_original_words: Vec<u32>) {
-        assert_eq!(tb.exits.len(), exit_original_words.len());
-        let exit_slots = tb
-            .exits
-            .iter()
-            .zip(exit_original_words)
-            .map(|(e, w)| ExitSlot {
-                host_addr: e.host_addr,
-                target: e.target,
-                original_word: w,
-                chained: false,
-            })
-            .collect();
-        let block = Block {
-            guest_pc: tb.guest_pc,
-            host_addr,
-            words_len: tb.words.len() as u32,
-            guest_insn_count: tb.guest_insn_count,
-            guest_pcs: tb.guest_pcs.clone(),
-            insn_starts: tb.insn_starts.clone(),
-            site_at_host: tb.trap_sites.iter().copied().collect(),
-            exit_slots,
-            indirect_exits: tb.indirect_exits.clone(),
-            trap_count: 0,
-            retrans_count: 0,
-        };
-        self.blocks.insert(tb.guest_pc, block);
+        self.blocks.insert(
+            tb.guest_pc,
+            Block::from_tb(tb, host_addr, exit_original_words),
+        );
     }
 
     /// Registers an exit slot as waiting for `target` to be translated.

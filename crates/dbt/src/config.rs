@@ -2,6 +2,7 @@
 //! Table II).
 
 use crate::profile::StaticProfile;
+use crate::shared::SharedCodeCache;
 use bridge_metrics::Registry;
 pub use bridge_trace::TraceConfig;
 use std::sync::Arc;
@@ -139,6 +140,17 @@ pub struct DbtConfig {
     /// `Arc` lets a multi-guest service aggregate every engine into one
     /// registry.
     pub metrics: Option<Arc<Registry>>,
+    /// Fleet-shared translation cache ([`SharedCodeCache`]): `Some`
+    /// makes this engine one vCPU executor over a shared read-mostly
+    /// translation cache — installs are served from fleet entries when a
+    /// valid one exists (translation happens once per variant fleet-wide)
+    /// and guest-code patches publish to every attached engine. The
+    /// engine still pays the full *simulated* translation charge on every
+    /// install, so results are byte-identical to a private-cache run; the
+    /// saving is host-side translation work. The cache's capacity must
+    /// not exceed [`DbtConfig::code_bytes`]. `None` (the default) keeps
+    /// the cache fully private.
+    pub shared_cache: Option<Arc<SharedCodeCache>>,
     /// Translate every statically reachable block before execution starts,
     /// as FX!32's offline translator did (Figure 3's pre-execution phase).
     /// Most useful with [`MdaStrategy::StaticProfiling`].
@@ -173,6 +185,7 @@ impl DbtConfig {
             count_retired: false,
             trace: None,
             metrics: None,
+            shared_cache: None,
             pretranslate: false,
             code_bytes: 2 * 1024 * 1024,
             stub_bytes: 1024 * 1024,
@@ -262,6 +275,13 @@ impl DbtConfig {
         self.metrics = Some(registry);
         self
     }
+
+    /// Builder-style: attach a fleet-shared translation cache, making
+    /// this engine one vCPU executor over it.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedCodeCache>) -> DbtConfig {
+        self.shared_cache = Some(cache);
+        self
+    }
 }
 
 impl Default for DbtConfig {
@@ -287,6 +307,14 @@ mod tests {
         assert!(!c.count_retired);
         assert!(c.trace.is_none(), "tracing is opt-in");
         assert!(c.metrics.is_none(), "metrics are opt-in");
+        assert!(c.shared_cache.is_none(), "shared cache is opt-in");
+    }
+
+    #[test]
+    fn shared_cache_builder_attaches() {
+        let sh = SharedCodeCache::new(1 << 20);
+        let c = DbtConfig::new(MdaStrategy::Dpeh).with_shared_cache(Arc::clone(&sh));
+        assert!(Arc::ptr_eq(c.shared_cache.as_ref().unwrap(), &sh));
     }
 
     #[test]

@@ -14,12 +14,13 @@ use crate::regmap::{
     RAS_ENTRIES, RAS_ENTRY_BYTES, RAS_HIT_CTR, RETIRE_CTR, STATE_BASE_REG, STATE_BLOCK_ADDR,
 };
 use crate::report::RunReport;
+use crate::shared::{PlanVector, SharedBlock, SharedCodeCache};
 use crate::translator::{self, DispatchOpts, SiteAccess, SitePlan, TranslatedBlock};
 use bridge_alpha::builder::branch_disp;
 use bridge_alpha::encode::encode as encode_alpha;
 use bridge_alpha::insn::{BrOp, Insn as AInsn};
 use bridge_alpha::reg::Reg;
-use bridge_metrics::{Counter, Registry};
+use bridge_metrics::{Counter, Gauge, Registry};
 use bridge_sim::cost::CostModel;
 use bridge_sim::cpu::Machine;
 use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
@@ -27,13 +28,18 @@ use bridge_trace::{TraceEvent, TraceSink, Tracer};
 use bridge_x86::insn::Width;
 use bridge_x86::reg::Reg32;
 use bridge_x86::state::CpuState;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
 /// Fuel units charged per interpreted guest instruction (an interpreted
 /// instruction is roughly this many host instructions of work).
 const INTERP_FUEL_PER_INSN: u64 = 8;
+
+/// Entries in the direct-mapped next-TB dispatch hint (QEMU's
+/// `tb_jmp_cache` shape): one `(guest pc, host entry)` pair per slot,
+/// probed before the block-table lookup on every monitor dispatch.
+const HINT_ENTRIES: usize = 256;
 
 /// A guest program image.
 #[derive(Debug, Clone)]
@@ -137,7 +143,18 @@ struct EngineMetrics {
     os_fixups: Arc<Counter>,
     patches: Arc<Counter>,
     flushes: Arc<Counter>,
+    /// Actual translations performed by this engine. With a shared cache
+    /// attached, installs served from the cache do NOT count here, so the
+    /// fleet-wide value measures real translation work (the reduction the
+    /// perf harness asserts on); [`RunReport::blocks_translated`] keeps
+    /// counting every install.
     translations: Arc<Counter>,
+    hint_hits: Arc<Counter>,
+    hint_misses: Arc<Counter>,
+    cc_hits: Arc<Counter>,
+    cc_misses: Arc<Counter>,
+    cc_evictions: Arc<Counter>,
+    cc_bytes: Arc<Gauge>,
 }
 
 impl EngineMetrics {
@@ -148,6 +165,12 @@ impl EngineMetrics {
             patches: r.counter("dbt.patches"),
             flushes: r.counter("dbt.cache_flushes"),
             translations: r.counter("dbt.blocks_translated"),
+            hint_hits: r.counter("dispatch.hint_hits"),
+            hint_misses: r.counter("dispatch.hint_misses"),
+            cc_hits: r.counter("dbt.code_cache.hits"),
+            cc_misses: r.counter("dbt.code_cache.misses"),
+            cc_evictions: r.counter("dbt.code_cache.evictions"),
+            cc_bytes: r.gauge("dbt.code_cache.bytes"),
         }
     }
 }
@@ -192,6 +215,25 @@ pub struct Dbt {
     tracer: Tracer,
     /// Counter handles into [`DbtConfig::metrics`], when attached.
     metrics: Option<EngineMetrics>,
+    /// The fleet-shared translation cache, when attached
+    /// ([`DbtConfig::shared_cache`]); `None` runs fully private.
+    shared: Option<Arc<SharedCodeCache>>,
+    /// Shared entries this engine has installed locally, for the stale
+    /// sweep at each coherence sync.
+    shared_installs: HashMap<u32, Arc<SharedBlock>>,
+    /// Local (re)translation count per guest PC — the shared-cache
+    /// variant key (see [`SharedBlock::variant`]).
+    install_counts: HashMap<u32, u32>,
+    /// Shared-cache generation at the last sync.
+    seen_shared_gen: u64,
+    /// Shared guest-patch log entries already applied locally.
+    seen_patch_seq: usize,
+    /// Direct-mapped next-TB dispatch hint: `(guest pc, host entry)`,
+    /// host 0 = empty. A pure host-side memo — hits skip the block-table
+    /// lookup but charge exactly the same simulated cycles.
+    hint: Vec<(u32, u64)>,
+    hint_hits: u64,
+    hint_misses: u64,
 }
 
 impl Dbt {
@@ -208,6 +250,14 @@ impl Dbt {
             None => Tracer::disabled(),
         };
         let metrics = cfg.metrics.as_deref().map(EngineMetrics::new);
+        let shared = cfg.shared_cache.clone();
+        if let Some(sh) = &shared {
+            assert!(
+                sh.capacity() <= cfg.code_bytes,
+                "shared cache capacity exceeds the engine's code region \
+                 (shared allocations would overlap the stub region)"
+            );
+        }
         Dbt {
             cfg,
             machine,
@@ -235,6 +285,14 @@ impl Dbt {
             seen_retired: 0,
             tracer,
             metrics,
+            shared,
+            shared_installs: HashMap::new(),
+            install_counts: HashMap::new(),
+            seen_shared_gen: 0,
+            seen_patch_seq: 0,
+            hint: vec![(0, 0); HINT_ENTRIES],
+            hint_hits: 0,
+            hint_misses: 0,
         }
     }
 
@@ -265,7 +323,26 @@ impl Dbt {
     /// IBTC/shadow-return-stack entries), and the interpreter's decode
     /// cache drops the range. The next execution of the region re-decodes
     /// the new bytes.
+    ///
+    /// With a shared cache attached, the patch is additionally published
+    /// fleet-wide: overlapping shared entries are invalidated and every
+    /// other executor applies the same byte rewrite to its own guest
+    /// memory at its next dispatch (see [`SharedCodeCache`]).
     pub fn write_guest_code(&mut self, addr: u32, bytes: &[u8]) {
+        if let Some(sh) = &self.shared {
+            let sh = Arc::clone(sh);
+            sh.write_guest_code(addr, bytes);
+            // The sync applies our own patch (and any earlier unseen
+            // ones) locally, in publish order.
+            self.sync_shared();
+        } else {
+            self.apply_guest_code(addr, bytes);
+        }
+    }
+
+    /// The local half of a guest-code rewrite: invalidate overlapping
+    /// translations, write the bytes, drop the decode-cache range.
+    fn apply_guest_code(&mut self, addr: u32, bytes: &[u8]) {
         let start = addr;
         let end = addr.wrapping_add(bytes.len() as u32);
         // An x86 instruction decodes at most 16 bytes, so an instruction
@@ -451,7 +528,22 @@ impl Dbt {
         let mut pc = self.state.eip;
 
         loop {
-            if let Some(host_entry) = self.cache.block(pc).map(|b| b.host_addr) {
+            // Shared-cache coherence point: a single atomic load and
+            // compare unless another executor evicted or patched.
+            self.sync_shared();
+            // Next-TB hint first — a hit skips the block-table lookup
+            // entirely (same simulated cost; the saving is host work).
+            let host = match self.hint_probe(pc) {
+                Some(h) => Some(h),
+                None => {
+                    let found = self.cache.block(pc).map(|b| b.host_addr);
+                    if let Some(h) = found {
+                        self.hint_fill(pc, h);
+                    }
+                    found
+                }
+            };
+            if let Some(host_entry) = host {
                 if self.cfg.in_cache_dispatch {
                     // Every monitor dispatch seeds the IBTC, so the next
                     // dynamic transfer to this guest PC stays in-cache.
@@ -940,6 +1032,8 @@ impl Dbt {
             return;
         };
         self.host_blocks.remove(&block.host_addr);
+        self.hint_drop(block_pc);
+        self.shared_installs.remove(&block_pc);
         if self.cfg.in_cache_dispatch {
             self.dispatch_purge(&block);
         }
@@ -979,6 +1073,8 @@ impl Dbt {
         let blocks = self.cache.block_count() as u64;
         self.cache.flush();
         self.host_blocks.clear();
+        self.hint.fill((0, 0));
+        self.shared_installs.clear();
         if self.cfg.in_cache_dispatch {
             self.dispatch_flush();
         }
@@ -999,6 +1095,9 @@ impl Dbt {
         block_pc: u32,
         retrans_count: u32,
     ) -> Result<bool, DbtError> {
+        if self.shared.is_some() {
+            return self.translate_and_install_shared(block_pc, retrans_count);
+        }
         for _attempt in 0..2 {
             let base = self.cache.next_code_addr();
             let tb = {
@@ -1047,6 +1146,9 @@ impl Dbt {
                 Ok(addr) => {
                     debug_assert_eq!(addr, base);
                     self.install_block(&tb, addr, retrans_count);
+                    if let Some(m) = &self.metrics {
+                        m.translations.inc();
+                    }
                     return Ok(true);
                 }
                 Err(_) => {
@@ -1056,6 +1158,249 @@ impl Dbt {
             }
         }
         Err(DbtError::Internal("block larger than the code region"))
+    }
+
+    /// The shared-cache install path: validate-and-reuse a fleet entry
+    /// when one exists, otherwise translate once under the fleet-wide
+    /// translate lock and publish the product. Either way the engine pays
+    /// the full simulated translation charge in [`Dbt::install_block`] —
+    /// only *host* translation work is elided, so shared-cache runs stay
+    /// byte-identical to private ones.
+    fn translate_and_install_shared(
+        &mut self,
+        block_pc: u32,
+        retrans_count: u32,
+    ) -> Result<bool, DbtError> {
+        let sh = Arc::clone(self.shared.as_ref().expect("shared mode"));
+        // Bring local bookkeeping current before touching shared space:
+        // another executor's evictions may have reclaimed addresses our
+        // stale local installs still occupy.
+        self.sync_shared();
+        let variant = self.install_counts.get(&block_pc).copied().unwrap_or(0);
+        if let Some(e) = self.shared_lookup(&sh, block_pc, variant) {
+            self.install_shared(&e, retrans_count, true);
+            return Ok(true);
+        }
+        // Miss: translate under the fleet lock, double-checking first so
+        // racing executors never translate the same variant twice.
+        let guard = sh.translate_lock();
+        if let Some(e) = self.shared_lookup(&sh, block_pc, variant) {
+            drop(guard);
+            self.install_shared(&e, retrans_count, true);
+            return Ok(true);
+        }
+        let base = sh.candidate_addr();
+        let Some((tb, plans)) = self.translate_recording(block_pc, base) else {
+            self.interp_only.insert(block_pc);
+            return Ok(false);
+        };
+        let alloc = match sh.alloc(tb.words.len()) {
+            Some(a) => a,
+            None => {
+                return Err(DbtError::Internal(
+                    "block larger than the shared code region",
+                ))
+            }
+        };
+        for &pc in &alloc.evicted {
+            if let Some(m) = &self.metrics {
+                m.cc_evictions.inc();
+            }
+            self.trace(TraceEvent::CacheEvict { block_pc: pc });
+        }
+        if !alloc.evicted.is_empty() {
+            // Our own local installs may sit in the reclaimed space.
+            self.sync_shared();
+        }
+        let tb = if alloc.addr == base {
+            tb
+        } else {
+            // First-fit handed us a reclaimed hole, not the bump address
+            // we translated against; re-emit for the final address
+            // (host-side work only — translation is deterministic).
+            match self.translate_recording(block_pc, alloc.addr) {
+                Some((tb, _)) => tb,
+                None => {
+                    self.interp_only.insert(block_pc);
+                    return Ok(false);
+                }
+            }
+        };
+        let entry = sh.insert(tb, alloc.addr, variant, plans, self.dispatch_opts());
+        drop(guard);
+        if let Some(m) = &self.metrics {
+            m.translations.inc();
+        }
+        self.install_shared(&entry, retrans_count, false);
+        Ok(true)
+    }
+
+    /// Installs a shared entry into this engine's memory and block table,
+    /// recording it for the coherence stale sweep.
+    fn install_shared(&mut self, entry: &Arc<SharedBlock>, retrans_count: u32, hit: bool) {
+        if let Some(m) = &self.metrics {
+            if hit {
+                m.cc_hits.inc();
+            } else {
+                m.cc_misses.inc();
+            }
+        }
+        self.install_block(&entry.tb, entry.host_addr, retrans_count);
+        self.shared_installs
+            .insert(entry.tb.guest_pc, Arc::clone(entry));
+        *self.install_counts.entry(entry.tb.guest_pc).or_insert(0) += 1;
+        if let (Some(m), Some(sh)) = (&self.metrics, &self.shared) {
+            m.cc_bytes.set(sh.stats().bytes_used as i64);
+        }
+    }
+
+    /// Translates `block_pc` against `base` with the active strategy's
+    /// plan function, recording every per-site decision — the validation
+    /// key other executors re-check before reusing the product. `None`
+    /// when the block is untranslatable.
+    fn translate_recording(
+        &mut self,
+        block_pc: u32,
+        base: u64,
+    ) -> Option<(TranslatedBlock, PlanVector)> {
+        let strategy = self.cfg.strategy;
+        let multiversion = self.cfg.multiversion;
+        let mv_min = self.cfg.multiversion_min_samples;
+        let adaptive = self
+            .cfg
+            .adaptive_reversion
+            .then_some(self.cfg.reversion_threshold);
+        let profile = &self.profile;
+        let static_profile = self.cfg.static_profile.as_deref();
+        let forced_seq = &self.forced_sequence;
+        let forced_normal = &self.forced_normal;
+        let mut plans: PlanVector = Vec::new();
+        let mut plan = |site: SiteId, acc: SiteAccess| -> SitePlan {
+            let p = decide_plan(
+                strategy,
+                multiversion,
+                mv_min,
+                adaptive,
+                profile,
+                static_profile,
+                forced_seq,
+                forced_normal,
+                site,
+                acc,
+            );
+            plans.push((site, acc, p));
+            p
+        };
+        let tb = translator::translate_block(
+            self.machine.mem(),
+            block_pc,
+            base,
+            self.cfg.max_block_insns,
+            &mut plan,
+            self.dispatch_opts(),
+        )
+        .ok()?;
+        Some((tb, plans))
+    }
+
+    /// Shared-cache lookup with this engine's current plan function as
+    /// the validator (see [`SharedCodeCache::lookup`]).
+    fn shared_lookup(
+        &self,
+        sh: &SharedCodeCache,
+        block_pc: u32,
+        variant: u32,
+    ) -> Option<Arc<SharedBlock>> {
+        let strategy = self.cfg.strategy;
+        let multiversion = self.cfg.multiversion;
+        let mv_min = self.cfg.multiversion_min_samples;
+        let adaptive = self
+            .cfg
+            .adaptive_reversion
+            .then_some(self.cfg.reversion_threshold);
+        let profile = &self.profile;
+        let static_profile = self.cfg.static_profile.as_deref();
+        let forced_seq = &self.forced_sequence;
+        let forced_normal = &self.forced_normal;
+        let mut plan = |site: SiteId, acc: SiteAccess| -> SitePlan {
+            decide_plan(
+                strategy,
+                multiversion,
+                mv_min,
+                adaptive,
+                profile,
+                static_profile,
+                forced_seq,
+                forced_normal,
+                site,
+                acc,
+            )
+        };
+        sh.lookup(block_pc, variant, self.dispatch_opts(), &mut plan)
+    }
+
+    /// Brings per-CPU state current with the shared cache: applies guest
+    /// patches published by other executors and drops local installs
+    /// whose shared entry was evicted or invalidated. The fast path —
+    /// generation unchanged — is one atomic load and a compare; no lock.
+    fn sync_shared(&mut self) {
+        let Some(sh) = &self.shared else {
+            return;
+        };
+        let gen = sh.generation();
+        if gen == self.seen_shared_gen {
+            return;
+        }
+        let sh = Arc::clone(sh);
+        self.seen_shared_gen = gen;
+        let (patches, seen) = sh.patches_since(self.seen_patch_seq);
+        self.seen_patch_seq = seen;
+        for p in patches {
+            self.apply_guest_code(p.addr, &p.bytes);
+        }
+        let stale: Vec<u32> = self
+            .shared_installs
+            .iter()
+            .filter(|(_, e)| !e.is_valid())
+            .map(|(&pc, _)| pc)
+            .collect();
+        for pc in stale {
+            self.shared_installs.remove(&pc);
+            self.invalidate_block(pc, false);
+        }
+    }
+
+    /// Probes the next-TB hint for a dispatch to `pc`.
+    #[inline]
+    fn hint_probe(&mut self, pc: u32) -> Option<u64> {
+        let (hpc, host) = self.hint[(pc as usize) & (HINT_ENTRIES - 1)];
+        if host != 0 && hpc == pc {
+            self.hint_hits += 1;
+            if let Some(m) = &self.metrics {
+                m.hint_hits.inc();
+            }
+            Some(host)
+        } else {
+            None
+        }
+    }
+
+    /// Fills the hint slot after a block-table lookup found `pc`
+    /// translated (a dispatch the hint failed to eliminate).
+    fn hint_fill(&mut self, pc: u32, host: u64) {
+        self.hint_misses += 1;
+        if let Some(m) = &self.metrics {
+            m.hint_misses.inc();
+        }
+        self.hint[(pc as usize) & (HINT_ENTRIES - 1)] = (pc, host);
+    }
+
+    /// Drops the hint slot for an invalidated block.
+    fn hint_drop(&mut self, pc: u32) {
+        let slot = &mut self.hint[(pc as usize) & (HINT_ENTRIES - 1)];
+        if slot.0 == pc {
+            *slot = (0, 0);
+        }
     }
 
     fn install_block(&mut self, tb: &TranslatedBlock, addr: u64, retrans_count: u32) {
@@ -1082,9 +1427,6 @@ impl Dbt {
             });
         }
         self.blocks_translated += 1;
-        if let Some(m) = &self.metrics {
-            m.translations.inc();
-        }
         self.trace(TraceEvent::BlockTranslated {
             guest_pc: tb.guest_pc,
         });
@@ -1164,6 +1506,8 @@ impl Dbt {
             guest_insns_retired: self.machine.reg(RETIRE_CTR),
             cache_flushes: self.cache.flush_count,
             interp_only_blocks: self.interp_only.len() as u64,
+            hint_hits: self.hint_hits,
+            hint_misses: self.hint_misses,
             profile: self.profile.clone(),
         }
     }

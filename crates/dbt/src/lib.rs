@@ -72,9 +72,11 @@ pub mod interp;
 pub mod profile;
 pub mod regmap;
 pub mod report;
+pub mod shared;
 pub mod translator;
 
 pub use config::{DbtConfig, MdaStrategy};
 pub use engine::{Dbt, DbtError, GuestProgram};
 pub use profile::{Profile, SiteId, StaticProfile};
 pub use report::RunReport;
+pub use shared::SharedCodeCache;

@@ -54,6 +54,15 @@ pub struct RunReport {
     pub cache_flushes: u64,
     /// Blocks permanently left to the interpreter (translator fallback).
     pub interp_only_blocks: u64,
+    /// Monitor dispatches resolved by the next-TB hint without a
+    /// block-table lookup. Deterministic (a pure host-side memo), so it
+    /// is safe in the report the determinism tests compare.
+    pub hint_hits: u64,
+    /// Monitor dispatches to a translated block that needed the
+    /// block-table lookup (the hint missed). `hint_hits + hint_misses`
+    /// is the total TB-lookup demand the hint is measured against;
+    /// dispatches to untranslated blocks count in neither.
+    pub hint_misses: u64,
     /// The accumulated profile (Table I columns, Figure 15 ratios).
     pub profile: Profile,
 }
@@ -88,6 +97,8 @@ impl fmt::Display for RunReport {
         writeln!(f, "ras hits          {:>16}", self.ras_hits)?;
         writeln!(f, "cache flushes     {:>16}", self.cache_flushes)?;
         writeln!(f, "interp-only       {:>16}", self.interp_only_blocks)?;
+        writeln!(f, "hint hits         {:>16}", self.hint_hits)?;
+        writeln!(f, "hint misses       {:>16}", self.hint_misses)?;
         writeln!(f, "interp insns      {:>16}", self.guest_insns_interpreted)?;
         writeln!(f, "retired insns     {:>16}", self.guest_insns_retired)?;
         writeln!(f, "guest mdas seen   {:>16}", self.profile.mdas)?;
@@ -123,6 +134,8 @@ mod tests {
             guest_insns_retired: 11,
             cache_flushes: 8,
             interp_only_blocks: 0,
+            hint_hits: 13,
+            hint_misses: 4,
             profile: Profile::new(),
         };
         let s = r.to_string();
@@ -137,8 +150,10 @@ mod tests {
         assert!(s.contains("chains"));
         assert!(s.contains("retired insns"));
         assert!(s.contains("cache flushes"));
+        assert!(s.contains("hint hits"));
+        assert!(s.contains("hint misses"));
         // And their values actually flow through to the text.
-        for val in ["42", "9", "2", "6", "5", "11", "8"] {
+        for val in ["42", "9", "2", "6", "5", "11", "8", "13"] {
             assert!(s.contains(val), "missing counter value {val} in:\n{s}");
         }
         assert_eq!(r.cycles(), 123);

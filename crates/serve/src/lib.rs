@@ -33,6 +33,22 @@
 //! memory read-back and merged JSONL trace tables — is byte-identical
 //! across shard counts, including `shards = 1` and the sequential
 //! baseline. The `serve_determinism` integration tests pin this.
+//!
+//! # Shared translation cache
+//!
+//! By default ([`ServeConfig::shared_cache`]) the shards are true vCPU
+//! workers over a fleet-shared translation cache
+//! ([`bridge_dbt::SharedCodeCache`]): per *translation context* —
+//! `(kernel spec, strategy, hot threshold)`, see
+//! [`RunRequest::translation_context`] — the service memoizes one cache,
+//! and every request in that context attaches to it. Translation then
+//! happens once per context fleet-wide; later guests validate and reuse
+//! the products. Because engines still pay the full *simulated*
+//! translation charge on every install, results stay byte-identical to
+//! private-cache mode — the determinism contract above is unchanged, and
+//! [`ExecService::run_sequential`] (always private) doubles as its
+//! cross-mode witness. The saving is host-side translation work, visible
+//! in the `dbt.blocks_translated` and `dbt.code_cache.*` counters.
 
 pub mod queue;
 pub mod request;
@@ -41,7 +57,7 @@ pub use queue::BoundedQueue;
 pub use request::{KernelSpec, RunRequest};
 
 use bridge_dbt::engine::profile_program;
-use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, RunReport, StaticProfile};
+use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, RunReport, SharedCodeCache, StaticProfile};
 use bridge_metrics::Registry;
 use bridge_sim::cost::CostModel;
 use bridge_sim::stats::Stats;
@@ -63,6 +79,10 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Trace bounds applied to guests whose request asks for tracing.
     pub trace: TraceConfig,
+    /// Attach every pooled guest to the per-context shared translation
+    /// cache (see the crate docs). On by default; results are identical
+    /// either way, only host-side translation work differs.
+    pub shared_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +91,7 @@ impl Default for ServeConfig {
             shards: 4,
             queue_depth: 8,
             trace: TraceConfig::default(),
+            shared_cache: true,
         }
     }
 }
@@ -91,6 +112,12 @@ impl ServeConfig {
     /// Builder-style: set the trace bounds for tracing guests.
     pub fn with_trace(mut self, trace: TraceConfig) -> ServeConfig {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style: enable or disable the shared translation cache.
+    pub fn with_shared_cache(mut self, on: bool) -> ServeConfig {
+        self.shared_cache = on;
         self
     }
 }
@@ -190,6 +217,10 @@ struct SpecArtifacts {
 pub struct ExecService {
     cfg: ServeConfig,
     artifacts: Mutex<HashMap<KernelSpec, Arc<SpecArtifacts>>>,
+    /// One shared translation cache per translation context (see
+    /// [`RunRequest::translation_context`]): only deterministic replicas
+    /// share, which is what keeps shared-mode results byte-identical.
+    shared_caches: Mutex<HashMap<(KernelSpec, MdaStrategy, u64), Arc<SharedCodeCache>>>,
     metrics: Arc<Registry>,
 }
 
@@ -199,6 +230,7 @@ impl ExecService {
         ExecService {
             cfg,
             artifacts: Mutex::new(HashMap::new()),
+            shared_caches: Mutex::new(HashMap::new()),
             metrics: Arc::new(Registry::new()),
         }
     }
@@ -264,13 +296,35 @@ impl ExecService {
         self.metrics.counter(name).inc();
     }
 
-    fn config_for(&self, req: &RunRequest, profile: Option<Arc<StaticProfile>>) -> DbtConfig {
+    /// The memoized shared translation cache for a request's translation
+    /// context, created (at the engine-default capacity) on first use.
+    pub fn shared_cache_for(&self, req: &RunRequest) -> Arc<SharedCodeCache> {
+        let mut caches = self
+            .shared_caches
+            .lock()
+            .expect("shared-cache lock never poisoned");
+        Arc::clone(
+            caches
+                .entry(req.translation_context())
+                .or_insert_with(|| SharedCodeCache::new(DbtConfig::new(req.strategy).code_bytes)),
+        )
+    }
+
+    fn config_for(
+        &self,
+        req: &RunRequest,
+        profile: Option<Arc<StaticProfile>>,
+        shared: bool,
+    ) -> DbtConfig {
         let mut cfg = DbtConfig::new(req.strategy).with_threshold(req.hot_threshold);
         if let Some(p) = profile {
             cfg = cfg.with_static_profile(p);
         }
         if req.trace {
             cfg = cfg.with_trace(self.cfg.trace.clone());
+        }
+        if shared {
+            cfg = cfg.with_shared_cache(self.shared_cache_for(req));
         }
         cfg.with_metrics(Arc::clone(&self.metrics))
     }
@@ -281,7 +335,8 @@ impl ExecService {
         let kernel = self.shared_kernel(req.kernel);
         let profile =
             (req.strategy == MdaStrategy::StaticProfiling).then(|| self.shared_profile(req.kernel));
-        let result = execute(&kernel, self.config_for(&req, profile), req);
+        let cfg = self.config_for(&req, profile, self.cfg.shared_cache);
+        let result = execute(&kernel, cfg, req);
         self.metrics.counter("serve.requests").inc();
         self.metrics
             .histogram("serve.exec_cycles")
@@ -341,9 +396,11 @@ impl ExecService {
     /// The naive per-request baseline the service exists to beat: executes
     /// the batch on the calling thread, re-building the kernel and —
     /// for static-profiling guests — re-running the full training-input
-    /// interpretation for **every** request, sharing nothing. Results are
-    /// byte-identical to [`ExecService::run_batch`] (every derivation is
-    /// deterministic); only the redundant work differs.
+    /// interpretation for **every** request, sharing nothing (private
+    /// translation caches regardless of [`ServeConfig::shared_cache`]).
+    /// Results are byte-identical to [`ExecService::run_batch`] (every
+    /// derivation is deterministic and the shared cache preserves code
+    /// layout); only the redundant work differs.
     pub fn run_sequential(&self, requests: &[RunRequest]) -> BatchReport {
         let guests = requests
             .iter()
@@ -351,7 +408,7 @@ impl ExecService {
                 let kernel = req.kernel.build();
                 let profile = (req.strategy == MdaStrategy::StaticProfiling)
                     .then(|| Arc::new(train(req.kernel)));
-                execute(&kernel, self.config_for(&req, profile), req)
+                execute(&kernel, self.config_for(&req, profile, false), req)
             })
             .collect();
         BatchReport::from_guests(guests)
@@ -442,6 +499,78 @@ mod tests {
         let p1 = svc.shared_profile(spec);
         let p2 = svc.shared_profile(spec);
         assert!(Arc::ptr_eq(&p1, &p2), "one training profile per spec");
+    }
+
+    #[test]
+    fn shared_cache_is_memoized_per_context() {
+        let svc = ExecService::new(ServeConfig::default());
+        let spec = KernelSpec::MemcpyUnaligned { len: 64 };
+        let req = RunRequest::new(spec, MdaStrategy::Dpeh).with_threshold(10);
+        let c1 = svc.shared_cache_for(&req);
+        let c2 = svc.shared_cache_for(&req.with_trace(true));
+        assert!(
+            Arc::ptr_eq(&c1, &c2),
+            "tracing does not change the translation context"
+        );
+        let c3 = svc.shared_cache_for(&req.with_threshold(50));
+        assert!(!Arc::ptr_eq(&c1, &c3), "different threshold, new cache");
+    }
+
+    /// The tentpole contract: attaching the fleet to a shared translation
+    /// cache changes how much *host* translation work happens, and nothing
+    /// else. Identical requests translate once fleet-wide.
+    #[test]
+    fn shared_cache_translates_once_per_context() {
+        let spec = KernelSpec::PhaseChangeSum {
+            aligned: 60,
+            misaligned: 60,
+        };
+        let reqs: Vec<RunRequest> = (0..3)
+            .map(|_| RunRequest::new(spec, MdaStrategy::ExceptionHandling).with_threshold(10))
+            .collect();
+
+        let private = ExecService::new(
+            ServeConfig::default()
+                .with_shards(2)
+                .with_shared_cache(false),
+        );
+        let shared = ExecService::new(ServeConfig::default().with_shards(2));
+        let a = private.run_batch(&reqs);
+        let b = shared.run_batch(&reqs);
+
+        // Byte-identical results: the shared cache replays the exact
+        // translation products (and code layout) every private engine
+        // would have produced on its own.
+        assert_eq!(a.merged_stats, b.merged_stats);
+        assert_eq!(a.reports_text(), b.reports_text());
+        for (p, s) in a.guests.iter().zip(&b.guests) {
+            assert_eq!(p.memory, s.memory);
+        }
+
+        // `dbt.blocks_translated` counts actual translator invocations.
+        // Three replicas over a shared cache translate each block once;
+        // three private engines translate it three times.
+        let translated_private = private.metrics().counter("dbt.blocks_translated").get();
+        let translated_shared = shared.metrics().counter("dbt.blocks_translated").get();
+        assert!(
+            translated_shared * 3 == translated_private,
+            "replicas shared every translation: {translated_shared} shared vs \
+             {translated_private} private"
+        );
+        // The installs-from-shared show up as code-cache hits.
+        let m = shared.metrics();
+        assert_eq!(
+            m.counter("dbt.code_cache.hits").get(),
+            translated_shared * 2,
+            "two later replicas reused each translated block"
+        );
+        assert_eq!(m.counter("dbt.code_cache.misses").get(), translated_shared);
+        assert!(m.gauge("dbt.code_cache.bytes").get() > 0);
+        // Both expositions carry the new counter families.
+        let prom = m.to_prometheus();
+        assert!(prom.contains("dbt_code_cache_hits"));
+        assert!(prom.contains("dispatch_hint_hits"));
+        assert!(m.to_json().contains("\"dbt.code_cache.hits\""));
     }
 
     #[test]

@@ -175,6 +175,15 @@ impl RunRequest {
         self.trace = on;
         self
     }
+
+    /// The translation context this request executes in: everything that
+    /// shapes translated code. Requests with equal contexts are
+    /// deterministic replicas (tracing observes but never alters
+    /// execution), so a context is the widest safe sharing key for a
+    /// fleet-shared translation cache.
+    pub fn translation_context(&self) -> (KernelSpec, MdaStrategy, u64) {
+        (self.kernel, self.strategy, self.hot_threshold)
+    }
 }
 
 #[cfg(test)]
@@ -241,5 +250,15 @@ mod tests {
         assert_eq!(r.hot_threshold, 10);
         assert!(r.trace);
         assert_eq!(r.kernel.name(), "misaligned_stack");
+    }
+
+    #[test]
+    fn translation_context_ignores_trace_flag() {
+        let spec = KernelSpec::LinkedListChase { count: 5 };
+        let a = RunRequest::new(spec, MdaStrategy::Dpeh);
+        let b = a.with_trace(true);
+        assert_eq!(a.translation_context(), b.translation_context());
+        let c = a.with_threshold(9);
+        assert_ne!(a.translation_context(), c.translation_context());
     }
 }

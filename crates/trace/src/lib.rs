@@ -189,6 +189,13 @@ pub enum TraceEvent {
         /// Number of blocks discarded.
         blocks: u64,
     },
+    /// A shared-cache entry was evicted under capacity pressure (LRU
+    /// policy). Emitted exactly once per evicted block, by the engine
+    /// whose allocation forced the eviction.
+    CacheEvict {
+        /// Guest PC of the evicted block.
+        block_pc: u32,
+    },
 }
 
 impl TraceEvent {
@@ -209,6 +216,7 @@ impl TraceEvent {
             TraceEvent::ChainBackpatch { .. } => "chain",
             TraceEvent::CacheInvalidate { .. } => "invalidate",
             TraceEvent::CacheFlush { .. } => "flush",
+            TraceEvent::CacheEvict { .. } => "evict",
         }
     }
 
@@ -229,6 +237,7 @@ impl TraceEvent {
             TraceEvent::ChainBackpatch { block_pc, .. } => Some(block_pc),
             TraceEvent::CacheInvalidate { block_pc } => Some(block_pc),
             TraceEvent::CacheFlush { .. } => None,
+            TraceEvent::CacheEvict { block_pc } => Some(block_pc),
         }
     }
 }
