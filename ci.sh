@@ -57,4 +57,19 @@ grep -q '"type":"summary"' "$tmp/eh.jsonl"
 grep -q "convergence verdict CHANGED: A converged -> B no_patches" "$tmp/diff_stdout.txt"
 grep -q "B trapped .* more times than A" "$tmp/diff_stdout.txt"
 
+echo "== AOT image smoke (build -> verify -> warm re-build, store audit, warm-start metrics) =="
+mkdir -p "$tmp/images"
+./target/release/dbt_image build --dir "$tmp/images" --kernel phase_change --strategy static \
+    --iters 60 --threshold 10 >"$tmp/aot_cold.txt"
+grep -q "saved 1 image" "$tmp/aot_cold.txt"
+./target/release/dbt_image verify "$tmp/images"
+./target/release/dbt_image build --dir "$tmp/images" --kernel phase_change --strategy static \
+    --iters 60 --threshold 10 >"$tmp/aot_warm.txt"
+diff "$tmp/aot_cold.txt" "$tmp/aot_warm.txt"   # warm rerun is byte-identical
+./target/release/trace_report --images "$tmp/images" >"$tmp/aot_audit.txt"
+grep -q "1 valid / 0 corrupt" "$tmp/aot_audit.txt"
+grep -Eq '^serve_warm_start_image_hits [1-9]' "$tmp/serve_stdout.txt"
+grep -Eq '^serve_warm_start_image_loads [1-9]' "$tmp/serve_stdout.txt"
+grep -Eq '^dbt_blocks_translated 0$' "$tmp/serve_stdout.txt"   # warm fleet translated nothing
+
 echo "CI OK"

@@ -1,0 +1,235 @@
+//! AOT translation-image tooling: build, inspect and verify persistent
+//! code-cache artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! dbt_image build   --dir DIR --kernel NAME --strategy NAME \
+//!                   [--iters N] [--threshold N]
+//! dbt_image inspect FILE
+//! dbt_image verify  DIR | FILE...
+//! ```
+//!
+//! Kernels: `phase_change`, `memcpy`, `packed_struct`, `linked_list`,
+//! `stack`. Strategies: `direct`, `static`, `dynamic`, `eh`, `dpeh`.
+//!
+//! `build` runs the named kernel once through an [`ExecService`]
+//! configured with the artifact store at DIR, persists the resulting
+//! translation context as a `.dbti` image and prints where it landed.
+//! Running it again over the same store warm-starts from that artifact
+//! (watch `serve.warm_start.image_loads` flip to 1 and
+//! `dbt.blocks_translated` drop to 0) — the round trip `ci.sh` smokes.
+//!
+//! `inspect` prints one artifact's key, layout and per-block detail;
+//! `verify` runs the full load-time validation (magic, version, section
+//! and whole-file checksums) over a store directory or explicit files
+//! and exits nonzero if anything fails — the operator-facing form of the
+//! reject path a warm-starting service takes on corrupt artifacts.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bridge_dbt::image::strategy_tag;
+use bridge_dbt::{ImageStore, MdaStrategy, TranslationImage};
+use bridge_serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
+
+fn usage() -> String {
+    "usage:\n  dbt_image build --dir DIR --kernel NAME --strategy NAME \
+     [--iters N] [--threshold N]\n  dbt_image inspect FILE\n  dbt_image verify DIR | FILE..."
+        .into()
+}
+
+fn spec_by_name(name: &str, iters: u32) -> Result<KernelSpec, String> {
+    Ok(match name {
+        "phase_change" => KernelSpec::PhaseChangeSum {
+            aligned: iters / 3,
+            misaligned: iters - iters / 3,
+        },
+        "memcpy" => KernelSpec::MemcpyUnaligned {
+            len: iters.max(1) * 4,
+        },
+        "packed_struct" => KernelSpec::PackedStructSum { count: iters },
+        "linked_list" => KernelSpec::LinkedListChase { count: iters },
+        "stack" => KernelSpec::MisalignedStack { iterations: iters },
+        other => return Err(format!("unknown kernel {other}")),
+    })
+}
+
+fn strategy_by_name(name: &str) -> Result<MdaStrategy, String> {
+    Ok(match name {
+        "direct" => MdaStrategy::Direct,
+        "static" => MdaStrategy::StaticProfiling,
+        "dynamic" => MdaStrategy::DynamicProfiling,
+        "eh" => MdaStrategy::ExceptionHandling,
+        "dpeh" => MdaStrategy::Dpeh,
+        other => return Err(format!("unknown strategy {other}")),
+    })
+}
+
+fn run_build(args: &[String]) -> Result<(), String> {
+    let (mut dir, mut kernel, mut strategy) = (None, None, None);
+    let (mut iters, mut threshold) = (60u32, 10u64);
+    let mut i = 0;
+    while i < args.len() {
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{} needs a value", args[i]))?;
+        match args[i].as_str() {
+            "--dir" => dir = Some(val.clone()),
+            "--kernel" => kernel = Some(val.clone()),
+            "--strategy" => strategy = Some(val.clone()),
+            "--iters" => {
+                iters = val.parse().map_err(|_| format!("bad --iters {val}"))?;
+            }
+            "--threshold" => {
+                threshold = val.parse().map_err(|_| format!("bad --threshold {val}"))?;
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 2;
+    }
+    let dir = dir.ok_or("build needs --dir")?;
+    let kernel = kernel.ok_or("build needs --kernel")?;
+    let strategy = strategy.ok_or("build needs --strategy")?;
+
+    let spec = spec_by_name(&kernel, iters)?;
+    let req = RunRequest::new(spec, strategy_by_name(&strategy)?).with_threshold(threshold);
+    let svc = ExecService::new(ServeConfig::default().with_shards(1).with_image_store(&dir));
+    let key = svc.image_key_for(&req);
+    let result = svc.run_one(req);
+    let saved = svc.persist_images();
+    let store = ImageStore::new(&dir);
+    let path = store.path_for(key);
+    let image = store
+        .load(key)
+        .map_err(|e| format!("artifact did not round-trip: {e}"))?;
+
+    println!(
+        "built {kernel}/{strategy} (iters {iters}, threshold {threshold}): \
+         {} cycles, {} traps",
+        result.report.cycles(),
+        result.report.traps()
+    );
+    println!(
+        "saved {saved} image(s); {} holds {} blocks / {} words (guest hash {:016x})",
+        path.display(),
+        image.blocks.len(),
+        image.total_words(),
+        key.guest_hash
+    );
+    Ok(())
+}
+
+fn print_image(path: &Path, image: &TranslationImage) {
+    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("{}: {size} bytes", path.display());
+    println!(
+        "  key: guest hash {:016x} / strategy {} / hot threshold {}",
+        image.key.guest_hash,
+        strategy_tag(image.key.strategy),
+        image.key.hot_threshold
+    );
+    println!(
+        "  cache layout: {} blocks / {} words over {} code bytes",
+        image.blocks.len(),
+        image.total_words(),
+        image.code_bytes
+    );
+    match &image.profile {
+        Some(sites) => println!("  training profile: {} misaligned sites", sites.len()),
+        None => println!("  training profile: none"),
+    }
+    println!(
+        "  {:>10} {:>12} {:>7} {:>7} {:>5}",
+        "guest pc", "host addr", "words", "variant", "plans"
+    );
+    for b in &image.blocks {
+        println!(
+            "  {:#010x} {:#12x} {:>7} {:>7} {:>5}",
+            b.tb.guest_pc,
+            b.host_addr,
+            b.tb.words.len(),
+            b.variant,
+            b.plans.len()
+        );
+    }
+}
+
+fn run_inspect(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("inspect takes exactly one FILE\n{}", usage()));
+    };
+    let p = Path::new(path);
+    let image =
+        TranslationImage::load_file(p).map_err(|e| format!("{path}: {e} (code {})", e.code()))?;
+    print_image(p, &image);
+    Ok(())
+}
+
+/// Returns `Err` with a per-file report when any artifact fails
+/// validation; `Ok` carries the verified-file count.
+fn run_verify(args: &[String]) -> Result<usize, String> {
+    if args.is_empty() {
+        return Err(format!("verify needs a DIR or FILE...\n{}", usage()));
+    }
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for a in args {
+        let p = Path::new(a);
+        if p.is_dir() {
+            let listed = ImageStore::new(p).list();
+            if listed.is_empty() {
+                return Err(format!("{a}: empty store (no .dbti files)"));
+            }
+            files.extend(listed.into_iter().map(|(path, _)| path));
+        } else {
+            files.push(p.to_path_buf());
+        }
+    }
+    let mut bad = Vec::new();
+    for f in &files {
+        match TranslationImage::load_file(f) {
+            Ok(img) => println!(
+                "ok      {} ({} blocks, {} strategy, guest hash {:016x})",
+                f.display(),
+                img.blocks.len(),
+                strategy_tag(img.key.strategy),
+                img.key.guest_hash
+            ),
+            Err(e) => {
+                println!("REJECT  {} ({e}, code {})", f.display(), e.code());
+                bad.push(f.display().to_string());
+            }
+        }
+    }
+    if bad.is_empty() {
+        Ok(files.len())
+    } else {
+        Err(format!(
+            "{} of {} artifact(s) failed validation: {}",
+            bad.len(),
+            files.len(),
+            bad.join(", ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("dbt_image: {}", usage());
+        return ExitCode::FAILURE;
+    };
+    let outcome = match cmd.as_str() {
+        "build" => run_build(rest),
+        "inspect" => run_inspect(rest),
+        "verify" => run_verify(rest).map(|n| println!("{n} artifact(s) verified")),
+        other => Err(format!("unknown subcommand {other}\n{}", usage())),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbt_image: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -35,7 +35,12 @@
 //!    that the chained next-TB hint resolves ≥50% of TB-lookup demand;
 //!    on a multi-core host the one-thread-per-vCPU fleet must also beat
 //!    the single-threaded fleet ≥1.5x wall-clock;
-//! 7. **per-experiment wall-clock** for the full `repro_all` suite (one
+//! 7. **AOT warm start**: the all-strategy batch against an empty
+//!    artifact store (cold — translate and persist) and again on a fresh
+//!    service over the populated store (warm — restore). Warm results
+//!    must be byte-identical to cold and the warm first batch must
+//!    translate ≥5x fewer blocks (in practice ≈0);
+//! 8. **per-experiment wall-clock** for the full `repro_all` suite (one
 //!    worker, superblock engine), so regressions in any one experiment are
 //!    visible.
 //!
@@ -726,7 +731,35 @@ fn main() {
         shared.mt_speedup, shared.parallelism
     );
 
-    // 7. Per-experiment wall-clock, superblock engine, one worker.
+    // 7. AOT warm start: cold-vs-warm over a temporary artifact store.
+    //    Byte identity of the warm results is asserted inside
+    //    measure_warm_start; the ≥5x translation-reduction floor here.
+    let warm_dir = std::env::temp_dir().join(format!("perf-images-{}", std::process::id()));
+    let warm_batch = bridge_bench::serve::warm_start_batch(scale);
+    let warm = bridge_bench::serve::measure_warm_start(&warm_dir, &warm_batch);
+    println!(
+        "AOT warm start ({} requests, {} strategies):",
+        warm.requests, warm.strategies
+    );
+    println!(
+        "  first-batch translations: {:>8} cold -> {} warm ({:.1}x reduction)",
+        warm.cold_blocks_translated, warm.warm_blocks_translated, warm.translation_reduction
+    );
+    println!(
+        "  images:                   {:>8} saved / {} restored / {} blocks preloaded",
+        warm.images_saved, warm.images_loaded, warm.blocks_preloaded
+    );
+    println!(
+        "  warm preloaded requests:  {:>8} ({} image-served installs)\n",
+        warm.image_hits, warm.image_block_hits
+    );
+    assert!(
+        warm.translation_reduction >= 5.0,
+        "warm start must cut first-batch translations >= 5x (got {:.1}x)",
+        warm.translation_reduction
+    );
+
+    // 8. Per-experiment wall-clock, superblock engine, one worker.
     let results = bridge_bench::run_experiments_parallel(scale, 1);
     println!("Per-experiment wall-clock (1 worker):");
     for (name, _, took) in &results {
@@ -737,7 +770,7 @@ fn main() {
 
     // Emit BENCH_simulator.json (hand-rolled: no serde in-tree).
     let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/6\",");
+    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/7\",");
     let _ = writeln!(j, "  \"scale_outer_iters\": {},", scale.outer_iters);
     let _ = writeln!(j, "  \"mips\": {{");
     let _ = writeln!(j, "    \"kernel_insns\": {insns},");
@@ -847,6 +880,30 @@ fn main() {
     let _ = writeln!(j, "    \"secs_multi\": {:.4},", shared.secs_multi);
     let _ = writeln!(j, "    \"mt_speedup\": {:.3},", shared.mt_speedup);
     let _ = writeln!(j, "    \"available_parallelism\": {},", shared.parallelism);
+    let _ = writeln!(j, "    \"stats_equal\": true");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"warm_start\": {{");
+    let _ = writeln!(j, "    \"requests\": {},", warm.requests);
+    let _ = writeln!(j, "    \"strategies\": {},", warm.strategies);
+    let _ = writeln!(
+        j,
+        "    \"cold_blocks_translated\": {},",
+        warm.cold_blocks_translated
+    );
+    let _ = writeln!(
+        j,
+        "    \"warm_blocks_translated\": {},",
+        warm.warm_blocks_translated
+    );
+    let _ = writeln!(
+        j,
+        "    \"translation_reduction\": {:.3},",
+        warm.translation_reduction
+    );
+    let _ = writeln!(j, "    \"images_saved\": {},", warm.images_saved);
+    let _ = writeln!(j, "    \"images_loaded\": {},", warm.images_loaded);
+    let _ = writeln!(j, "    \"blocks_preloaded\": {},", warm.blocks_preloaded);
+    let _ = writeln!(j, "    \"image_hits\": {},", warm.image_hits);
     let _ = writeln!(j, "    \"stats_equal\": true");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"experiments\": [");

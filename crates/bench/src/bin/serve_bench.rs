@@ -23,7 +23,8 @@
 //! collector would consume.
 
 use bridge_bench::serve::{
-    available_parallelism, measure_serve, serve_speedup_floor, throughput_batch,
+    available_parallelism, measure_serve, measure_warm_start, serve_speedup_floor,
+    throughput_batch, warm_start_batch,
 };
 use bridge_dbt::MdaStrategy;
 use bridge_serve::{ExecService, RunRequest, ServeConfig};
@@ -113,6 +114,40 @@ fn main() {
             .to_json()
             .starts_with("{\"schema\":\"bridge-metrics/1\""),
         "metrics document must carry the bridge-metrics/1 schema"
+    );
+
+    // Cold vs warm AOT start: run the all-strategy batch against an
+    // empty artifact store (cold: translate everything, persist images),
+    // then again on a fresh service over the populated store (warm:
+    // restore and translate ≈nothing). `measure_warm_start` asserts the
+    // warm results are byte-identical to cold before returning.
+    let dir = std::env::temp_dir().join(format!("serve-bench-images-{}", std::process::id()));
+    let w = measure_warm_start(&dir, &warm_start_batch(scale));
+    println!(
+        "\nAOT warm start: {} requests over {} strategies",
+        w.requests, w.strategies
+    );
+    println!(
+        "  first-batch translations: cold {} -> warm {} ({:.1}x reduction)",
+        w.cold_blocks_translated, w.warm_blocks_translated, w.translation_reduction
+    );
+    println!(
+        "  images: {} saved cold, {} restored warm ({} blocks preloaded)",
+        w.images_saved, w.images_loaded, w.blocks_preloaded
+    );
+    println!(
+        "  warm requests on preloaded contexts: {} ({} image-served installs)",
+        w.image_hits, w.image_block_hits
+    );
+    println!("\nwarm-start Prometheus exposition:");
+    print!("{}", w.warm_prometheus);
+    assert!(
+        w.translation_reduction >= 5.0,
+        "warm start must cut first-batch translations >= 5x (got {:.1}x: \
+         cold {} vs warm {})",
+        w.translation_reduction,
+        w.cold_blocks_translated,
+        w.warm_blocks_translated
     );
 
     println!("\nserve_bench OK");

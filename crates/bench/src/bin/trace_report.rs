@@ -13,6 +13,7 @@
 //!                [--iters N] [--bucket-cycles N] [--top N] [--jsonl PATH]
 //!                [--stream PATH]
 //!   trace_report --diff A.jsonl B.jsonl
+//!   trace_report --images DIR
 //!
 //! `--top N` appends the hottest N sites ranked by attributed cycles — the
 //! "where did the time go" view over the full PC-ordered table.
@@ -28,7 +29,13 @@
 //! the convergence-verdict pair. All deltas are `B - A`, so diffing an
 //! exception-handling run as A against a dynamic-profiling run as B shows
 //! positive trap deltas — the direction the paper predicts.
+//!
+//! `--images DIR` is an audit mode: list every AOT translation image in
+//! the artifact store at DIR — key, guest hash, strategy, size, TB count
+//! and whether the file validates — so an operator can see what a
+//! warm-starting service would restore and what it would reject.
 
+use bridge_dbt::image::{strategy_tag, ImageStore};
 use bridge_dbt::{DbtConfig, MdaStrategy, StaticProfile};
 use bridge_trace::{ScannedTrace, StreamingJsonl, TraceConfig};
 use bridge_workloads::kernels::{self, Kernel};
@@ -44,6 +51,7 @@ struct Opts {
     jsonl: Option<String>,
     stream: Option<String>,
     diff: Option<(String, String)>,
+    images: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -56,6 +64,7 @@ fn parse_args() -> Result<Opts, String> {
         jsonl: None,
         stream: None,
         diff: None,
+        images: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +102,7 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--jsonl" => o.jsonl = Some(val.clone()),
             "--stream" => o.stream = Some(val.clone()),
+            "--images" => o.images = Some(val.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -245,6 +255,68 @@ fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--images DIR` mode: audit an AOT artifact store. Every `.dbti`
+/// file is loaded through the same full-validation path the warm-starting
+/// service uses, so "valid" here means "a serve fleet would restore it"
+/// and "CORRUPT" means "a serve fleet would reject it and translate
+/// fresh".
+fn run_images(dir: &str) -> Result<(), String> {
+    let store = ImageStore::new(dir);
+    if !store.dir().is_dir() {
+        return Err(format!("{dir} is not a directory"));
+    }
+    let entries = store.list();
+    println!("AOT artifact store {dir}: {} image files", entries.len());
+    if entries.is_empty() {
+        return Ok(());
+    }
+    println!(
+        "  {:<18} {:<8} {:>6} {:>9} {:>4} {:>6} {:>8}  status",
+        "guest hash", "strategy", "thresh", "bytes", "TBs", "words", "profile"
+    );
+    let (mut valid, mut corrupt) = (0usize, 0usize);
+    for (path, loaded) in &entries {
+        let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        match loaded {
+            Ok(img) => {
+                valid += 1;
+                println!(
+                    "  {:016x}   {:<8} {:>6} {:>9} {:>4} {:>6} {:>8}  valid",
+                    img.key.guest_hash,
+                    strategy_tag(img.key.strategy),
+                    img.key.hot_threshold,
+                    size,
+                    img.blocks.len(),
+                    img.total_words(),
+                    if img.static_profile().is_some() {
+                        "yes"
+                    } else {
+                        "-"
+                    },
+                );
+            }
+            Err(e) => {
+                corrupt += 1;
+                println!(
+                    "  {name:<18} {:<8} {:>6} {size:>9} {:>4} {:>6} {:>8}  CORRUPT: {e} (code {})",
+                    "?",
+                    "?",
+                    "?",
+                    "?",
+                    "?",
+                    e.code()
+                );
+            }
+        }
+    }
+    println!("\n  {valid} valid / {corrupt} corrupt");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -255,6 +327,15 @@ fn main() -> ExitCode {
     };
     if let Some((a, b)) = &opts.diff {
         return match run_diff(a, b) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("trace_report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(dir) = &opts.images {
+        return match run_images(dir) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("trace_report: {e}");

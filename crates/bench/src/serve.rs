@@ -14,6 +14,7 @@
 use bridge_dbt::MdaStrategy;
 use bridge_serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
 use bridge_workloads::spec::Scale;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// One serve-vs-sequential measurement, plus the equality witnesses.
@@ -159,6 +160,132 @@ pub fn measure_serve(shards: usize, batch: &[RunRequest], reps: u32) -> ServeMea
     }
 }
 
+/// One cold-vs-warm AOT start measurement over an artifact store, plus
+/// the byte-identity witnesses (asserted inside [`measure_warm_start`]
+/// before any number is reported).
+#[derive(Debug, Clone)]
+pub struct WarmStartMeasurement {
+    /// Requests in the batch (identical cold and warm).
+    pub requests: usize,
+    /// Distinct MDA strategies exercised.
+    pub strategies: usize,
+    /// Blocks the cold service's first batch actually translated.
+    pub cold_blocks_translated: u64,
+    /// Blocks the warm service's first batch actually translated
+    /// (≈0: installs come from the restored images).
+    pub warm_blocks_translated: u64,
+    /// `cold / max(warm, 1)` — the first-batch translation-work
+    /// reduction warm start buys.
+    pub translation_reduction: f64,
+    /// Artifacts the cold run persisted.
+    pub images_saved: u64,
+    /// Artifacts the warm run restored.
+    pub images_loaded: u64,
+    /// Translated blocks restored from artifacts at warm start.
+    pub blocks_preloaded: u64,
+    /// Warm requests served from a preloaded context.
+    pub image_hits: u64,
+    /// Engine installs served by image-restored blocks in the warm run.
+    pub image_block_hits: u64,
+    /// The warm service's full Prometheus exposition (carries the
+    /// `serve_warm_start_*` counter families CI greps for).
+    pub warm_prometheus: String,
+}
+
+/// The standard warm-start batch at `scale`: every MDA strategy over two
+/// kernel specs, with one traced guest per strategy so the merged site
+/// tables are part of the cold-vs-warm identity witness.
+pub fn warm_start_batch(scale: Scale) -> Vec<RunRequest> {
+    let n = scale.outer_iters * 5;
+    let phase = KernelSpec::PhaseChangeSum {
+        aligned: n,
+        misaligned: n,
+    };
+    let packed = KernelSpec::PackedStructSum { count: n };
+    let mut batch = Vec::new();
+    for &s in &MdaStrategy::ALL {
+        batch.push(
+            RunRequest::new(phase, s)
+                .with_threshold(10)
+                .with_trace(true),
+        );
+        batch.push(RunRequest::new(packed, s).with_threshold(10));
+    }
+    batch
+}
+
+/// Runs the batch twice against the artifact store rooted at `dir`: a
+/// cold service (empty store — it translates everything and persists
+/// images) and a fresh warm service (restores the images and translates
+/// ≈nothing). Asserts the warm results — merged [`Stats`], per-guest
+/// reports, memory read-backs and merged site tables — are byte-identical
+/// to cold before reporting any number; the ≥5x reduction floor is the
+/// caller's contract to assert. The store directory is created fresh and
+/// removed afterwards.
+///
+/// [`Stats`]: bridge_sim::stats::Stats
+///
+/// # Panics
+///
+/// Panics if warm and cold results diverge in any witness (an AOT
+/// soundness bug — the ratio would be meaningless).
+pub fn measure_warm_start(dir: &Path, batch: &[RunRequest]) -> WarmStartMeasurement {
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = || ServeConfig::default().with_shards(4).with_image_store(dir);
+
+    let cold = ExecService::new(cfg());
+    let a = cold.run_batch(batch);
+    let cm = cold.metrics();
+    let cold_blocks = cm.counter("dbt.blocks_translated").get();
+    let images_saved = cm.counter("serve.warm_start.image_saves").get();
+
+    let warm = ExecService::new(cfg());
+    let b = warm.run_batch(batch);
+    let wm = warm.metrics();
+    let warm_blocks = wm.counter("dbt.blocks_translated").get();
+
+    assert_eq!(
+        a.merged_stats, b.merged_stats,
+        "warm merged stats diverge from cold"
+    );
+    assert_eq!(
+        a.reports_text(),
+        b.reports_text(),
+        "warm per-guest reports diverge from cold"
+    );
+    for (slot, (c, w)) in a.guests.iter().zip(&b.guests).enumerate() {
+        assert_eq!(
+            c.memory, w.memory,
+            "guest {slot}: warm final memory diverges from cold"
+        );
+    }
+    let cold_sites = format!("{:?}", a.merged_sites().rows().collect::<Vec<_>>());
+    let warm_sites = format!("{:?}", b.merged_sites().rows().collect::<Vec<_>>());
+    assert_eq!(cold_sites, warm_sites, "warm merged site table diverges");
+
+    let strategies = {
+        let mut s: Vec<MdaStrategy> = batch.iter().map(|r| r.strategy).collect();
+        s.sort_by_key(|s| format!("{s:?}"));
+        s.dedup();
+        s.len()
+    };
+    let m = WarmStartMeasurement {
+        requests: batch.len(),
+        strategies,
+        cold_blocks_translated: cold_blocks,
+        warm_blocks_translated: warm_blocks,
+        translation_reduction: cold_blocks as f64 / warm_blocks.max(1) as f64,
+        images_saved,
+        images_loaded: wm.counter("serve.warm_start.image_loads").get(),
+        blocks_preloaded: wm.counter("serve.warm_start.blocks_preloaded").get(),
+        image_hits: wm.counter("serve.warm_start.image_hits").get(),
+        image_block_hits: wm.counter("dbt.image.block_hits").get(),
+        warm_prometheus: wm.to_prometheus(),
+    };
+    let _ = std::fs::remove_dir_all(dir);
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +312,38 @@ mod tests {
         assert!(m.secs_sequential > 0.0 && m.secs_service > 0.0);
         assert!(m.merged_cycles > 0);
         assert_eq!(m.parallelism, available_parallelism());
+    }
+
+    #[test]
+    fn warm_start_batch_covers_every_strategy() {
+        let batch = warm_start_batch(Scale::test());
+        assert_eq!(batch.len(), 10);
+        let mut strategies: Vec<String> =
+            batch.iter().map(|r| format!("{:?}", r.strategy)).collect();
+        strategies.sort();
+        strategies.dedup();
+        assert_eq!(strategies.len(), 5, "all five MDA strategies present");
+        assert!(batch.iter().any(|r| r.trace), "some guests traced");
+    }
+
+    #[test]
+    fn warm_start_measurement_smoke() {
+        let dir = std::env::temp_dir().join(format!("bench-warm-smoke-{}", std::process::id()));
+        // Small batch (two strategies), one rep: exercises the identity
+        // assertions and the counter plumbing, not the 5x floor.
+        let batch = &warm_start_batch(Scale::test())[..4];
+        let m = measure_warm_start(&dir, batch);
+        assert_eq!(m.requests, 4);
+        assert!(m.cold_blocks_translated > 0);
+        assert_eq!(
+            m.warm_blocks_translated, 0,
+            "warm run must translate nothing"
+        );
+        assert!(m.images_saved >= 2 && m.images_loaded >= 2);
+        assert!(m.blocks_preloaded > 0 && m.image_hits == 4);
+        assert!(m.image_block_hits > 0);
+        assert!(m.warm_prometheus.contains("serve_warm_start_image_hits"));
+        assert!(!dir.exists(), "store directory cleaned up");
     }
 
     #[test]

@@ -155,6 +155,9 @@ struct EngineMetrics {
     cc_misses: Arc<Counter>,
     cc_evictions: Arc<Counter>,
     cc_bytes: Arc<Gauge>,
+    /// Installs served by blocks restored from a persistent AOT image
+    /// (the warm-start reuse the artifact pipeline exists to create).
+    image_hits: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -171,6 +174,7 @@ impl EngineMetrics {
             cc_misses: r.counter("dbt.code_cache.misses"),
             cc_evictions: r.counter("dbt.code_cache.evictions"),
             cc_bytes: r.gauge("dbt.code_cache.bytes"),
+            image_hits: r.counter("dbt.image.block_hits"),
         }
     }
 }
@@ -1244,6 +1248,14 @@ impl Dbt {
             } else {
                 m.cc_misses.inc();
             }
+            if hit && entry.preloaded {
+                m.image_hits.inc();
+            }
+        }
+        if hit && entry.preloaded {
+            self.trace(TraceEvent::ImageHit {
+                block_pc: entry.tb.guest_pc,
+            });
         }
         self.install_block(&entry.tb, entry.host_addr, retrans_count);
         self.shared_installs

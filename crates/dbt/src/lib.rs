@@ -68,6 +68,7 @@ pub mod config;
 pub mod dump;
 pub mod engine;
 pub mod exception;
+pub mod image;
 pub mod interp;
 pub mod profile;
 pub mod regmap;
@@ -77,6 +78,7 @@ pub mod translator;
 
 pub use config::{DbtConfig, MdaStrategy};
 pub use engine::{Dbt, DbtError, GuestProgram};
+pub use image::{ImageError, ImageKey, ImageStore, TranslationImage};
 pub use profile::{Profile, SiteId, StaticProfile};
 pub use report::RunReport;
 pub use shared::SharedCodeCache;

@@ -193,6 +193,14 @@ impl StaticProfile {
     pub fn is_empty(&self) -> bool {
         self.mda_sites.is_empty()
     }
+
+    /// The flagged sites in `(pc, slot)` order — the deterministic
+    /// serialization order for persistent artifacts.
+    pub fn sorted_sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = self.mda_sites.iter().copied().collect();
+        sites.sort();
+        sites
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,10 @@ pub struct SharedBlock {
     pub plans: PlanVector,
     /// The dispatch features the block was emitted with.
     pub opts: DispatchOpts,
+    /// Whether the entry was restored from a persistent AOT image
+    /// ([`SharedCodeCache::restore`]) rather than translated this process
+    /// — engines attribute installs served by such entries to the image.
+    pub preloaded: bool,
     /// Cleared on eviction or invalidation; installers must re-check.
     valid: AtomicBool,
     /// LRU stamp: the global use tick at last lookup/install.
@@ -396,6 +400,7 @@ impl SharedCodeCache {
             variant,
             plans,
             opts,
+            preloaded: false,
             valid: AtomicBool::new(true),
             last_use: AtomicU64::new(self.use_tick.fetch_add(1, Ordering::Relaxed)),
             tb,
@@ -408,6 +413,74 @@ impl SharedCodeCache {
             .or_default()
             .push(Arc::clone(&entry));
         entry
+    }
+
+    /// Every valid entry, sorted by host address — which, in a cache that
+    /// never evicted or invalidated (the bump-only layout a clean
+    /// deterministic run produces), is exactly insertion order. This is
+    /// the capture order for persistent translation images
+    /// ([`crate::image::TranslationImage`]).
+    pub fn snapshot_entries(&self) -> Vec<Arc<SharedBlock>> {
+        let s = self.lock();
+        let mut entries: Vec<Arc<SharedBlock>> = s
+            .entries
+            .values()
+            .flatten()
+            .filter(|e| e.is_valid())
+            .cloned()
+            .collect();
+        entries.sort_by_key(|e| e.host_addr);
+        entries
+    }
+
+    /// Restores one captured translation product during warm start,
+    /// marking it [`SharedBlock::preloaded`]. Entries must arrive in host
+    /// address order starting at the cache base with no gaps — the layout
+    /// a bump-only cold run produces and the only layout
+    /// [`crate::image::TranslationImage::capture`] will serialize — so a
+    /// restored cache is bit-for-bit the state a cold fleet would have
+    /// reached after translating the same blocks.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-order or overlapping addresses and entries past the
+    /// capacity limit; the cache is left exactly as it was before the
+    /// failing call (earlier restored entries remain — callers discard
+    /// the whole cache on error, never serve from a half-load).
+    pub fn restore(
+        &self,
+        tb: TranslatedBlock,
+        host_addr: u64,
+        variant: u32,
+        plans: PlanVector,
+        opts: DispatchOpts,
+    ) -> Result<Arc<SharedBlock>, &'static str> {
+        let bytes = 4 * tb.words.len() as u64;
+        let mut s = self.lock();
+        if host_addr != s.next {
+            return Err("image entry breaks the bump layout");
+        }
+        if host_addr + bytes > self.limit {
+            return Err("image exceeds the cache capacity");
+        }
+        let entry = Arc::new(SharedBlock {
+            host_addr,
+            variant,
+            plans,
+            opts,
+            preloaded: true,
+            valid: AtomicBool::new(true),
+            last_use: AtomicU64::new(self.use_tick.fetch_add(1, Ordering::Relaxed)),
+            tb,
+        });
+        s.next = host_addr + bytes;
+        s.bytes_used += entry.bytes();
+        s.insertions += 1;
+        s.entries
+            .entry(entry.tb.guest_pc)
+            .or_default()
+            .push(Arc::clone(&entry));
+        Ok(entry)
     }
 
     /// Publishes a guest-code rewrite fleet-wide: appends the patch to

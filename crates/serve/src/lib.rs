@@ -57,13 +57,15 @@ pub use queue::BoundedQueue;
 pub use request::{KernelSpec, RunRequest};
 
 use bridge_dbt::engine::profile_program;
+use bridge_dbt::image::{content_hash, ImageError, ImageKey, ImageStore, TranslationImage};
 use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, RunReport, SharedCodeCache, StaticProfile};
 use bridge_metrics::Registry;
 use bridge_sim::cost::CostModel;
 use bridge_sim::stats::Stats;
-use bridge_trace::{MergedSiteTable, TraceConfig, Tracer};
+use bridge_trace::{MergedSiteTable, TraceConfig, TraceEvent, Tracer};
 use bridge_workloads::kernels::Kernel;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -83,6 +85,13 @@ pub struct ServeConfig {
     /// cache (see the crate docs). On by default; results are identical
     /// either way, only host-side translation work differs.
     pub shared_cache: bool,
+    /// Directory of persistent AOT translation images. When set (and
+    /// [`ServeConfig::shared_cache`] is on), every new translation
+    /// context warm-starts from the store's artifact if a valid one
+    /// exists, and [`ExecService::run_batch`] persists each context's
+    /// cache back after the batch. Results are byte-identical with or
+    /// without a store — only host-side translation work differs.
+    pub image_store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +101,7 @@ impl Default for ServeConfig {
             queue_depth: 8,
             trace: TraceConfig::default(),
             shared_cache: true,
+            image_store: None,
         }
     }
 }
@@ -118,6 +128,13 @@ impl ServeConfig {
     /// Builder-style: enable or disable the shared translation cache.
     pub fn with_shared_cache(mut self, on: bool) -> ServeConfig {
         self.shared_cache = on;
+        self
+    }
+
+    /// Builder-style: warm-start from (and persist to) an artifact store
+    /// rooted at `dir`.
+    pub fn with_image_store(mut self, dir: impl Into<PathBuf>) -> ServeConfig {
+        self.image_store = Some(dir.into());
         self
     }
 }
@@ -195,6 +212,31 @@ struct SpecArtifacts {
     profile: OnceLock<Arc<StaticProfile>>,
 }
 
+/// One translation context's shared cache plus its warm-start pedigree.
+#[derive(Clone)]
+struct ContextCache {
+    cache: Arc<SharedCodeCache>,
+    /// Whether the cache was pre-populated from a persistent AOT image.
+    preloaded: bool,
+}
+
+/// Content hash of a kernel's guest image: code bytes plus layout (base,
+/// entry, data placement, stack top). Two kernels with equal hashes are
+/// identical translation inputs, so one's persisted translation products
+/// serve the other — the guest half of an [`ImageKey`].
+pub fn kernel_hash(kernel: &Kernel) -> u64 {
+    let base = kernel.program.base().to_le_bytes();
+    let entry = kernel.program.entry().to_le_bytes();
+    let stack = kernel.stack_top.to_le_bytes();
+    let addrs: Vec<[u8; 4]> = kernel.data.iter().map(|(a, _)| a.to_le_bytes()).collect();
+    let mut parts: Vec<&[u8]> = vec![&base, &entry, &stack, kernel.program.image()];
+    for ((_, bytes), addr) in kernel.data.iter().zip(&addrs) {
+        parts.push(addr);
+        parts.push(bytes);
+    }
+    content_hash(&parts)
+}
+
 /// The execution service: a [`ServeConfig`] plus the memoized shared
 /// artifacts and the service-wide metrics registry. One instance serves
 /// many batches; artifacts and metrics persist across them.
@@ -220,17 +262,28 @@ pub struct ExecService {
     /// One shared translation cache per translation context (see
     /// [`RunRequest::translation_context`]): only deterministic replicas
     /// share, which is what keeps shared-mode results byte-identical.
-    shared_caches: Mutex<HashMap<(KernelSpec, MdaStrategy, u64), Arc<SharedCodeCache>>>,
+    shared_caches: Mutex<HashMap<(KernelSpec, MdaStrategy, u64), ContextCache>>,
+    /// The persistent artifact store, when [`ServeConfig::image_store`]
+    /// names one.
+    store: Option<ImageStore>,
+    /// Service-level warm-start trace: `image_load` / `image_reject`
+    /// records at cycle 0 (engines attribute per-block `image_hit`s to
+    /// their own tracers).
+    warm_tracer: Mutex<Tracer>,
     metrics: Arc<Registry>,
 }
 
 impl ExecService {
     /// A service with the given tuning and an empty artifact store.
     pub fn new(cfg: ServeConfig) -> ExecService {
+        let store = cfg.image_store.as_ref().map(ImageStore::new);
+        let warm_tracer = Mutex::new(Tracer::new(&cfg.trace));
         ExecService {
             cfg,
             artifacts: Mutex::new(HashMap::new()),
             shared_caches: Mutex::new(HashMap::new()),
+            store,
+            warm_tracer,
             metrics: Arc::new(Registry::new()),
         }
     }
@@ -297,17 +350,161 @@ impl ExecService {
     }
 
     /// The memoized shared translation cache for a request's translation
-    /// context, created (at the engine-default capacity) on first use.
+    /// context, created (at the engine-default capacity) on first use —
+    /// and warm-started from the artifact store when one is configured
+    /// and holds a valid image for the context.
     pub fn shared_cache_for(&self, req: &RunRequest) -> Arc<SharedCodeCache> {
         let mut caches = self
             .shared_caches
             .lock()
             .expect("shared-cache lock never poisoned");
-        Arc::clone(
-            caches
-                .entry(req.translation_context())
-                .or_insert_with(|| SharedCodeCache::new(DbtConfig::new(req.strategy).code_bytes)),
-        )
+        if let Some(c) = caches.get(&req.translation_context()) {
+            return Arc::clone(&c.cache);
+        }
+        let built = self.build_context(req);
+        let cache = Arc::clone(&built.cache);
+        caches.insert(req.translation_context(), built);
+        cache
+    }
+
+    /// Whether a request's translation context was warm-started from a
+    /// persistent image (false for contexts not yet built).
+    pub fn context_preloaded(&self, req: &RunRequest) -> bool {
+        self.shared_caches
+            .lock()
+            .expect("shared-cache lock never poisoned")
+            .get(&req.translation_context())
+            .is_some_and(|c| c.preloaded)
+    }
+
+    /// The image key a request's translation context persists under.
+    pub fn image_key_for(&self, req: &RunRequest) -> ImageKey {
+        ImageKey {
+            guest_hash: kernel_hash(&self.shared_kernel(req.kernel)),
+            strategy: req.strategy,
+            hot_threshold: req.hot_threshold,
+        }
+    }
+
+    /// Builds one translation context's cache, restoring the store's
+    /// artifact into it when a valid one exists. Any validation or
+    /// restore failure rejects the artifact whole — the context falls
+    /// back to a pristine cache and fresh translation, counted in
+    /// `serve.warm_start.image_rejected` (absent artifacts count as
+    /// `image_misses`, not rejections).
+    fn build_context(&self, req: &RunRequest) -> ContextCache {
+        let code_bytes = DbtConfig::new(req.strategy).code_bytes;
+        let cache = SharedCodeCache::new(code_bytes);
+        let Some(store) = &self.store else {
+            return ContextCache {
+                cache,
+                preloaded: false,
+            };
+        };
+        let key = self.image_key_for(req);
+        let restored = store.load(key).and_then(|img| {
+            let blocks = img.populate(&cache)?;
+            Ok((img, blocks))
+        });
+        match restored {
+            Ok((img, blocks)) => {
+                self.metrics.counter("serve.warm_start.image_loads").inc();
+                self.metrics
+                    .counter("serve.warm_start.blocks_preloaded")
+                    .add(blocks as u64);
+                self.record_warm(TraceEvent::ImageLoad {
+                    blocks: blocks as u64,
+                });
+                // Seed the FX!32 database row: the image carries the
+                // training profile, so the warm process skips the
+                // training interpretation entirely.
+                if let Some(p) = img.static_profile() {
+                    let _ = self.entry(req.kernel).profile.set(Arc::new(p));
+                }
+                ContextCache {
+                    cache,
+                    preloaded: true,
+                }
+            }
+            Err(ImageError::Missing) => {
+                self.metrics.counter("serve.warm_start.image_misses").inc();
+                ContextCache {
+                    cache,
+                    preloaded: false,
+                }
+            }
+            Err(e) => {
+                self.metrics
+                    .counter("serve.warm_start.image_rejected")
+                    .inc();
+                self.record_warm(TraceEvent::ImageReject { code: e.code() });
+                // A populate failure can leave partial entries behind;
+                // discard that cache for a pristine one (never serve a
+                // half-load).
+                ContextCache {
+                    cache: SharedCodeCache::new(code_bytes),
+                    preloaded: false,
+                }
+            }
+        }
+    }
+
+    fn record_warm(&self, event: TraceEvent) {
+        self.warm_tracer
+            .lock()
+            .expect("warm tracer lock never poisoned")
+            .record(0, event);
+    }
+
+    /// Snapshot of the service-level warm-start trace: one `image_load`
+    /// record per restored artifact and one `image_reject` per artifact
+    /// that failed validation, all stamped at cycle 0 (warm start
+    /// happens before any engine runs).
+    pub fn warm_start_trace(&self) -> Tracer {
+        self.warm_tracer
+            .lock()
+            .expect("warm tracer lock never poisoned")
+            .clone()
+    }
+
+    /// Captures every context cache holding translations into the
+    /// artifact store; a no-op (returning 0) without one. Returns how
+    /// many images were written, counted in
+    /// `serve.warm_start.image_saves`. Contexts whose layout is unstable
+    /// (evictions or guest patches) and I/O failures are skipped —
+    /// persistence is best-effort and never perturbs results.
+    /// [`ExecService::run_batch`] calls this after every batch.
+    pub fn persist_images(&self) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let contexts: Vec<((KernelSpec, MdaStrategy, u64), Arc<SharedCodeCache>)> = self
+            .shared_caches
+            .lock()
+            .expect("shared-cache lock never poisoned")
+            .iter()
+            .map(|(k, c)| (*k, Arc::clone(&c.cache)))
+            .collect();
+        let mut saved = 0;
+        for ((spec, strategy, threshold), cache) in contexts {
+            if cache.stats().insertions == 0 {
+                continue;
+            }
+            let key = ImageKey {
+                guest_hash: kernel_hash(&self.shared_kernel(spec)),
+                strategy,
+                hot_threshold: threshold,
+            };
+            let profile = (strategy == MdaStrategy::StaticProfiling)
+                .then(|| self.entry(spec).profile.get().cloned())
+                .flatten();
+            let Ok(image) = TranslationImage::capture(&cache, key, profile.as_deref()) else {
+                continue;
+            };
+            if store.save(&image).is_ok() {
+                self.metrics.counter("serve.warm_start.image_saves").inc();
+                saved += 1;
+            }
+        }
+        saved
     }
 
     fn config_for(
@@ -332,12 +529,23 @@ impl ExecService {
     /// Executes one request on the calling thread, using (and populating)
     /// the shared artifact store.
     pub fn run_one(&self, req: RunRequest) -> GuestResult {
+        // Build (and possibly warm-start) the translation context before
+        // anything else: a restored image may carry the training
+        // profile, which must be seeded before `shared_profile` would
+        // re-derive it from a training run.
+        let preloaded = self.cfg.shared_cache && {
+            self.shared_cache_for(&req);
+            self.context_preloaded(&req)
+        };
         let kernel = self.shared_kernel(req.kernel);
         let profile =
             (req.strategy == MdaStrategy::StaticProfiling).then(|| self.shared_profile(req.kernel));
         let cfg = self.config_for(&req, profile, self.cfg.shared_cache);
         let result = execute(&kernel, cfg, req);
         self.metrics.counter("serve.requests").inc();
+        if preloaded {
+            self.metrics.counter("serve.warm_start.image_hits").inc();
+        }
         self.metrics
             .histogram("serve.exec_cycles")
             .observe(result.report.stats.cycles);
@@ -390,6 +598,9 @@ impl ExecService {
             .into_iter()
             .map(|g| g.expect("every slot filled by the pool"))
             .collect();
+        // Persist what this batch translated (no-op without a store):
+        // the next process warm-starts from it.
+        self.persist_images();
         BatchReport::from_guests(guests)
     }
 
@@ -633,6 +844,132 @@ mod tests {
         let b = ExecService::new(ServeConfig::default().with_shards(1)).run_batch(&reqs);
         assert_eq!(a.merged_stats, b.merged_stats);
         assert_eq!(a.reports_text(), b.reports_text());
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("serve-warm-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The warm-start contract end to end: a cold service persists its
+    /// translations, a second service restores them, translates (almost)
+    /// nothing, and produces byte-identical results.
+    #[test]
+    fn warm_start_round_trip() {
+        let dir = temp_store("roundtrip");
+        let reqs = small_batch();
+
+        let cold = ExecService::new(ServeConfig::default().with_shards(2).with_image_store(&dir));
+        let a = cold.run_batch(&reqs);
+        let m = cold.metrics();
+        assert_eq!(m.counter("serve.warm_start.image_misses").get(), 3);
+        assert_eq!(m.counter("serve.warm_start.image_hits").get(), 0);
+        assert!(m.counter("serve.warm_start.image_saves").get() >= 3);
+        let cold_translated = m.counter("dbt.blocks_translated").get();
+        assert!(cold_translated > 0);
+
+        let warm = ExecService::new(ServeConfig::default().with_shards(2).with_image_store(&dir));
+        let b = warm.run_batch(&reqs);
+        let m = warm.metrics();
+        assert_eq!(m.counter("serve.warm_start.image_loads").get(), 3);
+        assert_eq!(m.counter("serve.warm_start.image_hits").get(), 3);
+        assert_eq!(m.counter("serve.warm_start.image_rejected").get(), 0);
+        assert!(m.counter("serve.warm_start.blocks_preloaded").get() > 0);
+        assert_eq!(
+            m.counter("dbt.blocks_translated").get(),
+            0,
+            "every install was served from the restored images"
+        );
+        assert!(m.counter("dbt.image.block_hits").get() > 0);
+
+        assert_eq!(a.merged_stats, b.merged_stats);
+        assert_eq!(a.reports_text(), b.reports_text());
+        for (c, w) in a.guests.iter().zip(&b.guests) {
+            assert_eq!(c.memory, w.memory);
+        }
+
+        // The service-level trace attributed every load at cycle 0.
+        let trace = warm.warm_start_trace();
+        assert_eq!(trace.event_count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The image carries the training profile: a warm static-profiling
+    /// context seeds the FX!32 database row instead of re-training.
+    #[test]
+    fn warm_start_seeds_the_training_profile() {
+        let dir = temp_store("profile");
+        let spec = KernelSpec::PhaseChangeSum {
+            aligned: 60,
+            misaligned: 60,
+        };
+        let req = RunRequest::new(spec, MdaStrategy::StaticProfiling).with_threshold(10);
+
+        let cold = ExecService::new(ServeConfig::default().with_image_store(&dir));
+        let a = cold.run_one(req);
+        cold.persist_images();
+        let trained = cold.shared_profile(spec);
+        assert!(!trained.is_empty(), "training flagged misaligned sites");
+
+        let warm = ExecService::new(ServeConfig::default().with_image_store(&dir));
+        let b = warm.run_one(req);
+        // The profile came from the image (a memo hit, not a training
+        // miss), and matches the cold training exactly.
+        assert_eq!(*warm.shared_profile(spec), *trained);
+        assert_eq!(a.report.to_string(), b.report.to_string());
+        assert_eq!(a.memory, b.memory);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A corrupt artifact is rejected whole: the context falls back to a
+    /// pristine cache, translation happens fresh, and results match a
+    /// never-warmed service.
+    #[test]
+    fn corrupt_artifact_falls_back_to_fresh_translation() {
+        let dir = temp_store("corrupt");
+        let reqs =
+            vec![
+                RunRequest::new(KernelSpec::MemcpyUnaligned { len: 64 }, MdaStrategy::Dpeh)
+                    .with_threshold(10),
+            ];
+
+        let cold = ExecService::new(ServeConfig::default().with_image_store(&dir));
+        let baseline = cold.run_batch(&reqs);
+
+        // Flip one byte mid-file in the stored artifact.
+        let path = cold
+            .store
+            .as_ref()
+            .unwrap()
+            .path_for(cold.image_key_for(&reqs[0]));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let warm = ExecService::new(ServeConfig::default().with_image_store(&dir));
+        let again = warm.run_batch(&reqs);
+        let m = warm.metrics();
+        assert_eq!(m.counter("serve.warm_start.image_rejected").get(), 1);
+        assert_eq!(m.counter("serve.warm_start.image_loads").get(), 0);
+        assert_eq!(m.counter("serve.warm_start.image_hits").get(), 0);
+        assert!(
+            m.counter("dbt.blocks_translated").get() > 0,
+            "fell back to fresh translation"
+        );
+        assert_eq!(baseline.merged_stats, again.merged_stats);
+        assert_eq!(baseline.reports_text(), again.reports_text());
+        let trace = warm.warm_start_trace();
+        assert_eq!(trace.event_count(), 1, "one image_reject record");
+        // The batch end re-persisted a good image over the corrupt one.
+        assert!(
+            ExecService::new(ServeConfig::default().with_image_store(&dir))
+                .run_batch(&reqs)
+                .merged_stats
+                == baseline.merged_stats
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -103,9 +103,13 @@ pub fn push_event_line(out: &mut String, rec: &TraceRecord) {
             out.push_str(",\"target\":");
             push_u64(out, u64::from(target_pc));
         }
-        TraceEvent::CacheFlush { blocks } => {
+        TraceEvent::CacheFlush { blocks } | TraceEvent::ImageLoad { blocks } => {
             out.push_str(",\"blocks\":");
             push_u64(out, blocks);
+        }
+        TraceEvent::ImageReject { code } => {
+            out.push_str(",\"code\":");
+            push_u64(out, u64::from(code));
         }
         _ => {}
     }

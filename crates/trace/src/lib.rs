@@ -196,6 +196,26 @@ pub enum TraceEvent {
         /// Guest PC of the evicted block.
         block_pc: u32,
     },
+    /// A persistent AOT translation image was validated and restored
+    /// into a shared cache at warm start. Emitted once per restored
+    /// image by the serving layer (cycle 0 — before any engine runs).
+    ImageLoad {
+        /// Number of translated blocks restored from the artifact.
+        blocks: u64,
+    },
+    /// An engine's install was served by a block restored from an AOT
+    /// image instead of invoking the translator.
+    ImageHit {
+        /// Guest PC of the preloaded block.
+        block_pc: u32,
+    },
+    /// A persistent artifact was present but failed validation (bad
+    /// magic, version, checksum, or stale key) and was rejected whole —
+    /// the context falls back to fresh translation.
+    ImageReject {
+        /// Stable reject code (`ImageError::code` in `bridge-dbt`).
+        code: u32,
+    },
 }
 
 impl TraceEvent {
@@ -217,6 +237,9 @@ impl TraceEvent {
             TraceEvent::CacheInvalidate { .. } => "invalidate",
             TraceEvent::CacheFlush { .. } => "flush",
             TraceEvent::CacheEvict { .. } => "evict",
+            TraceEvent::ImageLoad { .. } => "image_load",
+            TraceEvent::ImageHit { .. } => "image_hit",
+            TraceEvent::ImageReject { .. } => "image_reject",
         }
     }
 
@@ -238,6 +261,9 @@ impl TraceEvent {
             TraceEvent::CacheInvalidate { block_pc } => Some(block_pc),
             TraceEvent::CacheFlush { .. } => None,
             TraceEvent::CacheEvict { block_pc } => Some(block_pc),
+            TraceEvent::ImageLoad { .. } => None,
+            TraceEvent::ImageHit { block_pc } => Some(block_pc),
+            TraceEvent::ImageReject { .. } => None,
         }
     }
 }

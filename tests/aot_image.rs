@@ -1,0 +1,138 @@
+//! The AOT translation-image invariant: a warm-started service that
+//! restores a kernel's code cache from a persistent artifact must replay
+//! byte-identically to fresh translation — same merged `Stats`, same
+//! per-guest reports and memory read-backs, same merged site tables —
+//! for every MDA strategy, while translating (almost) nothing itself.
+
+use digitalbridge::dbt::{ImageStore, MdaStrategy, TranslationImage};
+use digitalbridge::serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
+use digitalbridge::trace::TraceEvent;
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aot-image-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn strategy_batch(strategy: MdaStrategy) -> Vec<RunRequest> {
+    vec![
+        RunRequest::new(
+            KernelSpec::PhaseChangeSum {
+                aligned: 40,
+                misaligned: 80,
+            },
+            strategy,
+        )
+        .with_threshold(10)
+        .with_trace(true),
+        RunRequest::new(KernelSpec::PackedStructSum { count: 48 }, strategy).with_threshold(10),
+        RunRequest::new(KernelSpec::MemcpyUnaligned { len: 96 }, strategy).with_threshold(10),
+    ]
+}
+
+/// Cold-translate, persist, restore in a fresh service, and compare
+/// every observable — independently for each of the five strategies.
+#[test]
+fn loaded_image_replays_byte_identical_per_strategy() {
+    for strategy in MdaStrategy::ALL {
+        let dir = temp_store(&format!("replay-{strategy:?}"));
+        let reqs = strategy_batch(strategy);
+
+        let cold = ExecService::new(ServeConfig::default().with_image_store(&dir));
+        let a = cold.run_batch(&reqs);
+        assert!(
+            cold.metrics().counter("dbt.blocks_translated").get() > 0,
+            "{strategy:?}: cold run translated"
+        );
+        assert!(
+            cold.metrics().counter("serve.warm_start.image_saves").get() > 0,
+            "{strategy:?}: cold run persisted artifacts"
+        );
+
+        let warm = ExecService::new(ServeConfig::default().with_image_store(&dir));
+        let b = warm.run_batch(&reqs);
+        let m = warm.metrics();
+        assert_eq!(
+            m.counter("dbt.blocks_translated").get(),
+            0,
+            "{strategy:?}: warm run must be served entirely from images"
+        );
+        assert!(
+            m.counter("serve.warm_start.image_loads").get() >= 3,
+            "{strategy:?}: one image per kernel spec restored"
+        );
+        assert_eq!(m.counter("serve.warm_start.image_rejected").get(), 0);
+        assert!(m.counter("dbt.image.block_hits").get() > 0);
+
+        // The byte-identity contract, observable by observable.
+        assert_eq!(a.merged_stats, b.merged_stats, "{strategy:?}: Stats");
+        assert_eq!(a.reports_text(), b.reports_text(), "{strategy:?}: reports");
+        for (c, w) in a.guests.iter().zip(&b.guests) {
+            assert_eq!(c.memory, w.memory, "{strategy:?}: memory read-backs");
+        }
+        let (ta, tb) = (a.merged_sites(), b.merged_sites());
+        let rows_a: Vec<_> = ta.rows().collect();
+        let rows_b: Vec<_> = tb.rows().collect();
+        assert_eq!(
+            format!("{rows_a:?}"),
+            format!("{rows_b:?}"),
+            "{strategy:?}: merged site tables"
+        );
+
+        // Attribution: the traced warm guest recorded image-served
+        // installs, and the service trace recorded each restore.
+        let traced = b.guests[0].tracer.as_ref().expect("guest 0 traced");
+        assert!(
+            traced
+                .events()
+                .any(|r| matches!(r.event, TraceEvent::ImageHit { .. })),
+            "{strategy:?}: traced guest saw image_hit events"
+        );
+        assert!(
+            warm.warm_start_trace()
+                .events()
+                .all(|r| matches!(r.event, TraceEvent::ImageLoad { .. }) && r.cycle == 0),
+            "{strategy:?}: warm-start trace is image_load records at cycle 0"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The artifact itself round-trips: capture -> bytes -> parse preserves
+/// key, layout and profile, and the store loads exactly what the service
+/// saved.
+#[test]
+fn stored_artifact_round_trips_through_the_store() {
+    let dir = temp_store("store-roundtrip");
+    let req = RunRequest::new(
+        KernelSpec::PhaseChangeSum {
+            aligned: 40,
+            misaligned: 80,
+        },
+        MdaStrategy::StaticProfiling,
+    )
+    .with_threshold(10);
+
+    let svc = ExecService::new(ServeConfig::default().with_image_store(&dir));
+    svc.run_one(req);
+    assert!(svc.persist_images() >= 1);
+
+    let key = svc.image_key_for(&req);
+    let store = ImageStore::new(&dir);
+    let loaded = store.load(key).expect("artifact loads and validates");
+    assert_eq!(loaded.key, key);
+    assert!(!loaded.blocks.is_empty());
+    assert!(
+        loaded.profile.is_some(),
+        "static-profiling image carries the training profile"
+    );
+
+    // Deterministic serialization: re-encoding the parsed image yields
+    // the exact bytes on disk.
+    let on_disk = std::fs::read(store.path_for(key)).unwrap();
+    assert_eq!(loaded.to_bytes(), on_disk);
+    let reparsed = TranslationImage::from_bytes(&on_disk).unwrap();
+    assert_eq!(reparsed.to_bytes(), on_disk);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,169 @@
+//! AOT artifact robustness: every way an image file can be damaged or go
+//! stale — truncation, a flipped byte in any section, a version bump, a
+//! key mismatch, an empty store — must push the warm-starting service
+//! onto the fresh-translation path with the rejection counted, and must
+//! never change the computed results.
+
+use digitalbridge::dbt::{ImageStore, MdaStrategy};
+use digitalbridge::serve::{BatchReport, ExecService, KernelSpec, RunRequest, ServeConfig};
+use digitalbridge::trace::TraceEvent;
+use std::path::{Path, PathBuf};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aot-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn batch() -> Vec<RunRequest> {
+    vec![RunRequest::new(
+        KernelSpec::PhaseChangeSum {
+            aligned: 40,
+            misaligned: 80,
+        },
+        MdaStrategy::Dpeh,
+    )
+    .with_threshold(10)]
+}
+
+/// Seeds a store with one good artifact and returns the baseline report
+/// plus the artifact's path.
+fn seed(dir: &Path) -> (BatchReport, PathBuf) {
+    let svc = ExecService::new(ServeConfig::default().with_image_store(dir));
+    let baseline = svc.run_batch(&batch());
+    let key = svc.image_key_for(&batch()[0]);
+    let path = ImageStore::new(dir).path_for(key);
+    assert!(path.is_file(), "cold batch persisted the artifact");
+    (baseline, path)
+}
+
+/// Runs the batch over the (possibly damaged) store and asserts the
+/// fallback contract: `rejects` artifacts rejected, zero loads, fresh
+/// translation, identical results.
+fn assert_falls_back(dir: &Path, baseline: &BatchReport, rejects: u64) {
+    let svc = ExecService::new(ServeConfig::default().with_image_store(dir));
+    let again = svc.run_batch(&batch());
+    let m = svc.metrics();
+    assert_eq!(m.counter("serve.warm_start.image_rejected").get(), rejects);
+    assert_eq!(m.counter("serve.warm_start.image_loads").get(), 0);
+    assert_eq!(m.counter("serve.warm_start.image_hits").get(), 0);
+    assert_eq!(m.counter("dbt.image.block_hits").get(), 0);
+    assert!(
+        m.counter("dbt.blocks_translated").get() > 0,
+        "fallback translated fresh"
+    );
+    assert_eq!(baseline.merged_stats, again.merged_stats);
+    assert_eq!(baseline.reports_text(), again.reports_text());
+    for (a, b) in baseline.guests.iter().zip(&again.guests) {
+        assert_eq!(a.memory, b.memory);
+    }
+    let reject_events = svc
+        .warm_start_trace()
+        .events()
+        .filter(|r| matches!(r.event, TraceEvent::ImageReject { .. }))
+        .count() as u64;
+    assert_eq!(reject_events, rejects, "every rejection was traced");
+}
+
+#[test]
+fn truncated_artifact_falls_back() {
+    let dir = temp_store("truncated");
+    let (baseline, path) = seed(&dir);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert_falls_back(&dir, &baseline, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One flipped byte anywhere — header, blocks section, profile section,
+/// trailer — is caught by a checksum or structural check. Sampled at a
+/// fixed stride here; the dbt crate's unit suite covers every offset.
+#[test]
+fn flipped_byte_in_any_section_falls_back() {
+    let dir = temp_store("flip");
+    let (baseline, path) = seed(&dir);
+    let good = std::fs::read(&path).unwrap();
+    for offset in (0..good.len()).step_by(good.len() / 16 + 1) {
+        let mut bad = good.clone();
+        bad[offset] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert_falls_back(&dir, &baseline, 1);
+        // The fallback batch re-persisted a pristine artifact; damage it
+        // again from the known-good copy for the next offset.
+        std::fs::write(&path, &good).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A future engine's artifact (version bumped, checksums redone so the
+/// file is internally consistent) must still be rejected — version gates
+/// are not allowed to hide behind checksum gates.
+#[test]
+fn version_bump_falls_back() {
+    use std::hash::Hasher;
+    let dir = temp_store("version");
+    let (baseline, path) = seed(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // The u32 after the 4-byte magic is the format version.
+    bytes[4] = bytes[4].wrapping_add(1);
+    // Recompute the whole-file trailer so only the version is "wrong".
+    let body_end = bytes.len() - 8;
+    let mut h = digitalbridge::sim::hashing::FxHasher::default();
+    h.write(&bytes[..body_end]);
+    let trailer = h.finish().to_le_bytes();
+    bytes[body_end..].copy_from_slice(&trailer);
+    std::fs::write(&path, &bytes).unwrap();
+    assert_falls_back(&dir, &baseline, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A well-formed artifact stored under a key whose content changed (here:
+/// renamed over a different kernel's slot) is stale, not corrupt — and is
+/// rejected just the same.
+#[test]
+fn key_mismatch_falls_back() {
+    let dir = temp_store("stale");
+    let (baseline, path) = seed(&dir);
+
+    // Build a second, different kernel's artifact and move it over the
+    // first one's file name: valid bytes, wrong key.
+    let other = ExecService::new(ServeConfig::default().with_image_store(&dir));
+    let other_req = RunRequest::new(KernelSpec::MemcpyUnaligned { len: 64 }, MdaStrategy::Dpeh)
+        .with_threshold(10);
+    other.run_one(other_req);
+    other.persist_images();
+    let other_path = ImageStore::new(&dir).path_for(other.image_key_for(&other_req));
+    std::fs::rename(&other_path, &path).unwrap();
+
+    assert_falls_back(&dir, &baseline, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An empty (or never-created) store is a miss, not an error: no
+/// rejection counted, fresh translation, results identical to a service
+/// with no store at all.
+#[test]
+fn empty_store_is_a_clean_miss() {
+    let dir = temp_store("empty");
+    let plain = ExecService::new(ServeConfig::default()).run_batch(&batch());
+
+    let svc = ExecService::new(ServeConfig::default().with_image_store(&dir));
+    let warm = svc.run_batch(&batch());
+    let m = svc.metrics();
+    assert_eq!(m.counter("serve.warm_start.image_misses").get(), 1);
+    assert_eq!(m.counter("serve.warm_start.image_rejected").get(), 0);
+    assert_eq!(m.counter("serve.warm_start.image_loads").get(), 0);
+    assert!(m.counter("dbt.blocks_translated").get() > 0);
+    assert_eq!(plain.merged_stats, warm.merged_stats);
+    assert_eq!(plain.reports_text(), warm.reports_text());
+    // The miss primed the store: the very next service warm-starts.
+    let next = ExecService::new(ServeConfig::default().with_image_store(&dir));
+    let again = next.run_batch(&batch());
+    assert_eq!(
+        next.metrics().counter("serve.warm_start.image_loads").get(),
+        1
+    );
+    assert_eq!(next.metrics().counter("dbt.blocks_translated").get(), 0);
+    assert_eq!(plain.merged_stats, again.merged_stats);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
