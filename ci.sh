@@ -57,6 +57,24 @@ grep -q '"type":"summary"' "$tmp/eh.jsonl"
 grep -q "convergence verdict CHANGED: A converged -> B no_patches" "$tmp/diff_stdout.txt"
 grep -q "B trapped .* more times than A" "$tmp/diff_stdout.txt"
 
+echo "== span smoke (deterministic flamegraph, well-formed Chrome export, fleet health lines) =="
+./target/release/trace_report --strategy eh --flame "$tmp/flame_a.txt" --spans "$tmp/spans.json" \
+    >"$tmp/flame_stdout.txt"
+grep -q "wrote folded stacks" "$tmp/flame_stdout.txt"
+# A known hot frame: the EH run's execute span under the run root, with
+# guest-PC labels and positive self-cycles.
+grep -Eq '^eh;run@0x[0-9a-f]+;execute@0x[0-9a-f]+ [1-9]' "$tmp/flame_a.txt"
+grep -Eq '^eh;run@0x[0-9a-f]+;translate@0x[0-9a-f]+ [1-9]' "$tmp/flame_a.txt"
+./target/release/trace_report --strategy eh --flame "$tmp/flame_b.txt" >/dev/null
+diff "$tmp/flame_a.txt" "$tmp/flame_b.txt"   # cycle-domain flame output is deterministic
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'no trace events'" \
+    "$tmp/spans.json"
+grep -q '"ph":"X"' "$tmp/spans.json"
+./target/release/trace_report --health --strategy dpeh >"$tmp/health.txt"
+grep -q '"schema":"bridge-health/1"' "$tmp/health.txt"
+grep -q '"context":"service"' "$tmp/health.txt"
+grep -q '"context":"phase_change_sum/dpeh/50"' "$tmp/health.txt"
+
 echo "== AOT image smoke (build -> verify -> warm re-build, store audit, warm-start metrics) =="
 mkdir -p "$tmp/images"
 ./target/release/dbt_image build --dir "$tmp/images" --kernel phase_change --strategy static \

@@ -17,9 +17,10 @@
 //! 3. **in-cache-code dispatch** monitor-exit reduction on call/ret-heavy
 //!    kernels (inline IBTC + shadow return stack off vs on);
 //! 4. **observability overhead**: the same kernels untraced, ring-traced,
-//!    and under the full pipeline (streaming JSONL sink + metrics
-//!    registry). Cycle totals must be identical across all three
-//!    (observability never charges simulated time) and both enabled modes
+//!    under the full pipeline (streaming JSONL sink + metrics registry),
+//!    and span-recorded (cycle-attribution spans folded into flamegraph
+//!    stacks every run). Cycle totals must be identical across all four
+//!    (observability never charges simulated time) and every enabled mode
 //!    must stay under 10% wall-clock — the layer's performance contract.
 //!    The metrics registry the streamed runs feed is exported as a
 //!    `bridge-metrics/1` document summary in the JSON;
@@ -69,7 +70,7 @@ const BASE: u64 = 0x8000_0000;
 /// Timed measurements repeat this many times and keep the fastest run —
 /// the standard low-noise estimator on shared machines, where transient
 /// load only ever makes a run *slower*.
-const REPS: u32 = 5;
+const REPS: u32 = 7;
 
 /// Builds the MIPS kernel: `iters` passes of a 16-instruction loop mixing
 /// quadword/longword memory traffic with ALU work — roughly the mix
@@ -280,11 +281,12 @@ fn measure_dispatch(iters: u32) -> Vec<DispatchRow> {
 }
 
 /// Traced-vs-untraced wall-clock and accounting on the dispatch kernels:
-/// the overhead guard for the observability layer. Three interleaved
-/// legs: untraced, ring-traced, and the full pipeline (streaming JSONL
-/// sink + metrics registry attached). Asserts that neither tracing nor
-/// streaming+metrics ever changes simulated cycles, and that both
-/// enabled modes stay under the 10% wall-clock budget.
+/// the overhead guard for the observability layer. Four interleaved
+/// legs: untraced, ring-traced, the full pipeline (streaming JSONL
+/// sink + metrics registry attached), and span-recorded (the
+/// request-tracing layer's cycle-attribution spans). Asserts that no
+/// observer ever changes simulated cycles, and that every enabled mode
+/// stays under the 10% wall-clock budget.
 struct TraceOverhead {
     secs_off: f64,
     secs_on: f64,
@@ -295,6 +297,11 @@ struct TraceOverhead {
     secs_stream: f64,
     stream_overhead_pct: f64,
     streamed_events: u64,
+    secs_spans: f64,
+    span_overhead_pct: f64,
+    span_count: usize,
+    span_dropped: u64,
+    folded_frames: usize,
 }
 
 fn measure_trace_overhead(
@@ -303,8 +310,11 @@ fn measure_trace_overhead(
 ) -> TraceOverhead {
     use bridge_trace::{StreamingJsonl, TraceConfig};
     let kernels = dispatch_kernels(iters);
-    // Amortize per-run timing noise over several whole-suite passes.
-    const INNER: usize = 4;
+    // Amortize per-run timing noise over several whole-suite passes:
+    // the overhead budgets below are single-digit percentages, so each
+    // timed leg has to be long enough that a scheduler blip is small
+    // relative to it.
+    const INNER: usize = 10;
     let run_plain = || {
         let mut cycles = 0u64;
         for _ in 0..INNER {
@@ -352,14 +362,40 @@ fn measure_trace_overhead(
         (cycles, streamed)
     };
 
-    // Interleave all three legs each rep so transient load degrades every
-    // side of the ratios, then keep the fastest of each.
+    // The span-recording leg: the cycle-attribution span layer attached
+    // (translate/execute/trap-fixup trees per run), no tracing.
+    let run_spanned = || {
+        let (mut cycles, mut spans, mut dropped, mut folded) = (0u64, 0usize, 0u64, 0usize);
+        for _ in 0..INNER {
+            for (_, k) in &kernels {
+                let (r, rec) = bridge_bench::run_kernel_spanned(
+                    k,
+                    bridge_bench::dpeh_config(),
+                    bridge_trace::SpanConfig::default(),
+                );
+                cycles += r.cycles();
+                spans += rec.len();
+                dropped += rec.dropped();
+                folded += rec.folded().lines().count();
+            }
+        }
+        (cycles, spans, dropped, folded)
+    };
+
+    // Interleave all four legs each rep so transient load degrades every
+    // side of the ratios, then keep the fastest of each. One untimed
+    // warmup pass first settles CPU frequency and page-cache state so
+    // the first timed rep is not systematically the slowest.
+    run_plain();
+    run_spanned();
     let mut best_off = Duration::MAX;
     let mut best_on = Duration::MAX;
     let mut best_stream = Duration::MAX;
+    let mut best_spans = Duration::MAX;
     let mut cyc_off = 0u64;
     let mut traced = (0u64, 0usize, 0usize, 0u64);
     let mut streamed = (0u64, 0u64);
+    let mut spanned = (0u64, 0usize, 0u64, 0usize);
     for _ in 0..REPS {
         let start = Instant::now();
         cyc_off = run_plain();
@@ -370,9 +406,13 @@ fn measure_trace_overhead(
         let start = Instant::now();
         streamed = run_streamed();
         best_stream = best_stream.min(start.elapsed());
+        let start = Instant::now();
+        spanned = run_spanned();
+        best_spans = best_spans.min(start.elapsed());
     }
     let (cyc_on, events, sites, dropped) = traced;
     let (cyc_stream, streamed_events) = streamed;
+    let (cyc_spans, span_count, span_dropped, folded_frames) = spanned;
     assert_eq!(
         cyc_off, cyc_on,
         "tracing changed simulated cycle accounting"
@@ -380,6 +420,10 @@ fn measure_trace_overhead(
     assert_eq!(
         cyc_off, cyc_stream,
         "streaming sink + metrics changed simulated cycle accounting"
+    );
+    assert_eq!(
+        cyc_off, cyc_spans,
+        "span recording changed simulated cycle accounting"
     );
     let overhead_pct = (best_on.as_secs_f64() / best_off.as_secs_f64() - 1.0) * 100.0;
     assert!(
@@ -391,6 +435,14 @@ fn measure_trace_overhead(
         stream_overhead_pct < 10.0,
         "streaming + metrics cost {stream_overhead_pct:.1}% wall-clock (budget: 10%)"
     );
+    // The span leg folds its stacks every run (the profiler's full cost),
+    // so the budget covers capture *and* attribution.
+    let span_overhead_pct = (best_spans.as_secs_f64() / best_off.as_secs_f64() - 1.0) * 100.0;
+    assert!(
+        span_overhead_pct < 10.0,
+        "span recording costs {span_overhead_pct:.1}% wall-clock (budget: 10%)"
+    );
+    assert!(span_count > 0, "the span leg must record spans");
     TraceOverhead {
         secs_off: best_off.as_secs_f64(),
         secs_on: best_on.as_secs_f64(),
@@ -401,6 +453,11 @@ fn measure_trace_overhead(
         secs_stream: best_stream.as_secs_f64(),
         stream_overhead_pct,
         streamed_events,
+        secs_spans: best_spans.as_secs_f64(),
+        span_overhead_pct,
+        span_count,
+        span_dropped,
+        folded_frames,
     }
 }
 
@@ -630,14 +687,26 @@ fn main() {
         "  streamed + metered:       {:8.2?}",
         Duration::from_secs_f64(trace_oh.secs_stream)
     );
+    println!(
+        "  span-recorded:            {:8.2?}",
+        Duration::from_secs_f64(trace_oh.secs_spans)
+    );
     println!("  traced overhead:          {:8.2}%", trace_oh.overhead_pct);
     println!(
         "  streamed overhead:        {:8.2}%",
         trace_oh.stream_overhead_pct
     );
     println!(
+        "  span overhead:            {:8.2}%",
+        trace_oh.span_overhead_pct
+    );
+    println!(
         "  events {} / sites {} / dropped {} / streamed {} (cycles identical)",
         trace_oh.events, trace_oh.sites, trace_oh.dropped, trace_oh.streamed_events
+    );
+    println!(
+        "  spans {} / folded frames {} / span dropped {}",
+        trace_oh.span_count, trace_oh.folded_frames, trace_oh.span_dropped
     );
     // The registry the streamed leg fed: well-formedness is part of the
     // contract — a `bridge-metrics/1` JSON document and a Prometheus-style
@@ -770,7 +839,7 @@ fn main() {
 
     // Emit BENCH_simulator.json (hand-rolled: no serde in-tree).
     let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/7\",");
+    let _ = writeln!(j, "  \"schema\": \"digitalbridge-sim-perf/8\",");
     let _ = writeln!(j, "  \"scale_outer_iters\": {},", scale.outer_iters);
     let _ = writeln!(j, "  \"mips\": {{");
     let _ = writeln!(j, "    \"kernel_insns\": {insns},");
@@ -837,6 +906,20 @@ fn main() {
     );
     let _ = writeln!(j, "    \"stream_cycles_equal\": true,");
     let _ = writeln!(j, "    \"streamed_events\": {}", trace_oh.streamed_events);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"spans\": {{");
+    let _ = writeln!(j, "    \"kernel_iters\": {trace_iters},");
+    let _ = writeln!(j, "    \"secs_off\": {:.4},", trace_oh.secs_off);
+    let _ = writeln!(j, "    \"secs_spans\": {:.4},", trace_oh.secs_spans);
+    let _ = writeln!(
+        j,
+        "    \"span_overhead_pct\": {:.3},",
+        trace_oh.span_overhead_pct
+    );
+    let _ = writeln!(j, "    \"cycles_equal\": true,");
+    let _ = writeln!(j, "    \"span_count\": {},", trace_oh.span_count);
+    let _ = writeln!(j, "    \"folded_frames\": {},", trace_oh.folded_frames);
+    let _ = writeln!(j, "    \"dropped\": {}", trace_oh.span_dropped);
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"metrics\": {{");
     let _ = writeln!(j, "    \"document_schema\": \"bridge-metrics/1\",");

@@ -11,9 +11,22 @@
 //!   trace_report [--kernel phase_change|memcpy|packed_struct|linked_list|stack]
 //!                [--strategy direct|static|dynamic|eh|dpeh]
 //!                [--iters N] [--bucket-cycles N] [--top N] [--jsonl PATH]
-//!                [--stream PATH]
+//!                [--stream PATH] [--flame PATH] [--spans PATH]
+//!   trace_report --health [--kernel ...] [--strategy ...] [--iters N]
 //!   trace_report --diff A.jsonl B.jsonl
 //!   trace_report --images DIR
+//!
+//! `--flame PATH` runs the same kernel with engine span recording and
+//! writes the cycle-attribution flamegraph as inferno-style folded stacks
+//! (`scope;frame;frame self_cycles` per line, deterministic — cycle
+//! domain only). `PATH` of `-` prints to stdout. `--spans PATH` writes
+//! the span tree as Chrome trace-event JSON (load in a `chrome://tracing`
+//! or Perfetto UI; timestamps are simulated cycles).
+//!
+//! `--health` is a separate mode: run a small batch of the chosen
+//! kernel/strategy through the sharded exec service and print its fleet
+//! health snapshot — one `bridge-health/1` JSON line for the service and
+//! one per translation context.
 //!
 //! `--top N` appends the hottest N sites ranked by attributed cycles — the
 //! "where did the time go" view over the full PC-ordered table.
@@ -37,7 +50,8 @@
 
 use bridge_dbt::image::{strategy_tag, ImageStore};
 use bridge_dbt::{DbtConfig, MdaStrategy, StaticProfile};
-use bridge_trace::{ScannedTrace, StreamingJsonl, TraceConfig};
+use bridge_serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
+use bridge_trace::{ScannedTrace, SpanConfig, StreamingJsonl, TraceConfig};
 use bridge_workloads::kernels::{self, Kernel};
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -52,6 +66,9 @@ struct Opts {
     stream: Option<String>,
     diff: Option<(String, String)>,
     images: Option<String>,
+    flame: Option<String>,
+    spans: Option<String>,
+    health: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -65,11 +82,19 @@ fn parse_args() -> Result<Opts, String> {
         stream: None,
         diff: None,
         images: None,
+        flame: None,
+        spans: None,
+        health: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--health" {
+            o.health = true;
+            i += 1;
+            continue;
+        }
         if flag == "--diff" {
             let a = args
                 .get(i + 1)
@@ -103,6 +128,8 @@ fn parse_args() -> Result<Opts, String> {
             "--jsonl" => o.jsonl = Some(val.clone()),
             "--stream" => o.stream = Some(val.clone()),
             "--images" => o.images = Some(val.clone()),
+            "--flame" => o.flame = Some(val.clone()),
+            "--spans" => o.spans = Some(val.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -136,6 +163,55 @@ fn config_by_name(name: &str) -> Result<DbtConfig, String> {
         "dpeh" => DbtConfig::new(MdaStrategy::Dpeh),
         other => return Err(format!("unknown strategy {other}")),
     })
+}
+
+/// The serve-layer spelling of `kernel_by_name`: the same kernels and
+/// scale parameters, as memoizable [`KernelSpec`]s.
+fn spec_by_name(name: &str, iters: u32) -> Result<KernelSpec, String> {
+    Ok(match name {
+        "phase_change" => KernelSpec::PhaseChangeSum {
+            aligned: iters / 3,
+            misaligned: iters - iters / 3,
+        },
+        "memcpy" => KernelSpec::MemcpyUnaligned {
+            len: iters.max(1) * 4,
+        },
+        "packed_struct" => KernelSpec::PackedStructSum { count: iters },
+        "linked_list" => KernelSpec::LinkedListChase { count: iters },
+        "stack" => KernelSpec::MisalignedStack { iterations: iters },
+        other => return Err(format!("unknown kernel {other}")),
+    })
+}
+
+fn strategy_by_name(name: &str) -> Result<MdaStrategy, String> {
+    MdaStrategy::ALL
+        .iter()
+        .copied()
+        .find(|s| s.slug() == name)
+        .ok_or_else(|| format!("unknown strategy {name}"))
+}
+
+/// The `--health` mode: push a small batch of the chosen kernel/strategy
+/// through the sharded exec service and print its fleet health snapshot.
+fn run_health(opts: &Opts) -> Result<(), String> {
+    let spec = spec_by_name(&opts.kernel, opts.iters)?;
+    let strategy = strategy_by_name(&opts.strategy)?;
+    let svc = ExecService::new(ServeConfig::default());
+    let reqs: Vec<RunRequest> = (0..3)
+        .map(|_| RunRequest::new(spec, strategy).with_threshold(50))
+        .collect();
+    let batch = svc.run_batch(&reqs);
+    println!(
+        "fleet health after {} requests ({} / {}, merged {} cycles):",
+        reqs.len(),
+        opts.kernel,
+        opts.strategy,
+        batch.merged_stats.cycles
+    );
+    for line in svc.health_report() {
+        println!("{line}");
+    }
+    Ok(())
 }
 
 fn opt_cycle(v: Option<u64>) -> String {
@@ -343,6 +419,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if opts.health {
+        return match run_health(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("trace_report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let kernel = match kernel_by_name(&opts.kernel, opts.iters) {
         Ok(k) => k,
         Err(e) => {
@@ -357,6 +442,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The flame / Chrome-export run: same kernel, same config, engine
+    // span recording on. A separate deterministic run keeps the trace
+    // and span captures independent (both are pure observers, so the
+    // reports agree cycle for cycle).
+    if opts.flame.is_some() || opts.spans.is_some() {
+        let (span_report, rec) =
+            bridge_bench::run_kernel_spanned(&kernel, cfg.clone(), SpanConfig::default());
+        if let Some(path) = &opts.flame {
+            let folded = rec.folded();
+            if path == "-" {
+                print!("{folded}");
+            } else if let Err(e) = std::fs::write(path, &folded) {
+                eprintln!("trace_report: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            } else {
+                println!(
+                    "wrote folded stacks to {path} ({} spans, {} cycles)",
+                    rec.len(),
+                    span_report.cycles()
+                );
+            }
+        }
+        if let Some(path) = &opts.spans {
+            if let Err(e) = std::fs::write(path, rec.to_chrome_json()) {
+                eprintln!("trace_report: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote Chrome trace events to {path} ({} spans)", rec.len());
+        }
+    }
     let tc = TraceConfig::default().with_bucket_cycles(opts.bucket_cycles);
     let mut streamed = None;
     let (report, trace) = if let Some(path) = &opts.stream {

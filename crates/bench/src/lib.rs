@@ -167,6 +167,27 @@ pub fn run_kernel_traced(
     (report, tracer)
 }
 
+/// Runs an in-tree micro-kernel with span recording attached and returns
+/// the report plus the engine's cycle-domain span snapshot (translate /
+/// execute / trap-fixup / image-restore tree, scoped to the strategy
+/// slug). Spans never charge simulated cycles, so the report is
+/// byte-identical to a bare run's.
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within [`FUEL`].
+pub fn run_kernel_spanned(
+    k: &bridge_workloads::kernels::Kernel,
+    cfg: DbtConfig,
+    spans: bridge_trace::SpanConfig,
+) -> (RunReport, bridge_trace::SpanRecorder) {
+    let mut dbt = Dbt::new(cfg.with_spans(spans));
+    k.load_into(&mut dbt);
+    let report = dbt.run(FUEL).expect("kernel halts within fuel");
+    let recorder = dbt.take_span_recorder().expect("spans were configured");
+    (report, recorder)
+}
+
 /// Everything a streamed kernel run produces: the run report, the
 /// retained trace snapshot (ring tail + aggregates), the sink's final
 /// summary (or the I/O error that detached it), and — for in-memory

@@ -4,7 +4,7 @@
 use crate::profile::StaticProfile;
 use crate::shared::SharedCodeCache;
 use bridge_metrics::Registry;
-pub use bridge_trace::TraceConfig;
+pub use bridge_trace::{SpanConfig, TraceConfig};
 use std::sync::Arc;
 
 /// The MDA handling mechanism under evaluation (the paper's §III–IV).
@@ -51,6 +51,18 @@ impl MdaStrategy {
             MdaStrategy::DynamicProfiling => "Dynamic Profiling",
             MdaStrategy::ExceptionHandling => "Exception Handling",
             MdaStrategy::Dpeh => "DPEH",
+        }
+    }
+
+    /// Short machine-friendly slug (CLI flags, span scopes, flame
+    /// frames) — the same spellings `trace_report --strategy` accepts.
+    pub fn slug(self) -> &'static str {
+        match self {
+            MdaStrategy::Direct => "direct",
+            MdaStrategy::StaticProfiling => "static",
+            MdaStrategy::DynamicProfiling => "dynamic",
+            MdaStrategy::ExceptionHandling => "eh",
+            MdaStrategy::Dpeh => "dpeh",
         }
     }
 }
@@ -133,6 +145,15 @@ pub struct DbtConfig {
     /// default) installs the no-op tracer; tracing never charges simulated
     /// cycles, so results are identical either way.
     pub trace: Option<TraceConfig>,
+    /// Hierarchical span recording ([`bridge_trace::span`]): `Some`
+    /// attaches an enabled
+    /// [`SpanRecorder`](bridge_trace::SpanRecorder) that measures
+    /// translate / execute / trap-fixup / image-restore intervals per TB
+    /// under a per-run root span, read back afterwards via
+    /// [`Dbt::span_snapshot`](crate::Dbt::span_snapshot). Spans never
+    /// charge simulated cycles — results are byte-identical with or
+    /// without them (asserted by the perf harness span leg).
+    pub spans: Option<SpanConfig>,
     /// Shared metrics registry ([`bridge_metrics`]): `Some` makes the
     /// engine bump host-side counters (traps, patches, fixups, flushes,
     /// translations) on its cold paths. Like tracing, metrics never charge
@@ -184,6 +205,7 @@ impl DbtConfig {
             shadow_ras: true,
             count_retired: false,
             trace: None,
+            spans: None,
             metrics: None,
             shared_cache: None,
             pretranslate: false,
@@ -269,6 +291,13 @@ impl DbtConfig {
         self
     }
 
+    /// Builder-style: attach hierarchical span recording with the given
+    /// bounds.
+    pub fn with_spans(mut self, spans: SpanConfig) -> DbtConfig {
+        self.spans = Some(spans);
+        self
+    }
+
     /// Builder-style: attach a shared metrics registry the engine bumps
     /// its event counters into.
     pub fn with_metrics(mut self, registry: Arc<Registry>) -> DbtConfig {
@@ -306,8 +335,26 @@ mod tests {
         assert!(!c.in_cache_dispatch);
         assert!(!c.count_retired);
         assert!(c.trace.is_none(), "tracing is opt-in");
+        assert!(c.spans.is_none(), "span recording is opt-in");
         assert!(c.metrics.is_none(), "metrics are opt-in");
         assert!(c.shared_cache.is_none(), "shared cache is opt-in");
+    }
+
+    #[test]
+    fn span_builder_attaches_config() {
+        let c = DbtConfig::new(MdaStrategy::ExceptionHandling)
+            .with_spans(SpanConfig::default().with_ring_capacity(128));
+        assert_eq!(c.spans.as_ref().unwrap().ring_capacity, 128);
+        assert!(
+            !c.spans.as_ref().unwrap().wall_clock,
+            "engine spans stay pure"
+        );
+    }
+
+    #[test]
+    fn strategy_slugs_are_cli_spellings() {
+        let slugs: Vec<&str> = MdaStrategy::ALL.iter().map(|s| s.slug()).collect();
+        assert_eq!(slugs, ["direct", "static", "dynamic", "eh", "dpeh"]);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use bridge_metrics::{Counter, Gauge, Registry};
 use bridge_sim::cost::CostModel;
 use bridge_sim::cpu::Machine;
 use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
-use bridge_trace::{TraceEvent, TraceSink, Tracer};
+use bridge_trace::{SpanId, SpanKind, SpanRecorder, TraceEvent, TraceSink, Tracer};
 use bridge_x86::insn::Width;
 use bridge_x86::reg::Reg32;
 use bridge_x86::state::CpuState;
@@ -217,6 +217,10 @@ pub struct Dbt {
     /// [`DbtConfig::trace`] is set. Recording never charges simulated
     /// cycles, so traced and untraced runs are identical.
     tracer: Tracer,
+    /// Hierarchical span recorder; the no-op recorder unless
+    /// [`DbtConfig::spans`] is set. Like the tracer, recording never
+    /// charges simulated cycles.
+    spans: SpanRecorder,
     /// Counter handles into [`DbtConfig::metrics`], when attached.
     metrics: Option<EngineMetrics>,
     /// The fleet-shared translation cache, when attached
@@ -253,6 +257,14 @@ impl Dbt {
             Some(tc) => Tracer::new(tc),
             None => Tracer::disabled(),
         };
+        let spans = match &cfg.spans {
+            Some(sc) => {
+                let mut s = SpanRecorder::new(sc);
+                s.set_scope(cfg.strategy.slug());
+                s
+            }
+            None => SpanRecorder::disabled(),
+        };
         let metrics = cfg.metrics.as_deref().map(EngineMetrics::new);
         let shared = cfg.shared_cache.clone();
         if let Some(sh) = &shared {
@@ -288,6 +300,7 @@ impl Dbt {
             seen_ras_hits: 0,
             seen_retired: 0,
             tracer,
+            spans,
             metrics,
             shared,
             shared_installs: HashMap::new(),
@@ -412,6 +425,38 @@ impl Dbt {
         self.tracer.record(self.machine.stats().cycles, event);
     }
 
+    /// A snapshot of the hierarchical span recorder (completed spans,
+    /// scope, drop counter). `None` unless the engine was configured with
+    /// [`DbtConfig::spans`]. Spans from a run that ended in an error keep
+    /// their root open; completed subtrees are still present.
+    pub fn span_snapshot(&self) -> Option<SpanRecorder> {
+        self.spans.is_enabled().then(|| self.spans.clone())
+    }
+
+    /// Takes the span recorder out of the engine, leaving a disabled one
+    /// (subsequent runs record nothing). The clone-free variant of
+    /// [`Dbt::span_snapshot`] for callers done with the engine — a
+    /// profiler harvesting thousands of execute spans per run should not
+    /// pay a full ring copy to read them.
+    pub fn take_span_recorder(&mut self) -> Option<SpanRecorder> {
+        self.spans
+            .is_enabled()
+            .then(|| std::mem::replace(&mut self.spans, SpanRecorder::disabled()))
+    }
+
+    /// Opens a span at the current simulated cycle count.
+    #[inline(always)]
+    fn span_start(&mut self, kind: SpanKind, guest_pc: Option<u32>) -> SpanId {
+        self.spans
+            .start(self.machine.stats().cycles, kind, guest_pc)
+    }
+
+    /// Closes a span at the current simulated cycle count.
+    #[inline(always)]
+    fn span_end(&mut self, id: SpanId) {
+        self.spans.end(id, self.machine.stats().cycles);
+    }
+
     /// Attaches a streaming trace sink: ring evictions flow to it in
     /// order, so arbitrarily long runs keep a full-fidelity event stream
     /// under the ring's bounded memory. Returns `false` when the engine
@@ -524,6 +569,7 @@ impl Dbt {
         if !self.loaded {
             return Err(DbtError::NotLoaded);
         }
+        let run_span = self.span_start(SpanKind::Run, Some(self.state.eip));
         if self.cfg.pretranslate && self.blocks_translated == 0 {
             self.pretranslate()?;
         }
@@ -558,7 +604,12 @@ impl Dbt {
                     in_machine = true;
                 }
                 self.machine.set_pc(host_entry);
-                match self.run_machine(&mut remaining)? {
+                // One execute span per in-cache segment; trap-fixup spans
+                // opened inside `run_machine` nest under it.
+                let exec_span = self.span_start(SpanKind::Execute, Some(pc));
+                let outcome = self.run_machine(&mut remaining);
+                self.span_end(exec_span);
+                match outcome? {
                     MachineOutcome::Dispatch(next) => {
                         pc = next;
                     }
@@ -570,6 +621,7 @@ impl Dbt {
                     MachineOutcome::Halted(final_pc) => {
                         self.machine_to_state();
                         self.state.eip = final_pc;
+                        self.span_end(run_span);
                         return Ok(self.build_report());
                     }
                 }
@@ -608,6 +660,7 @@ impl Dbt {
                 }
                 remaining -= spent;
                 if out.halted {
+                    self.span_end(run_span);
                     return Ok(self.build_report());
                 }
                 let heat = self.profile.heat_block(pc);
@@ -731,10 +784,26 @@ impl Dbt {
             cycles: trap_cost,
         });
 
+        // The trap-fixup span covers the whole handling episode — trap
+        // delivery through the strategy's response (including any nested
+        // retranslation, which opens its own translate child span).
+        let span = self.span_start(SpanKind::TrapFixup, Some(site.pc));
+        let resume = self.trap_response(block_pc, site, &info);
+        self.span_end(span);
+        resume
+    }
+
+    /// The active strategy's response to a delivered misalignment trap.
+    fn trap_response(
+        &mut self,
+        block_pc: u32,
+        site: SiteId,
+        info: &UnalignedInfo,
+    ) -> Result<Resume, DbtError> {
         match self.cfg.strategy {
             MdaStrategy::Direct => Err(DbtError::Internal("direct method cannot trap")),
             MdaStrategy::StaticProfiling | MdaStrategy::DynamicProfiling => {
-                self.os_fixup(&info)?;
+                self.os_fixup(info)?;
                 let fixup_cost = self.machine.cost().unaligned_fixup;
                 self.trace(TraceEvent::OsFixup {
                     site_pc: site.pc,
@@ -746,14 +815,14 @@ impl Dbt {
                 if self.cfg.rearrange {
                     self.rearrange_block(block_pc, site)
                 } else {
-                    self.patch_site(block_pc, site, &info)
+                    self.patch_site(block_pc, site, info)
                 }
             }
             MdaStrategy::Dpeh => {
                 if self.cfg.rearrange {
                     return self.rearrange_block(block_pc, site);
                 }
-                let resume = self.patch_site(block_pc, site, &info)?;
+                let resume = self.patch_site(block_pc, site, info)?;
                 if let Some(block) = self.cache.block(block_pc) {
                     if self.cfg.retranslate
                         && block.trap_count >= self.cfg.retranslate_threshold
@@ -1099,9 +1168,22 @@ impl Dbt {
         block_pc: u32,
         retrans_count: u32,
     ) -> Result<bool, DbtError> {
-        if self.shared.is_some() {
-            return self.translate_and_install_shared(block_pc, retrans_count);
-        }
+        let span = self.span_start(SpanKind::Translate, Some(block_pc));
+        let installed = if self.shared.is_some() {
+            self.translate_and_install_shared(block_pc, retrans_count)
+        } else {
+            self.translate_and_install_private(block_pc, retrans_count)
+        };
+        self.span_end(span);
+        installed
+    }
+
+    /// The private-cache install path (the original single-engine one).
+    fn translate_and_install_private(
+        &mut self,
+        block_pc: u32,
+        retrans_count: u32,
+    ) -> Result<bool, DbtError> {
         for _attempt in 0..2 {
             let base = self.cache.next_code_addr();
             let tb = {
@@ -1252,12 +1334,16 @@ impl Dbt {
                 m.image_hits.inc();
             }
         }
-        if hit && entry.preloaded {
+        let restore_span = if hit && entry.preloaded {
             self.trace(TraceEvent::ImageHit {
                 block_pc: entry.tb.guest_pc,
             });
-        }
+            self.span_start(SpanKind::ImageRestore, Some(entry.tb.guest_pc))
+        } else {
+            SpanId::NONE
+        };
         self.install_block(&entry.tb, entry.host_addr, retrans_count);
+        self.span_end(restore_span);
         self.shared_installs
             .insert(entry.tb.guest_pc, Arc::clone(entry));
         *self.install_counts.entry(entry.tb.guest_pc).or_insert(0) += 1;

@@ -81,4 +81,4 @@ pub use engine::{Dbt, DbtError, GuestProgram};
 pub use image::{ImageError, ImageKey, ImageStore, TranslationImage};
 pub use profile::{Profile, SiteId, StaticProfile};
 pub use report::RunReport;
-pub use shared::SharedCodeCache;
+pub use shared::{SharedCacheStats, SharedCodeCache};

@@ -182,19 +182,26 @@ impl Histogram {
     /// bound of the bucket holding the sample of that rank. Zero when
     /// empty. Deterministic — a pure function of the recorded samples.
     pub fn quantile(&self, q: f64) -> u64 {
-        let n = self.count();
+        // Snapshot the buckets once and derive the total (and hence the
+        // rank) from that snapshot. Reading `count()` separately would
+        // race with a concurrent `observe` between the two loads and
+        // could make the rank exceed the bucket sum, spuriously falling
+        // through to `u64::MAX`.
+        let snapshot: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let n: u64 = snapshot.iter().sum();
         if n == 0 {
             return 0;
         }
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+        for (i, &b) in snapshot.iter().enumerate() {
+            seen += b;
             if seen >= rank {
                 return bucket_upper(i);
             }
         }
-        u64::MAX
+        unreachable!("rank <= snapshot sum by construction")
     }
 
     /// Median upper bound.
@@ -336,8 +343,12 @@ impl Registry {
         }
         for (name, g) in self.gauges.lock().expect("metrics lock").iter() {
             let n = sanitize(name);
+            // The watermark is a distinct metric name, so it needs its
+            // own `# TYPE` line — conformant scrapers reject a sample
+            // whose name differs from the preceding TYPE declaration.
             out.push_str(&format!(
-                "# TYPE {n} gauge\n{n} {}\n{n}_high_watermark {}\n",
+                "# TYPE {n} gauge\n{n} {}\n\
+                 # TYPE {n}_high_watermark gauge\n{n}_high_watermark {}\n",
                 g.get(),
                 g.high_watermark()
             ));
@@ -358,6 +369,221 @@ impl Registry {
             ));
         }
         out
+    }
+}
+
+/// Schema tag of the one-line JSON document [`HealthSnapshot::to_json_line`]
+/// renders.
+pub const HEALTH_SCHEMA: &str = "bridge-health/1";
+
+/// Rolling-window view of one counter: the cumulative total, the delta
+/// over the sampling window, and the derived per-second rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterHealth {
+    /// Instrument name as registered.
+    pub name: String,
+    /// Cumulative total at sample time.
+    pub total: u64,
+    /// Increase since the previous sample (the full total on the first).
+    pub delta: u64,
+    /// `delta` scaled to events per second over the window (integer,
+    /// rounded down; zero when the window is zero).
+    pub rate_per_sec: u64,
+}
+
+/// Point-in-time view of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeHealth {
+    /// Instrument name as registered.
+    pub name: String,
+    /// Current level.
+    pub value: i64,
+    /// Highest level ever observed.
+    pub high_watermark: i64,
+}
+
+/// Rolling-window view of one histogram: cumulative quantiles plus the
+/// sample delta over the window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramHealth {
+    /// Instrument name as registered.
+    pub name: String,
+    /// Cumulative samples at sample time.
+    pub count: u64,
+    /// Samples recorded since the previous sample.
+    pub delta: u64,
+    /// Conservative cumulative quantile upper bounds.
+    pub p50: u64,
+    /// 90th percentile upper bound.
+    pub p90: u64,
+    /// 99th percentile upper bound.
+    pub p99: u64,
+}
+
+/// One fleet-health observation: every instrument in a [`Registry`] at a
+/// moment in time, with counter/histogram deltas and rates computed over
+/// the window since the previous [`HealthSampler::sample`] call. Renders
+/// as a single JSON line (`bridge-health/1`) so a fleet of contexts can
+/// each append one line per sampling tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Caller-supplied context label (e.g. `kernel/strategy/threshold`).
+    pub context: String,
+    /// Window length in microseconds, as supplied by the caller. This
+    /// crate never reads host time — wall windows are the caller's,
+    /// simulated-cycle windows stay deterministic.
+    pub window_us: u64,
+    /// Counter views, name-ordered.
+    pub counters: Vec<CounterHealth>,
+    /// Gauge views, name-ordered.
+    pub gauges: Vec<GaugeHealth>,
+    /// Histogram views, name-ordered.
+    pub histograms: Vec<HistogramHealth>,
+}
+
+impl HealthSnapshot {
+    /// Renders the snapshot as one JSON line. Instruments appear in name
+    /// order, so the line is a pure function of the sampled values.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{\"schema\":\"");
+        out.push_str(HEALTH_SCHEMA);
+        out.push_str("\",\"context\":\"");
+        for c in self.context.chars() {
+            match c {
+                '"' | '\\' => {
+                    out.push('\\');
+                    out.push(c);
+                }
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "\",\"window_us\":{},\"counters\":{{",
+            self.window_us
+        ));
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"total\":{},\"delta\":{},\"rate_per_sec\":{}}}",
+                c.name, c.total, c.delta, c.rate_per_sec
+            ));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"value\":{},\"high_watermark\":{}}}",
+                g.name, g.value, g.high_watermark
+            ));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"delta\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.name, h.count, h.delta, h.p50, h.p90, h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Computes rolling-window deltas over successive looks at a [`Registry`].
+/// Holds the previous sample's counter totals and histogram counts; each
+/// [`HealthSampler::sample`] call returns the registry's current state
+/// with deltas and rates relative to the last call (the first call's
+/// deltas are the cumulative totals).
+///
+/// One sampler per registry: mixing registries would make deltas
+/// meaningless. Not thread-safe by itself — wrap in a `Mutex` if several
+/// threads sample the same window history.
+#[derive(Debug, Default)]
+pub struct HealthSampler {
+    last_counters: BTreeMap<String, u64>,
+    last_hist_counts: BTreeMap<String, u64>,
+}
+
+impl HealthSampler {
+    /// A sampler with no history (first sample reports totals as deltas).
+    pub fn new() -> HealthSampler {
+        HealthSampler::default()
+    }
+
+    /// Samples every instrument in `registry` and advances the window.
+    /// `window_us` is the wall (or simulated) time covered since the
+    /// previous sample, used only for rate derivation.
+    pub fn sample(&mut self, registry: &Registry, context: &str, window_us: u64) -> HealthSnapshot {
+        let rate = |delta: u64| {
+            if window_us == 0 {
+                0
+            } else {
+                (delta as u128 * 1_000_000 / window_us as u128) as u64
+            }
+        };
+        let counters = registry
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, c)| {
+                let total = c.get();
+                let prev = self.last_counters.insert(name.clone(), total).unwrap_or(0);
+                let delta = total.saturating_sub(prev);
+                CounterHealth {
+                    name: name.clone(),
+                    total,
+                    delta,
+                    rate_per_sec: rate(delta),
+                }
+            })
+            .collect();
+        let gauges = registry
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, g)| GaugeHealth {
+                name: name.clone(),
+                value: g.get(),
+                high_watermark: g.high_watermark(),
+            })
+            .collect();
+        let histograms = registry
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, h)| {
+                let count = h.count();
+                let prev = self
+                    .last_hist_counts
+                    .insert(name.clone(), count)
+                    .unwrap_or(0);
+                HistogramHealth {
+                    name: name.clone(),
+                    count,
+                    delta: count.saturating_sub(prev),
+                    p50: h.p50(),
+                    p90: h.p90(),
+                    p99: h.p99(),
+                }
+            })
+            .collect();
+        HealthSnapshot {
+            context: context.to_string(),
+            window_us,
+            counters,
+            gauges,
+            histograms,
+        }
     }
 }
 
@@ -483,5 +709,145 @@ mod tests {
         assert!(text.contains("serve_exec_cycles_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("serve_exec_cycles_sum 905\n"));
         assert!(text.contains("serve_exec_cycles_count 2\n"));
+    }
+
+    #[test]
+    fn gauge_watermark_gets_its_own_type_line() {
+        let r = Registry::new();
+        r.gauge("queue.depth").set(7);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 7\n"));
+        assert!(
+            text.contains(
+                "# TYPE queue_depth_high_watermark gauge\nqueue_depth_high_watermark 7\n"
+            ),
+            "watermark series is a distinct metric and needs its own TYPE: {text}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_expositions_are_empty_but_well_formed() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(
+            r.to_json(),
+            "{\"schema\":\"bridge-metrics/1\",\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(r.to_prometheus(), "");
+        let snap = HealthSampler::new().sample(&r, "empty", 0);
+        assert_eq!(
+            snap.to_json_line(),
+            "{\"schema\":\"bridge-health/1\",\"context\":\"empty\",\"window_us\":0,\
+             \"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_every_sample_name_matches_a_type_declaration() {
+        let r = Registry::new();
+        r.counter("dbt.traps").add(3);
+        r.gauge("serve.queue.depth").set(2);
+        r.histogram("serve.exec_cycles").observe(100);
+        r.histogram("serve.queue.wait_us").observe(0);
+        let text = r.to_prometheus();
+        // Parse line by line the way a conformant scraper does: every
+        // sample must belong to the family most recently declared by a
+        // `# TYPE` line (same name, or `name_bucket`/`name_sum`/`name_count`
+        // for histograms).
+        let mut declared: Option<(String, String)> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE line has a name").to_string();
+                let kind = it.next().expect("TYPE line has a kind").to_string();
+                assert!(matches!(kind.as_str(), "counter" | "gauge" | "histogram"));
+                declared = Some((name, kind));
+                continue;
+            }
+            let sample_name = line
+                .split([' ', '{'])
+                .next()
+                .expect("sample line has a name");
+            let (family, kind) = declared.as_ref().expect("sample precedes any TYPE line");
+            let ok = match kind.as_str() {
+                "histogram" => {
+                    sample_name == format!("{family}_bucket")
+                        || sample_name == format!("{family}_sum")
+                        || sample_name == format!("{family}_count")
+                }
+                _ => sample_name == family.as_str(),
+            };
+            assert!(ok, "sample `{sample_name}` under TYPE `{family}` ({kind})");
+        }
+    }
+
+    #[test]
+    fn quantile_is_torn_snapshot_free_under_concurrent_observe() {
+        use std::sync::atomic::AtomicBool;
+        let h = Arc::new(Histogram::new());
+        h.observe(1); // never empty, so quantile always walks buckets
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut v = 1u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.observe(v);
+                        v = v.wrapping_mul(2999).wrapping_add(1) % 10_000;
+                    }
+                })
+            })
+            .collect();
+        // Before the fix, `count()` could read a total larger than the
+        // bucket sum seen by the walk, falling through to u64::MAX.
+        for _ in 0..200_000 {
+            let q = h.quantile(0.99);
+            assert!(q <= bucket_upper(bucket_of(9_999)), "torn snapshot: {q}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().expect("writer thread");
+        }
+    }
+
+    #[test]
+    fn health_sampler_windows_deltas_and_rates() {
+        let r = Registry::new();
+        let c = r.counter("serve.requests");
+        c.add(10);
+        r.gauge("serve.queue.depth").set(3);
+        let h = r.histogram("serve.exec_cycles");
+        h.observe(100);
+        let mut s = HealthSampler::new();
+        let first = s.sample(&r, "ctx-a", 1_000_000);
+        assert_eq!(first.counters[0].total, 10);
+        assert_eq!(first.counters[0].delta, 10, "first window reports totals");
+        assert_eq!(first.counters[0].rate_per_sec, 10);
+        assert_eq!(first.histograms[0].delta, 1);
+        c.add(5);
+        h.observe(200);
+        h.observe(300);
+        let second = s.sample(&r, "ctx-a", 500_000);
+        assert_eq!(second.counters[0].total, 15);
+        assert_eq!(second.counters[0].delta, 5);
+        assert_eq!(second.counters[0].rate_per_sec, 10, "5 events / 0.5s");
+        assert_eq!(second.histograms[0].delta, 2);
+        assert_eq!(second.gauges[0].value, 3);
+        let line = second.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"bridge-health/1\",\"context\":\"ctx-a\""));
+        assert!(line.contains("\"serve.requests\":{\"total\":15,\"delta\":5,\"rate_per_sec\":10}"));
+        assert!(line.ends_with("}}"));
+        assert_eq!(line.matches('\n').count(), 0, "one line per snapshot");
+    }
+
+    #[test]
+    fn health_context_labels_are_json_escaped() {
+        let r = Registry::new();
+        let snap = HealthSampler::new().sample(&r, "k\"ern\\el\n", 0);
+        assert!(snap
+            .to_json_line()
+            .contains("\"context\":\"k\\\"ern\\\\el\\u000a\""));
     }
 }

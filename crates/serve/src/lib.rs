@@ -58,11 +58,15 @@ pub use request::{KernelSpec, RunRequest};
 
 use bridge_dbt::engine::profile_program;
 use bridge_dbt::image::{content_hash, ImageError, ImageKey, ImageStore, TranslationImage};
-use bridge_dbt::{Dbt, DbtConfig, MdaStrategy, RunReport, SharedCodeCache, StaticProfile};
-use bridge_metrics::Registry;
+use bridge_dbt::{
+    Dbt, DbtConfig, MdaStrategy, RunReport, SharedCacheStats, SharedCodeCache, StaticProfile,
+};
+use bridge_metrics::{CounterHealth, GaugeHealth, HealthSampler, HealthSnapshot, Registry};
 use bridge_sim::cost::CostModel;
 use bridge_sim::stats::Stats;
-use bridge_trace::{MergedSiteTable, TraceConfig, TraceEvent, Tracer};
+use bridge_trace::{
+    MergedSiteTable, SpanConfig, SpanId, SpanKind, SpanRecorder, TraceConfig, TraceEvent, Tracer,
+};
 use bridge_workloads::kernels::Kernel;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -92,6 +96,14 @@ pub struct ServeConfig {
     /// cache back after the batch. Results are byte-identical with or
     /// without a store — only host-side translation work differs.
     pub image_store: Option<PathBuf>,
+    /// Record request-lifecycle spans (enqueue → queue-wait → dispatch →
+    /// warm-start → engine run → aggregate) into a service-level
+    /// [`SpanRecorder`], and enable cycle-domain engine spans on every
+    /// guest. Off by default. Like `serve.queue.wait_us`, the serve-layer
+    /// spans carry host wall-clock stamps and are nondeterministic
+    /// utilization diagnostics; batch *results* stay byte-identical with
+    /// spans on or off (the `serve_spans` tests pin this).
+    pub spans: bool,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +114,7 @@ impl Default for ServeConfig {
             trace: TraceConfig::default(),
             shared_cache: true,
             image_store: None,
+            spans: false,
         }
     }
 }
@@ -137,6 +150,12 @@ impl ServeConfig {
         self.image_store = Some(dir.into());
         self
     }
+
+    /// Builder-style: enable request-lifecycle span recording.
+    pub fn with_spans(mut self, on: bool) -> ServeConfig {
+        self.spans = on;
+        self
+    }
 }
 
 /// What one guest produced: the engine report plus the read-back of the
@@ -152,6 +171,10 @@ pub struct GuestResult {
     pub memory: Vec<(u32, Vec<u8>)>,
     /// Trace snapshot, when the request asked for tracing.
     pub tracer: Option<Tracer>,
+    /// The engine's cycle-domain span snapshot, when the service records
+    /// spans ([`ServeConfig::spans`]). Also adopted into the service
+    /// recorder under this request's dispatch span.
+    pub spans: Option<SpanRecorder>,
 }
 
 /// Aggregated batch outcome, deterministic in the submitted order.
@@ -271,6 +294,24 @@ pub struct ExecService {
     /// their own tracers).
     warm_tracer: Mutex<Tracer>,
     metrics: Arc<Registry>,
+    /// Request-lifecycle span recorder (scope `serve`, wall stamping on),
+    /// present when [`ServeConfig::spans`] asks for it. Serve spans live
+    /// in the wall domain (cycle extents mostly zero); adopted engine
+    /// subtrees carry the cycle attribution.
+    spans: Option<Mutex<SpanRecorder>>,
+    /// Rolling-window health state: the registry sampler plus per-context
+    /// shared-cache counter baselines for delta derivation.
+    health: Mutex<HealthState>,
+}
+
+/// Delta baselines for [`ExecService::health_report`].
+struct HealthState {
+    sampler: HealthSampler,
+    /// Previous shared-cache counter totals per translation context.
+    per_context: HashMap<(KernelSpec, MdaStrategy, u64), SharedCacheStats>,
+    /// Start of the current window: service creation, then the previous
+    /// `health_report` call.
+    window_start: Instant,
 }
 
 impl ExecService {
@@ -278,6 +319,11 @@ impl ExecService {
     pub fn new(cfg: ServeConfig) -> ExecService {
         let store = cfg.image_store.as_ref().map(ImageStore::new);
         let warm_tracer = Mutex::new(Tracer::new(&cfg.trace));
+        let spans = cfg.spans.then(|| {
+            let mut r = SpanRecorder::new(&SpanConfig::default().with_wall_clock(true));
+            r.set_scope("serve");
+            Mutex::new(r)
+        });
         ExecService {
             cfg,
             artifacts: Mutex::new(HashMap::new()),
@@ -285,6 +331,12 @@ impl ExecService {
             store,
             warm_tracer,
             metrics: Arc::new(Registry::new()),
+            spans,
+            health: Mutex::new(HealthState {
+                sampler: HealthSampler::new(),
+                per_context: HashMap::new(),
+                window_start: Instant::now(),
+            }),
         }
     }
 
@@ -297,6 +349,75 @@ impl ExecService {
     /// instrument inventory and the determinism caveats).
     pub fn metrics(&self) -> &Arc<Registry> {
         &self.metrics
+    }
+
+    /// Clone of the service span recorder — request-lifecycle spans plus
+    /// every adopted engine subtree — or `None` when spans are off.
+    pub fn span_snapshot(&self) -> Option<SpanRecorder> {
+        self.spans
+            .as_ref()
+            .map(|m| m.lock().expect("span lock never poisoned").clone())
+    }
+
+    /// Opens a serve-layer span under `parent` (explicit parenting: the
+    /// shards share one recorder, so innermost-open inference would
+    /// cross request boundaries). No-op returning NONE with spans off.
+    fn span_start(&self, kind: SpanKind, parent: SpanId) -> SpanId {
+        self.spans.as_ref().map_or(SpanId::NONE, |m| {
+            m.lock()
+                .expect("span lock never poisoned")
+                .start_at(0, kind, None, parent)
+        })
+    }
+
+    /// Closes a serve-layer span. `end_cycle` joins the simulated-cycle
+    /// domain where one applies (a dispatch span ends at the guest's
+    /// final cycle count); pure wall-domain spans pass 0.
+    fn span_end(&self, id: SpanId, end_cycle: u64) {
+        if let Some(m) = &self.spans {
+            m.lock()
+                .expect("span lock never poisoned")
+                .end(id, end_cycle);
+        }
+    }
+
+    /// Wall microseconds since the recorder's epoch (None with spans off).
+    fn span_now_us(&self) -> Option<u64> {
+        self.spans
+            .as_ref()
+            .and_then(|m| m.lock().expect("span lock never poisoned").now_epoch_us())
+    }
+
+    /// Records a closed wall-domain serve span from externally captured
+    /// stamps (enqueue and queue-wait intervals).
+    fn span_complete(
+        &self,
+        kind: SpanKind,
+        parent: SpanId,
+        wall_start_us: Option<u64>,
+        wall_end_us: Option<u64>,
+    ) {
+        if let Some(m) = &self.spans {
+            m.lock().expect("span lock never poisoned").complete_with(
+                kind,
+                None,
+                parent,
+                0,
+                0,
+                wall_start_us,
+                wall_end_us,
+            );
+        }
+    }
+
+    /// Adopts a guest engine's span subtree under `parent` in the service
+    /// recorder.
+    fn span_adopt(&self, engine: &SpanRecorder, parent: SpanId) {
+        if let Some(m) = &self.spans {
+            m.lock()
+                .expect("span lock never poisoned")
+                .adopt(engine, parent);
+        }
     }
 
     fn entry(&self, spec: KernelSpec) -> Arc<SpecArtifacts> {
@@ -507,6 +628,119 @@ impl ExecService {
         saved
     }
 
+    /// Samples the fleet into rolling-window health lines (schema
+    /// `bridge-health/1`): the service-wide registry snapshot first
+    /// (context `service` — request rates, queue-wait quantiles, every
+    /// `dbt.*` instrument), then one line per live translation context
+    /// with its shared-cache counters, label-ordered. Also publishes the
+    /// headline `serve.health.*` gauges (`contexts`,
+    /// `requests_per_sec`, `queue_wait_p99_us`, `exec_cycles_p50`) into
+    /// the registry. The window is wall-clock — service creation to
+    /// first call, then call to call — so, like `serve.queue.wait_us`,
+    /// the rates are utilization diagnostics, not byte-comparison
+    /// artifacts; batch results are unaffected.
+    pub fn health_report(&self) -> Vec<String> {
+        let mut st = self.health.lock().expect("health lock never poisoned");
+        let window_us = (st.window_start.elapsed().as_micros() as u64).max(1);
+        st.window_start = Instant::now();
+        let service = st.sampler.sample(&self.metrics, "service", window_us);
+
+        let counter_rate = |name: &str| {
+            service
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.rate_per_sec)
+        };
+        let hist = |name: &str, pick: fn(&bridge_metrics::HistogramHealth) -> u64| {
+            service
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .map_or(0, pick)
+        };
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+
+        // (context key, cache, preloaded, display label)
+        type ContextRow = (
+            (KernelSpec, MdaStrategy, u64),
+            Arc<SharedCodeCache>,
+            bool,
+            String,
+        );
+        let mut contexts: Vec<ContextRow> = self
+            .shared_caches
+            .lock()
+            .expect("shared-cache lock never poisoned")
+            .iter()
+            .map(|(k, c)| {
+                let (spec, strategy, threshold) = *k;
+                let label = format!("{}/{}/{}", spec.name(), strategy.slug(), threshold);
+                (*k, Arc::clone(&c.cache), c.preloaded, label)
+            })
+            .collect();
+        // Label-ordered, with the full spec as tiebreak (two sizes of one
+        // kernel share a name), so the line order is stable run to run.
+        contexts.sort_by_key(|(k, _, _, label)| (label.clone(), format!("{:?}", k.0)));
+
+        self.metrics
+            .gauge("serve.health.contexts")
+            .set(contexts.len() as i64);
+        self.metrics
+            .gauge("serve.health.requests_per_sec")
+            .set(clamp(counter_rate("serve.requests")));
+        self.metrics
+            .gauge("serve.health.queue_wait_p99_us")
+            .set(clamp(hist("serve.queue.wait_us", |h| h.p99)));
+        self.metrics
+            .gauge("serve.health.exec_cycles_p50")
+            .set(clamp(hist("serve.exec_cycles", |h| h.p50)));
+
+        let mut lines = vec![service.to_json_line()];
+        for (key, cache, preloaded, label) in contexts {
+            let stats = cache.stats();
+            let prev = st.per_context.get(&key).copied().unwrap_or_default();
+            let counter = |name: &str, total: u64, prev: u64| {
+                let delta = total.saturating_sub(prev);
+                CounterHealth {
+                    name: name.to_string(),
+                    total,
+                    delta,
+                    rate_per_sec: (u128::from(delta) * 1_000_000 / u128::from(window_us)) as u64,
+                }
+            };
+            let gauge = |name: &str, v: u64| GaugeHealth {
+                name: name.to_string(),
+                value: clamp(v),
+                high_watermark: clamp(v),
+            };
+            let snap = HealthSnapshot {
+                context: label,
+                window_us,
+                counters: vec![
+                    counter("cache.evictions", stats.evictions, prev.evictions),
+                    counter("cache.hits", stats.hits, prev.hits),
+                    counter("cache.insertions", stats.insertions, prev.insertions),
+                    counter(
+                        "cache.invalidations",
+                        stats.invalidations,
+                        prev.invalidations,
+                    ),
+                    counter("cache.misses", stats.misses, prev.misses),
+                ],
+                gauges: vec![
+                    gauge("cache.bytes_used", stats.bytes_used),
+                    gauge("cache.capacity_bytes", stats.capacity_bytes),
+                    gauge("cache.preloaded", u64::from(preloaded)),
+                ],
+                histograms: Vec::new(),
+            };
+            lines.push(snap.to_json_line());
+            st.per_context.insert(key, stats);
+        }
+        lines
+    }
+
     fn config_for(
         &self,
         req: &RunRequest,
@@ -523,25 +757,45 @@ impl ExecService {
         if shared {
             cfg = cfg.with_shared_cache(self.shared_cache_for(req));
         }
+        if self.spans.is_some() {
+            // Cycle-domain engine spans (translate / execute / trap-fixup
+            // / image-restore); the engine charges them zero cycles.
+            cfg = cfg.with_spans(SpanConfig::default());
+        }
         cfg.with_metrics(Arc::clone(&self.metrics))
     }
 
     /// Executes one request on the calling thread, using (and populating)
-    /// the shared artifact store.
+    /// the shared artifact store. With spans on, the run is recorded as a
+    /// root request span over the engine subtree.
     pub fn run_one(&self, req: RunRequest) -> GuestResult {
+        let request = self.span_start(SpanKind::Request, SpanId::NONE);
+        let result = self.run_one_spanned(req, request);
+        self.span_end(request, result.report.stats.cycles);
+        result
+    }
+
+    /// [`ExecService::run_one`] with the caller's span as parent: the
+    /// warm-start span and the adopted engine subtree land under it.
+    fn run_one_spanned(&self, req: RunRequest, parent: SpanId) -> GuestResult {
         // Build (and possibly warm-start) the translation context before
         // anything else: a restored image may carry the training
         // profile, which must be seeded before `shared_profile` would
         // re-derive it from a training run.
+        let warm = self.span_start(SpanKind::WarmStart, parent);
         let preloaded = self.cfg.shared_cache && {
             self.shared_cache_for(&req);
             self.context_preloaded(&req)
         };
+        self.span_end(warm, 0);
         let kernel = self.shared_kernel(req.kernel);
         let profile =
             (req.strategy == MdaStrategy::StaticProfiling).then(|| self.shared_profile(req.kernel));
         let cfg = self.config_for(&req, profile, self.cfg.shared_cache);
         let result = execute(&kernel, cfg, req);
+        if let Some(engine) = &result.spans {
+            self.span_adopt(engine, parent);
+        }
         self.metrics.counter("serve.requests").inc();
         if preloaded {
             self.metrics.counter("serve.warm_start.image_hits").inc();
@@ -562,8 +816,11 @@ impl ExecService {
     /// Propagates a panic from any worker (a guest failing to halt is a
     /// harness bug, as in the bench crate).
     pub fn run_batch(&self, requests: &[RunRequest]) -> BatchReport {
-        let queue: BoundedQueue<(usize, RunRequest, Instant)> =
-            BoundedQueue::new(self.cfg.queue_depth);
+        // Queue items carry the request's span handle and its enqueue
+        // wall stamp so the draining shard can close the queue-wait span
+        // it never saw open.
+        type Item = (usize, RunRequest, Instant, SpanId, Option<u64>);
+        let queue: BoundedQueue<Item> = BoundedQueue::new(self.cfg.queue_depth);
         let slots: Mutex<Vec<Option<GuestResult>>> =
             Mutex::new(requests.iter().map(|_| None).collect());
         let depth = self.metrics.gauge("serve.queue.depth");
@@ -575,20 +832,34 @@ impl ExecService {
                     .counter(&format!("serve.shard.{shard}.requests"));
                 let (queue, slots, depth, wait) = (&queue, &slots, &depth, &wait);
                 s.spawn(move || {
-                    while let Some((slot, req, enqueued)) = queue.pop() {
+                    while let Some((slot, req, enqueued, req_span, enq_us)) = queue.pop() {
                         depth.sub(1);
                         wait.observe(enqueued.elapsed().as_micros() as u64);
-                        let result = self.run_one(req);
+                        // The queue-wait span joins the same interval
+                        // `serve.queue.wait_us` measures, per request.
+                        self.span_complete(
+                            SpanKind::QueueWait,
+                            req_span,
+                            enq_us,
+                            self.span_now_us(),
+                        );
+                        let dispatch = self.span_start(SpanKind::Dispatch, req_span);
+                        let result = self.run_one_spanned(req, dispatch);
+                        self.span_end(dispatch, result.report.stats.cycles);
+                        self.span_end(req_span, result.report.stats.cycles);
                         shard_requests.inc();
                         slots.lock().expect("slot lock never poisoned")[slot] = Some(result);
                     }
                 });
             }
             for (slot, &req) in requests.iter().enumerate() {
+                let req_span = self.span_start(SpanKind::Request, SpanId::NONE);
+                let push_us = self.span_now_us();
                 queue
-                    .push((slot, req, Instant::now()))
+                    .push((slot, req, Instant::now(), req_span, push_us))
                     .unwrap_or_else(|_| unreachable!("queue closes only after all pushes"));
                 depth.add(1);
+                self.span_complete(SpanKind::Enqueue, req_span, push_us, self.span_now_us());
             }
             queue.close();
         });
@@ -600,8 +871,11 @@ impl ExecService {
             .collect();
         // Persist what this batch translated (no-op without a store):
         // the next process warm-starts from it.
+        let aggregate = self.span_start(SpanKind::Aggregate, SpanId::NONE);
         self.persist_images();
-        BatchReport::from_guests(guests)
+        let report = BatchReport::from_guests(guests);
+        self.span_end(aggregate, 0);
+        report
     }
 
     /// The naive per-request baseline the service exists to beat: executes
@@ -649,6 +923,7 @@ fn execute(kernel: &Kernel, cfg: DbtConfig, req: RunRequest) -> GuestResult {
     kernel.load_into(&mut dbt);
     let report = dbt.run(FUEL).expect("kernel halts within fuel");
     let tracer = dbt.trace_snapshot();
+    let spans = dbt.take_span_recorder();
     let memory = req
         .kernel
         .observed_ranges()
@@ -664,6 +939,7 @@ fn execute(kernel: &Kernel, cfg: DbtConfig, req: RunRequest) -> GuestResult {
         report,
         memory,
         tracer,
+        spans,
     }
 }
 
@@ -970,6 +1246,153 @@ mod tests {
                 == baseline.merged_stats
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Purity: span recording observes, it never perturbs. The same batch
+    /// with and without spans is byte-identical in every witness, for
+    /// every MDA strategy.
+    #[test]
+    fn spans_leave_results_byte_identical_across_strategies() {
+        let spec = KernelSpec::PhaseChangeSum {
+            aligned: 60,
+            misaligned: 60,
+        };
+        let reqs: Vec<RunRequest> = MdaStrategy::ALL
+            .iter()
+            .map(|&s| RunRequest::new(spec, s).with_threshold(10).with_trace(true))
+            .collect();
+        let bare = ExecService::new(ServeConfig::default().with_shards(2));
+        let spanned = ExecService::new(ServeConfig::default().with_shards(2).with_spans(true));
+        let a = bare.run_batch(&reqs);
+        let b = spanned.run_batch(&reqs);
+        assert_eq!(a.merged_stats, b.merged_stats);
+        assert_eq!(a.reports_text(), b.reports_text());
+        assert_eq!(a.merged_sites().to_jsonl(), b.merged_sites().to_jsonl());
+        for (p, s) in a.guests.iter().zip(&b.guests) {
+            assert_eq!(p.memory, s.memory);
+        }
+        assert!(bare.span_snapshot().is_none());
+        assert!(spanned.span_snapshot().is_some());
+    }
+
+    /// The request lifecycle lands as one tree per request: enqueue and
+    /// queue-wait joined to the wall domain, the dispatch span carrying
+    /// the adopted cycle-domain engine subtree.
+    #[test]
+    fn request_spans_join_the_engine_subtree() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(2).with_spans(true));
+        let reqs = small_batch();
+        svc.run_batch(&reqs);
+        let rec = svc.span_snapshot().expect("spans on");
+        assert_eq!(rec.scope(), "serve");
+        let by_kind = |k: SpanKind| rec.spans().filter(|r| r.kind == k).count();
+        assert_eq!(by_kind(SpanKind::Request), reqs.len());
+        assert_eq!(by_kind(SpanKind::Enqueue), reqs.len());
+        assert_eq!(by_kind(SpanKind::QueueWait), reqs.len());
+        assert_eq!(by_kind(SpanKind::Dispatch), reqs.len());
+        assert_eq!(by_kind(SpanKind::WarmStart), reqs.len());
+        assert_eq!(by_kind(SpanKind::Aggregate), 1);
+        assert_eq!(
+            by_kind(SpanKind::Run),
+            reqs.len(),
+            "engine subtrees adopted"
+        );
+        assert!(by_kind(SpanKind::Translate) > 0);
+        assert!(by_kind(SpanKind::Execute) > 0);
+        // Every non-root span's parent exists; requests and the
+        // aggregate are the only roots.
+        let ids: std::collections::HashSet<u64> = rec.spans().map(|r| r.id).collect();
+        for r in rec.spans() {
+            if r.parent == 0 {
+                assert!(matches!(r.kind, SpanKind::Request | SpanKind::Aggregate));
+            } else {
+                assert!(ids.contains(&r.parent), "parent committed");
+            }
+        }
+        // Dispatch spans end at their guest's final simulated cycle.
+        assert!(rec
+            .spans()
+            .filter(|r| r.kind == SpanKind::Dispatch)
+            .all(|r| r.end_cycle > 0));
+        // The flame view roots engine frames under the request path.
+        let folded = rec.folded();
+        assert!(
+            folded.contains("serve;request;dispatch;run"),
+            "engine run folds under serve;request;dispatch:\n{folded}"
+        );
+        // Serve spans carry wall stamps (the recorder stamps walls).
+        assert!(rec
+            .spans()
+            .filter(|r| r.kind == SpanKind::QueueWait)
+            .all(|r| r.wall_start_us.is_some() && r.wall_end_us.is_some()));
+        // Adopted engine spans are cycle-domain only: the engine
+        // recorder never stamped walls.
+        assert!(rec
+            .spans()
+            .filter(|r| r.kind == SpanKind::Execute)
+            .all(|r| r.wall_start_us.is_none()));
+    }
+
+    #[test]
+    fn bare_run_one_records_a_request_root() {
+        let svc = ExecService::new(ServeConfig::default().with_spans(true));
+        let req = RunRequest::new(KernelSpec::MemcpyUnaligned { len: 64 }, MdaStrategy::Dpeh)
+            .with_threshold(10);
+        let result = svc.run_one(req);
+        assert!(result.spans.is_some(), "engine snapshot rides the result");
+        let rec = svc.span_snapshot().unwrap();
+        let root = rec
+            .spans()
+            .find(|r| r.kind == SpanKind::Request)
+            .expect("request root");
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.end_cycle, result.report.stats.cycles);
+        let warm = rec
+            .spans()
+            .find(|r| r.kind == SpanKind::WarmStart)
+            .expect("warm-start span");
+        assert_eq!(warm.parent, root.id);
+    }
+
+    #[test]
+    fn health_report_samples_service_and_contexts() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(2));
+        let reqs = small_batch();
+        svc.run_batch(&reqs);
+        let lines = svc.health_report();
+        // One service line plus one per translation context (small_batch
+        // spans three distinct contexts).
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with(&format!(
+                "{{\"schema\":\"{}\"",
+                bridge_metrics::HEALTH_SCHEMA
+            )));
+            assert!(line.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"context\":\"service\""));
+        assert!(lines[0].contains("\"serve.requests\""));
+        // Context lines are label-ordered and carry cache counters.
+        assert!(lines[1].contains("\"cache.insertions\""));
+        let labels: Vec<&str> = lines[1..]
+            .iter()
+            .map(|l| {
+                let start = l.find("\"context\":\"").unwrap() + 11;
+                &l[start..start + l[start..].find('"').unwrap()]
+            })
+            .collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted, "context lines label-ordered");
+        assert!(labels.iter().any(|l| l.contains("/dpeh/")));
+        // Headline gauges published.
+        let m = svc.metrics();
+        assert_eq!(m.gauge("serve.health.contexts").get(), 3);
+        assert!(m.gauge("serve.health.exec_cycles_p50").get() > 0);
+        // A second idle sample reports zero deltas but keeps totals.
+        let again = svc.health_report();
+        assert!(again[0].contains("\"serve.requests\":{\"total\":3,\"delta\":0"));
+        assert!(again[1].contains("\"delta\":0"));
     }
 
     #[test]

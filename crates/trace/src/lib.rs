@@ -21,7 +21,10 @@
 //!   convergence curve of EH/DPEH (traps decay to zero after the last
 //!   patch) vs. the flat trap rate of dynamic profiling directly visible;
 //! * [`jsonl`] — a zero-dependency JSONL sink plus the line-scanning
-//!   helpers tests and tools use to read it back.
+//!   helpers tests and tools use to read it back;
+//! * [`span`] — hierarchical request-scoped spans (parent IDs, dual
+//!   wall + simulated-cycle timestamps) with JSONL, Chrome trace-event
+//!   and folded-stack flamegraph exports.
 //!
 //! A disabled tracer ([`Tracer::disabled`]) reduces every record call to a
 //! single predictable branch and allocates nothing — and recording never
@@ -35,6 +38,7 @@ pub mod merge;
 pub mod scan;
 pub mod sink;
 pub mod site;
+pub mod span;
 pub mod timeline;
 
 pub use diff::TraceDiff;
@@ -42,6 +46,7 @@ pub use merge::MergedSiteTable;
 pub use scan::ScannedTrace;
 pub use sink::{SinkSummary, StreamingJsonl, TraceSink};
 pub use site::SiteTelemetry;
+pub use span::{SpanConfig, SpanId, SpanKind, SpanRecord, SpanRecorder};
 pub use timeline::{ConvergenceVerdict, Timeline};
 
 use std::collections::{BTreeMap, VecDeque};
