@@ -42,6 +42,20 @@ grep -q '# TYPE dbt_code_cache_hits counter' "$tmp/serve_stdout.txt"
 grep -q '# TYPE dispatch_hint_hits counter' "$tmp/serve_stdout.txt"
 grep -Eq '^dbt_code_cache_hits [1-9]' "$tmp/serve_stdout.txt"
 
+echo "== serve edge smoke (real-socket storm, typed shedding, socket-scraped metrics + health) =="
+./target/release/serve_load --smoke >"$tmp/edge_stdout.txt"
+grep -q "serve_load: OK" "$tmp/edge_stdout.txt"
+grep -q "contracts: responses balance" "$tmp/edge_stdout.txt"
+# The serve.edge.* series, scraped over the edge's own socket.
+grep -q '# TYPE serve_edge_admitted counter' "$tmp/edge_stdout.txt"
+grep -Eq '^  serve_edge_ok [1-9]' "$tmp/edge_stdout.txt"
+grep -q '# TYPE serve_edge_queue_wait_us histogram' "$tmp/edge_stdout.txt"
+# And the health snapshot from the same listener.
+grep -q '"schema":"bridge-health/1"' "$tmp/edge_stdout.txt"
+# The perf edge section made it into the bench JSON under schema /9.
+grep -q '"edge": {' "$tmp/BENCH_simulator.json"
+grep -q '"protocol": "bridge-edge/1"' "$tmp/BENCH_simulator.json"
+
 echo "== trace_report smoke (JSONL written, EH converges, top-N) =="
 ./target/release/trace_report --strategy eh --top 3 --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"
 grep -q "trap rate CONVERGED" "$tmp/trace_stdout.txt"

@@ -483,15 +483,41 @@ impl TranslationImage {
         Ok(())
     }
 
-    /// Writes the artifact atomically (temp file + rename) to `path`.
+    /// Writes the artifact atomically to `path`: the bytes go to a
+    /// *uniquely named* temp file in the same directory, are flushed to
+    /// disk, and the temp file is renamed over the target. A writer
+    /// killed or stalled mid-stream therefore only ever leaves its own
+    /// orphan temp file behind — the canonical path never holds a torn
+    /// artifact. The previous fixed `.tmp` name meant two savers (or a
+    /// zombie writer with the inode still open) shared one file, so a
+    /// straggler's late writes could corrupt an already-published
+    /// artifact.
     ///
     /// # Errors
     ///
-    /// Propagates host I/O failures.
+    /// Propagates host I/O failures (the temp file is removed on error).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)
+        use std::io::Write as _;
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(format!(".{}.{seq}.tmp", std::process::id()));
+        let tmp = path.with_file_name(name);
+        let publish = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            // Durability before visibility: rename must not publish a
+            // name whose bytes are still in the page cache only.
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if publish.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        publish
     }
 
     /// Reads and fully validates the artifact at `path` (no key check —

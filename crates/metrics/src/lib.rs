@@ -389,6 +389,11 @@ pub struct CounterHealth {
     /// `delta` scaled to events per second over the window (integer,
     /// rounded down; zero when the window is zero).
     pub rate_per_sec: u64,
+    /// The counter went *backwards* since the previous sample — the
+    /// instrument was reset (its context evicted and rebuilt between
+    /// samples). The baseline restarts: `delta` is the new total, not a
+    /// clamped zero, and the JSON line carries a `"reset":true` marker.
+    pub reset: bool,
 }
 
 /// Point-in-time view of one gauge.
@@ -467,8 +472,12 @@ impl HealthSnapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"total\":{},\"delta\":{},\"rate_per_sec\":{}}}",
-                c.name, c.total, c.delta, c.rate_per_sec
+                "\"{}\":{{\"total\":{},\"delta\":{},\"rate_per_sec\":{}{}}}",
+                c.name,
+                c.total,
+                c.delta,
+                c.rate_per_sec,
+                if c.reset { ",\"reset\":true" } else { "" }
             ));
         }
         out.push_str("},\"gauges\":{");
@@ -536,12 +545,19 @@ impl HealthSampler {
             .map(|(name, c)| {
                 let total = c.get();
                 let prev = self.last_counters.insert(name.clone(), total).unwrap_or(0);
-                let delta = total.saturating_sub(prev);
+                // A counter that went backwards was reset (the context
+                // behind it was evicted and rebuilt between samples).
+                // Restart the baseline at zero — the window's delta is
+                // everything the reborn counter accumulated — and say so,
+                // instead of silently clamping the delta to zero.
+                let reset = total < prev;
+                let delta = if reset { total } else { total - prev };
                 CounterHealth {
                     name: name.clone(),
                     total,
                     delta,
                     rate_per_sec: rate(delta),
+                    reset,
                 }
             })
             .collect();
@@ -840,6 +856,41 @@ mod tests {
         assert!(line.contains("\"serve.requests\":{\"total\":15,\"delta\":5,\"rate_per_sec\":10}"));
         assert!(line.ends_with("}}"));
         assert_eq!(line.matches('\n').count(), 0, "one line per snapshot");
+    }
+
+    /// Regression: a counter that goes *backwards* between samples (its
+    /// context was evicted and rebuilt, so the instrument restarted at
+    /// zero) used to clamp to a silent zero delta. The sampler must flag
+    /// the reset, restart the baseline, and report the reborn counter's
+    /// accumulation as the window's delta.
+    #[test]
+    fn health_sampler_flags_counter_resets() {
+        let mut s = HealthSampler::new();
+        let r1 = Registry::new();
+        r1.counter("cache.insertions").add(10);
+        let first = s.sample(&r1, "ctx", 1_000_000);
+        assert!(!first.counters[0].reset);
+        assert!(!first.to_json_line().contains("\"reset\""));
+
+        // The context is rebuilt: same instrument name, fresh counter
+        // that has only accumulated 3 since its rebirth.
+        let r2 = Registry::new();
+        r2.counter("cache.insertions").add(3);
+        let snap = s.sample(&r2, "ctx", 1_000_000);
+        let c = &snap.counters[0];
+        assert!(c.reset, "backwards counter must be reported as a reset");
+        assert_eq!(c.total, 3);
+        assert_eq!(c.delta, 3, "baseline restarts at zero, not clamped to 0");
+        assert_eq!(c.rate_per_sec, 3);
+        assert!(snap.to_json_line().contains(
+            "\"cache.insertions\":{\"total\":3,\"delta\":3,\"rate_per_sec\":3,\"reset\":true}"
+        ));
+
+        // The next window resumes ordinary deltas from the new baseline.
+        r2.counter("cache.insertions").add(2);
+        let third = s.sample(&r2, "ctx", 1_000_000);
+        assert!(!third.counters[0].reset);
+        assert_eq!(third.counters[0].delta, 2);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Per-request deadlines for the network edge.
+//!
+//! A deadline is a wall-clock budget the *client* attaches to a request:
+//! "if you cannot start this within N milliseconds, don't bother". The
+//! edge enforces it twice — at admission (an already-expired request is
+//! never queued) and again at dispatch (a request that aged out while it
+//! sat in the queue is shed, **never executed**). Executing stale work
+//! is the classic overload failure mode: the fleet burns cycles on
+//! answers nobody is waiting for while fresh requests queue behind them.
+//!
+//! Deadlines live purely in the host wall domain; they gate *whether* a
+//! request runs, never *how* — an admitted request's results are
+//! byte-identical to an in-process run (the serve determinism contract).
+
+use std::time::{Duration, Instant};
+
+/// A request's wall-clock deadline: a fixed expiry instant, or none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: the request waits as long as the queue holds it.
+    pub fn unbounded() -> Deadline {
+        Deadline { expires_at: None }
+    }
+
+    /// Expires `budget_ms` milliseconds from now. A zero budget is
+    /// already expired — useful for tests and for clients probing
+    /// whether the fleet can dispatch immediately.
+    pub fn within_ms(budget_ms: u64) -> Deadline {
+        Deadline {
+            expires_at: Some(Instant::now() + Duration::from_millis(budget_ms)),
+        }
+    }
+
+    /// Decodes the wire form: `0` means unbounded, anything else is a
+    /// millisecond budget starting at decode time.
+    pub fn from_wire_ms(budget_ms: u64) -> Deadline {
+        if budget_ms == 0 {
+            Deadline::unbounded()
+        } else {
+            Deadline::within_ms(budget_ms)
+        }
+    }
+
+    /// Whether the deadline has passed (never true for unbounded).
+    pub fn expired(&self) -> bool {
+        self.expires_at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Milliseconds of budget left (saturating at zero; `None` when
+    /// unbounded).
+    pub fn remaining_ms(&self) -> Option<u64> {
+        self.expires_at
+            .map(|at| at.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        assert_eq!(d.remaining_ms(), None);
+        assert_eq!(Deadline::from_wire_ms(0), d);
+    }
+
+    #[test]
+    fn zero_budget_is_already_expired() {
+        let d = Deadline::within_ms(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining_ms(), Some(0));
+    }
+
+    #[test]
+    fn generous_budget_is_live_then_remaining_shrinks() {
+        let d = Deadline::within_ms(60_000);
+        assert!(!d.expired());
+        let r = d.remaining_ms().unwrap();
+        assert!(r > 50_000 && r <= 60_000, "remaining {r}ms");
+        assert!(Deadline::from_wire_ms(60_000).expires_at.is_some());
+    }
+
+    #[test]
+    fn short_budget_expires() {
+        let d = Deadline::within_ms(1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+    }
+}

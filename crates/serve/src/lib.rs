@@ -50,11 +50,17 @@
 //! cross-mode witness. The saving is host-side translation work, visible
 //! in the `dbt.blocks_translated` and `dbt.code_cache.*` counters.
 
+pub mod deadline;
+pub mod edge;
 pub mod queue;
 pub mod request;
+pub mod tenant;
 
+pub use deadline::Deadline;
+pub use edge::{EdgeClient, EdgeConfig, EdgeResponse, EdgeServer, EdgeStatus, EDGE_SCHEMA};
 pub use queue::BoundedQueue;
 pub use request::{KernelSpec, RunRequest};
+pub use tenant::{FairQueue, QuotaLedger};
 
 use bridge_dbt::engine::profile_program;
 use bridge_dbt::image::{content_hash, ImageError, ImageKey, ImageStore, TranslationImage};
@@ -204,7 +210,7 @@ impl BatchReport {
         let mut table = MergedSiteTable::new();
         for (slot, g) in self.guests.iter().enumerate() {
             if let Some(t) = &g.tracer {
-                table.add_guest(slot as u32, t);
+                table.add_guest(slot as u64, t);
             }
         }
         table
@@ -701,12 +707,18 @@ impl ExecService {
             let stats = cache.stats();
             let prev = st.per_context.get(&key).copied().unwrap_or_default();
             let counter = |name: &str, total: u64, prev: u64| {
-                let delta = total.saturating_sub(prev);
+                // A context evicted and rebuilt between samples restarts
+                // its cache counters at zero; report the reset (with the
+                // reborn counter's full total as the window delta) rather
+                // than clamping to a silent zero delta.
+                let reset = total < prev;
+                let delta = if reset { total } else { total - prev };
                 CounterHealth {
                     name: name.to_string(),
                     total,
                     delta,
                     rate_per_sec: (u128::from(delta) * 1_000_000 / u128::from(window_us)) as u64,
+                    reset,
                 }
             };
             let gauge = |name: &str, v: u64| GaugeHealth {
@@ -1393,6 +1405,66 @@ mod tests {
         let again = svc.health_report();
         assert!(again[0].contains("\"serve.requests\":{\"total\":3,\"delta\":0"));
         assert!(again[1].contains("\"delta\":0"));
+    }
+
+    /// Regression: a translation context evicted and rebuilt between
+    /// health samples restarts its cache counters at zero. The old
+    /// `saturating_sub` clamped that to a silent zero delta; the report
+    /// must instead carry a `"reset":true` marker and restart the
+    /// baseline.
+    #[test]
+    fn health_report_flags_rebuilt_context_counters() {
+        let svc = ExecService::new(ServeConfig::default().with_shards(2));
+        let reqs = small_batch();
+        svc.run_batch(&reqs);
+        svc.health_report(); // establish per-context baselines
+
+        // Evict and rebuild one context: a pristine cache whose counters
+        // are behind the recorded baseline.
+        let key = reqs[0].translation_context();
+        let code_bytes = DbtConfig::new(reqs[0].strategy).code_bytes;
+        svc.shared_caches
+            .lock()
+            .expect("shared-cache lock never poisoned")
+            .insert(
+                key,
+                ContextCache {
+                    cache: SharedCodeCache::new(code_bytes),
+                    preloaded: false,
+                },
+            );
+
+        let lines = svc.health_report();
+        let rebuilt = lines
+            .iter()
+            .find(|l| l.contains("/static/"))
+            .expect("rebuilt static-profiling context line present");
+        assert!(
+            rebuilt.contains("\"reset\":true"),
+            "rebuilt context must surface the counter reset: {rebuilt}"
+        );
+        assert!(
+            rebuilt.contains(
+                "\"cache.insertions\":{\"total\":0,\"delta\":0,\"rate_per_sec\":0,\"reset\":true}"
+            ),
+            "baseline restarts at the reborn counter's total: {rebuilt}"
+        );
+        // Untouched contexts stay reset-free.
+        let steady = lines
+            .iter()
+            .find(|l| l.contains("/eh/"))
+            .expect("untouched context line present");
+        assert!(
+            !steady.contains("\"reset\""),
+            "no spurious resets: {steady}"
+        );
+
+        // The next window, after fresh activity in the rebuilt context,
+        // reports ordinary deltas from the new baseline.
+        svc.run_batch(&reqs[..1]);
+        let again = svc.health_report();
+        let line = again.iter().find(|l| l.contains("/static/")).unwrap();
+        assert!(!line.contains("\"reset\""), "baseline restarted: {line}");
     }
 
     #[test]

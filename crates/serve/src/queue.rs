@@ -9,6 +9,17 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// Why a [`BoundedQueue::try_push`] did not enqueue; the item comes back
+/// so the caller can respond to its submitter (the edge turns these into
+/// typed rejections instead of blocking the socket reader).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue was at capacity.
+    Full(T),
+    /// The queue was closed.
+    Closed(T),
+}
+
 /// A bounded blocking FIFO shared by reference across threads.
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
@@ -56,6 +67,22 @@ impl<T> BoundedQueue<T> {
                 .wait(inner)
                 .expect("queue lock never poisoned");
         }
+    }
+
+    /// Enqueues `item` if a slot is free *right now*, never blocking.
+    /// Overload surfaces as [`TryPushError::Full`] so the caller can shed
+    /// instead of stalling — the admission path of the network edge.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock never poisoned");
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Dequeues the oldest item, blocking while the queue is empty.
@@ -138,6 +165,160 @@ mod tests {
             assert_eq!(q.pop(), Some(1));
             assert_eq!(q.pop(), Some(2));
         });
+    }
+
+    #[test]
+    fn try_push_sheds_on_full_and_closed() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(TryPushError::Full(2)), "no blocking");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(4), Err(TryPushError::Closed(4)));
+        assert_eq!(q.pop(), Some(3), "closed queue still drains");
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Many producers and consumers racing through a tiny queue: every
+    /// item pushed is popped exactly once and no consumer hangs — a
+    /// lost `not_empty` wakeup would deadlock the scope, a lost
+    /// `not_full` wakeup would deadlock a producer.
+    #[test]
+    fn barrier_race_no_lost_wakeups_or_items() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Barrier;
+        const PRODUCERS: usize = 8;
+        const CONSUMERS: usize = 8;
+        const PER_PRODUCER: u64 = 500;
+        let q = BoundedQueue::new(2);
+        let barrier = Barrier::new(PRODUCERS + CONSUMERS);
+        let popped_count = AtomicU64::new(0);
+        let popped_sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS as u64 {
+                let (q, barrier) = (&q, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i).expect("queue open");
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let (q, barrier) = (&q, &barrier);
+                let (count, sum) = (&popped_count, &popped_sum);
+                s.spawn(move || {
+                    barrier.wait();
+                    while let Some(v) = q.pop() {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            // A watcher closes the queue once every item has been
+            // consumed (by then every push has returned), releasing the
+            // consumers from their final blocking pop.
+            let (q, count) = (&q, &popped_count);
+            s.spawn(move || {
+                let total = (PRODUCERS as u64) * PER_PRODUCER;
+                while count.load(Ordering::Relaxed) < total {
+                    std::thread::yield_now();
+                }
+                q.close();
+            });
+        });
+        let total = (PRODUCERS as u64) * PER_PRODUCER;
+        assert_eq!(
+            popped_count.load(std::sync::atomic::Ordering::Relaxed),
+            total
+        );
+        // Sum pins exactly-once delivery: values are distinct 0..total.
+        assert_eq!(
+            popped_sum.load(std::sync::atomic::Ordering::Relaxed),
+            total * (total - 1) / 2
+        );
+        assert!(q.is_empty());
+    }
+
+    /// Closing while producers and consumers race: nothing is silently
+    /// dropped. Every item is either consumed or handed back to its
+    /// producer by the failed `push`, and the two tallies account for
+    /// all of them.
+    #[test]
+    fn barrier_race_close_drops_nothing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Barrier;
+        const PRODUCERS: usize = 6;
+        const PER_PRODUCER: u64 = 400;
+        let q = BoundedQueue::new(4);
+        let barrier = Barrier::new(PRODUCERS + 2);
+        let consumed = AtomicU64::new(0);
+        let returned = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..PRODUCERS {
+                let (q, barrier, returned) = (&q, &barrier, &returned);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_PRODUCER {
+                        if q.push(i).is_err() {
+                            // Closed: the item came back; count it and
+                            // every remaining one we never attempted.
+                            returned.fetch_add(PER_PRODUCER - i, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+            {
+                let (q, barrier, consumed) = (&q, &barrier, &consumed);
+                s.spawn(move || {
+                    barrier.wait();
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let (q, barrier) = (&q, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                // Let the race develop, then slam the door mid-traffic.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                q.close();
+            });
+        });
+        let total = (PRODUCERS as u64) * PER_PRODUCER;
+        assert_eq!(
+            consumed.load(Ordering::Relaxed) + returned.load(Ordering::Relaxed),
+            total,
+            "every item was either consumed or returned to its producer"
+        );
+        assert_eq!(q.pop(), None, "closed and fully drained");
+    }
+
+    /// All producers blocked at a barrier push into an already-closed
+    /// queue: each gets its own item back, none are lost or mixed up.
+    #[test]
+    fn barrier_race_push_after_close_returns_the_item() {
+        use std::sync::Barrier;
+        const PRODUCERS: u64 = 8;
+        let q = BoundedQueue::new(2);
+        let barrier = Barrier::new(PRODUCERS as usize);
+        q.close();
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let (q, barrier) = (&q, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    assert_eq!(q.push(p), Err(p), "own item handed back");
+                    match q.try_push(p) {
+                        Err(TryPushError::Closed(v)) => assert_eq!(v, p),
+                        other => panic!("expected Closed, got {other:?}"),
+                    }
+                });
+            }
+        });
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

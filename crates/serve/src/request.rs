@@ -121,6 +121,38 @@ impl KernelSpec {
         }
     }
 
+    /// Compact wire form for the edge codec: a stable variant tag plus
+    /// two `u32` scale parameters (unused ones zero). Tags are part of
+    /// the `bridge-edge/1` protocol — append new variants, never renumber.
+    pub fn to_wire(&self) -> (u8, u32, u32) {
+        match *self {
+            KernelSpec::MemcpyUnaligned { len } => (1, len, 0),
+            KernelSpec::PackedStructSum { count } => (2, count, 0),
+            KernelSpec::MisalignedStack { iterations } => (3, iterations, 0),
+            KernelSpec::LinkedListChase { count } => (4, count, 0),
+            KernelSpec::PhaseChangeSum {
+                aligned,
+                misaligned,
+            } => (5, aligned, misaligned),
+        }
+    }
+
+    /// Decodes [`KernelSpec::to_wire`]; `None` for an unknown tag (the
+    /// edge answers those with a typed bad-request rejection).
+    pub fn from_wire(tag: u8, a: u32, b: u32) -> Option<KernelSpec> {
+        Some(match tag {
+            1 => KernelSpec::MemcpyUnaligned { len: a },
+            2 => KernelSpec::PackedStructSum { count: a },
+            3 => KernelSpec::MisalignedStack { iterations: a },
+            4 => KernelSpec::LinkedListChase { count: a },
+            5 => KernelSpec::PhaseChangeSum {
+                aligned: a,
+                misaligned: b,
+            },
+            _ => return None,
+        })
+    }
+
     /// Guest memory ranges `(addr, len)` whose final contents characterize
     /// the run: every initial data segment, plus known output buffers.
     /// The determinism tests read these back and compare across shard
@@ -237,6 +269,26 @@ mod tests {
             );
             assert_eq!(spec.name(), spec.training_spec().name());
         }
+    }
+
+    #[test]
+    fn wire_form_round_trips_every_variant() {
+        let specs = [
+            KernelSpec::MemcpyUnaligned { len: 64 },
+            KernelSpec::PackedStructSum { count: 9 },
+            KernelSpec::MisalignedStack { iterations: 7 },
+            KernelSpec::LinkedListChase { count: 5 },
+            KernelSpec::PhaseChangeSum {
+                aligned: 11,
+                misaligned: 13,
+            },
+        ];
+        for spec in specs {
+            let (tag, a, b) = spec.to_wire();
+            assert_eq!(KernelSpec::from_wire(tag, a, b), Some(spec));
+        }
+        assert_eq!(KernelSpec::from_wire(0, 1, 2), None, "unknown tag");
+        assert_eq!(KernelSpec::from_wire(6, 1, 2), None);
     }
 
     #[test]

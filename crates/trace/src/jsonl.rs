@@ -111,6 +111,32 @@ pub fn push_event_line(out: &mut String, rec: &TraceRecord) {
             out.push_str(",\"code\":");
             push_u64(out, u64::from(code));
         }
+        TraceEvent::EdgeAdmit { tenant, id } => {
+            out.push_str(",\"tenant\":");
+            push_u64(out, u64::from(tenant));
+            out.push_str(",\"id\":");
+            push_u64(out, id);
+        }
+        TraceEvent::EdgeShed { tenant, id, code } => {
+            out.push_str(",\"tenant\":");
+            push_u64(out, u64::from(tenant));
+            out.push_str(",\"id\":");
+            push_u64(out, id);
+            out.push_str(",\"code\":");
+            push_u64(out, u64::from(code));
+        }
+        TraceEvent::EdgeDeadline {
+            tenant,
+            id,
+            waited_us,
+        } => {
+            out.push_str(",\"tenant\":");
+            push_u64(out, u64::from(tenant));
+            out.push_str(",\"id\":");
+            push_u64(out, id);
+            out.push_str(",\"waited_us\":");
+            push_u64(out, waited_us);
+        }
         _ => {}
     }
     out.push_str("}\n");

@@ -221,6 +221,37 @@ pub enum TraceEvent {
         /// Stable reject code (`ImageError::code` in `bridge-dbt`).
         code: u32,
     },
+    /// The network edge admitted a request into the bounded work queue
+    /// (recorded by the serving layer at cycle 0 — admission happens in
+    /// the wall domain, before any engine runs).
+    EdgeAdmit {
+        /// Submitting tenant.
+        tenant: u32,
+        /// Client-assigned request id, echoed in the response.
+        id: u64,
+    },
+    /// The edge shed a request instead of queuing it: the queue was
+    /// full, the tenant was over quota, or the listener was shutting
+    /// down. The client received a typed rejection.
+    EdgeShed {
+        /// Submitting tenant.
+        tenant: u32,
+        /// Client-assigned request id.
+        id: u64,
+        /// Stable shed code (`EdgeStatus` discriminant in `bridge-serve`).
+        code: u32,
+    },
+    /// A request's deadline expired — at admission, or while it sat in
+    /// the queue (in which case it was dropped at dispatch, *never*
+    /// executed).
+    EdgeDeadline {
+        /// Submitting tenant.
+        tenant: u32,
+        /// Client-assigned request id.
+        id: u64,
+        /// Wall microseconds the request had waited when it was shed.
+        waited_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -245,6 +276,9 @@ impl TraceEvent {
             TraceEvent::ImageLoad { .. } => "image_load",
             TraceEvent::ImageHit { .. } => "image_hit",
             TraceEvent::ImageReject { .. } => "image_reject",
+            TraceEvent::EdgeAdmit { .. } => "edge_admit",
+            TraceEvent::EdgeShed { .. } => "edge_shed",
+            TraceEvent::EdgeDeadline { .. } => "edge_deadline",
         }
     }
 
@@ -269,6 +303,9 @@ impl TraceEvent {
             TraceEvent::ImageLoad { .. } => None,
             TraceEvent::ImageHit { block_pc } => Some(block_pc),
             TraceEvent::ImageReject { .. } => None,
+            TraceEvent::EdgeAdmit { .. } => None,
+            TraceEvent::EdgeShed { .. } => None,
+            TraceEvent::EdgeDeadline { .. } => None,
         }
     }
 }

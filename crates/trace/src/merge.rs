@@ -20,7 +20,7 @@ pub const MERGED_SCHEMA: &str = "bridge-trace-merged/1";
 /// `(guest index, guest PC)`, with deterministic iteration and export.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergedSiteTable {
-    rows: BTreeMap<(u32, u32), SiteTelemetry>,
+    rows: BTreeMap<(u64, u32), SiteTelemetry>,
 }
 
 impl MergedSiteTable {
@@ -30,8 +30,11 @@ impl MergedSiteTable {
     }
 
     /// Folds one guest's site table in under index `guest`. Adding the
-    /// same guest twice merges row-wise (counters accumulate).
-    pub fn add_guest(&mut self, guest: u32, tracer: &Tracer) {
+    /// same guest twice merges row-wise (counters accumulate). The index
+    /// is `u64` so any batch slot fits without a narrowing cast — a
+    /// `slot as u32` at the call site used to alias slots 2^32 apart
+    /// into one row.
+    pub fn add_guest(&mut self, guest: u64, tracer: &Tracer) {
         for (pc, s) in tracer.sites() {
             self.rows.entry((guest, pc)).or_default().merge(s);
         }
@@ -48,7 +51,7 @@ impl MergedSiteTable {
     }
 
     /// Rows in `(guest, pc)` order.
-    pub fn rows(&self) -> impl Iterator<Item = ((u32, u32), &SiteTelemetry)> {
+    pub fn rows(&self) -> impl Iterator<Item = ((u64, u32), &SiteTelemetry)> {
         self.rows.iter().map(|(k, s)| (*k, s))
     }
 
@@ -78,7 +81,7 @@ impl MergedSiteTable {
             .rows
             .keys()
             .map(|&(g, _)| g)
-            .collect::<std::collections::BTreeSet<u32>>()
+            .collect::<std::collections::BTreeSet<u64>>()
             .len();
         let _ = writeln!(
             out,
@@ -141,7 +144,7 @@ mod tests {
         let mut m = MergedSiteTable::new();
         m.add_guest(1, &guest_tracer(0x80, 1, 10));
         m.add_guest(0, &guest_tracer(0x40, 2, 10));
-        let keys: Vec<(u32, u32)> = m.rows().map(|(k, _)| k).collect();
+        let keys: Vec<(u64, u32)> = m.rows().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![(0, 0x40), (1, 0x80)]);
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
@@ -205,6 +208,28 @@ mod tests {
         }
         let hot: Vec<u32> = t.hot_sites(3).into_iter().map(|(pc, _)| pc).collect();
         assert_eq!(hot, vec![0x90, 0x40, 0x80]);
+    }
+
+    /// Regression: the guest key is `u64`, so slot indices 2^32 apart
+    /// stay distinct rows. Under the old `u32` key (and the `slot as
+    /// u32` cast at the serve call site) both guests below aliased to
+    /// index 1 and their telemetry merged into a single row.
+    #[test]
+    fn guest_indices_past_u32_do_not_alias() {
+        let mut m = MergedSiteTable::new();
+        m.add_guest(1, &guest_tracer(0x40, 2, 10));
+        m.add_guest((1u64 << 32) | 1, &guest_tracer(0x40, 3, 10));
+        assert_eq!(m.len(), 2, "high slot must not collapse onto slot 1");
+        let keys: Vec<(u64, u32)> = m.rows().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(1, 0x40), ((1u64 << 32) | 1, 0x40)]);
+        // Each row keeps its own counters rather than a silent merge.
+        let traps: Vec<u64> = m.rows().map(|(_, s)| s.traps).collect();
+        assert_eq!(traps, vec![2, 3]);
+        // The JSONL export round-trips the full 64-bit index.
+        let s = m.to_jsonl();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(jsonl::u64_field(lines[0], "guests"), Some(2));
+        assert_eq!(jsonl::u64_field(lines[2], "guest"), Some((1u64 << 32) | 1));
     }
 
     #[test]

@@ -167,3 +167,65 @@ fn empty_store_is_a_clean_miss() {
     assert_eq!(plain.merged_stats, again.merged_stats);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Regression: `TranslationImage::save` used a *fixed* `<name>.tmp` temp
+/// path, so a saver that stalled (or was killed) mid-stream shared one
+/// inode with the next saver of the same artifact. Once the healthy
+/// saver renamed that inode into place, the zombie's late writes landed
+/// inside the **published** `.dbti` — a torn artifact every warm start
+/// must then reject. Unique per-writer temp names confine the zombie to
+/// its own orphan file; the canonical path never tears.
+#[test]
+fn stalled_writer_cannot_tear_a_published_artifact() {
+    use std::io::Write as _;
+    let dir = temp_store("zombie");
+    let (_baseline, path) = seed(&dir);
+    let store = ImageStore::new(&dir);
+    let good = digitalbridge::dbt::TranslationImage::load_file(&path).expect("seed artifact valid");
+    let key = good.key;
+
+    // A writer began saving this artifact and stalled mid-stream. Under
+    // the old scheme its temp file is the shared, predictable name —
+    // and it still holds the fd.
+    let legacy_tmp = path.with_extension("tmp");
+    let mut zombie = std::fs::File::create(&legacy_tmp).unwrap();
+    zombie.write_all(&good.to_bytes()[..16]).unwrap();
+
+    // A healthy save publishes the artifact...
+    store.save(&good).unwrap();
+    store.load(key).expect("fresh save validates");
+
+    // ...then the zombie gets scheduled again and finishes its write
+    // through the fd it kept. Pre-fix, that fd aliased the inode the
+    // healthy save had just renamed into place.
+    zombie.write_all(&[0xde; 64]).unwrap();
+    zombie.sync_all().unwrap();
+    drop(zombie);
+
+    store
+        .load(key)
+        .expect("published artifact stays valid after the zombie's late writes");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        good.to_bytes(),
+        "canonical path holds exactly the healthy save's bytes"
+    );
+
+    // And a writer killed mid-stream never exposes a partial artifact:
+    // its half-written temp file is not the canonical path, so the store
+    // reports a clean miss rather than serving torn bytes.
+    std::fs::remove_file(&path).unwrap();
+    std::fs::write(
+        dir.join("killed-writer.partial.tmp"),
+        &good.to_bytes()[..40],
+    )
+    .unwrap();
+    assert!(
+        matches!(
+            store.load(key),
+            Err(digitalbridge::dbt::ImageError::Missing)
+        ),
+        "partial temp files are invisible to loads"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
