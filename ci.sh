@@ -52,9 +52,24 @@ grep -Eq '^  serve_edge_ok [1-9]' "$tmp/edge_stdout.txt"
 grep -q '# TYPE serve_edge_queue_wait_us histogram' "$tmp/edge_stdout.txt"
 # And the health snapshot from the same listener.
 grep -q '"schema":"bridge-health/1"' "$tmp/edge_stdout.txt"
-# The perf edge section made it into the bench JSON under schema /9.
+# The perf edge section made it into the bench JSON under schema /10.
 grep -q '"edge": {' "$tmp/BENCH_simulator.json"
 grep -q '"protocol": "bridge-edge/1"' "$tmp/BENCH_simulator.json"
+
+echo "== continuous telemetry smoke (SLO fires on phase change, resolves on hand-off, over the socket) =="
+# serve_load's watched edge: the dynamic-profiling phase change fires the
+# rediverge SLO, the EH hand-off resolves it — both transitions scraped
+# from OP_ALERTS and printed verbatim.
+grep -q '"schema":"bridge-alerts/1"' "$tmp/edge_stdout.txt"
+grep -q '"slo":"fleet-rediverge","state":"firing"' "$tmp/edge_stdout.txt"
+grep -q '"slo":"fleet-rediverge","state":"resolved"' "$tmp/edge_stdout.txt"
+# The OP_DASHBOARD rendering of the same fleet: both alert edges counted,
+# the hot site named with its verdict.
+grep -q "== bridge fleet dashboard ==" "$tmp/edge_stdout.txt"
+grep -q "alerts: fired=1 resolved=1" "$tmp/edge_stdout.txt"
+grep -q "site 0x00400020: rediverged" "$tmp/edge_stdout.txt"
+# The perf watch leg landed in the bench JSON: cycle-equal, under budget.
+grep -q '"watch": {' "$tmp/BENCH_simulator.json"
 
 echo "== trace_report smoke (JSONL written, EH converges, top-N) =="
 ./target/release/trace_report --strategy eh --top 3 --jsonl "$tmp/trace.jsonl" >"$tmp/trace_stdout.txt"
@@ -70,6 +85,18 @@ grep -q '"type":"summary"' "$tmp/eh.jsonl"
 ./target/release/trace_report --diff "$tmp/eh.jsonl" "$tmp/dyn.jsonl" >"$tmp/diff_stdout.txt"
 grep -q "convergence verdict CHANGED: A converged -> B no_patches" "$tmp/diff_stdout.txt"
 grep -q "B trapped .* more times than A" "$tmp/diff_stdout.txt"
+
+echo "== offline watch replay smoke (site watch over a streamed capture) =="
+./target/release/trace_report --watch "$tmp/eh.jsonl" --window-cycles 4000 >"$tmp/watch_stdout.txt"
+grep -q "watch replay" "$tmp/watch_stdout.txt"
+grep -Eq '0x[0-9a-f]+ -> converged' "$tmp/watch_stdout.txt"
+# A damaged capture exits with the scan-warning code, not silently.
+cp "$tmp/eh.jsonl" "$tmp/damaged.jsonl"
+echo 'not json' >>"$tmp/damaged.jsonl"
+if ./target/release/trace_report --watch "$tmp/damaged.jsonl" >/dev/null; then
+    echo "damaged capture must exit nonzero" >&2
+    exit 1
+fi
 
 echo "== span smoke (deterministic flamegraph, well-formed Chrome export, fleet health lines) =="
 ./target/release/trace_report --strategy eh --flame "$tmp/flame_a.txt" --spans "$tmp/spans.json" \

@@ -29,7 +29,9 @@
 
 use bridge_bench::serve::measure_edge_load;
 use bridge_dbt::MdaStrategy;
-use bridge_serve::{EdgeClient, EdgeConfig, EdgeServer, KernelSpec, RunRequest};
+use bridge_metrics::{SloKind, SloSpec};
+use bridge_serve::{EdgeClient, EdgeConfig, EdgeServer, KernelSpec, RunRequest, ServeConfig};
+use bridge_trace::WatchConfig;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -104,5 +106,76 @@ fn main() {
         println!("  {line}");
     }
     println!("  {}", health.lines().next().expect("health line"));
+
+    // The continuous-telemetry story, end to end over the socket: a
+    // watched edge with a zero-rediverge SLO, a dynamic-profiling phase
+    // change that fires it, and an exception-handling hand-off that
+    // resolves it — both transitions asserted from `OP_ALERTS` scrapes.
+    let watched = EdgeServer::start(
+        EdgeConfig::default().with_workers(1).with_serve(
+            ServeConfig::default()
+                .with_watch(
+                    WatchConfig::default()
+                        .with_window_cycles(20_000)
+                        .with_rediverge_traps(4)
+                        .with_quiet_windows(2),
+                )
+                .with_slo(SloSpec::new(
+                    "fleet-rediverge",
+                    SloKind::DeltaAtMost {
+                        metric: "serve.watch.rediverged".to_string(),
+                        max_delta: 0,
+                    },
+                )),
+        ),
+    )
+    .expect("watched edge binds");
+    let mut client = EdgeClient::connect(watched.addr()).expect("client connects");
+    // Baseline window: nothing re-diverged yet.
+    let baseline = client.alerts().expect("baseline alerts scrape");
+    assert!(
+        !baseline.contains("\"state\":\"firing\""),
+        "no alert before the storm"
+    );
+    let phase = |strategy, iters| {
+        RunRequest::new(
+            KernelSpec::PhaseChangeSum {
+                aligned: iters,
+                misaligned: iters,
+            },
+            strategy,
+        )
+        .with_threshold(50)
+    };
+    let resp = client
+        .run(2, 1, 0, phase(MdaStrategy::DynamicProfiling, 400))
+        .expect("phase-change run");
+    assert!(resp.outcome.is_some(), "phase-change run completed");
+    let fired = client.alerts().expect("alerts scrape after the storm");
+    assert!(
+        fired.contains("\"slo\":\"fleet-rediverge\",\"state\":\"firing\""),
+        "the rediverge SLO fired over the socket: {fired}"
+    );
+    // Hand the workload to exception handling: the site converges, the
+    // rediverge counter stays flat, and the next scrape resolves.
+    let resp = client
+        .run(3, 1, 0, phase(MdaStrategy::ExceptionHandling, 4000))
+        .expect("hand-off run");
+    assert!(resp.outcome.is_some(), "hand-off run completed");
+    let resolved = client.alerts().expect("alerts scrape after hand-off");
+    assert!(
+        resolved.contains("\"slo\":\"fleet-rediverge\",\"state\":\"resolved\""),
+        "the alert resolved after the hand-off: {resolved}"
+    );
+    let dash = client.dashboard().expect("dashboard scrape");
+    let watched_addr = watched.addr();
+    watched.shutdown();
+    println!("\nalert lifecycle over {watched_addr} (OP_ALERTS):");
+    println!("  {}", resolved.trim_end());
+    println!("\nfleet dashboard (OP_DASHBOARD):");
+    for line in dash.lines() {
+        println!("  {line}");
+    }
+
     println!("\nserve_load: OK");
 }

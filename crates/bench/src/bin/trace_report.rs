@@ -15,6 +15,20 @@
 //!   trace_report --health [--kernel ...] [--strategy ...] [--iters N]
 //!   trace_report --diff A.jsonl B.jsonl
 //!   trace_report --images DIR
+//!   trace_report --watch TRACE.jsonl [--window-cycles N]
+//!
+//! `--watch PATH` is an offline replay mode: feed a previously captured
+//! trace (a `--stream` file for full fidelity — event lines drive the
+//! replay) through the continuous per-site re-divergence watch and print
+//! every site's verdict plus the typed transition log with window
+//! evidence. The replay path (`observe_kind`) classifies identically to
+//! a live in-engine watch over the same stream.
+//!
+//! Exit codes: `0` success, `1` usage/IO failure, `3` when the
+//! convergence verdict is INDETERMINATE (live timeline or either side of
+//! a `--diff`), `4` when a scanned trace counted malformed or
+//! unknown-schema lines (code 4 wins when both apply — the verdict of a
+//! damaged capture is not trustworthy).
 //!
 //! `--flame PATH` runs the same kernel with engine span recording and
 //! writes the cycle-attribution flamegraph as inferno-style folded stacks
@@ -51,10 +65,18 @@
 use bridge_dbt::image::{strategy_tag, ImageStore};
 use bridge_dbt::{DbtConfig, MdaStrategy, StaticProfile};
 use bridge_serve::{ExecService, KernelSpec, RunRequest, ServeConfig};
-use bridge_trace::{ScannedTrace, SpanConfig, StreamingJsonl, TraceConfig};
+use bridge_trace::{
+    jsonl, ConvergenceVerdict, ScannedTrace, SiteWatch, SpanConfig, StreamingJsonl, TraceConfig,
+    WatchConfig,
+};
 use bridge_workloads::kernels::{self, Kernel};
 use std::io::BufWriter;
 use std::process::ExitCode;
+
+/// The convergence verdict was INDETERMINATE (truncated timeline).
+const EXIT_INDETERMINATE: u8 = 3;
+/// A scanned trace counted malformed or unknown-schema lines.
+const EXIT_SCAN_WARNINGS: u8 = 4;
 
 struct Opts {
     kernel: String,
@@ -69,6 +91,8 @@ struct Opts {
     flame: Option<String>,
     spans: Option<String>,
     health: bool,
+    watch: Option<String>,
+    window_cycles: u64,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -85,6 +109,8 @@ fn parse_args() -> Result<Opts, String> {
         flame: None,
         spans: None,
         health: false,
+        watch: None,
+        window_cycles: WatchConfig::default().window_cycles,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -128,6 +154,12 @@ fn parse_args() -> Result<Opts, String> {
             "--jsonl" => o.jsonl = Some(val.clone()),
             "--stream" => o.stream = Some(val.clone()),
             "--images" => o.images = Some(val.clone()),
+            "--watch" => o.watch = Some(val.clone()),
+            "--window-cycles" => {
+                o.window_cycles = val
+                    .parse()
+                    .map_err(|_| format!("bad --window-cycles {val}"))?;
+            }
             "--flame" => o.flame = Some(val.clone()),
             "--spans" => o.spans = Some(val.clone()),
             other => return Err(format!("unknown flag {other}")),
@@ -236,9 +268,94 @@ fn load_scan(path: &str) -> Result<ScannedTrace, String> {
     Ok(scanned)
 }
 
+/// The `--watch PATH` mode: replay a captured trace through the
+/// continuous re-divergence watch offline. Event lines drive
+/// [`SiteWatch::observe_kind`], which classifies identically to a live
+/// in-engine watch over the same stream.
+fn run_watch(path: &str, window_cycles: u64) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scanned = ScannedTrace::scan(&text);
+    let mut watch = SiteWatch::new(WatchConfig::default().with_window_cycles(window_cycles));
+    let mut events = 0u64;
+    for line in text.lines() {
+        if jsonl::line_type(line) != Some("event") {
+            continue;
+        }
+        let (Some(cycle), Some(kind)) = (
+            jsonl::u64_field(line, "cycle"),
+            jsonl::str_field(line, "kind"),
+        ) else {
+            continue;
+        };
+        let pc = jsonl::u64_field(line, "pc").map(|p| p as u32);
+        watch.observe_kind(cycle, kind, pc);
+        events += 1;
+    }
+    watch.seal();
+
+    println!(
+        "watch replay of {path}: {events} event lines / window {window_cycles} cycles / \
+         {} windows closed",
+        watch.windows_closed()
+    );
+    if events == 0 {
+        println!("note: no event lines found — replay wants a full-fidelity --stream capture");
+    }
+    println!(
+        "sites {} / rediverged {} / converged {} / events observed {}\n",
+        watch.site_count(),
+        watch.rediverged_sites(),
+        watch.converged_sites(),
+        watch.events()
+    );
+    println!("Per-site verdicts (guest PC order):");
+    println!(
+        "  {:>10} {:>15} {:>6} {:>7} {:>8} {:>11}",
+        "pc", "verdict", "traps", "fixups", "patches", "rediverges"
+    );
+    for (pc, s) in watch.sites() {
+        println!(
+            "  {:#10x} {:>15} {:>6} {:>7} {:>8} {:>11}",
+            pc,
+            s.verdict.tag(),
+            s.traps,
+            s.fixups,
+            s.patches,
+            s.rediverge_count
+        );
+    }
+    if watch.transitions().is_empty() {
+        println!("\nno verdict transitions");
+    } else {
+        println!("\nVerdict transitions (stream order, with window evidence):");
+        for t in watch.transitions() {
+            println!(
+                "  {:#10x} -> {:<10} window [{}, {}) traps {} fixups {} patches {} \
+                 rate {}/Mcycle",
+                t.pc,
+                t.verdict.tag(),
+                t.evidence.window_start_cycle,
+                t.evidence.window_start_cycle + t.evidence.window_cycles,
+                t.evidence.traps,
+                t.evidence.fixups,
+                t.evidence.patches,
+                t.evidence.rate_per_mcycle
+            );
+        }
+    }
+    if scanned.warnings.any() {
+        println!(
+            "\nwarning: {path}: {} suspect lines — exiting {EXIT_SCAN_WARNINGS}",
+            scanned.warnings.total()
+        );
+        return Ok(ExitCode::from(EXIT_SCAN_WARNINGS));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// The `--diff A B` mode: align two traces of the same workload by guest
 /// PC and timeline bucket, report `B - A` deltas and the verdict pair.
-fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
+fn run_diff(path_a: &str, path_b: &str) -> Result<ExitCode, String> {
     let a = load_scan(path_a)?;
     let b = load_scan(path_b)?;
     let d = bridge_trace::diff::diff(&a, &b);
@@ -328,7 +445,15 @@ fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
         t if t < 0 => println!("B trapped {} fewer times than A", -t),
         _ => println!("A and B trapped equally often"),
     }
-    Ok(())
+    if a.warnings.any() || b.warnings.any() {
+        return Ok(ExitCode::from(EXIT_SCAN_WARNINGS));
+    }
+    if d.verdict_a == ConvergenceVerdict::Indeterminate
+        || d.verdict_b == ConvergenceVerdict::Indeterminate
+    {
+        return Ok(ExitCode::from(EXIT_INDETERMINATE));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// The `--images DIR` mode: audit an AOT artifact store. Every `.dbti`
@@ -403,7 +528,16 @@ fn main() -> ExitCode {
     };
     if let Some((a, b)) = &opts.diff {
         return match run_diff(a, b) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("trace_report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(path) = &opts.watch {
+        return match run_watch(path, opts.window_cycles) {
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("trace_report: {e}");
                 ExitCode::FAILURE
@@ -586,6 +720,7 @@ fn main() -> ExitCode {
     if tl.truncated() {
         println!("  (activity past the last bucket folded into it)");
     }
+    let mut exit = ExitCode::SUCCESS;
     match tl.last_patch_bucket() {
         Some(b) if tl.trap_rate_converged() => {
             println!("\ntrap rate CONVERGED: no traps after the last patch (bucket {b})");
@@ -604,6 +739,7 @@ fn main() -> ExitCode {
                 "\ntrap rate INDETERMINATE: timeline truncated at bucket {b} with {} folded traps",
                 tl.folded_traps()
             );
+            exit = ExitCode::from(EXIT_INDETERMINATE);
         }
         None if report.traps() > 0 => {
             println!(
@@ -628,5 +764,5 @@ fn main() -> ExitCode {
         }
         println!("wrote {path}");
     }
-    ExitCode::SUCCESS
+    exit
 }

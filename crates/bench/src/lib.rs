@@ -188,6 +188,26 @@ pub fn run_kernel_spanned(
     (report, recorder)
 }
 
+/// Runs an in-tree micro-kernel with the continuous re-divergence watch
+/// attached and returns the report plus the sealed [`SiteWatch`]
+/// (per-site verdicts and transitions). Watching never charges
+/// simulated cycles, so the report is byte-identical to a bare run's.
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within [`FUEL`].
+pub fn run_kernel_watched(
+    k: &bridge_workloads::kernels::Kernel,
+    cfg: DbtConfig,
+    watch: bridge_trace::WatchConfig,
+) -> (RunReport, bridge_trace::SiteWatch) {
+    let mut dbt = Dbt::new(cfg.with_watch(watch));
+    k.load_into(&mut dbt);
+    let report = dbt.run(FUEL).expect("kernel halts within fuel");
+    let watch = dbt.take_watch().expect("watch was configured");
+    (report, watch)
+}
+
 /// Everything a streamed kernel run produces: the run report, the
 /// retained trace snapshot (ring tail + aggregates), the sink's final
 /// summary (or the I/O error that detached it), and — for in-memory

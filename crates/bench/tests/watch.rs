@@ -1,0 +1,132 @@
+//! End-to-end re-divergence watch: the continuous per-site classifier
+//! attached to real engine runs. Two properties matter — the watch is
+//! *pure* (watched runs byte-identical to bare across every strategy)
+//! and it *detects* (the phase-change kernel's steady-state site flags
+//! `Rediverged` under dynamic profiling and `Converged` under exception
+//! handling).
+
+use bridge_bench::{run_kernel, run_kernel_watched};
+use bridge_dbt::{DbtConfig, MdaStrategy};
+use bridge_trace::{SiteVerdict, WatchConfig};
+use bridge_workloads::kernels::phase_change_sum;
+
+fn watch_cfg(window_cycles: u64) -> WatchConfig {
+    WatchConfig::default()
+        .with_window_cycles(window_cycles)
+        .with_rediverge_traps(4)
+        .with_quiet_windows(2)
+}
+
+/// Watching is pure observation: every strategy's report is
+/// byte-identical with and without the watch attached.
+#[test]
+fn watched_runs_are_byte_identical_across_strategies() {
+    let k = phase_change_sum(150, 150);
+    for strategy in MdaStrategy::ALL {
+        let bare = run_kernel(&k, DbtConfig::new(strategy));
+        let (watched, _) = run_kernel_watched(&k, DbtConfig::new(strategy), watch_cfg(20_000));
+        assert_eq!(
+            bare.to_string(),
+            watched.to_string(),
+            "{}: watch perturbed the run",
+            strategy.slug()
+        );
+        assert_eq!(
+            bare.final_state.reg(bridge_x86::reg::Reg32::Eax),
+            watched.final_state.reg(bridge_x86::reg::Reg32::Eax),
+            "{}: guest result diverged",
+            strategy.slug()
+        );
+    }
+}
+
+/// The paper's Table III effect, caught online: under dynamic profiling
+/// the phase-change site is quiet through the profiling window, then
+/// pays per-occurrence trap+fixup forever — the watch flags it
+/// `Rediverged` off the first steady-state window.
+#[test]
+fn dynamic_profiling_phase_change_rediverges() {
+    let k = phase_change_sum(400, 400);
+    let (report, watch) = run_kernel_watched(
+        &k,
+        DbtConfig::new(MdaStrategy::DynamicProfiling),
+        watch_cfg(20_000),
+    );
+    assert!(report.traps() > 0, "the late phase traps");
+    assert_eq!(report.patched_sites, 0, "dynamic profiling never patches");
+    assert_eq!(watch.rediverged_sites(), 1, "exactly the phase-change site");
+    let t = watch
+        .transitions()
+        .iter()
+        .find(|t| t.verdict == SiteVerdict::Rediverged)
+        .expect("a rediverge transition fired");
+    assert!(
+        t.evidence.traps + t.evidence.fixups >= watch_cfg(20_000).rediverge_traps,
+        "evidence window carries the storm: {:?}",
+        t.evidence
+    );
+    assert!(t.evidence.patches == 0, "no patch activity in the window");
+    assert!(t.evidence.rate_per_mcycle > 0);
+    // The verdict landed on the first active window at that site: no
+    // earlier transition exists for the same PC.
+    assert_eq!(
+        watch
+            .transitions()
+            .iter()
+            .filter(|x| x.pc == t.pc)
+            .position(|x| x.verdict == SiteVerdict::Rediverged),
+        Some(0),
+        "rediverge was the site's first verdict"
+    );
+}
+
+/// Under exception handling the same site traps once, gets patched, and
+/// stays quiet — the watch classifies it `Converged`, not `Rediverged`.
+#[test]
+fn exception_handling_phase_change_converges() {
+    let k = phase_change_sum(400, 400);
+    // EH finishes in ~35k cycles (the stub absorbs the late phase), so
+    // the window must be small enough to leave quiet windows after the
+    // patch.
+    let (report, watch) = run_kernel_watched(
+        &k,
+        DbtConfig::new(MdaStrategy::ExceptionHandling),
+        watch_cfg(4000),
+    );
+    assert!(report.patched_sites > 0, "EH patched the late site");
+    assert_eq!(watch.rediverged_sites(), 0, "nothing re-diverged under EH");
+    assert!(watch.converged_sites() > 0, "the patched site converged");
+    assert!(watch
+        .transitions()
+        .iter()
+        .any(|t| t.verdict == SiteVerdict::Converged));
+}
+
+/// The strategy hand-off story end to end: dynamic profiling re-diverges,
+/// the same workload under EH converges — the signal pair the closed-loop
+/// auto-tuner will consume.
+#[test]
+fn strategy_handoff_flips_the_verdict() {
+    let k = phase_change_sum(400, 400);
+    let (_, dynamic) = run_kernel_watched(
+        &k,
+        DbtConfig::new(MdaStrategy::DynamicProfiling),
+        watch_cfg(20_000),
+    );
+    let (_, eh) = run_kernel_watched(
+        &k,
+        DbtConfig::new(MdaStrategy::ExceptionHandling),
+        watch_cfg(4000),
+    );
+    let hot = dynamic
+        .transitions()
+        .iter()
+        .find(|t| t.verdict == SiteVerdict::Rediverged)
+        .expect("dynamic re-diverged")
+        .pc;
+    assert_eq!(
+        eh.verdict(hot),
+        Some(SiteVerdict::Converged),
+        "the very site that re-diverged under dynamic converged under EH"
+    );
+}

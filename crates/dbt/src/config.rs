@@ -4,7 +4,7 @@
 use crate::profile::StaticProfile;
 use crate::shared::SharedCodeCache;
 use bridge_metrics::Registry;
-pub use bridge_trace::{SpanConfig, TraceConfig};
+pub use bridge_trace::{SpanConfig, TraceConfig, WatchConfig};
 use std::sync::Arc;
 
 /// The MDA handling mechanism under evaluation (the paper's §III–IV).
@@ -154,6 +154,16 @@ pub struct DbtConfig {
     /// charge simulated cycles — results are byte-identical with or
     /// without them (asserted by the perf harness span leg).
     pub spans: Option<SpanConfig>,
+    /// Continuous per-site re-divergence watch
+    /// ([`bridge_trace::watch`]): `Some` attaches a
+    /// [`SiteWatch`](bridge_trace::SiteWatch) fed from the engine's
+    /// event stream and advanced by simulated cycles, read back
+    /// afterwards via [`Dbt::watch_snapshot`](crate::Dbt::watch_snapshot)
+    /// or [`Dbt::take_watch`](crate::Dbt::take_watch). Watching never
+    /// charges simulated cycles — results are byte-identical with or
+    /// without it (asserted across all strategies by the perf harness
+    /// watch leg).
+    pub watch: Option<WatchConfig>,
     /// Shared metrics registry ([`bridge_metrics`]): `Some` makes the
     /// engine bump host-side counters (traps, patches, fixups, flushes,
     /// translations) on its cold paths. Like tracing, metrics never charge
@@ -206,6 +216,7 @@ impl DbtConfig {
             count_retired: false,
             trace: None,
             spans: None,
+            watch: None,
             metrics: None,
             shared_cache: None,
             pretranslate: false,
@@ -298,6 +309,13 @@ impl DbtConfig {
         self
     }
 
+    /// Builder-style: attach a continuous per-site re-divergence watch
+    /// with the given rolling-window parameters.
+    pub fn with_watch(mut self, watch: WatchConfig) -> DbtConfig {
+        self.watch = Some(watch);
+        self
+    }
+
     /// Builder-style: attach a shared metrics registry the engine bumps
     /// its event counters into.
     pub fn with_metrics(mut self, registry: Arc<Registry>) -> DbtConfig {
@@ -336,6 +354,7 @@ mod tests {
         assert!(!c.count_retired);
         assert!(c.trace.is_none(), "tracing is opt-in");
         assert!(c.spans.is_none(), "span recording is opt-in");
+        assert!(c.watch.is_none(), "re-divergence watch is opt-in");
         assert!(c.metrics.is_none(), "metrics are opt-in");
         assert!(c.shared_cache.is_none(), "shared cache is opt-in");
     }

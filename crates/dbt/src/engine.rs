@@ -24,7 +24,7 @@ use bridge_metrics::{Counter, Gauge, Registry};
 use bridge_sim::cost::CostModel;
 use bridge_sim::cpu::Machine;
 use bridge_sim::trap::{Exit, MachineFault, UnalignedInfo};
-use bridge_trace::{SpanId, SpanKind, SpanRecorder, TraceEvent, TraceSink, Tracer};
+use bridge_trace::{SiteWatch, SpanId, SpanKind, SpanRecorder, TraceEvent, TraceSink, Tracer};
 use bridge_x86::insn::Width;
 use bridge_x86::reg::Reg32;
 use bridge_x86::state::CpuState;
@@ -221,6 +221,11 @@ pub struct Dbt {
     /// [`DbtConfig::spans`] is set. Like the tracer, recording never
     /// charges simulated cycles.
     spans: SpanRecorder,
+    /// Continuous per-site re-divergence watch; `None` unless
+    /// [`DbtConfig::watch`] is set. Fed from the same event funnel as
+    /// the tracer and advanced by simulated cycles at progress points —
+    /// pure observation, never charges cycles.
+    watch: Option<SiteWatch>,
     /// Counter handles into [`DbtConfig::metrics`], when attached.
     metrics: Option<EngineMetrics>,
     /// The fleet-shared translation cache, when attached
@@ -265,6 +270,7 @@ impl Dbt {
             }
             None => SpanRecorder::disabled(),
         };
+        let watch = cfg.watch.map(SiteWatch::new);
         let metrics = cfg.metrics.as_deref().map(EngineMetrics::new);
         let shared = cfg.shared_cache.clone();
         if let Some(sh) = &shared {
@@ -301,6 +307,7 @@ impl Dbt {
             seen_retired: 0,
             tracer,
             spans,
+            watch,
             metrics,
             shared,
             shared_installs: HashMap::new(),
@@ -419,10 +426,48 @@ impl Dbt {
     }
 
     /// Records one trace event at the current simulated cycle count. A
-    /// single predictable branch when tracing is off.
+    /// single predictable branch when tracing is off. The re-divergence
+    /// watch rides the same funnel, so every site-relevant event the
+    /// tracer can see, the watch sees too.
     #[inline(always)]
     fn trace(&mut self, event: TraceEvent) {
-        self.tracer.record(self.machine.stats().cycles, event);
+        let cycles = self.machine.stats().cycles;
+        if let Some(w) = &mut self.watch {
+            w.observe(cycles, &event);
+        }
+        self.tracer.record(cycles, event);
+    }
+
+    /// Advances the watch's rolling windows to the current simulated
+    /// cycle count (no event), so quiet sites converge on time.
+    #[inline(always)]
+    fn watch_advance(&mut self) {
+        if let Some(w) = &mut self.watch {
+            w.advance(self.machine.stats().cycles);
+        }
+    }
+
+    /// A sealed snapshot of the re-divergence watch: rolling windows are
+    /// closed (the final partial window counts) and verdicts finalized.
+    /// The engine's own watch keeps running — snapshots are cheap reads
+    /// for monitoring mid-run. `None` unless the engine was configured
+    /// with [`DbtConfig::watch`].
+    pub fn watch_snapshot(&self) -> Option<SiteWatch> {
+        self.watch.as_ref().map(|w| {
+            let mut snap = w.clone();
+            snap.seal();
+            snap
+        })
+    }
+
+    /// Takes the watch out of the engine, sealed, leaving `None`
+    /// (subsequent runs observe nothing). The clone-free variant of
+    /// [`Dbt::watch_snapshot`] for callers done with the engine.
+    pub fn take_watch(&mut self) -> Option<SiteWatch> {
+        self.watch.take().map(|mut w| {
+            w.seal();
+            w
+        })
     }
 
     /// A snapshot of the hierarchical span recorder (completed spans,
@@ -654,6 +699,7 @@ impl Dbt {
                 self.guest_insns_interpreted += out.guest_insns;
                 self.tracer
                     .progress(self.machine.stats().cycles, out.guest_insns);
+                self.watch_advance();
                 let spent = out.guest_insns.saturating_mul(INTERP_FUEL_PER_INSN);
                 if spent >= remaining {
                     return Err(DbtError::FuelExhausted);
@@ -713,6 +759,7 @@ impl Dbt {
             if self.cfg.in_cache_dispatch {
                 self.charge_in_cache_hits();
             }
+            self.watch_advance();
             if self.tracer.is_enabled() && self.cfg.count_retired {
                 let now = self.machine.reg(RETIRE_CTR);
                 self.tracer.progress(

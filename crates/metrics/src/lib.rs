@@ -28,6 +28,13 @@
 //! returns the inclusive upper bound of the bucket containing the
 //! requested rank, so the true quantile is never under-reported.
 
+pub mod timeseries;
+
+pub use timeseries::{
+    Alert, AlertRules, AlertState, CounterWindow, GaugeWindow, HistogramWindow, SloKind, SloSpec,
+    SloStatus, TimeSeries, Window, ALERTS_SCHEMA,
+};
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -231,6 +238,31 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// A consistent point-in-time copy of every bucket count, for
+    /// windowed (delta) quantile computation in [`timeseries`].
+    pub(crate) fn bucket_snapshot(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The conservative `q`-quantile over an explicit bucket-count array
+/// (same convention as [`Histogram::quantile`], but over a caller-built
+/// snapshot — [`timeseries`] uses it on per-window bucket deltas).
+pub(crate) fn quantile_of(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    unreachable!("rank <= bucket sum by construction")
 }
 
 /// A named set of shared instruments. Cloning the `Arc`-wrapped registry
@@ -242,12 +274,46 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
+    /// One monotonic sequence shared by *every* sampler of this registry
+    /// — [`HealthSampler`] snapshots and [`timeseries::TimeSeries`]
+    /// ticks both draw from it, so interleaved health/alert scrapes can
+    /// be totally ordered no matter which thread produced them.
+    sample_seq: AtomicU64,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Attaches a `# HELP` description to the instrument named `name`
+    /// (by its registered, pre-sanitization name). Undescribed
+    /// instruments fall back to their registered name as help text, so
+    /// the exposition always carries a HELP line per family.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("metrics lock")
+            .insert(name.to_string(), help.to_string());
+    }
+
+    fn help_for(&self, name: &str) -> String {
+        self.help
+            .lock()
+            .expect("metrics lock")
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.to_string())
+    }
+
+    /// Draws the next value from the registry-wide monotonic sample
+    /// sequence (starts at 1). Every health snapshot and every
+    /// time-series window tick over this registry consumes exactly one
+    /// value, so sequence numbers totally order interleaved samplers.
+    pub fn next_sample_seq(&self) -> u64 {
+        self.sample_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The counter named `name`, created at zero on first use.
@@ -330,24 +396,32 @@ impl Registry {
         out
     }
 
-    /// Renders the registry as a Prometheus-style text exposition:
-    /// `# TYPE` comment lines, counters and gauges as bare samples,
-    /// histograms as cumulative `_bucket{le="..."}` series plus `_sum`
-    /// and `_count`. Metric names are sanitized (`.` and `-` become `_`)
-    /// to the conventional charset.
+    /// Renders the registry as a Prometheus-style text exposition: a
+    /// `# HELP` line then a `# TYPE` line per family, counters and
+    /// gauges as bare samples, histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`. Metric names
+    /// are sanitized (`.` and `-` become `_`) to the conventional
+    /// charset; HELP text is escaped per the exposition format
+    /// (backslash and newline).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.counters.lock().expect("metrics lock").iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+            let help = escape_help(&self.help_for(name));
+            out.push_str(&format!(
+                "# HELP {n} {help}\n# TYPE {n} counter\n{n} {}\n",
+                c.get()
+            ));
         }
         for (name, g) in self.gauges.lock().expect("metrics lock").iter() {
             let n = sanitize(name);
+            let help = escape_help(&self.help_for(name));
             // The watermark is a distinct metric name, so it needs its
             // own `# TYPE` line — conformant scrapers reject a sample
             // whose name differs from the preceding TYPE declaration.
             out.push_str(&format!(
-                "# TYPE {n} gauge\n{n} {}\n\
+                "# HELP {n} {help}\n# TYPE {n} gauge\n{n} {}\n\
+                 # HELP {n}_high_watermark {help} (high watermark)\n\
                  # TYPE {n}_high_watermark gauge\n{n}_high_watermark {}\n",
                 g.get(),
                 g.high_watermark()
@@ -355,7 +429,8 @@ impl Registry {
         }
         for (name, h) in self.histograms.lock().expect("metrics lock").iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let help = escape_help(&self.help_for(name));
+            out.push_str(&format!("# HELP {n} {help}\n# TYPE {n} histogram\n"));
             let mut cumulative = 0u64;
             for (upper, count) in h.nonzero_buckets() {
                 cumulative += count;
@@ -370,6 +445,20 @@ impl Registry {
         }
         out
     }
+}
+
+/// Escapes help text for a `# HELP` line: backslash and newline are the
+/// two characters the exposition format requires escaping in help text.
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Schema tag of the one-line JSON document [`HealthSnapshot::to_json_line`]
@@ -434,6 +523,11 @@ pub struct HistogramHealth {
 pub struct HealthSnapshot {
     /// Caller-supplied context label (e.g. `kernel/strategy/threshold`).
     pub context: String,
+    /// Position in the registry-wide monotonic sample sequence
+    /// ([`Registry::next_sample_seq`]) — shared with time-series window
+    /// ticks, so interleaved health and alert scrapes can be totally
+    /// ordered and out-of-order deltas detected.
+    pub seq: u64,
     /// Window length in microseconds, as supplied by the caller. This
     /// crate never reads host time — wall windows are the caller's,
     /// simulated-cycle windows stay deterministic.
@@ -464,8 +558,8 @@ impl HealthSnapshot {
             }
         }
         out.push_str(&format!(
-            "\",\"window_us\":{},\"counters\":{{",
-            self.window_us
+            "\",\"seq\":{},\"window_us\":{},\"counters\":{{",
+            self.seq, self.window_us
         ));
         for (i, c) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -528,8 +622,10 @@ impl HealthSampler {
 
     /// Samples every instrument in `registry` and advances the window.
     /// `window_us` is the wall (or simulated) time covered since the
-    /// previous sample, used only for rate derivation.
+    /// previous sample, used only for rate derivation. The snapshot is
+    /// stamped with the registry's shared monotonic sample sequence.
     pub fn sample(&mut self, registry: &Registry, context: &str, window_us: u64) -> HealthSnapshot {
+        let seq = registry.next_sample_seq();
         let rate = |delta: u64| {
             if window_us == 0 {
                 0
@@ -595,6 +691,7 @@ impl HealthSampler {
             .collect();
         HealthSnapshot {
             context: context.to_string(),
+            seq,
             window_us,
             counters,
             gauges,
@@ -753,7 +850,7 @@ mod tests {
         let snap = HealthSampler::new().sample(&r, "empty", 0);
         assert_eq!(
             snap.to_json_line(),
-            "{\"schema\":\"bridge-health/1\",\"context\":\"empty\",\"window_us\":0,\
+            "{\"schema\":\"bridge-health/1\",\"context\":\"empty\",\"seq\":1,\"window_us\":0,\
              \"counters\":{},\"gauges\":{},\"histograms\":{}}"
         );
     }
@@ -769,9 +866,31 @@ mod tests {
         // Parse line by line the way a conformant scraper does: every
         // sample must belong to the family most recently declared by a
         // `# TYPE` line (same name, or `name_bucket`/`name_sum`/`name_count`
-        // for histograms).
+        // for histograms), and every TYPE line is preceded by a HELP
+        // line for the same family.
         let mut declared: Option<(String, String)> = None;
+        let mut last_help: Option<String> = None;
         for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                last_help = Some(
+                    rest.split_whitespace()
+                        .next()
+                        .expect("HELP line has a name")
+                        .to_string(),
+                );
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest
+                    .split_whitespace()
+                    .next()
+                    .expect("TYPE line has a name");
+                assert_eq!(
+                    last_help.as_deref(),
+                    Some(name),
+                    "every TYPE line is preceded by its family's HELP line"
+                );
+            }
             if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut it = rest.split_whitespace();
                 let name = it.next().expect("TYPE line has a name").to_string();
@@ -900,5 +1019,86 @@ mod tests {
         assert!(snap
             .to_json_line()
             .contains("\"context\":\"k\\\"ern\\\\el\\u000a\""));
+    }
+
+    /// Satellite: the exposition carries a `# HELP` line per family —
+    /// described instruments use their description, undescribed ones
+    /// fall back to the registered (pre-sanitization) name — and help
+    /// text / metric names are escaped/sanitized.
+    #[test]
+    fn prometheus_help_lines_with_escaping() {
+        let r = Registry::new();
+        r.counter("dbt.traps").add(3);
+        r.describe(
+            "dbt.traps",
+            "Misalignment traps delivered\nto the OS \\ handler",
+        );
+        r.gauge("queue.depth").set(2);
+        r.counter("odd-name.with spaces").inc();
+        let text = r.to_prometheus();
+        // Described counter: help text with newline and backslash escaped.
+        assert!(
+            text.contains(
+                "# HELP dbt_traps Misalignment traps delivered\\nto the OS \\\\ handler\n\
+                 # TYPE dbt_traps counter\ndbt_traps 3\n"
+            ),
+            "escaped HELP precedes TYPE: {text}"
+        );
+        // Undescribed gauge: the registered dotted name is the help text,
+        // and the watermark family gets its own HELP + TYPE pair.
+        assert!(text.contains("# HELP queue_depth queue.depth\n# TYPE queue_depth gauge\n"));
+        assert!(text.contains(
+            "# HELP queue_depth_high_watermark queue.depth (high watermark)\n\
+             # TYPE queue_depth_high_watermark gauge\n"
+        ));
+        // Name sanitization still applies to the sample and both comment
+        // lines (label charset: [a-zA-Z0-9_:]).
+        assert!(text.contains("# HELP odd_name_with_spaces odd-name.with spaces\n"));
+        assert!(text.contains("# TYPE odd_name_with_spaces counter\nodd_name_with_spaces 1\n"));
+        assert_eq!(escape_help("plain"), "plain");
+    }
+
+    /// Satellite fix: health snapshots and time-series ticks draw from
+    /// ONE registry-wide monotonic sequence, so two racing scrapers can
+    /// never observe duplicate or out-of-order sequence numbers.
+    #[test]
+    fn sample_seq_is_shared_and_monotonic_across_racing_scrapers() {
+        let r = Arc::new(Registry::new());
+        r.counter("serve.requests").add(1);
+        let seqs: Vec<std::thread::JoinHandle<Vec<u64>>> = (0..2)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut sampler = HealthSampler::new();
+                    let mut ts = timeseries::TimeSeries::new(8);
+                    let mut seen = Vec::new();
+                    for _ in 0..500 {
+                        // One scraper takes health snapshots, the other
+                        // advances alert windows — the interleaving the
+                        // shared sequence has to order.
+                        if i == 0 {
+                            seen.push(sampler.sample(&r, "ctx", 1000).seq);
+                        } else {
+                            seen.push(ts.tick(&r, 1000).seq);
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = Vec::new();
+        for h in seqs {
+            let seen = h.join().expect("scraper thread");
+            assert!(
+                seen.windows(2).all(|w| w[0] < w[1]),
+                "each scraper sees strictly increasing seqs"
+            );
+            all.extend(seen);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "no duplicate seq across racing scrapers");
+        assert_eq!(*all.first().unwrap(), 1);
+        assert_eq!(*all.last().unwrap(), 1000);
     }
 }

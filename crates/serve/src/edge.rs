@@ -61,6 +61,8 @@ const OP_RUN: u8 = 1;
 const OP_METRICS_PROM: u8 = 2;
 const OP_METRICS_JSON: u8 = 3;
 const OP_HEALTH: u8 = 4;
+const OP_ALERTS: u8 = 5;
+const OP_DASHBOARD: u8 = 6;
 
 /// Response body kinds (byte after the status).
 const BODY_EMPTY: u8 = 0;
@@ -421,11 +423,13 @@ impl EdgeShared {
                     }
                 }
             }
-            OP_METRICS_PROM | OP_METRICS_JSON | OP_HEALTH => {
+            OP_METRICS_PROM | OP_METRICS_JSON | OP_HEALTH | OP_ALERTS | OP_DASHBOARD => {
                 let id = rd.u64().unwrap_or(0);
                 let text = match op {
                     OP_METRICS_PROM => self.svc.metrics.to_prometheus(),
                     OP_METRICS_JSON => self.svc.metrics.to_json(),
+                    OP_ALERTS => self.svc.alerts_json(),
+                    OP_DASHBOARD => self.svc.dashboard(),
                     _ => {
                         let mut lines = self.svc.health_report().join("\n");
                         lines.push('\n');
@@ -691,6 +695,26 @@ impl EdgeClient {
     /// Propagates socket/decode errors.
     pub fn health(&mut self) -> std::io::Result<String> {
         self.fetch_text(OP_HEALTH)
+    }
+
+    /// Ticks the serve-side telemetry window and fetches the
+    /// `bridge-alerts/1` document over the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/decode errors.
+    pub fn alerts(&mut self) -> std::io::Result<String> {
+        self.fetch_text(OP_ALERTS)
+    }
+
+    /// Ticks the serve-side telemetry window and fetches the plain-text
+    /// fleet dashboard over the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/decode errors.
+    pub fn dashboard(&mut self) -> std::io::Result<String> {
+        self.fetch_text(OP_DASHBOARD)
     }
 }
 

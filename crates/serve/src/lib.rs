@@ -67,11 +67,15 @@ use bridge_dbt::image::{content_hash, ImageError, ImageKey, ImageStore, Translat
 use bridge_dbt::{
     Dbt, DbtConfig, MdaStrategy, RunReport, SharedCacheStats, SharedCodeCache, StaticProfile,
 };
-use bridge_metrics::{CounterHealth, GaugeHealth, HealthSampler, HealthSnapshot, Registry};
+use bridge_metrics::{
+    Alert, AlertRules, AlertState, CounterHealth, GaugeHealth, HealthSampler, HealthSnapshot,
+    Registry, SloSpec, TimeSeries,
+};
 use bridge_sim::cost::CostModel;
 use bridge_sim::stats::Stats;
 use bridge_trace::{
-    MergedSiteTable, SpanConfig, SpanId, SpanKind, SpanRecorder, TraceConfig, TraceEvent, Tracer,
+    MergedSiteTable, SiteVerdict, SiteWatch, SpanConfig, SpanId, SpanKind, SpanRecorder,
+    TraceConfig, TraceEvent, Tracer, WatchConfig,
 };
 use bridge_workloads::kernels::Kernel;
 use std::collections::HashMap;
@@ -110,6 +114,18 @@ pub struct ServeConfig {
     /// utilization diagnostics; batch *results* stay byte-identical with
     /// spans on or off (the `serve_spans` tests pin this).
     pub spans: bool,
+    /// Attach a per-site re-divergence watch to every guest engine. The
+    /// watch is pure observation (watched runs are byte-identical to
+    /// bare — the `serve_watch` and `bench` watch tests pin this); each
+    /// run's sealed [`SiteWatch`] lands in [`GuestResult::watch`] and is
+    /// merged into the fleet-wide watch the dashboard reports. Off by
+    /// default.
+    pub watch: Option<WatchConfig>,
+    /// Declarative SLO burn-rate rules evaluated on every telemetry tick
+    /// ([`ExecService::tick`]); transitions surface as typed
+    /// [`Alert`] records, `serve.alerts.*` metrics and the `OP_ALERTS`
+    /// edge document. Empty by default.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +137,8 @@ impl Default for ServeConfig {
             shared_cache: true,
             image_store: None,
             spans: false,
+            watch: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -162,6 +180,19 @@ impl ServeConfig {
         self.spans = on;
         self
     }
+
+    /// Builder-style: attach the re-divergence watch to every guest.
+    pub fn with_watch(mut self, watch: WatchConfig) -> ServeConfig {
+        self.watch = Some(watch);
+        self
+    }
+
+    /// Builder-style: register one SLO burn-rate rule (callable
+    /// repeatedly; rules evaluate in registration order).
+    pub fn with_slo(mut self, slo: SloSpec) -> ServeConfig {
+        self.slos.push(slo);
+        self
+    }
 }
 
 /// What one guest produced: the engine report plus the read-back of the
@@ -181,6 +212,9 @@ pub struct GuestResult {
     /// spans ([`ServeConfig::spans`]). Also adopted into the service
     /// recorder under this request's dispatch span.
     pub spans: Option<SpanRecorder>,
+    /// The sealed per-site re-divergence watch, when the service attaches
+    /// one ([`ServeConfig::watch`]). Also merged into the fleet watch.
+    pub watch: Option<SiteWatch>,
 }
 
 /// Aggregated batch outcome, deterministic in the submitted order.
@@ -308,6 +342,10 @@ pub struct ExecService {
     /// Rolling-window health state: the registry sampler plus per-context
     /// shared-cache counter baselines for delta derivation.
     health: Mutex<HealthState>,
+    /// Continuous telemetry: the rolling-window time-series over the
+    /// registry, the SLO burn-rate rules, and the fleet-merged site
+    /// watch. Advanced by [`ExecService::tick`].
+    telemetry: Mutex<Telemetry>,
 }
 
 /// Delta baselines for [`ExecService::health_report`].
@@ -320,6 +358,65 @@ struct HealthState {
     window_start: Instant,
 }
 
+/// Continuous-telemetry state behind [`ExecService::tick`].
+struct Telemetry {
+    /// Rolling windows over every registry instrument. Window elapsed
+    /// units are host wall µs (tick-to-tick), so rates are utilization
+    /// diagnostics like `serve.queue.wait_us` — never byte-comparison
+    /// artifacts.
+    series: TimeSeries,
+    /// The SLO burn-rate rules from [`ServeConfig::slos`].
+    rules: AlertRules,
+    /// Every completed watched run's [`SiteWatch`], merged fleet-wide
+    /// (pessimistic verdicts, additive totals).
+    fleet_watch: SiteWatch,
+    /// Start of the current telemetry window: service creation, then the
+    /// previous `tick`.
+    window_start: Instant,
+}
+
+/// Rolling windows the telemetry ring retains (fast/slow burn lookbacks
+/// are far smaller; the surplus is dashboard history).
+const TELEMETRY_WINDOWS: usize = 64;
+
+/// Hottest sites the dashboard prints (traps+fixups descending).
+pub const DASHBOARD_TOP_SITES: usize = 8;
+
+/// Registers `# HELP` text for the service-layer instruments scrapers
+/// see most; called once per service so every exposition carries it.
+fn describe_serve_metrics(metrics: &Registry) {
+    metrics.describe("serve.requests", "Requests the service has executed");
+    metrics.describe(
+        "serve.exec_cycles",
+        "Per-request simulated guest cycles (deterministic)",
+    );
+    metrics.describe(
+        "serve.queue.wait_us",
+        "Host wall-clock queue wait per request (nondeterministic)",
+    );
+    metrics.describe(
+        "serve.alerts.fired",
+        "SLO burn-rate alerts that transitioned to firing",
+    );
+    metrics.describe(
+        "serve.alerts.resolved",
+        "SLO burn-rate alerts that transitioned back to resolved",
+    );
+    metrics.describe("serve.alerts.firing", "SLO rules currently firing");
+    metrics.describe(
+        "serve.watch.rediverged",
+        "Site re-divergence verdicts observed across watched runs",
+    );
+    metrics.describe(
+        "serve.watch.converged",
+        "Site convergence verdicts observed across watched runs",
+    );
+    metrics.describe(
+        "serve.watch.sites",
+        "Distinct guest PCs tracked by the fleet-merged site watch",
+    );
+}
+
 impl ExecService {
     /// A service with the given tuning and an empty artifact store.
     pub fn new(cfg: ServeConfig) -> ExecService {
@@ -330,19 +427,32 @@ impl ExecService {
             r.set_scope("serve");
             Mutex::new(r)
         });
+        let mut rules = AlertRules::new();
+        for slo in &cfg.slos {
+            rules.add(slo.clone());
+        }
+        let telemetry = Mutex::new(Telemetry {
+            series: TimeSeries::new(TELEMETRY_WINDOWS),
+            rules,
+            fleet_watch: SiteWatch::new(cfg.watch.unwrap_or_default()),
+            window_start: Instant::now(),
+        });
+        let metrics = Arc::new(Registry::new());
+        describe_serve_metrics(&metrics);
         ExecService {
             cfg,
             artifacts: Mutex::new(HashMap::new()),
             shared_caches: Mutex::new(HashMap::new()),
             store,
             warm_tracer,
-            metrics: Arc::new(Registry::new()),
+            metrics,
             spans,
             health: Mutex::new(HealthState {
                 sampler: HealthSampler::new(),
                 per_context: HashMap::new(),
                 window_start: Instant::now(),
             }),
+            telemetry,
         }
     }
 
@@ -728,6 +838,7 @@ impl ExecService {
             };
             let snap = HealthSnapshot {
                 context: label,
+                seq: self.metrics.next_sample_seq(),
                 window_us,
                 counters: vec![
                     counter("cache.evictions", stats.evictions, prev.evictions),
@@ -753,6 +864,141 @@ impl ExecService {
         lines
     }
 
+    /// Advances the telemetry clock one window: samples every registry
+    /// instrument into the rolling ring (elapsed units are wall µs since
+    /// the previous tick), evaluates the SLO burn-rate rules, and
+    /// returns the alert transitions this tick produced. Also bumps
+    /// `serve.alerts.fired` / `serve.alerts.resolved` counters and the
+    /// `serve.alerts.firing` gauge. The engine side advances its own
+    /// watch windows in simulated cycles; this is the serve-side clock.
+    pub fn tick(&self) -> Vec<Alert> {
+        let mut t = self
+            .telemetry
+            .lock()
+            .expect("telemetry lock never poisoned");
+        self.tick_locked(&mut t)
+    }
+
+    fn tick_locked(&self, t: &mut Telemetry) -> Vec<Alert> {
+        let elapsed_us = (t.window_start.elapsed().as_micros() as u64).max(1);
+        t.window_start = Instant::now();
+        t.series.tick(&self.metrics, elapsed_us);
+        let transitions = t.rules.evaluate(&t.series);
+        for a in &transitions {
+            match a.state {
+                AlertState::Firing => self.metrics.counter("serve.alerts.fired").inc(),
+                AlertState::Resolved => self.metrics.counter("serve.alerts.resolved").inc(),
+            }
+        }
+        let firing = t
+            .rules
+            .statuses(&t.series)
+            .iter()
+            .filter(|s| s.firing)
+            .count();
+        self.metrics.gauge("serve.alerts.firing").set(firing as i64);
+        transitions
+    }
+
+    /// Ticks the telemetry window and renders the `bridge-alerts/1` JSON
+    /// document (rule statuses plus the retained transition log) — the
+    /// `OP_ALERTS` edge body.
+    pub fn alerts_json(&self) -> String {
+        let mut t = self
+            .telemetry
+            .lock()
+            .expect("telemetry lock never poisoned");
+        self.tick_locked(&mut t);
+        let mut doc = t.rules.to_json(&t.series);
+        doc.push('\n');
+        doc
+    }
+
+    /// Snapshot of the fleet-merged site watch (every completed watched
+    /// run folded in, pessimistic verdicts).
+    pub fn fleet_watch(&self) -> SiteWatch {
+        self.telemetry
+            .lock()
+            .expect("telemetry lock never poisoned")
+            .fleet_watch
+            .clone()
+    }
+
+    /// Ticks the telemetry window and renders the plain-text fleet
+    /// dashboard — the `OP_DASHBOARD` edge body. Deterministic layout:
+    /// SLOs in registration order, sites hottest-first (traps+fixups
+    /// descending, PC ascending tiebreak), top
+    /// [`DASHBOARD_TOP_SITES`] only.
+    pub fn dashboard(&self) -> String {
+        use std::fmt::Write as _;
+        let mut t = self
+            .telemetry
+            .lock()
+            .expect("telemetry lock never poisoned");
+        self.tick_locked(&mut t);
+        let mut out = String::new();
+        let _ = writeln!(out, "== bridge fleet dashboard ==");
+        let latest = t.series.latest().expect("tick_locked pushed a window");
+        let _ = writeln!(
+            out,
+            "window: seq={} elapsed_us={} ticks={}",
+            latest.seq,
+            latest.elapsed_units,
+            t.series.total_ticks()
+        );
+        let _ = writeln!(
+            out,
+            "requests: total={} window_delta={} exec_cycles_p99={}",
+            self.metrics.counter("serve.requests").get(),
+            latest.counter_delta("serve.requests"),
+            latest.hist_quantile("serve.exec_cycles", 0.99)
+        );
+        let _ = writeln!(out, "-- slos ({}) --", t.rules.len());
+        for s in t.rules.statuses(&t.series) {
+            let _ = writeln!(
+                out,
+                "slo {}: {} fast={}permille slow={}permille objective: {}",
+                s.name,
+                if s.firing { "FIRING" } else { "ok" },
+                s.fast_burn_permille,
+                s.slow_burn_permille,
+                s.objective
+            );
+        }
+        let fired = t
+            .rules
+            .transitions()
+            .iter()
+            .filter(|a| a.state == AlertState::Firing)
+            .count();
+        let resolved = t.rules.transitions().len() - fired;
+        let _ = writeln!(out, "alerts: fired={fired} resolved={resolved}");
+        let w = &t.fleet_watch;
+        let _ = writeln!(
+            out,
+            "-- watch: sites={} rediverged={} converged={} windows={} events={} --",
+            w.site_count(),
+            w.rediverged_sites(),
+            w.converged_sites(),
+            w.windows_closed(),
+            w.events()
+        );
+        let mut sites: Vec<(u32, bridge_trace::SiteWatchStats)> = w.sites().collect();
+        sites.sort_by_key(|(pc, s)| (std::cmp::Reverse(s.traps + s.fixups), *pc));
+        for (pc, s) in sites.into_iter().take(DASHBOARD_TOP_SITES) {
+            let _ = writeln!(
+                out,
+                "site {pc:#010x}: {} traps={} fixups={} patches={} rediverges={}",
+                s.verdict.tag(),
+                s.traps,
+                s.fixups,
+                s.patches,
+                s.rediverge_count
+            );
+        }
+        out
+    }
+
     fn config_for(
         &self,
         req: &RunRequest,
@@ -773,6 +1019,9 @@ impl ExecService {
             // Cycle-domain engine spans (translate / execute / trap-fixup
             // / image-restore); the engine charges them zero cycles.
             cfg = cfg.with_spans(SpanConfig::default());
+        }
+        if let Some(w) = self.cfg.watch {
+            cfg = cfg.with_watch(w);
         }
         cfg.with_metrics(Arc::clone(&self.metrics))
     }
@@ -815,7 +1064,37 @@ impl ExecService {
         self.metrics
             .histogram("serve.exec_cycles")
             .observe(result.report.stats.cycles);
+        if let Some(w) = &result.watch {
+            self.absorb_watch(w);
+        }
         result
+    }
+
+    /// Folds one completed run's watch into the fleet watch and bumps
+    /// the `serve.watch.*` instruments from its verdict transitions.
+    fn absorb_watch(&self, w: &SiteWatch) {
+        let rediverged = w
+            .transitions()
+            .iter()
+            .filter(|t| t.verdict == SiteVerdict::Rediverged)
+            .count() as u64;
+        let converged = w
+            .transitions()
+            .iter()
+            .filter(|t| t.verdict == SiteVerdict::Converged)
+            .count() as u64;
+        let mut t = self
+            .telemetry
+            .lock()
+            .expect("telemetry lock never poisoned");
+        t.fleet_watch.merge(w);
+        self.metrics
+            .counter("serve.watch.rediverged")
+            .add(rediverged);
+        self.metrics.counter("serve.watch.converged").add(converged);
+        self.metrics
+            .gauge("serve.watch.sites")
+            .set(t.fleet_watch.site_count() as i64);
     }
 
     /// Executes a batch across the worker pool: requests enter the bounded
@@ -936,6 +1215,7 @@ fn execute(kernel: &Kernel, cfg: DbtConfig, req: RunRequest) -> GuestResult {
     let report = dbt.run(FUEL).expect("kernel halts within fuel");
     let tracer = dbt.trace_snapshot();
     let spans = dbt.take_span_recorder();
+    let watch = dbt.take_watch();
     let memory = req
         .kernel
         .observed_ranges()
@@ -952,6 +1232,7 @@ fn execute(kernel: &Kernel, cfg: DbtConfig, req: RunRequest) -> GuestResult {
         memory,
         tracer,
         spans,
+        watch,
     }
 }
 

@@ -40,6 +40,7 @@ pub mod sink;
 pub mod site;
 pub mod span;
 pub mod timeline;
+pub mod watch;
 
 pub use diff::TraceDiff;
 pub use merge::MergedSiteTable;
@@ -48,6 +49,9 @@ pub use sink::{SinkSummary, StreamingJsonl, TraceSink};
 pub use site::SiteTelemetry;
 pub use span::{SpanConfig, SpanId, SpanKind, SpanRecord, SpanRecorder};
 pub use timeline::{ConvergenceVerdict, Timeline};
+pub use watch::{
+    SiteTransition, SiteVerdict, SiteWatch, SiteWatchStats, WatchConfig, WatchSink, WindowEvidence,
+};
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
